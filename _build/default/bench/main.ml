@@ -1,0 +1,255 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table (I-VII) and figure (Fig. 2) of the
+   paper's evaluation on the five Table II circuits — the primary
+   reproduction artifact (tee to bench_output.txt).
+
+   Part 2 runs one Bechamel micro-benchmark per table, timing the
+   computational kernel behind that table on a small instance, so
+   per-kernel performance regressions are visible independently of the
+   full reproduction. Pass --quick to restrict part 1 to two small
+   circuits, --micro-only / --tables-only to run a single part. *)
+
+open Rc_core
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let micro_only = Array.exists (( = ) "--micro-only") Sys.argv
+let tables_only = Array.exists (( = ) "--tables-only") Sys.argv
+
+let benches =
+  if quick then [ Bench_suite.tiny; Bench_suite.s9234 ] else Bench_suite.all
+
+(* ---- part 1: reproduction ------------------------------------------- *)
+
+let reproduce () =
+  Printf.printf
+    "=== Reproduction: Integrated Placement and Skew Optimization for Rotary Clocking ===\n\n%!";
+  let _, t2 = Experiments.table2 ~benches () in
+  print_endline t2;
+  print_newline ();
+  let _, t1 = Experiments.table1 ~benches ~bb_seconds:(if quick then 5.0 else 120.0) () in
+  print_endline t1;
+  print_newline ();
+  Printf.eprintf "[bench] running flow suite (netflow + ILP) on %d circuits...\n%!"
+    (List.length benches);
+  let suite = Experiments.run_suite ~benches ~with_ilp:true ~log:true () in
+  print_endline (Experiments.table3 suite);
+  print_newline ();
+  print_endline (Experiments.table4 suite);
+  print_newline ();
+  print_endline (Experiments.table5 suite);
+  print_newline ();
+  print_endline (Experiments.table6 suite);
+  print_newline ();
+  print_endline (Experiments.table7 suite);
+  print_newline ();
+  let _, fig2 = Experiments.fig2 () in
+  print_endline fig2;
+  print_newline ();
+  (* design-choice ablations (DESIGN.md section 5) *)
+  Printf.eprintf "[bench] running ablations...\n%!";
+  print_endline (Ablation.all ());
+  print_newline ();
+  (* Section IX future-work extensions *)
+  Printf.eprintf "[bench] running extensions (ring sweep, local trees)...\n%!";
+  print_endline (Ring_sweep.report (Ring_sweep.sweep Bench_suite.tiny ~grids:[ 1; 2; 3; 4 ]));
+  print_newline ();
+  let o = Flow.run (Flow.default_config Bench_suite.tiny) in
+  let ffs, _ = Flow.ff_index o.Flow.netlist in
+  let ff_positions = Array.map (fun c -> o.Flow.positions.(c)) ffs in
+  Printf.printf "Local tapping trees (tiny, Section IX future work):\n";
+  List.iter
+    (fun tol ->
+      let lt =
+        Rc_assign.Local_trees.build ~phase_tolerance:tol o.Flow.cfg.Flow.tech o.Flow.rings
+          ~assignment:o.Flow.assignment ~ff_positions ~targets:o.Flow.skews
+      in
+      Printf.printf
+        "  tolerance %5.1f ps: %2d taps for %d FFs, wire %6.0f um (plain %6.0f, %+.1f%%)\n" tol
+        lt.Rc_assign.Local_trees.n_taps (Array.length ffs)
+        lt.Rc_assign.Local_trees.total_wirelength lt.Rc_assign.Local_trees.plain_wirelength
+        (-.Report.pct_improvement ~from:lt.Rc_assign.Local_trees.plain_wirelength
+             ~to_:lt.Rc_assign.Local_trees.total_wirelength))
+    [ 1.0; 3.0; 5.0; 10.0 ];
+  print_newline ();
+  (* the Section I motivation, quantified on our own layouts *)
+  Printf.eprintf "[bench] running variation study (s9234)...\n%!";
+  let ov = Flow.run (Flow.default_config Bench_suite.s9234) in
+  print_string (Variation_study.run ov).Variation_study.report;
+  print_newline ();
+  print_endline (snd (Clocking_compare.run ov));
+  print_newline ();
+  Printf.eprintf "[bench] routing study (s9234)...\n%!";
+  print_string (Routing_study.run ov).Routing_study.report;
+  print_newline ();
+  (* beyond the paper: detailed placement + relocate-and-heal stage 6 *)
+  Printf.eprintf "[bench] running beyond-paper flow comparison...\n%!";
+  print_endline
+    (Report.render
+       ~title:
+         "Beyond the paper: detailed placement + relocate-and-heal stage 6 vs the paper's pseudo-net flow"
+       ~header:
+         [ "Circuit"; "Paper flow tap WL"; "Tap red."; "Improved tap WL"; "Tap red.";
+           "Improved signal vs paper's" ]
+       (List.map
+          (fun bench ->
+            let d = Flow.run (Flow.default_config bench) in
+            let i = Flow.run (Flow.improved_config bench) in
+            [
+              bench.Bench_suite.bname;
+              Report.fmt_f ~dp:0 d.Flow.final.Flow.tapping_wl;
+              Report.fmt_pct
+                (Report.pct_improvement ~from:d.Flow.base.Flow.tapping_wl
+                   ~to_:d.Flow.final.Flow.tapping_wl);
+              Report.fmt_f ~dp:0 i.Flow.final.Flow.tapping_wl;
+              Report.fmt_pct
+                (Report.pct_improvement ~from:i.Flow.base.Flow.tapping_wl
+                   ~to_:i.Flow.final.Flow.tapping_wl);
+              Report.fmt_pct
+                (-.Report.pct_improvement ~from:d.Flow.final.Flow.signal_wl
+                     ~to_:i.Flow.final.Flow.signal_wl);
+            ])
+          benches))
+
+(* ---- part 2: Bechamel micro-benchmarks ------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+(* shared small state for the kernels *)
+let kernel_state =
+  lazy
+    (let bench = Bench_suite.tiny in
+     let tech = Rc_tech.Tech.default in
+     let gen = bench.Bench_suite.gen in
+     let netlist = Rc_netlist.Generator.generate gen in
+     let chip = gen.Rc_netlist.Generator.chip in
+     let rings =
+       Rc_rotary.Ring_array.create ~chip ~grid:bench.Bench_suite.ring_grid ()
+     in
+     let placed = Rc_place.Qplace.initial netlist ~chip in
+     let sta = Rc_timing.Sta.analyze tech netlist ~positions:placed.Rc_place.Qplace.positions in
+     let problem = Flow.skew_problem_of_sta tech netlist sta in
+     let schedule = Option.get (Rc_skew.Max_slack.solve_graph problem) in
+     let ffs, _ = Flow.ff_index netlist in
+     let ff_positions = Array.map (fun c -> placed.Rc_place.Qplace.positions.(c)) ffs in
+     let targets = schedule.Rc_skew.Max_slack.skews in
+     let assignment =
+       Rc_assign.Assign.by_netflow tech rings ~ff_positions ~targets
+     in
+     (tech, netlist, chip, rings, placed, problem, schedule, ff_positions, targets, assignment))
+
+let test_table1 =
+  Test.make ~name:"table1:lp-relax+greedy-rounding"
+    (Staged.stage (fun () ->
+         let tech, _, _, rings, _, _, _, ff_positions, targets, _ = Lazy.force kernel_state in
+         ignore (Rc_assign.Assign.by_ilp tech rings ~ff_positions ~targets)))
+
+let test_table2 =
+  Test.make ~name:"table2:zero-skew-clock-tree"
+    (Staged.stage (fun () ->
+         let tech, _, _, _, _, _, _, ff_positions, _, _ = Lazy.force kernel_state in
+         let sinks = Array.to_list (Array.map (fun p -> (p, tech.Rc_tech.Tech.c_ff)) ff_positions) in
+         ignore (Rc_ctree.Ctree.build tech ~sinks)))
+
+let test_table3 =
+  Test.make ~name:"table3:netflow-assignment"
+    (Staged.stage (fun () ->
+         let tech, _, _, rings, _, _, _, ff_positions, targets, _ = Lazy.force kernel_state in
+         ignore (Rc_assign.Assign.by_netflow tech rings ~ff_positions ~targets)))
+
+let test_table4 =
+  Test.make ~name:"table4:cost-driven-scheduling"
+    (Staged.stage (fun () ->
+         let tech, _, _, rings, _, problem, schedule, ff_positions, _, assignment =
+           Lazy.force kernel_state
+         in
+         let anchors =
+           Flow.anchors_of_assignment tech rings assignment ~ff_positions
+             ~skews:schedule.Rc_skew.Max_slack.skews
+         in
+         match Rc_skew.Cost_driven.solve_minmax_graph problem ~slack:0.0 ~anchors with
+         | Some r ->
+             ignore
+               (Rc_skew.Cost_driven.refine_toward_anchors problem ~slack:0.0 ~anchors
+                  ~skews:r.Rc_skew.Cost_driven.skews)
+         | None -> ()))
+
+let test_table5 =
+  Test.make ~name:"table5:max-slack-scheduling"
+    (Staged.stage (fun () ->
+         let _, _, _, _, _, problem, _, _, _, _ = Lazy.force kernel_state in
+         ignore (Rc_skew.Max_slack.solve_graph problem)))
+
+let test_table6 =
+  Test.make ~name:"table6:power-model"
+    (Staged.stage (fun () ->
+         let tech, netlist, _, _, placed, _, _, _, _, assignment = Lazy.force kernel_state in
+         ignore
+           (Rc_power.Power.clock_power_mw tech
+              ~tapping_wirelength:assignment.Rc_assign.Assign.total_cost
+              ~n_ffs:(Rc_netlist.Netlist.n_ffs netlist));
+         ignore (Rc_power.Power.signal_power_mw tech netlist placed.Rc_place.Qplace.positions)))
+
+let test_table7 =
+  Test.make ~name:"table7:incremental-placement"
+    (Staged.stage (fun () ->
+         let _, netlist, chip, _, placed, _, _, _, _, assignment = Lazy.force kernel_state in
+         let ffs, _ = Flow.ff_index netlist in
+         let pseudo =
+           Array.to_list
+             (Array.mapi
+                (fun i cell ->
+                  {
+                    Rc_place.Qplace.cell;
+                    anchor = assignment.Rc_assign.Assign.taps.(i).Rc_rotary.Tapping.point;
+                    weight = 0.35;
+                  })
+                ffs)
+         in
+         ignore
+           (Rc_place.Qplace.incremental netlist ~chip ~prev:placed.Rc_place.Qplace.positions
+              ~pseudo)))
+
+let test_fig2 =
+  Test.make ~name:"fig2:tapping-point-solver"
+    (Staged.stage (fun () ->
+         let tech, _, _, rings, _, _, _, ff_positions, targets, _ = Lazy.force kernel_state in
+         let ring = Rc_rotary.Ring_array.ring rings 0 in
+         Array.iteri
+           (fun i ff -> ignore (Rc_rotary.Tapping.solve tech ring ~ff ~target:targets.(i)))
+           ff_positions))
+
+let micro () =
+  Printf.printf "=== Bechamel micro-benchmarks (one kernel per table) ===\n%!";
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [
+        test_table1;
+        test_table2;
+        test_table3;
+        test_table4;
+        test_table5;
+        test_table6;
+        test_table7;
+        test_fig2;
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols (Instance.monotonic_clock :> Measure.witness) raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ t ] -> Printf.printf "  %-38s %12.1f ns/run\n" name t
+      | _ -> Printf.printf "  %-38s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+let () =
+  if not micro_only then reproduce ();
+  if not tables_only then micro ()

@@ -1,0 +1,278 @@
+(* Command-line driver: run the integrated placement + skew optimization
+   flow and regenerate the paper's tables. *)
+
+open Cmdliner
+open Rc_core
+
+let bench_conv =
+  let parse s =
+    match Bench_suite.find s with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %s (try tiny, s9234, s5378, s15850, s38417, s35932)"
+               s))
+  in
+  let print fmt b = Format.pp_print_string fmt b.Bench_suite.bname in
+  Arg.conv (parse, print)
+
+let benches_arg =
+  Arg.(
+    value
+    & opt_all bench_conv []
+    & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Benchmark circuit (repeatable); default: all five")
+
+let pick_benches = function [] -> Bench_suite.all | l -> l
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Restrict to tiny + s9234 for a fast sanity pass")
+
+let effective_benches benches quick =
+  if quick then [ Bench_suite.tiny; Bench_suite.s9234 ] else pick_benches benches
+
+(* --- flow command --- *)
+
+let mode_arg =
+  let mode_conv = Arg.enum [ ("netflow", Flow.Netflow); ("ilp", Flow.Ilp) ] in
+  Arg.(
+    value & opt mode_conv Flow.Netflow
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Assignment mode: netflow or ilp")
+
+let run_flow bench mode =
+  let cfg = Flow.default_config ~mode bench in
+  let o = Flow.run cfg in
+  Printf.printf "circuit %s: %d flip-flops, %d sequential pairs, max slack %.2f ps\n"
+    bench.Bench_suite.bname
+    (Rc_netlist.Netlist.n_ffs o.Flow.netlist)
+    o.Flow.n_pairs o.Flow.slack;
+  List.iter
+    (fun (s : Flow.snapshot) ->
+      Printf.printf
+        "  iter %d: AFD %8.1f um, tapping %10.0f um, signal %10.0f um, power %7.2f mW\n"
+        s.Flow.iteration s.Flow.afd s.Flow.tapping_wl s.Flow.signal_wl s.Flow.total_mw)
+    o.Flow.history;
+  Printf.printf "CPU: flow %.2f s, placer %.2f s\n" o.Flow.cpu_flow_s o.Flow.cpu_placer_s
+
+let flow_cmd =
+  let bench =
+    Arg.(value & opt bench_conv Bench_suite.tiny & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Circuit")
+  in
+  Cmd.v
+    (Cmd.info "flow" ~doc:"Run the six-stage flow on one circuit and print per-iteration metrics")
+    Term.(const run_flow $ bench $ mode_arg)
+
+(* --- tables command --- *)
+
+let tables_of_string = function
+  | "1" -> `T1
+  | "2" -> `T2
+  | "3" -> `T3
+  | "4" -> `T4
+  | "5" -> `T5
+  | "6" -> `T6
+  | "7" -> `T7
+  | "fig2" -> `Fig2
+  | s -> failwith ("unknown table: " ^ s)
+
+let run_tables tables benches quick bb_seconds =
+  let benches = effective_benches benches quick in
+  let wanted =
+    match tables with [] -> [ `T1; `T2; `T3; `T4; `T5; `T6; `T7; `Fig2 ] | l -> List.map tables_of_string l
+  in
+  let needs_suite = List.exists (fun t -> List.mem t [ `T3; `T4; `T5; `T6; `T7 ]) wanted in
+  let suite =
+    if needs_suite then Experiments.run_suite ~benches ~with_ilp:true ~log:true () else []
+  in
+  List.iter
+    (fun t ->
+      let text =
+        match t with
+        | `T1 -> snd (Experiments.table1 ~benches ~bb_seconds ())
+        | `T2 -> snd (Experiments.table2 ~benches ())
+        | `T3 -> Experiments.table3 suite
+        | `T4 -> Experiments.table4 suite
+        | `T5 -> Experiments.table5 suite
+        | `T6 -> Experiments.table6 suite
+        | `T7 -> Experiments.table7 suite
+        | `Fig2 -> snd (Experiments.fig2 ())
+      in
+      print_endline text;
+      print_newline ())
+    wanted
+
+let tables_cmd =
+  let tables =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TABLE" ~doc:"Tables to produce: 1-7 and/or fig2 (default: all)")
+  in
+  let bb_seconds =
+    Arg.(value & opt float 30.0 & info [ "bb-seconds" ] ~doc:"Branch-and-bound budget for Table I")
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables (I-VII) and the Fig. 2 curve")
+    Term.(const run_tables $ tables $ benches_arg $ quick_arg $ bb_seconds)
+
+(* --- info command --- *)
+
+let run_info benches quick =
+  let benches = effective_benches benches quick in
+  print_endline (snd (Experiments.table2 ~benches ()))
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print benchmark characteristics (Table II)")
+    Term.(const run_info $ benches_arg $ quick_arg)
+
+(* --- ablation command --- *)
+
+let run_ablation which =
+  let text =
+    match which with
+    | "pseudo" -> Ablation.pseudo_weight_schedule ()
+    | "candidates" -> Ablation.candidate_rings ()
+    | "objective" -> Ablation.skew_objectives ()
+    | "engine" -> Ablation.scheduling_engines ()
+    | "complement" -> Ablation.complementary_phase ()
+    | "all" -> Ablation.all ()
+    | s -> failwith ("unknown ablation: " ^ s)
+  in
+  print_endline text
+
+let ablation_cmd =
+  let which =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"WHICH"
+          ~doc:"pseudo | candidates | objective | engine | complement | all")
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run the design-choice ablations from DESIGN.md")
+    Term.(const run_ablation $ which)
+
+(* --- sweep command (future-work: ring count as a variable) --- *)
+
+let run_sweep bench grids =
+  let grids = match grids with [] -> [ 2; 3; 4; 5; 6 ] | l -> l in
+  print_endline (Ring_sweep.report (Ring_sweep.sweep bench ~grids))
+
+let sweep_cmd =
+  let bench =
+    Arg.(value & opt bench_conv Bench_suite.tiny & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Circuit")
+  in
+  let grids = Arg.(value & pos_all int [] & info [] ~docv:"GRID" ~doc:"Grid sizes to sweep") in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep the rotary ring count (Section IX future work)")
+    Term.(const run_sweep $ bench $ grids)
+
+(* --- render command --- *)
+
+let run_render bench mode out =
+  let cfg = Flow.default_config ~mode bench in
+  let o = Flow.run cfg in
+  let ffs, _ = Flow.ff_index o.Flow.netlist in
+  let taps =
+    Array.to_list
+      (Array.mapi (fun i c -> (c, o.Flow.assignment.Rc_assign.Assign.taps.(i))) ffs)
+  in
+  Rc_viz.Layout.write ~path:out
+    ~chip:bench.Bench_suite.gen.Rc_netlist.Generator.chip
+    ~netlist:o.Flow.netlist ~positions:o.Flow.positions ~rings:o.Flow.rings ~taps ();
+  Printf.printf "wrote %s (%d flip-flops, %d rings, tapping WL %.0f um)\n" out
+    (Array.length ffs)
+    (Rc_rotary.Ring_array.n_rings o.Flow.rings)
+    o.Flow.final.Flow.tapping_wl
+
+let render_cmd =
+  let bench =
+    Arg.(value & opt bench_conv Bench_suite.tiny & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Circuit")
+  in
+  let out =
+    Arg.(value & opt string "layout.svg" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"SVG path")
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Run the flow and render the layout (rings, cells, taps) as SVG")
+    Term.(const run_render $ bench $ mode_arg $ out)
+
+(* --- export command --- *)
+
+let run_export bench out_net out_pl =
+  let gen = bench.Bench_suite.gen in
+  let netlist = Rc_netlist.Generator.generate gen in
+  let chip = gen.Rc_netlist.Generator.chip in
+  Rc_netlist.Serialize.write_file ~path:out_net ~chip netlist;
+  Printf.printf "wrote %s (%d cells, %d nets)\n" out_net
+    (Rc_netlist.Netlist.n_cells netlist)
+    (Rc_netlist.Netlist.n_nets netlist);
+  match out_pl with
+  | None -> ()
+  | Some path ->
+      let placed = Rc_place.Qplace.initial netlist ~chip in
+      let oc = open_out path in
+      output_string oc (Rc_netlist.Serialize.placement_to_string placed.Rc_place.Qplace.positions);
+      close_out oc;
+      Printf.printf "wrote %s (HPWL %.0f um)\n" path placed.Rc_place.Qplace.hpwl
+
+let export_cmd =
+  let bench =
+    Arg.(value & opt bench_conv Bench_suite.tiny & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Circuit")
+  in
+  let out_net =
+    Arg.(value & opt string "circuit.net" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Netlist path")
+  in
+  let out_pl =
+    Arg.(value & opt (some string) None & info [ "placement" ] ~docv:"FILE" ~doc:"Also place and write a .pl file")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a benchmark circuit (and optionally its placement) to disk")
+    Term.(const run_export $ bench $ out_net $ out_pl)
+
+(* --- import command (.bench) --- *)
+
+let run_import path grid pitch =
+  let side = float_of_int grid *. pitch in
+  let chip = Rc_geom.Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:side ~ymax:side in
+  match Rc_netlist.Bench_format.read_file ~chip path with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  | Ok netlist ->
+      Printf.printf "parsed %s: %d cells, %d flip-flops, %d nets\n"
+        (Rc_netlist.Netlist.name netlist)
+        (Rc_netlist.Netlist.n_cells netlist)
+        (Rc_netlist.Netlist.n_ffs netlist)
+        (Rc_netlist.Netlist.n_nets netlist);
+      let bench =
+        {
+          Bench_suite.bname = Rc_netlist.Netlist.name netlist;
+          ring_grid = grid;
+          gen = { Rc_netlist.Generator.default_config with Rc_netlist.Generator.chip };
+        }
+      in
+      let o = Flow.run_on (Flow.default_config bench) netlist in
+      List.iter
+        (fun (s : Flow.snapshot) ->
+          Printf.printf "  iter %d: AFD %8.1f um, tapping %10.0f um, signal %10.0f um\n"
+            s.Flow.iteration s.Flow.afd s.Flow.tapping_wl s.Flow.signal_wl)
+        o.Flow.history
+
+let import_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.bench") in
+  let grid =
+    Arg.(value & opt int 4 & info [ "grid" ] ~docv:"N" ~doc:"Rotary ring array is N x N")
+  in
+  let pitch =
+    Arg.(value & opt float 600.0 & info [ "pitch" ] ~docv:"UM" ~doc:"Ring tile pitch, um")
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Run the flow on an ISCAS89 .bench netlist")
+    Term.(const run_import $ path $ grid $ pitch)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "rotary_cli" ~version:"1.0.0"
+       ~doc:"Integrated placement and skew optimization for rotary clocking")
+    [ flow_cmd; tables_cmd; info_cmd; ablation_cmd; sweep_cmd; render_cmd; export_cmd; import_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

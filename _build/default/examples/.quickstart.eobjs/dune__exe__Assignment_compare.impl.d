@@ -1,0 +1,1 @@
+examples/assignment_compare.ml: Array Bench_suite Flow Option Printf Rc_assign Rc_core Rc_ilp Rc_netlist Rc_place Rc_rotary Rc_skew Rc_tech Rc_timing

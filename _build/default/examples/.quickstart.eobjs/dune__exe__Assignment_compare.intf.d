@@ -1,0 +1,1 @@
+examples/assignment_compare.mli:

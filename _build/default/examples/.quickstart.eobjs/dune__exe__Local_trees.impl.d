@@ -1,0 +1,1 @@
+examples/local_trees.ml: Array Bench_suite Flow List Printf Rc_assign Rc_core Report

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bench_suite Float Flow List Printf Rc_assign Rc_core Rc_netlist Rc_rotary Report

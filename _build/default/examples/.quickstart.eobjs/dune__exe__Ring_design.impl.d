@@ -1,0 +1,1 @@
+examples/ring_design.ml: List Point Printf Rc_geom Rc_rotary Rc_tech Rect Ring Ring_array Tapping Wave_sim

@@ -1,0 +1,1 @@
+examples/skew_scheduling.ml: Array Cost_driven Float Max_slack Option Printf Rc_skew Skew_problem

@@ -1,0 +1,1 @@
+examples/variation_analysis.ml: Bench_suite Clocking_compare Flow List Printf Rc_core Rc_variation Variation_study

@@ -1,0 +1,1 @@
+lib/assign/assign.ml: Array Float List Problem Rc_ilp Rc_lp Rc_netflow Rc_rotary Rc_tech Rc_util Ring_array Tapping

@@ -1,0 +1,1 @@
+lib/assign/assign.mli: Rc_geom Rc_ilp Rc_rotary Rc_tech

@@ -1,0 +1,1 @@
+lib/assign/local_trees.ml: Array Assign Float Hashtbl List Option Rc_ctree Rc_rotary Rc_tech Rc_util Ring Ring_array Tapping

@@ -1,0 +1,1 @@
+lib/assign/local_trees.mli: Assign Rc_geom Rc_rotary Rc_tech

@@ -1,0 +1,215 @@
+open Rc_rotary
+
+type t = {
+  ring_of_ff : int array;
+  taps : Tapping.tap array;
+  total_cost : float;
+  loads : float array;
+  max_load : float;
+}
+
+let load_of_tap (tech : Rc_tech.Tech.t) (tap : Tapping.tap) =
+  (tech.Rc_tech.Tech.c_wire *. tap.Tapping.wirelength) +. tech.Rc_tech.Tech.c_ff
+
+let check_inputs arr ff_positions targets =
+  ignore arr;
+  if Array.length ff_positions <> Array.length targets then
+    invalid_arg "Assign: positions/targets size mismatch"
+
+(* Tap cache: solving Eq. 1 per (ff, ring) candidate once. *)
+let candidate_taps tech arr ~ff_positions ~targets ~candidates =
+  let n = Array.length ff_positions in
+  Array.init n (fun i ->
+      Ring_array.rings_near arr ff_positions.(i) candidates
+      |> List.map (fun rj ->
+             let tap =
+               Tapping.solve tech (Ring_array.ring arr rj) ~ff:ff_positions.(i)
+                 ~target:targets.(i)
+             in
+             (rj, tap)))
+
+let finish tech arr taps ring_of_ff =
+  let loads = Array.make (Ring_array.n_rings arr) 0.0 in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i (tap : Tapping.tap) ->
+      total := !total +. tap.Tapping.wirelength;
+      loads.(ring_of_ff.(i)) <- loads.(ring_of_ff.(i)) +. load_of_tap tech tap)
+    taps;
+  {
+    ring_of_ff;
+    taps;
+    total_cost = !total;
+    loads;
+    max_load = Array.fold_left Float.max 0.0 loads;
+  }
+
+let by_netflow ?(candidates = 6) ?capacities tech arr ~ff_positions ~targets =
+  check_inputs arr ff_positions targets;
+  let n = Array.length ff_positions in
+  let capacities =
+    match capacities with
+    | Some c ->
+        if Array.length c <> Ring_array.n_rings arr then
+          invalid_arg "Assign.by_netflow: capacities size mismatch";
+        c
+    | None -> Ring_array.default_capacities arr ~n_ffs:n ~slack:1.3
+  in
+  if Array.fold_left ( + ) 0 capacities < n then
+    invalid_arg "Assign.by_netflow: total capacity below flip-flop count";
+  let rec attempt k =
+    let cand = candidate_taps tech arr ~ff_positions ~targets ~candidates:k in
+    let cands =
+      List.concat
+        (List.init n (fun i ->
+             List.map
+               (fun (rj, (tap : Tapping.tap)) ->
+                 { Rc_netflow.Assignment.item = i; bin = rj; cost = tap.Tapping.wirelength })
+               cand.(i)))
+    in
+    let r =
+      Rc_netflow.Assignment.solve ~n_items:n ~n_bins:(Ring_array.n_rings arr) ~capacities cands
+    in
+    if r.Rc_netflow.Assignment.assigned < n && k < Ring_array.n_rings arr then
+      attempt (min (Ring_array.n_rings arr) (2 * k))
+    else begin
+      let assignment = r.Rc_netflow.Assignment.assignment in
+      let taps =
+        Array.init n (fun i ->
+            let rj = assignment.(i) in
+            if rj < 0 then invalid_arg "Assign.by_netflow: unassignable flip-flop"
+            else List.assoc rj cand.(i))
+      in
+      finish tech arr taps assignment
+    end
+  in
+  attempt candidates
+
+type ilp_stats = {
+  lp_optimum : float;
+  ilp_objective : float;
+  integrality_gap : float;
+  lp_iterations : int;
+  elapsed_s : float;
+}
+
+(* Build the Eq. 3 min-max ILP over the candidate arcs. Returns the LP
+   problem, the (ff, ring, var) triples and the cap variable. *)
+let build_minmax_problem tech arr cand =
+  let open Rc_lp in
+  let n = Array.length cand in
+  let p = Problem.create () in
+  let cap_var = Problem.add_var ~lo:0.0 ~obj:1.0 p in
+  let triples =
+    Array.mapi
+      (fun i lst ->
+        List.map
+          (fun (rj, tap) ->
+            let v = Problem.add_var ~lo:0.0 ~hi:1.0 p in
+            (i, rj, v, load_of_tap tech tap))
+          lst)
+      cand
+  in
+  (* each flip-flop on exactly one ring *)
+  Array.iter
+    (fun lst -> ignore (Problem.add_row p (List.map (fun (_, _, v, _) -> (v, 1.0)) lst) Problem.Eq 1.0))
+    triples;
+  (* per-ring load <= cap *)
+  let per_ring = Array.make (Ring_array.n_rings arr) [] in
+  Array.iter
+    (fun lst ->
+      List.iter (fun (_, rj, v, load) -> per_ring.(rj) <- (v, load) :: per_ring.(rj)) lst)
+    triples;
+  Array.iter
+    (fun entries ->
+      if entries <> [] then
+        ignore
+          (Problem.add_row p
+             ((cap_var, -1.0) :: List.map (fun (v, load) -> (v, load)) entries)
+             Problem.Le 0.0))
+    per_ring;
+  ignore n;
+  (p, triples, cap_var)
+
+let assignment_from_bins tech arr cand bins =
+  let n = Array.length cand in
+  let taps =
+    Array.init n (fun i ->
+        let rj = bins.(i) in
+        List.assoc rj cand.(i))
+  in
+  finish tech arr taps (Array.copy bins)
+
+let by_ilp ?(candidates = 6) tech arr ~ff_positions ~targets =
+  check_inputs arr ff_positions targets;
+  let timer = Rc_util.Timer.start () in
+  let n = Array.length ff_positions in
+  let cand = candidate_taps tech arr ~ff_positions ~targets ~candidates in
+  let p, triples, _cap = build_minmax_problem tech arr cand in
+  let sol = Rc_lp.Simplex.solve p in
+  if sol.Rc_lp.Simplex.status <> Rc_lp.Simplex.Optimal then
+    failwith "Assign.by_ilp: LP relaxation did not solve";
+  let xlp =
+    Array.to_list triples
+    |> List.concat_map (List.map (fun (i, rj, v, _) -> (i, rj, sol.Rc_lp.Simplex.x.(v))))
+  in
+  let bins = Rc_ilp.Rounding.greedy_round ~n_items:n xlp in
+  let result = assignment_from_bins tech arr cand bins in
+  let stats =
+    {
+      lp_optimum = sol.Rc_lp.Simplex.objective;
+      ilp_objective = result.max_load;
+      integrality_gap =
+        Rc_ilp.Rounding.integrality_gap ~ilp_objective:result.max_load
+          ~lp_optimum:sol.Rc_lp.Simplex.objective;
+      lp_iterations = sol.Rc_lp.Simplex.iterations;
+      elapsed_s = Rc_util.Timer.elapsed_s timer;
+    }
+  in
+  (result, stats)
+
+type bb_stats = {
+  bb_objective : float;
+  bb_gap : float;
+  proved_optimal : bool;
+  bb_nodes : int;
+  bb_elapsed_s : float;
+}
+
+let by_branch_bound ?(candidates = 6) ?limits tech arr ~ff_positions ~targets =
+  check_inputs arr ff_positions targets;
+  let n = Array.length ff_positions in
+  let cand = candidate_taps tech arr ~ff_positions ~targets ~candidates in
+  let p, triples, _cap = build_minmax_problem tech arr cand in
+  let lp = Rc_lp.Simplex.solve p in
+  let lp_opt =
+    if lp.Rc_lp.Simplex.status = Rc_lp.Simplex.Optimal then lp.Rc_lp.Simplex.objective else nan
+  in
+  let int_vars =
+    Array.to_list triples |> List.concat_map (List.map (fun (_, _, v, _) -> v))
+  in
+  let out = Rc_ilp.Branch_bound.solve ?limits p ~integer_vars:int_vars in
+  let stats ok obj =
+    {
+      bb_objective = obj;
+      bb_gap = (if ok then obj /. lp_opt else nan);
+      proved_optimal = out.Rc_ilp.Branch_bound.status = Rc_ilp.Branch_bound.Proven_optimal;
+      bb_nodes = out.Rc_ilp.Branch_bound.nodes;
+      bb_elapsed_s = out.Rc_ilp.Branch_bound.elapsed_s;
+    }
+  in
+  match out.Rc_ilp.Branch_bound.status with
+  | Rc_ilp.Branch_bound.Proven_optimal | Rc_ilp.Branch_bound.Feasible ->
+      let bins = Array.make n (-1) in
+      Array.iter
+        (fun lst ->
+          List.iter
+            (fun (i, rj, v, _) -> if out.Rc_ilp.Branch_bound.x.(v) > 0.5 then bins.(i) <- rj)
+            lst)
+        triples;
+      if Array.exists (fun b -> b < 0) bins then (None, stats false infinity)
+      else begin
+        let result = assignment_from_bins tech arr cand bins in
+        (Some result, stats true result.max_load)
+      end
+  | _ -> (None, stats false infinity)

@@ -1,0 +1,80 @@
+(** Stage-3 flip-flop-to-ring assignment, in the paper's two flavors:
+
+    - {!by_netflow} (Section V): minimize total tapping cost under ring
+      capacities — solved optimally as a min-cost network flow (Fig. 4);
+    - {!by_ilp} (Section VI): minimize the maximum load capacitance on
+      any ring — LP relaxation plus the Fig. 5 greedy rounding;
+    - {!by_branch_bound}: the generic exact ILP baseline of Table I,
+      with a wall-clock budget standing in for the paper's 10-hour GLPK
+      cap.
+
+    Flip-flops are indexed [0 .. n-1] with positions and delay targets
+    supplied per index. Candidate arcs connect each flip-flop only to
+    its [candidates] nearest rings, as the paper prescribes for
+    far-apart pairs. *)
+
+type t = {
+  ring_of_ff : int array;  (** Assigned ring per flip-flop. *)
+  taps : Rc_rotary.Tapping.tap array;  (** The realizing tap per flip-flop. *)
+  total_cost : float;  (** Total tapping wirelength, µm. *)
+  loads : float array;  (** Load capacitance per ring, fF. *)
+  max_load : float;  (** Max over [loads], fF. *)
+}
+
+val load_of_tap : Rc_tech.Tech.t -> Rc_rotary.Tapping.tap -> float
+(** [C_p^{ij}]: stub wire capacitance plus the flip-flop input
+    capacitance, fF. *)
+
+val by_netflow :
+  ?candidates:int ->
+  ?capacities:int array ->
+  Rc_tech.Tech.t ->
+  Rc_rotary.Ring_array.t ->
+  ff_positions:Rc_geom.Point.t array ->
+  targets:float array ->
+  t
+(** Min-cost-flow assignment. [candidates] (default 6) nearest rings per
+    flip-flop; [capacities] default to
+    [Ring_array.default_capacities ~slack:1.3]. If capacities leave some
+    flip-flop unassigned the candidate set is widened automatically.
+    @raise Invalid_argument on size mismatches or infeasible total
+    capacity. *)
+
+type ilp_stats = {
+  lp_optimum : float;  (** OPT(LP), fF. *)
+  ilp_objective : float;  (** SOLN(ILP) after rounding, fF. *)
+  integrality_gap : float;  (** Eq. 4. *)
+  lp_iterations : int;
+  elapsed_s : float;
+}
+
+val by_ilp :
+  ?candidates:int ->
+  Rc_tech.Tech.t ->
+  Rc_rotary.Ring_array.t ->
+  ff_positions:Rc_geom.Point.t array ->
+  targets:float array ->
+  t * ilp_stats
+(** LP-relaxation + greedy rounding for the min-max-load formulation
+    (Eq. 3). No capacity constraints — load balancing is implicit in the
+    objective, as in the paper. *)
+
+type bb_stats = {
+  bb_objective : float;  (** Incumbent objective, fF ([infinity] if none). *)
+  bb_gap : float;  (** Incumbent / LP-optimum (Table I's IG). *)
+  proved_optimal : bool;
+  bb_nodes : int;
+  bb_elapsed_s : float;
+}
+
+val by_branch_bound :
+  ?candidates:int ->
+  ?limits:Rc_ilp.Branch_bound.limits ->
+  Rc_tech.Tech.t ->
+  Rc_rotary.Ring_array.t ->
+  ff_positions:Rc_geom.Point.t array ->
+  targets:float array ->
+  t option * bb_stats
+(** Exact branch & bound on the same ILP, truncated by [limits]
+    (default 60 s). Returns [None] when no incumbent was found in
+    budget — the paper saw the same on three of five circuits. *)

@@ -1,0 +1,131 @@
+open Rc_rotary
+
+type group = {
+  ring : int;
+  members : int array;
+  tap : Tapping.tap;
+  tree_wirelength : float;
+  tree_delay : float;
+  stub_load : float;
+  common_target : float;
+}
+
+type t = {
+  groups : group list;
+  total_wirelength : float;
+  plain_wirelength : float;
+  n_taps : int;
+}
+
+let build ?(phase_tolerance = 3.0) tech arr ~(assignment : Assign.t) ~ff_positions ~targets =
+  let n = Array.length ff_positions in
+  if Array.length targets <> n || Array.length assignment.Assign.ring_of_ff <> n then
+    invalid_arg "Local_trees.build: size mismatch";
+  (* bucket flip-flops by ring, then sweep each ring's members in target
+     order, closing a group when the span would exceed the tolerance *)
+  let by_ring = Hashtbl.create 32 in
+  for i = 0 to n - 1 do
+    let r = assignment.Assign.ring_of_ff.(i) in
+    Hashtbl.replace by_ring r (i :: Option.value (Hashtbl.find_opt by_ring r) ~default:[])
+  done;
+  let groups = ref [] in
+  Hashtbl.iter
+    (fun ring_id members ->
+      let sorted =
+        List.sort (fun a b -> compare targets.(a) targets.(b)) members |> Array.of_list
+      in
+      let start = ref 0 in
+      let flush stop =
+        (* members [start, stop) form one group *)
+        let mem = Array.sub sorted !start (stop - !start) in
+        let ring = Ring_array.ring arr ring_id in
+        let common_target =
+          Rc_util.Stats.mean (Array.map (fun i -> targets.(i)) mem)
+        in
+        let g =
+          if Array.length mem = 1 then
+            let i = mem.(0) in
+            {
+              ring = ring_id;
+              members = mem;
+              tap = Tapping.solve tech ring ~ff:ff_positions.(i) ~target:targets.(i);
+              tree_wirelength = 0.0;
+              tree_delay = 0.0;
+              stub_load = tech.Rc_tech.Tech.c_ff;
+              common_target = targets.(i);
+            }
+          else begin
+            let sinks =
+              Array.to_list
+                (Array.map (fun i -> (ff_positions.(i), tech.Rc_tech.Tech.c_ff)) mem)
+            in
+            let tree = Rc_ctree.Ctree.build tech ~sinks in
+            let stats = Rc_ctree.Ctree.stats tree in
+            let tree_cap =
+              (stats.Rc_ctree.Ctree.total_wirelength *. tech.Rc_tech.Tech.c_wire)
+              +. (float_of_int (Array.length mem) *. tech.Rc_tech.Tech.c_ff)
+            in
+            let tap =
+              Tapping.solve ~load:tree_cap tech ring
+                ~ff:(Rc_ctree.Ctree.root_position tree)
+                ~target:(common_target -. stats.Rc_ctree.Ctree.root_delay)
+            in
+            {
+              ring = ring_id;
+              members = mem;
+              tap;
+              tree_wirelength = stats.Rc_ctree.Ctree.total_wirelength;
+              tree_delay = stats.Rc_ctree.Ctree.root_delay;
+              stub_load = tree_cap;
+              common_target;
+            }
+          end
+        in
+        groups := g :: !groups;
+        start := stop
+      in
+      let len = Array.length sorted in
+      for k = 1 to len do
+        if
+          k = len
+          || targets.(sorted.(k)) -. targets.(sorted.(!start)) > phase_tolerance
+        then flush k
+      done)
+    by_ring;
+  let total =
+    List.fold_left
+      (fun acc g -> acc +. g.tap.Tapping.wirelength +. g.tree_wirelength)
+      0.0 !groups
+  in
+  let plain =
+    Array.fold_left (fun acc (t : Tapping.tap) -> acc +. t.Tapping.wirelength) 0.0
+      assignment.Assign.taps
+  in
+  {
+    groups = !groups;
+    total_wirelength = total;
+    plain_wirelength = plain;
+    n_taps = List.length !groups;
+  }
+
+let max_phase_error tech arr t ~targets =
+  let period = Ring_array.period arr in
+  let mod_diff a b =
+    let d = Float.rem (Float.abs (a -. b)) period in
+    Float.min d (period -. d)
+  in
+  List.fold_left
+    (fun acc g ->
+      let ring = Ring_array.ring arr g.ring in
+      (* each member's arrival: on-ring delay at the tap + the stub delay
+         (with the subtree's capacitance as load) + the zero-skew tree's
+         root-to-sink delay *)
+      let arrival =
+        Ring.delay_at ring ~arc:g.tap.Tapping.arc ~conductor:g.tap.Tapping.conductor
+        +. Tapping.stub_delay_with_load tech ~load:g.stub_load g.tap.Tapping.wirelength
+        +. g.tree_delay
+      in
+      Array.fold_left
+        (fun acc i -> Float.max acc (mod_diff arrival targets.(i)))
+        acc g.members)
+    0.0 t.groups

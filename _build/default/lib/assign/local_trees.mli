@@ -1,0 +1,46 @@
+(** Local tapping trees — the paper's first future-work extension
+    (Section IX): instead of a dedicated stub per flip-flop, flip-flops
+    assigned to the same ring whose delay targets are within a small
+    tolerance share one tapping point driving a zero-skew subtree. The
+    subtree delivers an equal delay to every member, so the tap solves
+    Eq. 1 for the common target minus the tree's root-to-sink delay,
+    with the whole subtree's capacitance as the stub load.
+
+    The tolerance models the skew permissible range the paper says such
+    a construction must respect: members' targets differ by at most
+    [phase_tolerance], so each flip-flop's realized arrival is within
+    half of it from its own target. *)
+
+type group = {
+  ring : int;
+  members : int array;  (** Flip-flop indices sharing the tap. *)
+  tap : Rc_rotary.Tapping.tap;  (** The shared tapping point. *)
+  tree_wirelength : float;  (** Zero-skew subtree wire, µm (0 for singletons). *)
+  tree_delay : float;  (** Root-to-sink Elmore delay of the subtree, ps. *)
+  stub_load : float;  (** Capacitance hanging off the stub (tree + pins), fF. *)
+  common_target : float;  (** The group's representative delay target, ps. *)
+}
+
+type t = {
+  groups : group list;  (** Every flip-flop appears in exactly one group. *)
+  total_wirelength : float;  (** Stubs + subtrees, µm. *)
+  plain_wirelength : float;  (** The per-flip-flop stub total it replaces, µm. *)
+  n_taps : int;  (** Tapping points used (≤ number of flip-flops). *)
+}
+
+val build :
+  ?phase_tolerance:float ->
+  Rc_tech.Tech.t ->
+  Rc_rotary.Ring_array.t ->
+  assignment:Assign.t ->
+  ff_positions:Rc_geom.Point.t array ->
+  targets:float array ->
+  t
+(** Group and re-tap an existing assignment. [phase_tolerance] defaults
+    to 3 ps. The input assignment's taps provide [plain_wirelength] for
+    comparison. *)
+
+val max_phase_error : Rc_tech.Tech.t -> Rc_rotary.Ring_array.t -> t -> targets:float array -> float
+(** Largest deviation (ps) between a member's own target and the arrival
+    its group realizes — bounded by [phase_tolerance] up to the Eq. 1
+    solve tolerance. *)

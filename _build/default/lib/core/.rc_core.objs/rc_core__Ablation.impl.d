@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Array Bench_suite Flow List Option Printf Rc_assign Rc_netlist Rc_place Rc_rotary Rc_skew Rc_tech Rc_timing Rc_util Report String

@@ -1,0 +1,1 @@
+lib/core/bench_suite.ml: List Rc_geom Rc_netlist

@@ -1,0 +1,1 @@
+lib/core/bench_suite.mli: Rc_netlist

@@ -1,0 +1,1 @@
+lib/core/clocking_compare.ml: Array Bench_suite Float Flow List Printf Rc_ctree Rc_geom Rc_netlist Rc_power Rc_rotary Rc_tech Rc_variation Report Variation_study

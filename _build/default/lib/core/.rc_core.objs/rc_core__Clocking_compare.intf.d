@@ -1,0 +1,1 @@
+lib/core/clocking_compare.mli: Flow Rc_variation

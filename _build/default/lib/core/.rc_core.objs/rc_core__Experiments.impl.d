@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Bench_suite Buffer Float Flow List Option Printf Rc_assign Rc_ctree Rc_geom Rc_ilp Rc_netlist Rc_place Rc_power Rc_rotary Rc_skew Rc_tech Rc_timing Report

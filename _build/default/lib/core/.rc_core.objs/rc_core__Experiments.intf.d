@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Bench_suite Flow Rc_assign

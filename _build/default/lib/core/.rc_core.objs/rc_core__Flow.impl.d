@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Bench_suite Float List Point Rc_assign Rc_geom Rc_netlist Rc_place Rc_power Rc_rotary Rc_skew Rc_tech Rc_timing Rc_util Ring Ring_array Tapping

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Bench_suite Rc_assign Rc_geom Rc_netlist Rc_rotary Rc_skew Rc_tech Rc_timing

@@ -1,0 +1,1 @@
+lib/core/ring_sweep.ml: Array Bench_suite Flow List Rc_rotary Report

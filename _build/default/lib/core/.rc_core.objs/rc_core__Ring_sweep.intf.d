@@ -1,0 +1,1 @@
+lib/core/ring_sweep.mli: Bench_suite Flow

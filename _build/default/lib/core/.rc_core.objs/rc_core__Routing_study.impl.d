@@ -1,0 +1,1 @@
+lib/core/routing_study.ml: Array Bench_suite Float Flow Printf Rc_assign Rc_netlist Rc_place Rc_rotary Rc_route

@@ -1,0 +1,1 @@
+lib/core/routing_study.mli: Flow

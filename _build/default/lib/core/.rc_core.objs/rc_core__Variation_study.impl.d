@@ -1,0 +1,1 @@
+lib/core/variation_study.ml: Array Float Flow Rc_assign Rc_ctree Rc_geom Rc_rotary Rc_tech Rc_variation

@@ -1,0 +1,1 @@
+lib/core/variation_study.mli: Flow Rc_variation

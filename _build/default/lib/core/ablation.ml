@@ -1,0 +1,141 @@
+let pseudo_weight_schedule ?(bench = Bench_suite.tiny) () =
+  let rows =
+    List.map
+      (fun (w, g) ->
+        let cfg = { (Flow.default_config bench) with Flow.pseudo_weight = w; pseudo_growth = g } in
+        let o = Flow.run cfg in
+        let b = o.Flow.base and f = o.Flow.final in
+        [
+          Printf.sprintf "w=%.2f growth=%.1f" w g;
+          Report.fmt_f f.Flow.afd;
+          Report.fmt_pct (Report.pct_improvement ~from:b.Flow.tapping_wl ~to_:f.Flow.tapping_wl);
+          Report.fmt_pct (-.Report.pct_improvement ~from:b.Flow.signal_wl ~to_:f.Flow.signal_wl);
+        ])
+      [ (0.05, 1.0); (0.35, 1.0); (0.35, 1.8); (1.0, 1.8); (3.0, 1.8) ]
+  in
+  Report.render
+    ~title:
+      (Printf.sprintf "Ablation: pseudo-net weight schedule (%s)" bench.Bench_suite.bname)
+    ~header:[ "Schedule"; "final AFD"; "tapping reduction"; "signal WL penalty" ]
+    rows
+
+let stage2_state bench =
+  let tech = Rc_tech.Tech.default in
+  let gen = bench.Bench_suite.gen in
+  let netlist = Rc_netlist.Generator.generate gen in
+  let chip = gen.Rc_netlist.Generator.chip in
+  let rings =
+    Rc_rotary.Ring_array.create ~period:tech.Rc_tech.Tech.clock_period ~chip
+      ~grid:bench.Bench_suite.ring_grid ()
+  in
+  let placed = Rc_place.Qplace.initial netlist ~chip in
+  let sta = Rc_timing.Sta.analyze tech netlist ~positions:placed.Rc_place.Qplace.positions in
+  let problem = Flow.skew_problem_of_sta tech netlist sta in
+  let schedule = Option.get (Rc_skew.Max_slack.solve_graph problem) in
+  let ffs, _ = Flow.ff_index netlist in
+  let ff_positions = Array.map (fun c -> placed.Rc_place.Qplace.positions.(c)) ffs in
+  (tech, rings, problem, ff_positions, schedule.Rc_skew.Max_slack.skews)
+
+let candidate_rings ?(bench = Bench_suite.s9234) () =
+  let tech, rings, _, ff_positions, targets = stage2_state bench in
+  let rows =
+    List.map
+      (fun k ->
+        let (a : Rc_assign.Assign.t), cpu =
+          Rc_util.Timer.time (fun () ->
+              Rc_assign.Assign.by_netflow ~candidates:k tech rings ~ff_positions ~targets)
+        in
+        [
+          string_of_int k;
+          Report.fmt_f ~dp:0 a.Rc_assign.Assign.total_cost;
+          Report.fmt_f ~dp:1 a.Rc_assign.Assign.max_load;
+          Report.fmt_f ~dp:3 cpu;
+        ])
+      [ 1; 2; 4; 6; 9; 16 ]
+  in
+  Report.render
+    ~title:(Printf.sprintf "Ablation: candidate rings per flip-flop (%s)" bench.Bench_suite.bname)
+    ~header:[ "k nearest"; "tapping WL"; "max load fF"; "CPU(s)" ]
+    rows
+
+let skew_objectives ?(bench = Bench_suite.tiny) () =
+  let run use_weighted =
+    let cfg = { (Flow.default_config bench) with Flow.use_weighted_skew = use_weighted } in
+    let o, cpu = Rc_util.Timer.time (fun () -> Flow.run cfg) in
+    (o, cpu)
+  in
+  let minmax, t1 = run false in
+  let weighted, t2 = run true in
+  Report.render
+    ~title:(Printf.sprintf "Ablation: stage-4 objective (%s)" bench.Bench_suite.bname)
+    ~header:[ "Objective"; "final tapping WL"; "final AFD"; "signal WL"; "CPU(s)" ]
+    [
+      [
+        "min-max Delta (graph)";
+        Report.fmt_f ~dp:0 minmax.Flow.final.Flow.tapping_wl;
+        Report.fmt_f minmax.Flow.final.Flow.afd;
+        Report.fmt_f ~dp:0 minmax.Flow.final.Flow.signal_wl;
+        Report.fmt_f ~dp:2 t1;
+      ];
+      [
+        "weighted-sum (MCF dual)";
+        Report.fmt_f ~dp:0 weighted.Flow.final.Flow.tapping_wl;
+        Report.fmt_f weighted.Flow.final.Flow.afd;
+        Report.fmt_f ~dp:0 weighted.Flow.final.Flow.signal_wl;
+        Report.fmt_f ~dp:2 t2;
+      ];
+    ]
+
+let scheduling_engines ?(bench = Bench_suite.tiny) () =
+  let _, _, problem, _, _ = stage2_state bench in
+  let g, tg = Rc_util.Timer.time (fun () -> Rc_skew.Max_slack.solve_graph problem) in
+  let l, tl = Rc_util.Timer.time (fun () -> Rc_skew.Max_slack.solve_lp problem) in
+  let slack = function Some r -> r.Rc_skew.Max_slack.slack | None -> nan in
+  Report.render
+    ~title:
+      (Printf.sprintf "Ablation: max-slack engine (%s, %d pairs)" bench.Bench_suite.bname
+         (List.length problem.Rc_skew.Skew_problem.pairs))
+    ~header:[ "Engine"; "slack M (ps)"; "CPU(s)" ]
+    [
+      [ "graph (SPFA binary search)"; Report.fmt_f ~dp:3 (slack g); Report.fmt_f ~dp:3 tg ];
+      [ "LP (revised simplex)"; Report.fmt_f ~dp:3 (slack l); Report.fmt_f ~dp:3 tl ];
+    ]
+
+let complementary_phase ?(bench = Bench_suite.s9234) () =
+  let tech, rings, _, ff_positions, targets = stage2_state bench in
+  let cost use_complement =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i ff ->
+        let ring =
+          Rc_rotary.Ring_array.ring rings (Rc_rotary.Ring_array.containing_ring rings ff)
+        in
+        let tap = Rc_rotary.Tapping.solve ~use_complement tech ring ~ff ~target:targets.(i) in
+        acc := !acc +. tap.Rc_rotary.Tapping.wirelength)
+      ff_positions;
+    !acc
+  in
+  let with_c = cost true and without_c = cost false in
+  Report.render
+    ~title:
+      (Printf.sprintf "Ablation: complementary-phase tapping (%s, containing ring per FF)"
+         bench.Bench_suite.bname)
+    ~header:[ "Mode"; "total tapping WL"; "vs both conductors" ]
+    [
+      [ "both conductors (polarity flip)"; Report.fmt_f ~dp:0 with_c; "--" ];
+      [
+        "outer conductor only";
+        Report.fmt_f ~dp:0 without_c;
+        Report.fmt_pct (-.Report.pct_improvement ~from:with_c ~to_:without_c);
+      ];
+    ]
+
+let all ?bench () =
+  String.concat "\n\n"
+    [
+      pseudo_weight_schedule ?bench ();
+      candidate_rings ();
+      skew_objectives ?bench ();
+      scheduling_engines ();
+      complementary_phase ();
+    ]

@@ -1,0 +1,28 @@
+(** Ablation studies for the design choices DESIGN.md calls out. Each
+    returns a rendered table; all run on small circuits so the whole set
+    completes in seconds. *)
+
+val pseudo_weight_schedule : ?bench:Bench_suite.bench -> unit -> string
+(** Flow outcomes across pseudo-net spring weights and growth factors:
+    the knob that trades signal-wirelength penalty for tapping-cost
+    reduction (stage 6). *)
+
+val candidate_rings : ?bench:Bench_suite.bench -> unit -> string
+(** Effect of the per-flip-flop candidate-ring count on the assignment
+    quality and runtime (the Section V network pruning). *)
+
+val skew_objectives : ?bench:Bench_suite.bench -> unit -> string
+(** Stage-4 objective: min-max Δ (graph) vs weighted-sum (LP) — final
+    tapping cost and CPU. *)
+
+val scheduling_engines : ?bench:Bench_suite.bench -> unit -> string
+(** Max-slack scheduling: graph binary search vs LP simplex — same
+    optimum, different CPU (the reason the flow defaults to the graph
+    engine). *)
+
+val complementary_phase : ?bench:Bench_suite.bench -> unit -> string
+(** Tapping cost with and without the complementary-phase (polarity
+    flipping) trick of Section III. *)
+
+val all : ?bench:Bench_suite.bench -> unit -> string
+(** Every ablation, concatenated. *)

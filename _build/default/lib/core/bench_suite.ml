@@ -1,0 +1,47 @@
+type bench = {
+  bname : string;
+  gen : Rc_netlist.Generator.config;
+  ring_grid : int;
+}
+
+let ring_pitch = 600.0
+
+let chip_of_grid g =
+  let side = float_of_int g *. ring_pitch in
+  Rc_geom.Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:side ~ymax:side
+
+let mk ~bname ~n_logic ~n_ffs ~n_nets ~grid ~seed =
+  let io = max 8 (n_logic / 50) in
+  {
+    bname;
+    ring_grid = grid;
+    gen =
+      {
+        Rc_netlist.Generator.name = bname;
+        n_logic;
+        n_ffs;
+        n_nets;
+        n_inputs = io;
+        n_outputs = io;
+        depth = 10;
+        max_fanin = 3;
+        clusters = max 2 (n_ffs / 10);
+        locality = 0.93;
+        chip = chip_of_grid grid;
+        seed;
+      };
+  }
+
+(* Table II profiles: #Cells, #Flip-flops, #Nets, #Rings. *)
+let s9234 = mk ~bname:"s9234" ~n_logic:1510 ~n_ffs:135 ~n_nets:1471 ~grid:4 ~seed:92340
+let s5378 = mk ~bname:"s5378" ~n_logic:1112 ~n_ffs:164 ~n_nets:1063 ~grid:5 ~seed:53780
+let s15850 = mk ~bname:"s15850" ~n_logic:3549 ~n_ffs:566 ~n_nets:3462 ~grid:6 ~seed:158500
+let s38417 = mk ~bname:"s38417" ~n_logic:11651 ~n_ffs:1463 ~n_nets:11545 ~grid:7 ~seed:384170
+let s35932 = mk ~bname:"s35932" ~n_logic:17005 ~n_ffs:1728 ~n_nets:16685 ~grid:7 ~seed:359320
+
+let all = [ s9234; s5378; s15850; s38417; s35932 ]
+
+let tiny = mk ~bname:"tiny" ~n_logic:220 ~n_ffs:32 ~n_nets:230 ~grid:2 ~seed:420
+
+let find name =
+  List.find_opt (fun b -> b.bname = name) (tiny :: all)

@@ -1,0 +1,28 @@
+(** The five ISCAS89-profile benchmarks of Table II, reproduced by the
+    synthetic generator with the published cell / flip-flop / net counts
+    and ring-array sizes. The die is sized from the ring grid at a fixed
+    ring pitch. *)
+
+type bench = {
+  bname : string;
+  gen : Rc_netlist.Generator.config;
+  ring_grid : int;  (** g for a g×g ring array (Table II's #Rings = g²). *)
+}
+
+val ring_pitch : float
+(** Side of one ring tile, µm (600). *)
+
+val s9234 : bench
+val s5378 : bench
+val s15850 : bench
+val s38417 : bench
+val s35932 : bench
+
+val all : bench list
+(** The five circuits in Table II order. *)
+
+val tiny : bench
+(** A fast miniature circuit for tests and the quickstart example. *)
+
+val find : string -> bench option
+(** Look up a benchmark (including "tiny") by name. *)

@@ -1,0 +1,352 @@
+type suite_entry = {
+  bench : Bench_suite.bench;
+  netflow : Flow.outcome;
+  ilp : (Rc_assign.Assign.t * Rc_assign.Assign.ilp_stats) option;
+}
+
+let log_progress log fmt =
+  if log then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
+
+let run_suite ?(benches = Bench_suite.all) ?(with_ilp = true) ?(log = false) () =
+  List.map
+    (fun bench ->
+      log_progress log "[suite] %s: network-flow flow..." bench.Bench_suite.bname;
+      let netflow = Flow.run (Flow.default_config ~mode:Flow.Netflow bench) in
+      let ilp =
+        if with_ilp then begin
+          log_progress log "[suite] %s: ILP assignment on the final state..."
+            bench.Bench_suite.bname;
+          let ffs, _ = Flow.ff_index netflow.Flow.netlist in
+          let ff_positions = Array.map (fun c -> netflow.Flow.positions.(c)) ffs in
+          Some
+            (Rc_assign.Assign.by_ilp netflow.Flow.cfg.Flow.tech netflow.Flow.rings
+               ~ff_positions ~targets:netflow.Flow.skews)
+        end
+        else None
+      in
+      { bench; netflow; ilp })
+    benches
+
+(* ---- Table I --------------------------------------------------------- *)
+
+type table1_row = {
+  t1_name : string;
+  greedy_ig : float;
+  greedy_cpu : float;
+  bb_ig : float;
+  bb_cpu : float;
+  bb_optimal : bool;
+}
+
+let stage2_state bench =
+  let tech = Rc_tech.Tech.default in
+  let gen = bench.Bench_suite.gen in
+  let netlist = Rc_netlist.Generator.generate gen in
+  let chip = gen.Rc_netlist.Generator.chip in
+  let rings =
+    Rc_rotary.Ring_array.create ~period:tech.Rc_tech.Tech.clock_period ~chip
+      ~grid:bench.Bench_suite.ring_grid ()
+  in
+  let placed = Rc_place.Qplace.initial netlist ~chip in
+  let sta = Rc_timing.Sta.analyze tech netlist ~positions:placed.Rc_place.Qplace.positions in
+  let problem = Flow.skew_problem_of_sta tech netlist sta in
+  let schedule =
+    match Rc_skew.Max_slack.solve_graph problem with
+    | Some s -> s
+    | None -> failwith "Experiments: scheduling infeasible"
+  in
+  let ffs, _ = Flow.ff_index netlist in
+  let ff_positions = Array.map (fun c -> placed.Rc_place.Qplace.positions.(c)) ffs in
+  (tech, rings, ff_positions, schedule.Rc_skew.Max_slack.skews)
+
+let table1 ?(benches = Bench_suite.all) ?(bb_seconds = 120.0) () =
+  let rows =
+    List.map
+      (fun bench ->
+        let tech, rings, ff_positions, targets = stage2_state bench in
+        let _, greedy =
+          Rc_assign.Assign.by_ilp tech rings ~ff_positions ~targets
+        in
+        let limits = { Rc_ilp.Branch_bound.max_nodes = 500_000; max_seconds = bb_seconds } in
+        let _, bb =
+          Rc_assign.Assign.by_branch_bound ~limits tech rings ~ff_positions ~targets
+        in
+        {
+          t1_name = bench.Bench_suite.bname;
+          greedy_ig = greedy.Rc_assign.Assign.integrality_gap;
+          greedy_cpu = greedy.Rc_assign.Assign.elapsed_s;
+          bb_ig = bb.Rc_assign.Assign.bb_gap;
+          bb_cpu = bb.Rc_assign.Assign.bb_elapsed_s;
+          bb_optimal = bb.Rc_assign.Assign.proved_optimal;
+        })
+      benches
+  in
+  let text =
+    Report.render
+      ~title:
+        (Printf.sprintf
+           "Table I: IG of greedy rounding and generic ILP solver (B&B, %.0f s budget)"
+           bb_seconds)
+      ~header:[ "Circuit"; "Greedy IG"; "Greedy CPU(s)"; "B&B IG"; "B&B CPU(s)"; "B&B status" ]
+      (List.map
+         (fun r ->
+           [
+             r.t1_name;
+             Report.fmt_f ~dp:2 r.greedy_ig;
+             Report.fmt_f ~dp:2 r.greedy_cpu;
+             (if Float.is_nan r.bb_ig then "no soln" else Report.fmt_f ~dp:2 r.bb_ig);
+             Report.fmt_f ~dp:2 r.bb_cpu;
+             (if r.bb_optimal then "optimal"
+              else if Float.is_nan r.bb_ig then "budget, none"
+              else "budget, best");
+           ])
+         rows)
+  in
+  (rows, text)
+
+(* ---- Table II -------------------------------------------------------- *)
+
+type table2_row = {
+  t2_name : string;
+  cells : int;
+  ffs : int;
+  nets : int;
+  pl : float;
+  rings : int;
+}
+
+let table2 ?(benches = Bench_suite.all) () =
+  let tech = Rc_tech.Tech.default in
+  let rows =
+    List.map
+      (fun bench ->
+        let gen = bench.Bench_suite.gen in
+        let netlist = Rc_netlist.Generator.generate gen in
+        let chip = gen.Rc_netlist.Generator.chip in
+        let placed = Rc_place.Qplace.initial netlist ~chip in
+        let ffs = Rc_netlist.Netlist.flip_flops netlist in
+        let sinks =
+          Array.to_list
+            (Array.map
+               (fun c -> (placed.Rc_place.Qplace.positions.(c), tech.Rc_tech.Tech.c_ff))
+               ffs)
+        in
+        let tree = Rc_ctree.Ctree.build tech ~sinks in
+        let stats = Rc_ctree.Ctree.stats tree in
+        {
+          t2_name = bench.Bench_suite.bname;
+          cells = Array.length (Rc_netlist.Netlist.logic_cells netlist);
+          ffs = Array.length ffs;
+          nets = Rc_netlist.Netlist.n_nets netlist;
+          pl = stats.Rc_ctree.Ctree.avg_path_length;
+          rings = bench.Bench_suite.ring_grid * bench.Bench_suite.ring_grid;
+        })
+      benches
+  in
+  let text =
+    Report.render ~title:"Table II: test cases (PL = avg source-sink path in a zero-skew clock tree)"
+      ~header:[ "Circuit"; "#Cells"; "#Flip-flops"; "#Nets"; "PL(um)"; "#Rings" ]
+      (List.map
+         (fun r ->
+           [
+             r.t2_name;
+             string_of_int r.cells;
+             string_of_int r.ffs;
+             string_of_int r.nets;
+             Report.fmt_f ~dp:0 r.pl;
+             string_of_int r.rings;
+           ])
+         rows)
+  in
+  (rows, text)
+
+(* ---- Tables III-VII -------------------------------------------------- *)
+
+let table3 suite =
+  Report.render
+    ~title:"Table III: base case (stages 1-3, network flow), wirelength um, power mW"
+    ~header:
+      [ "Circuit"; "AFD"; "Tap. WL"; "Signal WL"; "Tot. WL"; "Clock Pwr"; "Signal Pwr"; "Tot. Pwr"; "CPU(s)" ]
+    (List.map
+       (fun e ->
+         let b = e.netflow.Flow.base in
+         [
+           e.bench.Bench_suite.bname;
+           Report.fmt_f b.Flow.afd;
+           Report.fmt_f ~dp:0 b.Flow.tapping_wl;
+           Report.fmt_f ~dp:0 b.Flow.signal_wl;
+           Report.fmt_f ~dp:0 b.Flow.total_wl;
+           Report.fmt_f ~dp:2 b.Flow.clock_mw;
+           Report.fmt_f ~dp:2 b.Flow.signal_mw;
+           Report.fmt_f ~dp:2 b.Flow.total_mw;
+           Report.fmt_f ~dp:1 (e.netflow.Flow.cpu_flow_s +. e.netflow.Flow.cpu_placer_s);
+         ])
+       suite)
+
+let table4 suite =
+  Report.render
+    ~title:"Table IV: network-flow optimization after stage 4-6 iterations (improvement vs base)"
+    ~header:
+      [ "Circuit"; "AFD"; "Tap. WL"; "Tap Imp"; "Signal WL"; "Sig Imp"; "Tot. WL"; "Tot Imp";
+        "CPU flow(s)"; "CPU placer(s)" ]
+    (List.map
+       (fun e ->
+         let b = e.netflow.Flow.base and f = e.netflow.Flow.final in
+         [
+           e.bench.Bench_suite.bname;
+           Report.fmt_f f.Flow.afd;
+           Report.fmt_f ~dp:0 f.Flow.tapping_wl;
+           Report.fmt_pct (Report.pct_improvement ~from:b.Flow.tapping_wl ~to_:f.Flow.tapping_wl);
+           Report.fmt_f ~dp:0 f.Flow.signal_wl;
+           Report.fmt_pct (Report.pct_improvement ~from:b.Flow.signal_wl ~to_:f.Flow.signal_wl);
+           Report.fmt_f ~dp:0 f.Flow.total_wl;
+           Report.fmt_pct (Report.pct_improvement ~from:b.Flow.total_wl ~to_:f.Flow.total_wl);
+           Report.fmt_f ~dp:1 e.netflow.Flow.cpu_flow_s;
+           Report.fmt_f ~dp:1 e.netflow.Flow.cpu_placer_s;
+         ])
+       suite)
+
+let table5 suite =
+  Report.render
+    ~title:
+      "Table V: max load capacitance (fF), network flow vs ILP formulation on the final state (improvements vs network flow)"
+    ~header:
+      [ "Circuit"; "NF Cap"; "NF AFD"; "ILP AFD"; "AFD Imp"; "ILP Cap"; "Cap Imp"; "ILP Tot WL";
+        "WL Imp"; "ILP CPU(s)" ]
+    (List.filter_map
+       (fun e ->
+         Option.map
+           (fun ((ilp : Rc_assign.Assign.t), (stats : Rc_assign.Assign.ilp_stats)) ->
+             let nf = e.netflow.Flow.final in
+             let n_ffs = Rc_netlist.Netlist.n_ffs e.netflow.Flow.netlist in
+             let ilp_afd = ilp.Rc_assign.Assign.total_cost /. float_of_int (max n_ffs 1) in
+             let ilp_tot = nf.Flow.signal_wl +. ilp.Rc_assign.Assign.total_cost in
+             [
+               e.bench.Bench_suite.bname;
+               Report.fmt_f ~dp:1 nf.Flow.max_load_ff;
+               Report.fmt_f nf.Flow.afd;
+               Report.fmt_f ilp_afd;
+               Report.fmt_pct (Report.pct_improvement ~from:nf.Flow.afd ~to_:ilp_afd);
+               Report.fmt_f ~dp:1 ilp.Rc_assign.Assign.max_load;
+               Report.fmt_pct
+                 (Report.pct_improvement ~from:nf.Flow.max_load_ff
+                    ~to_:ilp.Rc_assign.Assign.max_load);
+               Report.fmt_f ~dp:0 ilp_tot;
+               Report.fmt_pct (Report.pct_improvement ~from:nf.Flow.total_wl ~to_:ilp_tot);
+               Report.fmt_f ~dp:2 stats.Rc_assign.Assign.elapsed_s;
+             ])
+           e.ilp)
+       suite)
+
+let table6 suite =
+  Report.render
+    ~title:"Table VI: power dissipation (mW) for network flow and ILP formulations vs base"
+    ~header:
+      [ "Circuit"; "NF Clock"; "Imp"; "NF Signal"; "Imp"; "NF Total"; "Imp"; "ILP Clock"; "Imp";
+        "ILP Signal"; "Imp"; "ILP Total"; "Imp" ]
+    (List.filter_map
+       (fun e ->
+         Option.map
+           (fun ((ilp : Rc_assign.Assign.t), _) ->
+             let tech = e.netflow.Flow.cfg.Flow.tech in
+             let b = e.netflow.Flow.base in
+             let nf = e.netflow.Flow.final in
+             let n_ffs = Rc_netlist.Netlist.n_ffs e.netflow.Flow.netlist in
+             let ilp_clock =
+               Rc_power.Power.clock_power_mw tech
+                 ~tapping_wirelength:ilp.Rc_assign.Assign.total_cost ~n_ffs
+             in
+             (* same placement, same signal net *)
+             let ilp_signal = nf.Flow.signal_mw in
+             let ilp_total = ilp_clock +. ilp_signal in
+             let imp from to_ = Report.fmt_pct (Report.pct_improvement ~from ~to_) in
+             [
+               e.bench.Bench_suite.bname;
+               Report.fmt_f ~dp:2 nf.Flow.clock_mw;
+               imp b.Flow.clock_mw nf.Flow.clock_mw;
+               Report.fmt_f ~dp:2 nf.Flow.signal_mw;
+               imp b.Flow.signal_mw nf.Flow.signal_mw;
+               Report.fmt_f ~dp:2 nf.Flow.total_mw;
+               imp b.Flow.total_mw nf.Flow.total_mw;
+               Report.fmt_f ~dp:2 ilp_clock;
+               imp b.Flow.clock_mw ilp_clock;
+               Report.fmt_f ~dp:2 ilp_signal;
+               imp b.Flow.signal_mw ilp_signal;
+               Report.fmt_f ~dp:2 ilp_total;
+               imp b.Flow.total_mw ilp_total;
+             ])
+           e.ilp)
+       suite)
+
+let table7 suite =
+  Report.render
+    ~title:"Table VII: wirelength-capacitance product (um x pF; lower is better)"
+    ~header:[ "Circuit"; "Network Flow WCP"; "ILP WCP"; "Imp" ]
+    (List.filter_map
+       (fun e ->
+         Option.map
+           (fun ((ilp : Rc_assign.Assign.t), _) ->
+             let nf = e.netflow.Flow.final in
+             let ilp_tot = nf.Flow.signal_wl +. ilp.Rc_assign.Assign.total_cost in
+             let wcp wl cap = wl *. (cap /. 1000.0) in
+             let nf_wcp = wcp nf.Flow.total_wl nf.Flow.max_load_ff in
+             let ilp_wcp = wcp ilp_tot ilp.Rc_assign.Assign.max_load in
+             [
+               e.bench.Bench_suite.bname;
+               Report.fmt_f ~dp:1 nf_wcp;
+               Report.fmt_f ~dp:1 ilp_wcp;
+               Report.fmt_pct (Report.pct_improvement ~from:nf_wcp ~to_:ilp_wcp);
+             ])
+           e.ilp)
+       suite)
+
+(* ---- Fig. 2 ---------------------------------------------------------- *)
+
+let fig2 ?(samples = 81) () =
+  let tech = Rc_tech.Tech.default in
+  let ring =
+    Rc_rotary.Ring.make ~id:0
+      ~rect:(Rc_geom.Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:600.0 ~ymax:600.0)
+      ~clockwise:true ~t_ref:0.0 ~period:1000.0
+  in
+  let ff = Rc_geom.Point.make 350.0 820.0 in
+  let curve = Rc_rotary.Tapping.curve tech ring ~segment:0 ~ff ~samples in
+  let tmin = List.fold_left (fun acc (_, t) -> Float.min acc t) infinity curve in
+  let tmax = List.fold_left (fun acc (_, t) -> Float.max acc t) neg_infinity curve in
+  (* the paper's four cases relative to the curve extremes *)
+  let cases =
+    [
+      ("t_f1 (case 1: below curve, +kT shift)", tmin +. 50.0 -. 1000.0);
+      ("t_f2 (case 2: two roots, shorter stub)", tmin +. ((tmax -. tmin) *. 0.35));
+      ("t_f3 (case 3: near-tangent point)", tmin +. 0.5);
+      ("t_f4 (case 4: above curve, snaking)", tmax +. 40.0);
+    ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Fig. 2: t_f(x) on the top segment for a flip-flop at (350, 820), ring 600 um\n\
+       \  curve: %d samples, min %.2f ps at the kink region, max %.2f ps\n"
+       samples tmin tmax);
+  List.iter
+    (fun (label, target) ->
+      let tap =
+        Rc_rotary.Tapping.solve_on_segment tech ring ~segment:0 ~conductor:Rc_rotary.Ring.Outer
+          ~ff ~target
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-42s target %8.2f ps -> tap x=%6.1f um, stub %7.1f um%s%s\n" label
+           target
+           (tap.Rc_rotary.Tapping.point.Rc_geom.Point.x)
+           tap.Rc_rotary.Tapping.wirelength
+           (if tap.Rc_rotary.Tapping.snaked then ", snaked" else "")
+           (if tap.Rc_rotary.Tapping.periods_shifted <> 0 then
+              Printf.sprintf ", shifted %+dT" tap.Rc_rotary.Tapping.periods_shifted
+            else "")))
+    cases;
+  Buffer.add_string buf "  x(um)    t_f(ps)\n";
+  List.iteri
+    (fun i (x, t) ->
+      if i mod 10 = 0 then Buffer.add_string buf (Printf.sprintf "  %6.1f  %8.3f\n" x t))
+    curve;
+  (curve, Buffer.contents buf)

@@ -1,0 +1,106 @@
+(** The integrated placement and skew optimization flow of Fig. 3:
+
+    1. initial placement (quadratic placer);
+    2. max-slack skew scheduling on the placed design;
+    3. flip-flop-to-ring assignment (network flow, or the min-max-load
+       ILP heuristic);
+    4. cost-driven skew scheduling at a prespecified slack, pulling each
+       delay target toward the phase of its ring's closest point;
+    5. cost evaluation (tapping + signal wirelength);
+    6. incremental placement with a pseudo-net per flip-flop pulling it
+       toward its tapping point — then back to 3, until converged or
+       [max_iterations] passes ran.
+
+    The "base case" of Table III is the state right after the first
+    pass of stage 3. *)
+
+type mode = Netflow | Ilp
+
+type config = {
+  tech : Rc_tech.Tech.t;
+  bench : Bench_suite.bench;
+  mode : mode;
+  candidates : int;  (** Nearest rings considered per flip-flop. *)
+  capacity_slack : float;  (** Ring capacity headroom factor (network flow). *)
+  max_iterations : int;  (** Stage 3-6 loop bound (the paper converges in ≤5). *)
+  pseudo_weight : float;  (** Pseudo-net spring weight at iteration 1. *)
+  pseudo_growth : float;  (** Multiplier per iteration. *)
+  stability : float;  (** Incremental-placement stability spring. *)
+  slack_fraction : float;  (** Prespecified M for stage 4, as a fraction of the stage-2 maximum slack. *)
+  use_weighted_skew : bool;  (** Stage 4: exact weighted-sum scheduling (min-cost-flow dual) instead of min-max Δ. *)
+  convergence_tol : float;  (** Stop when total cost improves less than this fraction. *)
+  detail_passes : int;  (** Detailed-placement refinement passes after each placement (0 disables; flip-flops are frozen during incremental refinement). *)
+  tapping_weight : float;  (** Stage-5 evaluates signal_wl + weight × tapping_wl (the paper's "weighted sum of total tapping cost and traditional placement cost"). *)
+}
+
+val default_config : ?mode:mode -> Bench_suite.bench -> config
+(** The paper's methodology: quadratic incremental placement with
+    pseudo-net springs (no detailed placement). *)
+
+val improved_config : ?mode:mode -> Bench_suite.bench -> config
+(** Beyond-paper variant: detailed-placement refinement after global
+    placement, and stage 6 replaced by direct flip-flop relocation plus
+    flip-flop-frozen healing — cuts tapping wirelength much harder at no
+    signal cost (see the bench's "beyond the paper" section). *)
+
+type snapshot = {
+  iteration : int;
+  afd : float;  (** Average flip-flop distance = tapping WL / #FFs, µm. *)
+  tapping_wl : float;  (** Total tapping wirelength, µm. *)
+  signal_wl : float;  (** Total signal HPWL, µm. *)
+  total_wl : float;
+  clock_mw : float;
+  signal_mw : float;
+  total_mw : float;
+  max_load_ff : float;  (** Max ring load capacitance, fF. *)
+}
+
+type outcome = {
+  cfg : config;
+  netlist : Rc_netlist.Netlist.t;
+  rings : Rc_rotary.Ring_array.t;
+  base : snapshot;  (** After the first assignment (Table III). *)
+  final : snapshot;  (** After the stage 3-6 iterations (Tables IV-VII). *)
+  history : snapshot list;  (** One snapshot per iteration, oldest first. *)
+  positions : Rc_geom.Point.t array;  (** Final legalized cell positions. *)
+  assignment : Rc_assign.Assign.t;  (** Final flip-flop→ring assignment. *)
+  skews : float array;  (** Final delay target per flip-flop index. *)
+  slack : float;  (** Stage-2 maximum slack M*. *)
+  stage4_slack : float;  (** The prespecified M used by stage 4. *)
+  n_pairs : int;  (** Sequentially adjacent pairs seen by scheduling. *)
+  ilp_stats : Rc_assign.Assign.ilp_stats option;  (** Set in [Ilp] mode. *)
+  cpu_flow_s : float;  (** Stages 2-5 total, s. *)
+  cpu_placer_s : float;  (** Initial + incremental placement, s. *)
+}
+
+val run : config -> outcome
+(** Execute the full flow on the benchmark's generated circuit.
+    @raise Failure when skew scheduling is infeasible (the generated
+    circuit violates the clock period — does not happen for the shipped
+    benchmarks). *)
+
+val run_on : config -> Rc_netlist.Netlist.t -> outcome
+(** Execute the flow on a caller-supplied netlist (e.g. an imported
+    ISCAS89 .bench circuit). The config's benchmark record still
+    provides the die outline and ring grid. *)
+
+val ff_index : Rc_netlist.Netlist.t -> int array * (int -> int)
+(** [(ffs, index_of_cell)]: the flip-flop cell ids and the inverse
+    mapping used to order skew/assignment arrays. *)
+
+val skew_problem_of_sta :
+  Rc_tech.Tech.t -> Rc_netlist.Netlist.t -> Rc_timing.Sta.t -> Rc_skew.Skew_problem.t
+(** Bridge STA adjacencies (cell ids) to the dense flip-flop indexing of
+    the skew formulations. *)
+
+val anchors_of_assignment :
+  Rc_tech.Tech.t ->
+  Rc_rotary.Ring_array.t ->
+  Rc_assign.Assign.t ->
+  ff_positions:Rc_geom.Point.t array ->
+  skews:float array ->
+  Rc_skew.Cost_driven.anchor array
+(** Build the stage-4 anchors: per flip-flop, the delay [t_c] at the
+    closest point of its assigned ring (conductor and period shift
+    chosen nearest to the current target) and the stub delay [t_ci] of
+    the shortest stub, weighted by the stub length l_i. *)

@@ -1,0 +1,52 @@
+type align = L | R
+
+let fmt_f ?(dp = 1) v =
+  if Float.is_nan v then "--"
+  else if Float.is_integer v && Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.*f" dp v
+
+let fmt_pct v = if Float.is_nan v then "--" else Printf.sprintf "%+.1f%%" v
+
+let pct_improvement ~from ~to_ =
+  if Float.abs from < 1e-300 then nan else (from -. to_) /. from *. 100.0
+
+let render ~title ~header ?aligns rows =
+  let ncols = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then invalid_arg "Report.render: ragged row")
+    rows;
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> ncols then invalid_arg "Report.render: aligns length";
+        a
+    | None -> List.mapi (fun i _ -> if i = 0 then L else R) header
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    rows;
+  let pad align width s =
+    let gap = width - String.length s in
+    match align with
+    | L -> s ^ String.make gap ' '
+    | R -> String.make gap ' ' ^ s
+  in
+  let line cells =
+    let padded = List.mapi (fun i c -> pad (List.nth aligns i) widths.(i) c) cells in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line header ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for the experiment harness — fixed-width
+    columns in the style of the paper's tables. *)
+
+type align = L | R
+
+val render :
+  title:string -> header:string list -> ?aligns:align list -> string list list -> string
+(** [render ~title ~header rows] lays the rows out under the header with
+    column widths fitted to content. [aligns] defaults to right-aligned
+    everywhere except the first column. *)
+
+val fmt_f : ?dp:int -> float -> string
+(** Fixed-point float with [dp] decimals (default 1); dashes for NaN. *)
+
+val fmt_pct : float -> string
+(** Signed percentage with one decimal, e.g. [+4.2%]; dashes for NaN. *)
+
+val pct_improvement : from:float -> to_:float -> float
+(** [(from - to_) / from * 100] — positive when [to_] is smaller
+    (an improvement in the paper's sign convention). *)

@@ -1,0 +1,60 @@
+type point = {
+  grid : int;
+  n_rings : int;
+  final : Flow.snapshot;
+  slack : float;
+  ring_metal : float;
+}
+
+let sweep ?(mode = Flow.Netflow) bench ~grids =
+  if grids = [] then invalid_arg "Ring_sweep.sweep: no grids";
+  let points =
+    List.map
+      (fun grid ->
+        let b = { bench with Bench_suite.ring_grid = grid } in
+        let o = Flow.run (Flow.default_config ~mode b) in
+        let ring_metal =
+          Array.fold_left
+            (fun acc r -> acc +. (2.0 *. Rc_rotary.Ring.perimeter r))
+            0.0
+            (Rc_rotary.Ring_array.rings o.Flow.rings)
+        in
+        {
+          grid;
+          n_rings = grid * grid;
+          final = o.Flow.final;
+          slack = o.Flow.slack;
+          ring_metal;
+        })
+      grids
+  in
+  let best =
+    List.fold_left
+      (fun acc p ->
+        if p.final.Flow.total_wl +. p.ring_metal < acc.final.Flow.total_wl +. acc.ring_metal
+        then p
+        else acc)
+      (List.hd points) (List.tl points)
+  in
+  (points, best)
+
+let report (points, best) =
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.grid ^ "x" ^ string_of_int p.grid
+          ^ (if p.grid = best.grid then " *" else "");
+          string_of_int p.n_rings;
+          Report.fmt_f ~dp:1 p.final.Flow.afd;
+          Report.fmt_f ~dp:0 p.final.Flow.tapping_wl;
+          Report.fmt_f ~dp:0 p.final.Flow.signal_wl;
+          Report.fmt_f ~dp:0 p.ring_metal;
+          Report.fmt_f ~dp:0 (p.final.Flow.total_wl +. p.ring_metal);
+          Report.fmt_f ~dp:2 p.final.Flow.total_mw;
+        ])
+      points
+  in
+  Report.render ~title:"Ring-count sweep (* = best by total wire incl. ring metal)"
+    ~header:[ "Array"; "#Rings"; "AFD"; "Tap WL"; "Signal WL"; "Ring metal"; "Total"; "Power(mW)" ]
+    rows

@@ -1,0 +1,36 @@
+type result = {
+  tree : Rc_variation.Variation.summary;
+  rotary : Rc_variation.Variation.summary;
+  report : string;
+}
+
+let run ?(model = Rc_variation.Variation.default_model) (o : Flow.outcome) =
+  let tech = o.Flow.cfg.Flow.tech in
+  let ffs, _ = Flow.ff_index o.Flow.netlist in
+  let sinks =
+    Array.to_list
+      (Array.map (fun c -> (o.Flow.positions.(c), tech.Rc_tech.Tech.c_ff)) ffs)
+  in
+  let ctree = Rc_ctree.Ctree.build tech ~sinks in
+  let tree = Rc_variation.Variation.tree_skew model ctree in
+  let rotary_sinks =
+    Array.mapi
+      (fun i (tap : Rc_rotary.Tapping.tap) ->
+        let ring =
+          Rc_rotary.Ring_array.ring o.Flow.rings
+            o.Flow.assignment.Rc_assign.Assign.ring_of_ff.(i)
+        in
+        (* the variation-exposed on-ring path is the travel from the
+           nearest phase-locking junction (a ring corner, where abutting
+           rings couple and average) to the tap *)
+        let side = Rc_geom.Rect.width ring.Rc_rotary.Ring.rect in
+        let arc_in_side = Float.rem tap.Rc_rotary.Tapping.arc side in
+        let to_corner = Float.min arc_in_side (side -. arc_in_side) in
+        {
+          Rc_variation.Variation.ring_delay = Rc_rotary.Ring.rho ring *. to_corner;
+          stub_delay = Rc_rotary.Tapping.stub_delay tech tap.Rc_rotary.Tapping.wirelength;
+        })
+      o.Flow.assignment.Rc_assign.Assign.taps
+  in
+  let rotary = Rc_variation.Variation.rotary_skew model rotary_sinks in
+  { tree; rotary; report = Rc_variation.Variation.compare_report ~tree ~rotary }

@@ -1,0 +1,16 @@
+(** The motivating comparison of Section I, run on our own layouts:
+    skew variability of a conventional zero-skew tree vs the rotary
+    design the flow produced, under the same Monte-Carlo wire-variation
+    model. *)
+
+type result = {
+  tree : Rc_variation.Variation.summary;
+  rotary : Rc_variation.Variation.summary;
+  report : string;
+}
+
+val run :
+  ?model:Rc_variation.Variation.model -> Flow.outcome -> result
+(** Build a zero-skew tree over the outcome's flip-flop positions,
+    extract the rotary sinks from the outcome's taps, and run both
+    Monte-Carlo analyses. *)

@@ -1,0 +1,1 @@
+lib/ctree/ctree.ml: Array Float List Point Rc_geom Rc_tech Rc_util

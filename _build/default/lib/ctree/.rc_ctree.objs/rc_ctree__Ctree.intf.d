@@ -1,0 +1,1 @@
+lib/ctree/ctree.mli: Rc_geom Rc_tech

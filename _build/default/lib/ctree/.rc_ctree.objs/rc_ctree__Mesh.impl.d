@@ -1,0 +1,1 @@
+lib/ctree/mesh.ml: Float List Point Rc_geom Rc_tech Rc_util Rect

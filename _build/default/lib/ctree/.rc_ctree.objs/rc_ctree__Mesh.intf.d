@@ -1,0 +1,1 @@
+lib/ctree/mesh.mli: Rc_geom Rc_tech

@@ -1,0 +1,199 @@
+open Rc_geom
+
+type node =
+  | Sink of { idx : int; pos : Point.t; cap : float }
+  | Merge of {
+      pos : Point.t;
+      left : node;
+      right : node;
+      wl_left : float;
+      wl_right : float;
+      cap : float;  (* total downstream capacitance, fF *)
+      delay : float;  (* delay from this node to every sink below, ps *)
+    }
+
+type t = { root : node; n_sinks : int; tech : Rc_tech.Tech.t }
+
+type stats = {
+  n_sinks : int;
+  total_wirelength : float;
+  avg_path_length : float;
+  max_path_length : float;
+  root_delay : float;
+  max_skew : float;
+}
+
+let node_pos = function Sink s -> s.pos | Merge m -> m.pos
+let node_cap = function Sink s -> s.cap | Merge m -> m.cap
+let node_delay = function Sink _ -> 0.0 | Merge m -> m.delay
+
+(* Point at Manhattan distance x from a toward b (x-first routing). *)
+let along a b x =
+  let dx = b.Point.x -. a.Point.x in
+  if x <= Float.abs dx then Point.make (a.Point.x +. (Float.copy_sign x dx)) a.Point.y
+  else begin
+    let rest = x -. Float.abs dx in
+    let dy = b.Point.y -. a.Point.y in
+    Point.make b.Point.x (a.Point.y +. Float.copy_sign (Float.min rest (Float.abs dy)) dy)
+  end
+
+(* positive root of a2·w² + b·w = target (target >= 0) *)
+let elongation tech b target =
+  let a2 = 0.5 *. tech.Rc_tech.Tech.r_wire *. tech.Rc_tech.Tech.c_wire /. 1000.0 in
+  if target <= 0.0 then 0.0
+  else begin
+    let disc = (b *. b) +. (4.0 *. a2 *. target) in
+    ((-.b) +. sqrt disc) /. (2.0 *. a2)
+  end
+
+let merge tech n1 n2 =
+  let r = tech.Rc_tech.Tech.r_wire and c = tech.Rc_tech.Tech.c_wire in
+  let a2 = 0.5 *. r *. c /. 1000.0 in
+  let p1 = node_pos n1 and p2 = node_pos n2 in
+  let d1 = node_delay n1 and d2 = node_delay n2 in
+  let c1 = node_cap n1 and c2 = node_cap n2 in
+  let b1 = r *. c1 /. 1000.0 and b2 = r *. c2 /. 1000.0 in
+  let len = Point.manhattan p1 p2 in
+  let denom = b1 +. b2 +. (2.0 *. a2 *. len) in
+  let x =
+    if denom <= 0.0 then 0.0 else (d2 -. d1 +. (a2 *. len *. len) +. (b2 *. len)) /. denom
+  in
+  if x >= 0.0 && x <= len then begin
+    let pos = along p1 p2 x in
+    let delay = d1 +. (a2 *. x *. x) +. (b1 *. x) in
+    Merge
+      {
+        pos;
+        left = n1;
+        right = n2;
+        wl_left = x;
+        wl_right = len -. x;
+        cap = c1 +. c2 +. (c *. len);
+        delay;
+      }
+  end
+  else if x < 0.0 then begin
+    (* left subtree is already slower: tap at p1, snake the right wire *)
+    let l' = Float.max len (elongation tech b2 (d1 -. d2)) in
+    Merge
+      {
+        pos = p1;
+        left = n1;
+        right = n2;
+        wl_left = 0.0;
+        wl_right = l';
+        cap = c1 +. c2 +. (c *. l');
+        delay = d1;
+      }
+  end
+  else begin
+    let l' = Float.max len (elongation tech b1 (d2 -. d1)) in
+    Merge
+      {
+        pos = p2;
+        left = n1;
+        right = n2;
+        wl_left = l';
+        wl_right = 0.0;
+        cap = c1 +. c2 +. (c *. l');
+        delay = d2;
+      }
+  end
+
+let build tech ~sinks =
+  if sinks = [] then invalid_arg "Ctree.build: no sinks";
+  let arr =
+    Array.of_list (List.mapi (fun idx (pos, cap) -> Sink { idx; pos; cap }) sinks)
+  in
+  (* method of means and medians: recursive median split of the wider
+     dimension, then bottom-up zero-skew merges *)
+  let rec mmm lo hi =
+    let count = hi - lo in
+    if count = 1 then arr.(lo)
+    else begin
+      let pts = Array.sub arr lo count in
+      let xs = Array.map (fun n -> (node_pos n).Point.x) pts in
+      let ys = Array.map (fun n -> (node_pos n).Point.y) pts in
+      let xspan = Array.fold_left Float.max neg_infinity xs -. Array.fold_left Float.min infinity xs in
+      let yspan = Array.fold_left Float.max neg_infinity ys -. Array.fold_left Float.min infinity ys in
+      let key n =
+        if xspan >= yspan then (node_pos n).Point.x else (node_pos n).Point.y
+      in
+      Array.sort (fun a b -> compare (key a) (key b)) pts;
+      Array.blit pts 0 arr lo count;
+      let mid = lo + (count / 2) in
+      merge tech (mmm lo mid) (mmm mid hi)
+    end
+  in
+  { root = mmm 0 (Array.length arr); n_sinks = Array.length arr; tech }
+
+let root_position t = node_pos t.root
+
+(* Visit every sink with its routed path length and Elmore delay from
+   the root. *)
+let fold_sinks t f =
+  let tech = t.tech in
+  let a2 = 0.5 *. tech.Rc_tech.Tech.r_wire *. tech.Rc_tech.Tech.c_wire /. 1000.0 in
+  let edge_delay child wl =
+    (a2 *. wl *. wl) +. (tech.Rc_tech.Tech.r_wire *. node_cap child *. wl /. 1000.0)
+  in
+  let rec go node path delay =
+    match node with
+    | Sink s -> f s.idx path delay
+    | Merge m ->
+        go m.left (path +. m.wl_left) (delay +. edge_delay m.left m.wl_left);
+        go m.right (path +. m.wl_right) (delay +. edge_delay m.right m.wl_right)
+  in
+  go t.root 0.0 0.0
+
+let sink_path_lengths (t : t) =
+  let out = Array.make t.n_sinks 0.0 in
+  fold_sinks t (fun idx path _ -> out.(idx) <- path);
+  out
+
+let sink_delays (t : t) =
+  let out = Array.make t.n_sinks 0.0 in
+  fold_sinks t (fun idx _ d -> out.(idx) <- d);
+  out
+
+let sink_delays_perturbed (t : t) ~edge_factor =
+  let tech = t.tech in
+  let a2 = 0.5 *. tech.Rc_tech.Tech.r_wire *. tech.Rc_tech.Tech.c_wire /. 1000.0 in
+  let edge_delay child wl =
+    ((a2 *. wl *. wl) +. (tech.Rc_tech.Tech.r_wire *. node_cap child *. wl /. 1000.0))
+    *. edge_factor wl
+  in
+  let out = Array.make t.n_sinks 0.0 in
+  let rec go node delay =
+    match node with
+    | Sink s -> out.(s.idx) <- delay
+    | Merge m ->
+        go m.left (delay +. edge_delay m.left m.wl_left);
+        go m.right (delay +. edge_delay m.right m.wl_right)
+  in
+  go t.root 0.0;
+  out
+
+let total_wire t =
+  let rec go = function
+    | Sink _ -> 0.0
+    | Merge m -> m.wl_left +. m.wl_right +. go m.left +. go m.right
+  in
+  go t.root
+
+let stats (t : t) =
+  let paths = sink_path_lengths t in
+  let delays = sink_delays t in
+  let dmin, dmax =
+    Array.fold_left
+      (fun (lo, hi) d -> (Float.min lo d, Float.max hi d))
+      (infinity, neg_infinity) delays
+  in
+  {
+    n_sinks = t.n_sinks;
+    total_wirelength = total_wire t;
+    avg_path_length = Rc_util.Stats.mean paths;
+    max_path_length = Array.fold_left Float.max 0.0 paths;
+    root_delay = node_delay t.root;
+    max_skew = dmax -. dmin;
+  }

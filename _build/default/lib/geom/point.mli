@@ -1,0 +1,34 @@
+(** 2-D points in micrometers, with the Manhattan metric used throughout
+    placement and clock-network cost computation. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+(** [make x y]. *)
+
+val zero : t
+(** The origin. *)
+
+val add : t -> t -> t
+(** Componentwise sum. *)
+
+val sub : t -> t -> t
+(** Componentwise difference. *)
+
+val scale : float -> t -> t
+(** [scale k p] multiplies both coordinates by [k]. *)
+
+val midpoint : t -> t -> t
+(** The Euclidean midpoint. *)
+
+val manhattan : t -> t -> float
+(** L1 distance — the routing-wire length between two points. *)
+
+val euclidean : t -> t -> float
+(** L2 distance. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Componentwise tolerant equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(x, y)]. *)

@@ -1,0 +1,46 @@
+type t = { xmin : float; ymin : float; xmax : float; ymax : float }
+
+let make ~xmin ~ymin ~xmax ~ymax =
+  if xmax < xmin || ymax < ymin then invalid_arg "Rect.make: inverted bounds";
+  { xmin; ymin; xmax; ymax }
+
+let of_points = function
+  | [] -> invalid_arg "Rect.of_points: empty"
+  | (p : Point.t) :: rest ->
+      List.fold_left
+        (fun r (q : Point.t) ->
+          {
+            xmin = Float.min r.xmin q.x;
+            ymin = Float.min r.ymin q.y;
+            xmax = Float.max r.xmax q.x;
+            ymax = Float.max r.ymax q.y;
+          })
+        { xmin = p.x; ymin = p.y; xmax = p.x; ymax = p.y }
+        rest
+
+let width r = r.xmax -. r.xmin
+let height r = r.ymax -. r.ymin
+let area r = width r *. height r
+let half_perimeter r = width r +. height r
+let center r = Point.make ((r.xmin +. r.xmax) /. 2.0) ((r.ymin +. r.ymax) /. 2.0)
+
+let contains r (p : Point.t) =
+  p.x >= r.xmin && p.x <= r.xmax && p.y >= r.ymin && p.y <= r.ymax
+
+let expand r m =
+  { xmin = r.xmin -. m; ymin = r.ymin -. m; xmax = r.xmax +. m; ymax = r.ymax +. m }
+
+let intersect a b =
+  let xmin = Float.max a.xmin b.xmin
+  and ymin = Float.max a.ymin b.ymin
+  and xmax = Float.min a.xmax b.xmax
+  and ymax = Float.min a.ymax b.ymax in
+  if xmax >= xmin && ymax >= ymin then Some { xmin; ymin; xmax; ymax } else None
+
+let clamp_point r (p : Point.t) =
+  Point.make
+    (Rc_util.Approx.clamp ~lo:r.xmin ~hi:r.xmax p.x)
+    (Rc_util.Approx.clamp ~lo:r.ymin ~hi:r.ymax p.y)
+
+let pp fmt r =
+  Format.fprintf fmt "[%g,%g]x[%g,%g]" r.xmin r.xmax r.ymin r.ymax

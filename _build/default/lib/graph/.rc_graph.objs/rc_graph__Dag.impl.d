@@ -1,0 +1,1 @@
+lib/graph/dag.ml: Array Digraph List Option Queue

@@ -1,0 +1,42 @@
+type edge = { src : int; dst : int; weight : float; tag : int }
+
+type t = { n : int; adj : edge list array; mutable m : int }
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; adj = Array.make (max n 1) []; m = 0 }
+
+let n_vertices g = g.n
+let n_edges g = g.m
+
+let check g v name =
+  if v < 0 || v >= g.n then invalid_arg ("Digraph." ^ name ^ ": vertex out of range")
+
+let add_edge ?(tag = -1) g u v w =
+  check g u "add_edge";
+  check g v "add_edge";
+  g.adj.(u) <- { src = u; dst = v; weight = w; tag } :: g.adj.(u);
+  g.m <- g.m + 1
+
+let out_edges g v =
+  check g v "out_edges";
+  List.rev g.adj.(v)
+
+let iter_out g v f =
+  check g v "iter_out";
+  List.iter f g.adj.(v)
+
+let iter_edges g f =
+  for v = 0 to g.n - 1 do
+    List.iter f (List.rev g.adj.(v))
+  done
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  iter_edges g (fun e -> acc := f !acc e);
+  !acc
+
+let in_degree g =
+  let deg = Array.make g.n 0 in
+  iter_edges g (fun e -> deg.(e.dst) <- deg.(e.dst) + 1);
+  deg

@@ -1,0 +1,37 @@
+(** Weighted directed graphs over integer vertices [0 .. n-1].
+
+    This is the workhorse for static timing (combinational DAGs), skew
+    scheduling (difference-constraint graphs), and the min-cost-flow
+    residual network. Edges carry a float weight and an arbitrary
+    payload index so algorithms can report which edge they used. *)
+
+type edge = { src : int; dst : int; weight : float; tag : int }
+
+type t
+
+val create : int -> t
+(** [create n] is an empty graph on [n] vertices.
+    @raise Invalid_argument if [n < 0]. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val add_edge : ?tag:int -> t -> int -> int -> float -> unit
+(** [add_edge g u v w] adds a directed edge [u -> v] of weight [w].
+    Parallel edges are allowed. [tag] defaults to -1.
+    @raise Invalid_argument on out-of-range vertices. *)
+
+val out_edges : t -> int -> edge list
+(** Outgoing edges of a vertex, in insertion order. *)
+
+val iter_out : t -> int -> (edge -> unit) -> unit
+(** Iterate a vertex's outgoing edges without allocating (reverse
+    insertion order) — the hot path of the shortest-path solvers. *)
+
+val iter_edges : t -> (edge -> unit) -> unit
+(** Iterate over every edge once. *)
+
+val fold_edges : t -> init:'a -> f:('a -> edge -> 'a) -> 'a
+
+val in_degree : t -> int array
+(** In-degree of every vertex (computed fresh on each call). *)

@@ -1,0 +1,111 @@
+type result = { dist : float array; pred : int array }
+
+let dijkstra_multi g ~sources =
+  let n = Digraph.n_vertices g in
+  let dist = Array.make n infinity and pred = Array.make n (-1) in
+  let heap = Heap.create () in
+  List.iter
+    (fun s ->
+      dist.(s) <- 0.0;
+      Heap.push heap 0.0 s)
+    sources;
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d <= dist.(u) then
+          List.iter
+            (fun (e : Digraph.edge) ->
+              if e.weight < 0.0 then invalid_arg "Shortest_path.dijkstra: negative weight";
+              let nd = d +. e.weight in
+              if nd < dist.(e.dst) then begin
+                dist.(e.dst) <- nd;
+                pred.(e.dst) <- u;
+                Heap.push heap nd e.dst
+              end)
+            (Digraph.out_edges g u);
+        loop ()
+  in
+  loop ();
+  { dist; pred }
+
+let dijkstra g ~source = dijkstra_multi g ~sources:[ source ]
+
+let extract_cycle pred start n =
+  (* Walk predecessors with visit stamps; the first revisited vertex
+     closes the cycle. Falls back to the start vertex alone if the
+     current predecessor chain no longer carries the cycle (the caller
+     only relies on infeasibility being reported). *)
+  let seen = Hashtbl.create 16 in
+  let rec walk v steps =
+    if v < 0 || steps > 2 * (n + 1) then [ start ]
+    else if Hashtbl.mem seen v then begin
+      (* collect vertices from v around the predecessor cycle *)
+      let cycle = ref [] and u = ref (pred.(v)) in
+      cycle := [ v ];
+      while !u <> v && !u >= 0 do
+        cycle := !u :: !cycle;
+        u := pred.(!u)
+      done;
+      !cycle
+    end
+    else begin
+      Hashtbl.add seen v ();
+      walk pred.(v) (steps + 1)
+    end
+  in
+  walk start 0
+
+(* Queue-based Bellman-Ford (SPFA): near-linear on the sparse
+   difference-constraint graphs of skew scheduling. A vertex dequeued
+   more than |V| times certifies a reachable negative cycle. *)
+let bellman_ford g ~sources =
+  let n = Digraph.n_vertices g in
+  let dist = Array.make n infinity and pred = Array.make n (-1) in
+  let in_queue = Array.make n false and dequeues = Array.make n 0 in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) <> 0.0 then begin
+        dist.(s) <- 0.0;
+        in_queue.(s) <- true;
+        Queue.add s queue
+      end)
+    sources;
+  let cycle_at = ref (-1) in
+  (try
+     while not (Queue.is_empty queue) do
+       let u = Queue.pop queue in
+       in_queue.(u) <- false;
+       dequeues.(u) <- dequeues.(u) + 1;
+       if dequeues.(u) > n then begin
+         cycle_at := u;
+         raise Exit
+       end;
+       Digraph.iter_out g u (fun (e : Digraph.edge) ->
+           let nd = dist.(u) +. e.weight in
+           if nd < dist.(e.dst) -. 1e-12 then begin
+             dist.(e.dst) <- nd;
+             pred.(e.dst) <- u;
+             if not in_queue.(e.dst) then begin
+               in_queue.(e.dst) <- true;
+               Queue.add e.dst queue
+             end
+           end)
+     done
+   with Exit -> ());
+  if !cycle_at >= 0 then Either.Right (extract_cycle pred !cycle_at n)
+  else Either.Left { dist; pred }
+
+let feasible_potentials g =
+  let sources = List.init (Digraph.n_vertices g) Fun.id in
+  match bellman_ford g ~sources with
+  | Either.Left { dist; _ } -> Some dist
+  | Either.Right _ -> None
+
+let path_to r v =
+  if v < 0 || v >= Array.length r.dist || r.dist.(v) = infinity then None
+  else begin
+    let rec build acc u = if u = -1 then acc else build (u :: acc) r.pred.(u) in
+    Some (build [] v)
+  end

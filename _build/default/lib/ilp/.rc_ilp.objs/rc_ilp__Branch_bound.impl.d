@@ -1,0 +1,1 @@
+lib/ilp/branch_bound.ml: Array Float List Option Rc_graph Rc_lp Rc_util

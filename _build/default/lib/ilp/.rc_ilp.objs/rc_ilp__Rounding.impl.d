@@ -1,0 +1,1 @@
+lib/ilp/rounding.ml: Array Float List

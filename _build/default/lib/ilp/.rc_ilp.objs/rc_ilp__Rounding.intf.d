@@ -1,0 +1,1 @@
+lib/ilp/rounding.mli:

@@ -1,0 +1,200 @@
+type limits = { max_nodes : int; max_seconds : float }
+
+let default_limits = { max_nodes = 200_000; max_seconds = 60.0 }
+
+type status = Proven_optimal | Feasible | No_solution | Ilp_infeasible
+
+type outcome = {
+  status : status;
+  x : float array;
+  objective : float;
+  best_bound : float;
+  nodes : int;
+  elapsed_s : float;
+}
+
+type node = { bound : float; fixes : (int * float * float) list }
+
+let integrality_eps = 1e-6
+
+
+let solve ?(limits = default_limits) problem ~integer_vars =
+  let timer = Rc_util.Timer.start () in
+  let int_vars = Array.of_list integer_vars in
+  let saved_bounds =
+    Array.map (fun j -> (Rc_lp.Problem.var_lo problem j, Rc_lp.Problem.var_hi problem j)) int_vars
+  in
+  let restore () =
+    Array.iteri
+      (fun k j ->
+        let lo, hi = saved_bounds.(k) in
+        Rc_lp.Problem.set_bounds problem j ~lo ~hi)
+      int_vars
+  in
+  let with_fixes fixes f =
+    List.iter (fun (j, lo, hi) -> Rc_lp.Problem.set_bounds problem j ~lo ~hi) fixes;
+    let r = f () in
+    restore ();
+    r
+  in
+  let relax fixes = with_fixes fixes (fun () -> Rc_lp.Simplex.solve problem) in
+  let incumbent = ref None and incumbent_obj = ref infinity in
+  let nodes = ref 0 in
+  let queue = Rc_graph.Heap.create () in
+  let root = relax [] in
+  let final status best_bound =
+    let x, objective =
+      match !incumbent with Some x -> (x, !incumbent_obj) | None -> ([||], infinity)
+    in
+    { status; x; objective; best_bound; nodes = !nodes; elapsed_s = Rc_util.Timer.elapsed_s timer }
+  in
+  match root.Rc_lp.Simplex.status with
+  | Rc_lp.Simplex.Infeasible -> final Ilp_infeasible infinity
+  | Rc_lp.Simplex.Unbounded | Rc_lp.Simplex.Iteration_limit -> final No_solution neg_infinity
+  | Rc_lp.Simplex.Optimal ->
+      (* primal plunge heuristic (as generic MIP solvers run at the
+         root): repeatedly fix near-integral variables to their rounded
+         values and re-solve; an integral end point becomes the first
+         incumbent. Sound because it only ever supplies incumbents — the
+         tree search below remains a complete partition. *)
+      let plunge_budget = 0.4 *. limits.max_seconds in
+      let rec plunge sol fixes steps =
+        if steps > 400 then ()
+        else begin
+          match sol.Rc_lp.Simplex.status with
+          | Rc_lp.Simplex.Optimal ->
+              let fractional =
+                Array.to_list int_vars
+                |> List.filter_map (fun j ->
+                       let v = sol.Rc_lp.Simplex.x.(j) in
+                       let frac = Float.abs (v -. Float.round v) in
+                       if frac > integrality_eps then Some (j, v, frac) else None)
+              in
+              if fractional = [] then begin
+                if sol.Rc_lp.Simplex.objective < !incumbent_obj then begin
+                  incumbent := Some (Array.copy sol.Rc_lp.Simplex.x);
+                  incumbent_obj := sol.Rc_lp.Simplex.objective
+                end
+              end
+              else begin
+                (* pin everything already close to integral, else the
+                   least fractional variable, to its rounded value *)
+                let close = List.filter (fun (_, _, f) -> f < 0.05) fractional in
+                let to_fix =
+                  if close <> [] then close
+                  else
+                    [ List.fold_left
+                        (fun (bj, bv, bf) (j, v, f) ->
+                          if f < bf then (j, v, f) else (bj, bv, bf))
+                        (List.hd fractional) (List.tl fractional) ]
+                in
+                let new_fixes =
+                  List.map (fun (j, v, _) -> (j, Float.round v, Float.round v)) to_fix
+                  @ List.filter
+                      (fun (j, _, _) -> not (List.exists (fun (k, _, _) -> k = j) to_fix))
+                      fixes
+                in
+                if Rc_util.Timer.elapsed_s timer <= plunge_budget then
+                  plunge (relax new_fixes) new_fixes (steps + 1)
+              end
+          | _ -> ()
+        end
+      in
+      plunge root [] 0;
+      Rc_graph.Heap.push queue root.Rc_lp.Simplex.objective
+        { bound = root.Rc_lp.Simplex.objective; fixes = [] };
+      (* until the first incumbent exists, dive depth-first (finds a
+         feasible point after ~one fixing per fractional variable); then
+         switch to best-first to prove optimality *)
+      let dive_stack = ref [] in
+      let truncated = ref false in
+      let best_open_bound = ref root.Rc_lp.Simplex.objective in
+      let pop_node () =
+        if Option.is_none !incumbent then
+          match !dive_stack with
+          | n :: rest ->
+              dive_stack := rest;
+              Some (n.bound, n)
+          | [] -> Rc_graph.Heap.pop_min queue
+        else begin
+          (* flush any leftover dive nodes into the best-first queue *)
+          List.iter (fun n -> Rc_graph.Heap.push queue n.bound n) !dive_stack;
+          dive_stack := [];
+          Rc_graph.Heap.pop_min queue
+        end
+      in
+      let rec search () =
+        match pop_node () with
+        | None -> ()
+        | Some (_, node) ->
+            (* the root LP is always a valid global lower bound; report it
+               unless the search completes (then the incumbent is exact) *)
+            if node.bound >= !incumbent_obj -. 1e-9 then
+              (* best-first: every remaining node is no better, so the
+                 incumbent is proven optimal *)
+              Rc_graph.Heap.clear queue
+            else if !nodes >= limits.max_nodes || Rc_util.Timer.elapsed_s timer > limits.max_seconds
+            then truncated := true
+            else begin
+              incr nodes;
+              let sol = relax node.fixes in
+              (match sol.Rc_lp.Simplex.status with
+              | Rc_lp.Simplex.Infeasible | Rc_lp.Simplex.Unbounded
+              | Rc_lp.Simplex.Iteration_limit ->
+                  ()
+              | Rc_lp.Simplex.Optimal when sol.Rc_lp.Simplex.objective >= !incumbent_obj -. 1e-9
+                ->
+                  ()
+              | Rc_lp.Simplex.Optimal -> (
+                  (* most fractional integer variable *)
+                  let branch_var = ref (-1) and worst = ref integrality_eps in
+                  Array.iter
+                    (fun j ->
+                      let v = sol.Rc_lp.Simplex.x.(j) in
+                      let frac = Float.abs (v -. Float.round v) in
+                      if frac > !worst then begin
+                        worst := frac;
+                        branch_var := j
+                      end)
+                    int_vars;
+                  if !branch_var < 0 then begin
+                    (* integral: new incumbent *)
+                    incumbent := Some (Array.copy sol.Rc_lp.Simplex.x);
+                    incumbent_obj := sol.Rc_lp.Simplex.objective
+                  end
+                  else
+                    let j = !branch_var in
+                    let v = sol.Rc_lp.Simplex.x.(j) in
+                    let jlo = Rc_lp.Problem.var_lo problem j
+                    and jhi = Rc_lp.Problem.var_hi problem j in
+                    (* child bounds intersected with any fixes already on j *)
+                    let cur_lo, cur_hi =
+                      List.fold_left
+                        (fun (l, h) (k, lo, hi) -> if k = j then (lo, hi) else (l, h))
+                        (jlo, jhi) node.fixes
+                    in
+                    let down = (j, cur_lo, Float.min cur_hi (Float.floor v)) in
+                    let up = (j, Float.max cur_lo (Float.ceil v), cur_hi) in
+                    let others = List.filter (fun (k, _, _) -> k <> j) node.fixes in
+                    let child fix =
+                      let _, lo, hi = fix in
+                      if lo <= hi then begin
+                        let n = { bound = sol.Rc_lp.Simplex.objective; fixes = fix :: others } in
+                        if Option.is_none !incumbent then dive_stack := n :: !dive_stack
+                        else Rc_graph.Heap.push queue n.bound n
+                      end
+                    in
+                    (* push the up child first so the dive explores the
+                       rounded-down branch before it *)
+                    child up;
+                    child down));
+              search ()
+            end
+      in
+      search ();
+      let exhausted = Rc_graph.Heap.is_empty queue && !dive_stack = [] && not !truncated in
+      let bound = if exhausted then !incumbent_obj else !best_open_bound in
+      if Option.is_some !incumbent then
+        if exhausted then final Proven_optimal bound else final Feasible bound
+      else if !truncated then final No_solution bound
+      else final Ilp_infeasible infinity

@@ -1,0 +1,21 @@
+let greedy_round ~n_items xlp =
+  let best_val = Array.make n_items neg_infinity in
+  let best_bin = Array.make n_items (-1) in
+  List.iter
+    (fun (i, j, v) ->
+      if i < 0 || i >= n_items then invalid_arg "Rounding.greedy_round: item out of range";
+      (* strict improvement, or equal value with smaller bin index *)
+      if
+        v > best_val.(i) +. 1e-12
+        || (Float.abs (v -. best_val.(i)) <= 1e-12 && j < best_bin.(i))
+      then begin
+        best_val.(i) <- v;
+        best_bin.(i) <- j
+      end)
+    xlp;
+  best_bin
+
+let integrality_gap ~ilp_objective ~lp_optimum =
+  if Float.abs lp_optimum < 1e-300 then
+    if Float.abs ilp_objective < 1e-300 then 1.0 else nan
+  else ilp_objective /. lp_optimum

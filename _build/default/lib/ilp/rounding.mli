@@ -1,0 +1,16 @@
+(** Greedy rounding of fractional assignment solutions (Fig. 5 of the
+    paper): every item goes to the bin whose LP assignment variable is
+    largest, which preserves the "each item in exactly one bin"
+    feasibility row by construction and is linear in the number of
+    nonzero LP values. *)
+
+val greedy_round : n_items:int -> (int * int * float) list -> int array
+(** [greedy_round ~n_items xlp] takes the nonzero LP values as
+    [(item, bin, value)] triples and returns the chosen bin per item
+    ([-1] for items that had no candidate at all). Already-integral
+    items (value within 1e-6 of 1) keep their bin, per step 1.1 of the
+    paper's procedure. Ties break toward the lower bin index. *)
+
+val integrality_gap : ilp_objective:float -> lp_optimum:float -> float
+(** Eq. 4: [SOLN(ILP) / OPT(LP)]. Returns [nan] when the LP optimum is
+    zero and the ILP objective is not. *)

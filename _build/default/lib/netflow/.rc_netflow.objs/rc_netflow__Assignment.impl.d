@@ -1,0 +1,1 @@
+lib/netflow/assignment.ml: Array List Mcmf

@@ -1,0 +1,1 @@
+lib/netflow/assignment.mli:

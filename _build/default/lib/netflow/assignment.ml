@@ -1,0 +1,46 @@
+type candidate = { item : int; bin : int; cost : float }
+
+type result = { assignment : int array; total_cost : float; assigned : int }
+
+let solve ~n_items ~n_bins ~capacities candidates =
+  if Array.length capacities <> n_bins then
+    invalid_arg "Assignment.solve: capacities length mismatch";
+  List.iter
+    (fun { item; bin; cost } ->
+      if item < 0 || item >= n_items || bin < 0 || bin >= n_bins then
+        invalid_arg "Assignment.solve: candidate out of range";
+      if cost < 0.0 then invalid_arg "Assignment.solve: negative cost")
+    candidates;
+  (* vertices: 0 = source, 1..n_items = items, then bins, then sink *)
+  let source = 0 in
+  let item_v i = 1 + i in
+  let bin_v j = 1 + n_items + j in
+  let sink = 1 + n_items + n_bins in
+  let net = Mcmf.create (sink + 1) in
+  for i = 0 to n_items - 1 do
+    ignore (Mcmf.add_arc net ~src:source ~dst:(item_v i) ~capacity:1 ~cost:0.0)
+  done;
+  for j = 0 to n_bins - 1 do
+    if capacities.(j) < 0 then invalid_arg "Assignment.solve: negative capacity";
+    ignore (Mcmf.add_arc net ~src:(bin_v j) ~dst:sink ~capacity:capacities.(j) ~cost:0.0)
+  done;
+  let cand_arcs =
+    List.map
+      (fun c ->
+        let a =
+          Mcmf.add_arc net ~src:(item_v c.item) ~dst:(bin_v c.bin) ~capacity:1 ~cost:c.cost
+        in
+        (c, a))
+      candidates
+  in
+  let outcome = Mcmf.solve net ~source ~sink ~amount:n_items in
+  let assignment = Array.make n_items (-1) in
+  let total_cost = ref 0.0 in
+  List.iter
+    (fun ((c : candidate), a) ->
+      if Mcmf.flow_on net a > 0 then begin
+        assignment.(c.item) <- c.bin;
+        total_cost := !total_cost +. c.cost
+      end)
+    cand_arcs;
+  { assignment; total_cost = !total_cost; assigned = outcome.Mcmf.flow }

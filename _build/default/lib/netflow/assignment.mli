@@ -1,0 +1,22 @@
+(** The paper's Section-V flip-flop-to-ring assignment network (Fig. 4):
+    a source feeding one unit per flip-flop, candidate arcs carrying the
+    tapping cost, and ring arcs capped by ring capacity [U_j]. Solved
+    optimally by min-cost flow. *)
+
+type candidate = { item : int; bin : int; cost : float }
+(** One admissible (flip-flop, ring) pair with its tapping cost. *)
+
+type result = {
+  assignment : int array;  (** [assignment.(i)] is the bin of item [i], or -1 if unassigned. *)
+  total_cost : float;  (** Sum of chosen candidate costs. *)
+  assigned : int;  (** Number of items that received a bin. *)
+}
+
+val solve :
+  n_items:int -> n_bins:int -> capacities:int array -> candidate list -> result
+(** Assign each item to exactly one bin through its candidate arcs,
+    minimizing total cost subject to per-bin capacities. Items whose
+    candidates are all saturated stay unassigned (the caller widens the
+    candidate set — the paper adds arcs only between nearby pairs).
+    @raise Invalid_argument on shape mismatches or out-of-range
+    candidates. *)

@@ -1,0 +1,175 @@
+(* Residual-network representation: forward and backward arcs are stored
+   interleaved; arc i and arc (i lxor 1) are mutual inverses. *)
+
+type t = {
+  n : int;
+  mutable heads : int array;  (* arc -> dst *)
+  mutable caps : int array;  (* residual capacity *)
+  mutable costs : float array;
+  mutable next : int array;  (* arc -> next arc of same tail *)
+  first : int array;  (* vertex -> first arc, -1 terminated *)
+  mutable m : int;  (* number of residual arcs (2x public arcs) *)
+}
+
+type arc = int
+
+let create n =
+  if n < 0 then invalid_arg "Mcmf.create";
+  {
+    n;
+    heads = Array.make 16 0;
+    caps = Array.make 16 0;
+    costs = Array.make 16 0.0;
+    next = Array.make 16 (-1);
+    first = Array.make (max n 1) (-1);
+    m = 0;
+  }
+
+let grow t =
+  let cap = Array.length t.heads in
+  let heads = Array.make (2 * cap) 0
+  and caps = Array.make (2 * cap) 0
+  and costs = Array.make (2 * cap) 0.0
+  and next = Array.make (2 * cap) (-1) in
+  Array.blit t.heads 0 heads 0 t.m;
+  Array.blit t.caps 0 caps 0 t.m;
+  Array.blit t.costs 0 costs 0 t.m;
+  Array.blit t.next 0 next 0 t.m;
+  t.heads <- heads;
+  t.caps <- caps;
+  t.costs <- costs;
+  t.next <- next
+
+let push_arc t tail head cap cost =
+  if t.m = Array.length t.heads then grow t;
+  let a = t.m in
+  t.heads.(a) <- head;
+  t.caps.(a) <- cap;
+  t.costs.(a) <- cost;
+  t.next.(a) <- t.first.(tail);
+  t.first.(tail) <- a;
+  t.m <- t.m + 1;
+  a
+
+let add_arc t ~src ~dst ~capacity ~cost =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Mcmf.add_arc: vertex out of range";
+  if capacity < 0 then invalid_arg "Mcmf.add_arc: negative capacity";
+  let a = push_arc t src dst capacity cost in
+  ignore (push_arc t dst src 0 (-.cost));
+  a
+
+type outcome = { flow : int; cost : float }
+
+let bellman_ford_potentials t source =
+  let pot = Array.make t.n infinity in
+  pot.(source) <- 0.0;
+  let changed = ref true and rounds = ref 0 in
+  while !changed && !rounds <= t.n do
+    changed := false;
+    incr rounds;
+    for v = 0 to t.n - 1 do
+      if pot.(v) < infinity then begin
+        let a = ref t.first.(v) in
+        while !a >= 0 do
+          if t.caps.(!a) > 0 then begin
+            let nd = pot.(v) +. t.costs.(!a) in
+            if nd < pot.(t.heads.(!a)) -. 1e-12 then begin
+              pot.(t.heads.(!a)) <- nd;
+              changed := true
+            end
+          end;
+          a := t.next.(!a)
+        done
+      end
+    done
+  done;
+  Array.map (fun p -> if p = infinity then 0.0 else p) pot
+
+let solve ?(amount = max_int) t ~source ~sink =
+  if source < 0 || source >= t.n || sink < 0 || sink >= t.n then
+    invalid_arg "Mcmf.solve: vertex out of range";
+  let has_negative = ref false in
+  for a = 0 to t.m - 1 do
+    if t.caps.(a) > 0 && t.costs.(a) < 0.0 then has_negative := true
+  done;
+  let pot =
+    if !has_negative then bellman_ford_potentials t source else Array.make t.n 0.0
+  in
+  let dist = Array.make t.n infinity in
+  let pred_arc = Array.make t.n (-1) in
+  let total_flow = ref 0 and total_cost = ref 0.0 in
+  let continue = ref true in
+  while !continue && !total_flow < amount do
+    (* Dijkstra on reduced costs *)
+    Array.fill dist 0 t.n infinity;
+    Array.fill pred_arc 0 t.n (-1);
+    dist.(source) <- 0.0;
+    let heap = Rc_graph.Heap.create () in
+    Rc_graph.Heap.push heap 0.0 source;
+    let rec loop () =
+      match Rc_graph.Heap.pop_min heap with
+      | None -> ()
+      | Some (d, v) ->
+          if d <= dist.(v) +. 1e-12 then begin
+            let a = ref t.first.(v) in
+            while !a >= 0 do
+              if t.caps.(!a) > 0 then begin
+                let u = t.heads.(!a) in
+                let rc = t.costs.(!a) +. pot.(v) -. pot.(u) in
+                let rc = if rc < 0.0 then 0.0 else rc in
+                let nd = d +. rc in
+                if nd < dist.(u) -. 1e-12 then begin
+                  dist.(u) <- nd;
+                  pred_arc.(u) <- !a;
+                  Rc_graph.Heap.push heap nd u
+                end
+              end;
+              a := t.next.(!a)
+            done
+          end;
+          loop ()
+    in
+    loop ();
+    if dist.(sink) = infinity then continue := false
+    else begin
+      for v = 0 to t.n - 1 do
+        if dist.(v) < infinity then pot.(v) <- pot.(v) +. dist.(v)
+      done;
+      (* bottleneck along the path *)
+      let bottleneck = ref (amount - !total_flow) in
+      let v = ref sink in
+      while !v <> source do
+        let a = pred_arc.(!v) in
+        if t.caps.(a) < !bottleneck then bottleneck := t.caps.(a);
+        v := t.heads.(a lxor 1)
+      done;
+      let f = !bottleneck in
+      let v = ref sink in
+      while !v <> source do
+        let a = pred_arc.(!v) in
+        t.caps.(a) <- t.caps.(a) - f;
+        t.caps.(a lxor 1) <- t.caps.(a lxor 1) + f;
+        total_cost := !total_cost +. (float_of_int f *. t.costs.(a));
+        v := t.heads.(a lxor 1)
+      done;
+      total_flow := !total_flow + f
+    end
+  done;
+  { flow = !total_flow; cost = !total_cost }
+
+let flow_on t a =
+  if a < 0 || a >= t.m then invalid_arg "Mcmf.flow_on: bad arc";
+  (* flow on forward arc = residual capacity of its reverse arc *)
+  t.caps.(a lxor 1)
+
+let iter_residual t f =
+  for a = 0 to t.m - 1 do
+    if t.caps.(a) > 0 then begin
+      (* tail of arc a is the head of its partner *)
+      let src = t.heads.(a lxor 1) in
+      f ~src ~dst:t.heads.(a) ~cost:t.costs.(a)
+    end
+  done
+
+let n_vertices t = t.n

@@ -1,0 +1,38 @@
+(** Min-cost max-flow by successive shortest paths with Johnson
+    potentials — the solver behind the paper's Section V flip-flop
+    assignment (Fig. 4). Capacities are integers, costs are floats
+    (tapping wirelengths). *)
+
+type t
+
+type arc = int
+(** Handle returned by {!add_arc}, usable to query flow afterwards. *)
+
+val create : int -> t
+(** [create n] builds an empty network on vertices [0 .. n-1]. *)
+
+val add_arc : t -> src:int -> dst:int -> capacity:int -> cost:float -> arc
+(** Add a directed arc. @raise Invalid_argument on negative capacity or
+    out-of-range vertices. *)
+
+type outcome = {
+  flow : int;  (** Total flow shipped (may be less than requested). *)
+  cost : float;  (** Sum of [cost * flow] over arcs. *)
+}
+
+val solve : ?amount:int -> t -> source:int -> sink:int -> outcome
+(** Ship up to [amount] units (default: max flow) from source to sink at
+    minimum cost. Negative-cost arcs are handled by a Bellman-Ford
+    initialization of the potentials. *)
+
+val flow_on : t -> arc -> int
+(** Flow routed on an arc by the last {!solve} call. *)
+
+val iter_residual : t -> (src:int -> dst:int -> cost:float -> unit) -> unit
+(** Iterate every arc of the residual network (positive remaining
+    capacity), including reverse arcs of routed flow. After an optimal
+    solve the residual network has no negative cycle, so Bellman-Ford
+    potentials over it recover the dual variables — how the weighted-sum
+    skew scheduler extracts its schedule. *)
+
+val n_vertices : t -> int

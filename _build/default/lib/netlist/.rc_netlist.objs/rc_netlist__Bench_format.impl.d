@@ -1,0 +1,1 @@
+lib/netlist/bench_format.ml: Array Buffer Filename Fun Hashtbl List Netlist Option Point Printf Rc_geom Rect String

@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Fun Hashtbl List Netlist Point Rc_geom Rc_util Rect Rng

@@ -1,0 +1,1 @@
+lib/netlist/serialize.ml: Array Buffer Fun List Netlist Printf Rc_geom String

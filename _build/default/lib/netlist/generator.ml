@@ -1,0 +1,194 @@
+open Rc_util
+
+type config = {
+  name : string;
+  n_logic : int;
+  n_ffs : int;
+  n_nets : int;
+  n_inputs : int;
+  n_outputs : int;
+  depth : int;
+  max_fanin : int;
+  clusters : int;
+  locality : float;
+  chip : Rc_geom.Rect.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    name = "smoke200";
+    n_logic = 200;
+    n_ffs = 24;
+    n_nets = 210;
+    n_inputs = 8;
+    n_outputs = 8;
+    depth = 8;
+    max_fanin = 3;
+    clusters = 4;
+    locality = 0.85;
+    chip = Rc_geom.Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:2200.0 ~ymax:2200.0;
+    seed = 1;
+  }
+
+let pad_ring_positions chip count =
+  (* evenly spaced positions walking the die boundary clockwise *)
+  let open Rc_geom in
+  let w = Rect.width chip and h = Rect.height chip in
+  let perimeter = 2.0 *. (w +. h) in
+  List.init count (fun i ->
+      let d = float_of_int i /. float_of_int count *. perimeter in
+      if d < w then Point.make (chip.Rect.xmin +. d) chip.Rect.ymin
+      else if d < w +. h then Point.make chip.Rect.xmax (chip.Rect.ymin +. (d -. w))
+      else if d < (2.0 *. w) +. h then
+        Point.make (chip.Rect.xmax -. (d -. w -. h)) chip.Rect.ymax
+      else Point.make chip.Rect.xmin (chip.Rect.ymax -. (d -. (2.0 *. w) -. h)))
+
+let generate cfg =
+  if cfg.n_logic <= 0 || cfg.n_ffs <= 0 then invalid_arg "Generator.generate: empty circuit";
+  if cfg.depth < 1 then invalid_arg "Generator.generate: depth < 1";
+  if cfg.max_fanin < 1 then invalid_arg "Generator.generate: max_fanin < 1";
+  let n_logic_drivers = cfg.n_nets - cfg.n_ffs - cfg.n_inputs in
+  if n_logic_drivers <= 0 || n_logic_drivers > cfg.n_logic then
+    invalid_arg "Generator.generate: n_nets inconsistent with cell counts";
+  let rng = Rng.create cfg.seed in
+  let n = cfg.n_logic + cfg.n_ffs + cfg.n_inputs + cfg.n_outputs in
+  let logic c = c < cfg.n_logic in
+  let ff_first = cfg.n_logic in
+  let in_first = cfg.n_logic + cfg.n_ffs in
+  let out_first = in_first + cfg.n_inputs in
+  let kinds =
+    Array.init n (fun c ->
+        if logic c then Netlist.Logic
+        else if c < in_first then Netlist.Flipflop
+        else if c < out_first then Netlist.Input_pad
+        else Netlist.Output_pad)
+  in
+  (* choose which logic cells drive nets *)
+  let logic_perm = Array.init cfg.n_logic Fun.id in
+  Rng.shuffle rng logic_perm;
+  let drives = Array.make n false in
+  for k = 0 to n_logic_drivers - 1 do
+    drives.(logic_perm.(k)) <- true
+  done;
+  for c = ff_first to out_first - 1 do
+    drives.(c) <- true
+  done;
+  (* levelize: logic in 1..depth; sources (FFs + inputs) at 0 *)
+  let level = Array.make n 0 in
+  for c = 0 to cfg.n_logic - 1 do
+    level.(c) <- 1 + Rng.int rng cfg.depth
+  done;
+  if cfg.clusters < 1 then invalid_arg "Generator.generate: clusters < 1";
+  if cfg.locality < 0.0 || cfg.locality > 1.0 then
+    invalid_arg "Generator.generate: locality out of [0,1]";
+  (* locality clusters: logic, flip-flops and input pads each belong to a
+     cluster; connectivity mostly stays inside it *)
+  let cluster = Array.init n (fun _ -> Rng.int rng cfg.clusters) in
+  (* pools of drivers per level, global and per cluster *)
+  let by_level = Array.make (cfg.depth + 1) [] in
+  let by_level_cl = Array.init (cfg.depth + 1) (fun _ -> Array.make cfg.clusters []) in
+  for c = 0 to n - 1 do
+    if drives.(c) && kinds.(c) <> Netlist.Output_pad then begin
+      by_level.(level.(c)) <- c :: by_level.(level.(c));
+      by_level_cl.(level.(c)).(cluster.(c)) <- c :: by_level_cl.(level.(c)).(cluster.(c))
+    end
+  done;
+  let by_level = Array.map Array.of_list by_level in
+  let by_level_cl = Array.map (Array.map Array.of_list) by_level_cl in
+  if Array.length by_level.(0) = 0 then invalid_arg "Generator.generate: no level-0 sources";
+  let sinks_of = Array.make n [] in
+  let connect driver sink =
+    if driver <> sink then sinks_of.(driver) <- sink :: sinks_of.(driver)
+  in
+  let pick_source v cl =
+    (* a driver strictly below level v, biased toward the previous level
+       and (with probability [locality]) toward the same cluster *)
+    let local = Rng.float rng 1.0 < cfg.locality in
+    let pool_at u =
+      if local && Array.length by_level_cl.(u).(cl) > 0 then by_level_cl.(u).(cl)
+      else by_level.(u)
+    in
+    let lvl =
+      if v >= 1 && Rng.float rng 1.0 < 0.6 && Array.length (pool_at (v - 1)) > 0 then v - 1
+      else begin
+        let rec try_level attempts =
+          if attempts = 0 then 0
+          else
+            let u = Rng.int rng v in
+            if Array.length (pool_at u) > 0 then u else try_level (attempts - 1)
+        in
+        try_level 8
+      end
+    in
+    Rng.choose rng (pool_at lvl)
+  in
+  (* fan-ins for every logic cell (drivers and sink-only cells alike) *)
+  for c = 0 to cfg.n_logic - 1 do
+    let k = 1 + Rng.int rng cfg.max_fanin in
+    let chosen = Hashtbl.create 4 in
+    for _ = 1 to k do
+      let s = pick_source level.(c) cluster.(c) in
+      if not (Hashtbl.mem chosen s) then begin
+        Hashtbl.add chosen s ();
+        connect s c
+      end
+    done
+  done;
+  (* flip-flop D inputs: prefer deep logic of the same cluster to create
+     long, mostly-local FF->FF paths *)
+  let logic_drivers_where pred =
+    Array.of_list (List.filter (fun c -> logic c && drives.(c) && pred c) (List.init cfg.n_logic Fun.id))
+  in
+  let deep_drivers = logic_drivers_where (fun c -> level.(c) > cfg.depth / 2) in
+  let any_logic_drivers = logic_drivers_where (fun _ -> true) in
+  let deep_by_cluster =
+    Array.init cfg.clusters (fun cl ->
+        Array.of_list
+          (List.filter (fun c -> cluster.(c) = cl) (Array.to_list deep_drivers)))
+  in
+  for f = ff_first to in_first - 1 do
+    let local_pool = deep_by_cluster.(cluster.(f)) in
+    let pool =
+      if Rng.float rng 1.0 < cfg.locality && Array.length local_pool > 0 then local_pool
+      else if Array.length deep_drivers > 0 then deep_drivers
+      else any_logic_drivers
+    in
+    connect (Rng.choose rng pool) f
+  done;
+  (* output pads *)
+  for o = out_first to n - 1 do
+    let pool = if Array.length any_logic_drivers > 0 then any_logic_drivers else by_level.(0) in
+    connect (Rng.choose rng pool) o
+  done;
+  (* every driver must end with at least one sink *)
+  for c = 0 to n - 1 do
+    if drives.(c) && sinks_of.(c) = [] then begin
+      let v = level.(c) in
+      (* logic cells above this level, otherwise an output pad *)
+      let candidates =
+        List.filter (fun d -> logic d && level.(d) > v) (List.init cfg.n_logic Fun.id)
+      in
+      match candidates with
+      | [] ->
+          if cfg.n_outputs > 0 then connect c (out_first + Rng.int rng cfg.n_outputs)
+          else connect c (ff_first + Rng.int rng cfg.n_ffs)
+      | l -> connect c (List.nth l (Rng.int rng (List.length l)))
+    end
+  done;
+  let nets =
+    Array.of_list
+      (List.filter_map
+         (fun c ->
+           if drives.(c) && sinks_of.(c) <> [] then
+             Some { Netlist.driver = c; sinks = Array.of_list (List.rev sinks_of.(c)) }
+           else None)
+         (List.init n Fun.id))
+  in
+  let pad_ids =
+    List.init (cfg.n_inputs + cfg.n_outputs) (fun i -> in_first + i)
+  in
+  let pad_positions =
+    List.combine pad_ids (pad_ring_positions cfg.chip (List.length pad_ids))
+  in
+  Netlist.make ~name:cfg.name ~kinds ~nets ~pad_positions

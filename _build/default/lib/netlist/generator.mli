@@ -1,0 +1,35 @@
+(** Synthetic sequential-circuit generator.
+
+    Stands in for the ISCAS89 netlists synthesized through SIS in the
+    paper: given the published circuit statistics (cell, flip-flop and
+    net counts — Table II), it produces a random levelized DAG of logic
+    between flip-flop boundaries with realistic fan-in/fan-out, so the
+    placement, timing and skew-scheduling code paths see inputs of the
+    same shape and scale. Deterministic in [seed]. *)
+
+type config = {
+  name : string;
+  n_logic : int;  (** Number of combinational cells ("#Cells"). *)
+  n_ffs : int;  (** Number of flip-flops. *)
+  n_nets : int;  (** Exact number of nets to emit. *)
+  n_inputs : int;  (** Primary-input pads. *)
+  n_outputs : int;  (** Primary-output pads. *)
+  depth : int;  (** Logic levels between flip-flop boundaries. *)
+  max_fanin : int;  (** Maximum fan-in of a logic cell (≥ 1). *)
+  clusters : int;  (** Locality clusters; cells mostly connect within their cluster, like the functional blocks of a real design (≥ 1). *)
+  locality : float;  (** Probability that a fan-in stays inside the cluster (0-1). *)
+  chip : Rc_geom.Rect.t;  (** Die outline; pads are placed on its boundary. *)
+  seed : int;
+}
+
+val default_config : config
+(** A small smoke-test circuit (200 cells / 24 FFs). *)
+
+val generate : config -> Netlist.t
+(** Build the circuit. Guarantees: exactly [n_nets] nets; every
+    flip-flop drives a net and sinks on a net (so every flip-flop takes
+    part in sequential-adjacency constraints); combinational logic is
+    acyclic by construction (levelized).
+    @raise Invalid_argument when counts are inconsistent (e.g. [n_nets]
+    smaller than [n_ffs + n_inputs] or larger than the number of
+    potential drivers). *)

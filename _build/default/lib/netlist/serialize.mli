@@ -1,0 +1,29 @@
+(** Plain-text netlist interchange, in a small line-oriented format
+    reminiscent of the bench/net formats academic placers consume:
+
+    {v
+    # comment
+    circuit <name>
+    chip <xmin> <ymin> <xmax> <ymax>
+    cell <id> logic|ff
+    pad <id> in|out <x> <y>
+    net <driver> <sink> <sink> ...
+    v}
+
+    Cells must be declared before the nets that reference them. The
+    writer emits cells in id order so a round-trip is the identity. *)
+
+val to_string : chip:Rc_geom.Rect.t -> Netlist.t -> string
+
+val write_file : path:string -> chip:Rc_geom.Rect.t -> Netlist.t -> unit
+
+val of_string : string -> (Rc_geom.Rect.t * Netlist.t, string) result
+(** Parse a document. Returns a descriptive error on malformed input
+    (unknown directive, out-of-range ids, missing sections). *)
+
+val read_file : string -> (Rc_geom.Rect.t * Netlist.t, string) result
+
+val placement_to_string : Rc_geom.Point.t array -> string
+(** One "<cell-id> <x> <y>" line per cell — a .pl-style companion file. *)
+
+val placement_of_string : n_cells:int -> string -> (Rc_geom.Point.t array, string) result

@@ -1,0 +1,1 @@
+lib/place/detail.ml: Array Hashtbl List Netlist Option Point Rc_geom Rc_netlist Rc_util Rect Wirelength

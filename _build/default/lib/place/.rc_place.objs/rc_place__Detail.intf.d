@@ -1,0 +1,1 @@
+lib/place/detail.mli: Rc_geom Rc_netlist

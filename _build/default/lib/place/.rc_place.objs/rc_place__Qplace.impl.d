@@ -1,0 +1,1 @@
+lib/place/qplace.ml: Array Float Fun Hashtbl List Netlist Point Rc_geom Rc_netlist Rc_sparse Rc_util Rect Wirelength

@@ -1,0 +1,1 @@
+lib/place/qplace.mli: Rc_geom Rc_netlist

@@ -1,0 +1,1 @@
+lib/place/steiner.ml: Array List Point Rc_geom Rc_netlist

@@ -1,0 +1,1 @@
+lib/place/steiner.mli: Rc_geom Rc_netlist

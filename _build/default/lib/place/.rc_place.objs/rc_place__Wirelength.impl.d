@@ -1,0 +1,1 @@
+lib/place/wirelength.ml: Array Netlist Rc_geom Rc_netlist

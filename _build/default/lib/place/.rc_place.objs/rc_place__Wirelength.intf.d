@@ -1,0 +1,1 @@
+lib/place/wirelength.mli: Rc_geom Rc_netlist

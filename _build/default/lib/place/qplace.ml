@@ -1,0 +1,317 @@
+open Rc_geom
+open Rc_netlist
+
+type pseudo_net = { cell : int; anchor : Point.t; weight : float }
+
+type result = {
+  positions : Point.t array;
+  hpwl : float;
+  solver_iterations : int;
+}
+
+(* ---- quadratic system assembly ------------------------------------- *)
+
+type system = {
+  movable : int array;  (* movable cell ids *)
+  index : int array;  (* cell id -> movable index or -1 *)
+  matrix : Rc_sparse.Csr.t;
+  rhs_x : float array;
+  rhs_y : float array;
+}
+
+let center_anchor_weight = 1e-6
+
+let build_system netlist ~chip ~extra_springs =
+  let n = Netlist.n_cells netlist in
+  let index = Array.make n (-1) in
+  let movable =
+    Array.of_list
+      (List.filter (fun c -> Netlist.movable netlist c) (List.init n Fun.id))
+  in
+  Array.iteri (fun i c -> index.(c) <- i) movable;
+  let m = Array.length movable in
+  let triplets = ref [] in
+  let rhs_x = Array.make m 0.0 and rhs_y = Array.make m 0.0 in
+  let add_diag i w = triplets := (i, i, w) :: !triplets in
+  let add_pair i j w =
+    triplets := (i, i, w) :: (j, j, w) :: (i, j, -.w) :: (j, i, -.w) :: !triplets
+  in
+  let add_fixed i w (p : Point.t) =
+    add_diag i w;
+    rhs_x.(i) <- rhs_x.(i) +. (w *. p.Point.x);
+    rhs_y.(i) <- rhs_y.(i) +. (w *. p.Point.y)
+  in
+  let connect a b w =
+    match (index.(a), index.(b)) with
+    | -1, -1 -> ()
+    | ia, -1 -> add_fixed ia w (Netlist.pad_position netlist b)
+    | -1, ib -> add_fixed ib w (Netlist.pad_position netlist a)
+    | ia, ib -> if ia <> ib then add_pair ia ib w
+  in
+  Netlist.iter_nets netlist (fun _ net ->
+      let k = 1 + Array.length net.sinks in
+      let w = 2.0 /. float_of_int k in
+      Array.iter (fun s -> connect net.driver s w) net.sinks);
+  (* regularization: tie every movable cell very weakly to die center *)
+  let c = Rect.center chip in
+  for i = 0 to m - 1 do
+    add_fixed i center_anchor_weight c
+  done;
+  List.iter
+    (fun (cell, p, w) -> if index.(cell) >= 0 then add_fixed index.(cell) w p)
+    extra_springs;
+  let matrix = Rc_sparse.Csr.of_triplets ~rows:m ~cols:m !triplets in
+  { movable; index; matrix; rhs_x; rhs_y }
+
+let solve_system ?x0 ?y0 sys =
+  let rx = Rc_sparse.Cg.solve ?x0:x0 ~tol:1e-7 sys.matrix sys.rhs_x in
+  let ry = Rc_sparse.Cg.solve ?x0:y0 ~tol:1e-7 sys.matrix sys.rhs_y in
+  (rx.Rc_sparse.Cg.x, ry.Rc_sparse.Cg.x, rx.Rc_sparse.Cg.iterations + ry.Rc_sparse.Cg.iterations)
+
+let assemble_positions netlist sys xs ys =
+  let n = Netlist.n_cells netlist in
+  Array.init n (fun c ->
+      if sys.index.(c) >= 0 then Point.make xs.(sys.index.(c)) ys.(sys.index.(c))
+      else Netlist.pad_position netlist c)
+
+(* ---- recursive-bisection spreading targets -------------------------- *)
+
+let spreading_targets rng chip movable xs ys =
+  let m = Array.length movable in
+  let targets = Array.make m Point.zero in
+  (* indices into the movable arrays *)
+  let idx = Array.init m Fun.id in
+  let rec go (region : Rect.t) lo hi horizontal =
+    let count = hi - lo in
+    if count <= 2 then
+      for k = lo to hi - 1 do
+        let jx = Rc_util.Rng.float_in rng 0.3 0.7 and jy = Rc_util.Rng.float_in rng 0.3 0.7 in
+        targets.(idx.(k)) <-
+          Point.make
+            (region.Rect.xmin +. (jx *. Rect.width region))
+            (region.Rect.ymin +. (jy *. Rect.height region))
+      done
+    else begin
+      let sub = Array.sub idx lo count in
+      if horizontal then
+        Array.sort (fun a b -> compare xs.(a) xs.(b)) sub
+      else Array.sort (fun a b -> compare ys.(a) ys.(b)) sub;
+      Array.blit sub 0 idx lo count;
+      let mid = lo + (count / 2) in
+      let frac = float_of_int (mid - lo) /. float_of_int count in
+      if horizontal then begin
+        let split = region.Rect.xmin +. (frac *. Rect.width region) in
+        go (Rect.make ~xmin:region.Rect.xmin ~ymin:region.Rect.ymin ~xmax:split
+              ~ymax:region.Rect.ymax) lo mid (not horizontal);
+        go (Rect.make ~xmin:split ~ymin:region.Rect.ymin ~xmax:region.Rect.xmax
+              ~ymax:region.Rect.ymax) mid hi (not horizontal)
+      end
+      else begin
+        let split = region.Rect.ymin +. (frac *. Rect.height region) in
+        go (Rect.make ~xmin:region.Rect.xmin ~ymin:region.Rect.ymin ~xmax:region.Rect.xmax
+              ~ymax:split) lo mid (not horizontal);
+        go (Rect.make ~xmin:region.Rect.xmin ~ymin:split ~xmax:region.Rect.xmax
+              ~ymax:region.Rect.ymax) mid hi (not horizontal)
+      end
+    end
+  in
+  go chip 0 m (Rect.width chip >= Rect.height chip);
+  targets
+
+(* ---- legalization ---------------------------------------------------- *)
+
+let legalize netlist ~chip ~site positions =
+  if site <= 0.0 then invalid_arg "Qplace.legalize: non-positive site pitch";
+  let nx = max 1 (int_of_float (Rect.width chip /. site)) in
+  let ny = max 1 (int_of_float (Rect.height chip /. site)) in
+  let occupied = Hashtbl.create 1024 in
+  let site_center ix iy =
+    Point.make
+      (chip.Rect.xmin +. ((float_of_int ix +. 0.5) *. site))
+      (chip.Rect.ymin +. ((float_of_int iy +. 0.5) *. site))
+  in
+  let clamp v lo hi = max lo (min hi v) in
+  let out = Array.copy positions in
+  let n = Netlist.n_cells netlist in
+  for c = 0 to n - 1 do
+    if Netlist.movable netlist c then begin
+      let p = positions.(c) in
+      let ix0 = clamp (int_of_float ((p.Point.x -. chip.Rect.xmin) /. site)) 0 (nx - 1) in
+      let iy0 = clamp (int_of_float ((p.Point.y -. chip.Rect.ymin) /. site)) 0 (ny - 1) in
+      (* spiral outward over Chebyshev rings until a free in-bounds site *)
+      let placed = ref false and r = ref 0 in
+      while not !placed do
+        let best = ref None in
+        let consider ix iy =
+          if ix >= 0 && ix < nx && iy >= 0 && iy < ny && not (Hashtbl.mem occupied (ix, iy))
+          then begin
+            let d = Point.manhattan p (site_center ix iy) in
+            match !best with
+            | Some (bd, _, _) when bd <= d -> ()
+            | _ -> best := Some (d, ix, iy)
+          end
+        in
+        if !r = 0 then consider ix0 iy0
+        else begin
+          for dx = - !r to !r do
+            consider (ix0 + dx) (iy0 - !r);
+            consider (ix0 + dx) (iy0 + !r)
+          done;
+          for dy = - !r + 1 to !r - 1 do
+            consider (ix0 - !r) (iy0 + dy);
+            consider (ix0 + !r) (iy0 + dy)
+          done
+        end;
+        (match !best with
+        | Some (_, ix, iy) ->
+            Hashtbl.replace occupied (ix, iy) ();
+            out.(c) <- site_center ix iy;
+            placed := true
+        | None ->
+            incr r;
+            if !r > nx + ny then failwith "Qplace.legalize: no free site found")
+      done
+    end
+  done;
+  out
+
+(* ---- top-level entry points ------------------------------------------ *)
+
+let initial ?(seed = 7) ?(spread_rounds = 5) netlist ~chip =
+  let rng = Rc_util.Rng.create seed in
+  let iters = ref 0 in
+  (* pass 1: pure connectivity solve *)
+  let sys0 = build_system netlist ~chip ~extra_springs:[] in
+  let xs = ref [||] and ys = ref [||] in
+  let x0, y0, it0 = solve_system sys0 in
+  xs := x0;
+  ys := y0;
+  iters := !iters + it0;
+  (* spreading rounds with growing anchor strength *)
+  for round = 1 to spread_rounds do
+    let targets = spreading_targets rng chip sys0.movable !xs !ys in
+    let alpha = 0.01 *. (2.0 ** float_of_int round) in
+    let springs =
+      Array.to_list
+        (Array.mapi (fun i c -> (c, targets.(i), alpha)) sys0.movable)
+    in
+    let sys = build_system netlist ~chip ~extra_springs:springs in
+    let x, y, it = solve_system ~x0:!xs ~y0:!ys sys in
+    xs := x;
+    ys := y;
+    iters := !iters + it
+  done;
+  let spread = assemble_positions netlist sys0 !xs !ys in
+  let legal = legalize netlist ~chip ~site:10.0 spread in
+  { positions = legal; hpwl = Wirelength.total netlist legal; solver_iterations = !iters }
+
+let incremental ?(stability = 0.004) netlist ~chip ~prev ~pseudo =
+  let n = Netlist.n_cells netlist in
+  if Array.length prev <> n then invalid_arg "Qplace.incremental: prev length mismatch";
+  let rng = Rc_util.Rng.create 23 in
+  let base_springs =
+    List.filter_map
+      (fun c -> if Netlist.movable netlist c then Some (c, prev.(c), stability) else None)
+      (List.init n Fun.id)
+    @ List.map (fun pn -> (pn.cell, pn.anchor, pn.weight)) pseudo
+  in
+  let sys0 = build_system netlist ~chip ~extra_springs:base_springs in
+  let m = Array.length sys0.movable in
+  let x0 = Array.make m 0.0 and y0 = Array.make m 0.0 in
+  Array.iteri
+    (fun i c ->
+      x0.(i) <- prev.(c).Point.x;
+      y0.(i) <- prev.(c).Point.y)
+    sys0.movable;
+  let xs = ref x0 and ys = ref y0 and iters = ref 0 in
+  let x, y, it = solve_system ~x0:!xs ~y0:!ys sys0 in
+  xs := x;
+  ys := y;
+  iters := !iters + it;
+  (* keep the density profile of the initial placement: the same
+     bisection-spreading rounds, ending at the strength the initial pass
+     ends with (0.01·2⁵), so incremental results stay comparable *)
+  for round = 3 to 5 do
+    let targets = spreading_targets rng chip sys0.movable !xs !ys in
+    let alpha = 0.01 *. (2.0 ** float_of_int round) in
+    let springs =
+      base_springs
+      @ Array.to_list (Array.mapi (fun i c -> (c, targets.(i), alpha)) sys0.movable)
+    in
+    let sys = build_system netlist ~chip ~extra_springs:springs in
+    let x, y, it = solve_system ~x0:!xs ~y0:!ys sys in
+    xs := x;
+    ys := y;
+    iters := !iters + it
+  done;
+  let spread = assemble_positions netlist sys0 !xs !ys in
+  let legal = legalize netlist ~chip ~site:10.0 spread in
+  { positions = legal; hpwl = Wirelength.total netlist legal; solver_iterations = !iters }
+
+let relocate netlist ~chip ~site ~prev ~pseudo =
+  if site <= 0.0 then invalid_arg "Qplace.relocate: non-positive site pitch";
+  let n = Netlist.n_cells netlist in
+  if Array.length prev <> n then invalid_arg "Qplace.relocate: prev length mismatch";
+  let pos = Array.copy prev in
+  let nx = max 1 (int_of_float (Rect.width chip /. site)) in
+  let ny = max 1 (int_of_float (Rect.height chip /. site)) in
+  let clampi v hi = max 0 (min hi v) in
+  let site_of (p : Point.t) =
+    ( clampi (int_of_float ((p.Point.x -. chip.Rect.xmin) /. site)) (nx - 1),
+      clampi (int_of_float ((p.Point.y -. chip.Rect.ymin) /. site)) (ny - 1) )
+  in
+  let site_center ix iy =
+    Point.make
+      (chip.Rect.xmin +. ((float_of_int ix +. 0.5) *. site))
+      (chip.Rect.ymin +. ((float_of_int iy +. 0.5) *. site))
+  in
+  let occ = Hashtbl.create 1024 in
+  for c = 0 to n - 1 do
+    if Netlist.movable netlist c then Hashtbl.replace occ (site_of pos.(c)) c
+  done;
+  List.iter
+    (fun { cell; anchor; weight } ->
+      if cell < 0 || cell >= n || not (Netlist.movable netlist cell) then
+        invalid_arg "Qplace.relocate: bad pseudo-net cell";
+      let lambda = Float.max 0.0 weight /. (Float.max 0.0 weight +. 1.0) in
+      let target =
+        Rect.clamp_point chip
+          (Point.add (Point.scale (1.0 -. lambda) pos.(cell)) (Point.scale lambda anchor))
+      in
+      (* free the old site, spiral to a free site near the target *)
+      Hashtbl.remove occ (site_of pos.(cell));
+      let tix, tiy = site_of target in
+      let placed = ref false and r = ref 0 in
+      while not !placed do
+        let best = ref None in
+        let consider ix iy =
+          if ix >= 0 && ix < nx && iy >= 0 && iy < ny && not (Hashtbl.mem occ (ix, iy))
+          then begin
+            let d = Point.manhattan target (site_center ix iy) in
+            match !best with
+            | Some (bd, _, _) when bd <= d -> ()
+            | _ -> best := Some (d, ix, iy)
+          end
+        in
+        if !r = 0 then consider tix tiy
+        else begin
+          for dx = - !r to !r do
+            consider (tix + dx) (tiy - !r);
+            consider (tix + dx) (tiy + !r)
+          done;
+          for dy = - !r + 1 to !r - 1 do
+            consider (tix - !r) (tiy + dy);
+            consider (tix + !r) (tiy + dy)
+          done
+        end;
+        (match !best with
+        | Some (_, ix, iy) ->
+            Hashtbl.replace occ (ix, iy) cell;
+            pos.(cell) <- site_center ix iy;
+            placed := true
+        | None ->
+            incr r;
+            if !r > nx + ny then failwith "Qplace.relocate: no free site")
+      done)
+    pseudo;
+  pos

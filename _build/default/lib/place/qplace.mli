@@ -1,0 +1,67 @@
+(** Analytic global placement in the style of quadratic placers
+    (mPL/FastPlace family): star/clique quadratic wirelength minimized by
+    conjugate gradient, interleaved with recursive-bisection spreading,
+    plus a greedy site legalizer.
+
+    The incremental mode is the flow's stage 6: pseudo-nets pull
+    flip-flops toward their assigned rotary-ring tapping positions while
+    stability anchors keep the rest of the placement close to the
+    previous iteration — exactly the "stable incremental placement" the
+    paper requires. *)
+
+type pseudo_net = {
+  cell : int;  (** The flip-flop being pulled. *)
+  anchor : Rc_geom.Point.t;  (** Its tapping target on the ring. *)
+  weight : float;  (** Spring weight (grows over flow iterations). *)
+}
+
+type result = {
+  positions : Rc_geom.Point.t array;  (** Indexed by cell id; pads included. *)
+  hpwl : float;  (** Total signal HPWL of the result, µm. *)
+  solver_iterations : int;  (** Total CG iterations spent. *)
+}
+
+val initial :
+  ?seed:int ->
+  ?spread_rounds:int ->
+  Rc_netlist.Netlist.t ->
+  chip:Rc_geom.Rect.t ->
+  result
+(** Global placement from scratch (flow stage 1). [spread_rounds]
+    (default 5) controls how many solve/spread rounds run before
+    legalization. *)
+
+val incremental :
+  ?stability:float ->
+  Rc_netlist.Netlist.t ->
+  chip:Rc_geom.Rect.t ->
+  prev:Rc_geom.Point.t array ->
+  pseudo:pseudo_net list ->
+  result
+(** Re-place starting from [prev] with pseudo-nets added. [stability]
+    (default 0.004) is the per-cell spring to its previous location —
+    larger values give a more stable (less disturbed) placement. *)
+
+val relocate :
+  Rc_netlist.Netlist.t ->
+  chip:Rc_geom.Rect.t ->
+  site:float ->
+  prev:Rc_geom.Point.t array ->
+  pseudo:pseudo_net list ->
+  Rc_geom.Point.t array
+(** Minimally-disturbing stage 6 for an already-refined placement: each
+    pseudo-net's cell steps the fraction [weight / (weight + 1)] of the
+    way to its anchor (weights grow over flow iterations, so the step
+    approaches the anchor); every other cell stays put; the moved cells
+    are re-legalized onto free sites. Pair with a flip-flop-frozen
+    {!Detail.refine} pass to heal the signal wirelength around the
+    moves. *)
+
+val legalize :
+  Rc_netlist.Netlist.t ->
+  chip:Rc_geom.Rect.t ->
+  site:float ->
+  Rc_geom.Point.t array ->
+  Rc_geom.Point.t array
+(** Snap movable cells to distinct sites of a [site]-pitch grid,
+    spiraling outward from the ideal site when occupied. *)

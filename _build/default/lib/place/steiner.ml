@@ -1,0 +1,114 @@
+open Rc_geom
+
+let dist = Point.manhattan
+
+(* Prim MST over a point array; returns (length, edges as index pairs). *)
+let mst_of_array pts =
+  let k = Array.length pts in
+  if k < 2 then (0.0, [])
+  else begin
+    let in_tree = Array.make k false in
+    let best_d = Array.make k infinity in
+    let best_to = Array.make k (-1) in
+    in_tree.(0) <- true;
+    for j = 1 to k - 1 do
+      best_d.(j) <- dist pts.(0) pts.(j);
+      best_to.(j) <- 0
+    done;
+    let total = ref 0.0 and edges = ref [] in
+    for _ = 1 to k - 1 do
+      let pick = ref (-1) in
+      for j = 0 to k - 1 do
+        if (not in_tree.(j)) && (!pick < 0 || best_d.(j) < best_d.(!pick)) then pick := j
+      done;
+      let j = !pick in
+      in_tree.(j) <- true;
+      total := !total +. best_d.(j);
+      edges := (best_to.(j), j) :: !edges;
+      for t = 0 to k - 1 do
+        if not in_tree.(t) then begin
+          let d = dist pts.(j) pts.(t) in
+          if d < best_d.(t) then begin
+            best_d.(t) <- d;
+            best_to.(t) <- j
+          end
+        end
+      done
+    done;
+    (!total, !edges)
+  end
+
+let mst_length pts = fst (mst_of_array (Array.of_list pts))
+
+(* Steiner points that the MST actually uses (degree >= 3 junctions are
+   kept; added candidates that end up as leaves or pass-throughs with no
+   gain are dropped by the gain test itself). *)
+let one_steiner pts =
+  let base = Array.of_list pts in
+  if Array.length base < 3 then base
+  else begin
+    let current = ref base in
+    let improved = ref true and rounds = ref 0 in
+    while !improved && !rounds < Array.length base do
+      improved := false;
+      incr rounds;
+      let cur_len, _ = mst_of_array !current in
+      (* Hanan grid of the current point set *)
+      let xs = List.sort_uniq compare (Array.to_list (Array.map (fun p -> p.Point.x) !current)) in
+      let ys = List.sort_uniq compare (Array.to_list (Array.map (fun p -> p.Point.y) !current)) in
+      let best_gain = ref 1e-9 and best_pt = ref None in
+      List.iter
+        (fun x ->
+          List.iter
+            (fun y ->
+              let c = Point.make x y in
+              if not (Array.exists (fun p -> Point.equal p c) !current) then begin
+                let len, _ = mst_of_array (Array.append !current [| c |]) in
+                let gain = cur_len -. len in
+                if gain > !best_gain then begin
+                  best_gain := gain;
+                  best_pt := Some c
+                end
+              end)
+            ys)
+        xs;
+      match !best_pt with
+      | Some c ->
+          current := Array.append !current [| c |];
+          improved := true
+      | None -> ()
+    done;
+    !current
+  end
+
+let length pts =
+  match pts with
+  | [] | [ _ ] -> 0.0
+  | [ a; b ] -> dist a b
+  | _ -> fst (mst_of_array (one_steiner pts))
+
+let tree pts =
+  let arr = one_steiner pts in
+  let _, edges = mst_of_array arr in
+  List.map (fun (i, j) -> (arr.(i), arr.(j))) edges
+
+let position netlist positions c =
+  if Rc_netlist.Netlist.movable netlist c then positions.(c)
+  else Rc_netlist.Netlist.pad_position netlist c
+
+let net_length netlist positions ni =
+  let net = Rc_netlist.Netlist.net netlist ni in
+  let pts =
+    position netlist positions net.Rc_netlist.Netlist.driver
+    :: Array.to_list (Array.map (position netlist positions) net.Rc_netlist.Netlist.sinks)
+  in
+  (* dedupe coincident pins: they contribute no wire *)
+  let distinct =
+    List.fold_left (fun acc p -> if List.exists (Point.equal p) acc then acc else p :: acc) [] pts
+  in
+  length distinct
+
+let total netlist positions =
+  let acc = ref 0.0 in
+  Rc_netlist.Netlist.iter_nets netlist (fun ni _ -> acc := !acc +. net_length netlist positions ni);
+  !acc

@@ -1,0 +1,1 @@
+lib/power/activity.ml: Array Float Int64 List Netlist Option Power Rc_graph Rc_netlist Rc_place Rc_tech Rc_util

@@ -1,0 +1,1 @@
+lib/power/activity.mli: Rc_geom Rc_netlist Rc_tech

@@ -1,0 +1,1 @@
+lib/power/power.ml: Array Rc_netlist Rc_place Rc_tech Tech

@@ -1,0 +1,113 @@
+open Rc_netlist
+
+type gate = Gand | Gnand | Gor | Gnor | Gxor | Gnot
+
+type t = {
+  prob : float array;  (* per cell: probability its output is 1 *)
+  act : float array;  (* per cell: switching activity of its output *)
+  drivers : int list;  (* cells that drive a net *)
+  settled : bool;
+}
+
+let default_gate_of seed c =
+  match (Rc_util.Rng.bits64 (Rc_util.Rng.create ((c * 31) + seed)) |> Int64.to_int) land 3 with
+  | 0 -> Gnand
+  | 1 -> Gnor
+  | 2 -> Gand
+  | _ -> Gxor
+
+let eval_gate gate inputs =
+  let p_and = List.fold_left ( *. ) 1.0 inputs in
+  let p_or = 1.0 -. List.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 inputs in
+  match (gate, inputs) with
+  | _, [] -> 0.5
+  | Gnot, p :: _ -> 1.0 -. p
+  | Gand, _ -> p_and
+  | Gnand, _ -> 1.0 -. p_and
+  | Gor, _ -> p_or
+  | Gnor, _ -> 1.0 -. p_or
+  | Gxor, ps ->
+      List.fold_left (fun acc p -> (acc *. (1.0 -. p)) +. ((1.0 -. acc) *. p)) 0.0 ps
+
+let estimate ?(seed = 11) ?(iterations = 30) ?gate_of netlist =
+  let n = Netlist.n_cells netlist in
+  let gate_of = Option.value gate_of ~default:(default_gate_of seed) in
+  let prob = Array.make n 0.5 in
+  (* topological order of the logic cells (sources excluded) *)
+  let g = Rc_graph.Digraph.create n in
+  Netlist.iter_nets netlist (fun _ net ->
+      if Netlist.kind netlist net.Netlist.driver = Logic then
+        Array.iter
+          (fun s -> if Netlist.kind netlist s = Logic then Rc_graph.Digraph.add_edge g net.Netlist.driver s 1.0)
+          net.Netlist.sinks);
+  let order =
+    match Rc_graph.Dag.topological_order g with
+    | Some o -> Array.to_list o
+    | None -> invalid_arg "Activity.estimate: combinational cycle"
+  in
+  let inputs_of c =
+    List.filter_map
+      (fun ni ->
+        let net = Netlist.net netlist ni in
+        Some prob.(net.Netlist.driver))
+      (Netlist.fanin_nets netlist c)
+  in
+  let propagate_logic () =
+    List.iter
+      (fun c ->
+        if Netlist.kind netlist c = Logic then prob.(c) <- eval_gate (gate_of c) (inputs_of c))
+      order
+  in
+  (* sequential fixpoint: FF output next cycle = its D-input probability *)
+  let settled = ref false in
+  let iter = ref 0 in
+  propagate_logic ();
+  while (not !settled) && !iter < iterations do
+    incr iter;
+    let delta = ref 0.0 in
+    Array.iter
+      (fun f ->
+        match inputs_of f with
+        | d :: _ ->
+            delta := Float.max !delta (Float.abs (prob.(f) -. d));
+            (* damping stabilizes oscillating loops *)
+            prob.(f) <- (0.5 *. prob.(f)) +. (0.5 *. d)
+        | [] -> ())
+      (Netlist.flip_flops netlist);
+    propagate_logic ();
+    if !delta < 1e-4 then settled := true
+  done;
+  let act = Array.map (fun p -> 2.0 *. p *. (1.0 -. p)) prob in
+  let drivers = ref [] in
+  for c = n - 1 downto 0 do
+    if Netlist.driver_net netlist c >= 0 then drivers := c :: !drivers
+  done;
+  { prob; act; drivers = !drivers; settled = !settled }
+
+let probability t c = t.prob.(c)
+let activity t c = t.act.(c)
+
+let mean_activity t =
+  match t.drivers with
+  | [] -> 0.0
+  | l -> List.fold_left (fun acc c -> acc +. t.act.(c)) 0.0 l /. float_of_int (List.length l)
+
+let converged t = t.settled
+
+let signal_power_mw tech netlist positions t =
+  let acc = ref 0.0 in
+  Netlist.iter_nets netlist (fun ni net ->
+      let len = Rc_place.Wirelength.net_star_length netlist positions ni in
+      let cap = ref (tech.Rc_tech.Tech.c_wire *. len) in
+      cap :=
+        !cap
+        +. float_of_int (Power.estimated_buffers tech ~length:len) *. tech.Rc_tech.Tech.buffer_c_in;
+      Array.iter
+        (fun s ->
+          match Netlist.kind netlist s with
+          | Flipflop -> cap := !cap +. tech.Rc_tech.Tech.c_ff
+          | Logic -> cap := !cap +. tech.Rc_tech.Tech.c_gate
+          | _ -> ())
+        net.Netlist.sinks;
+      acc := !acc +. Power.dynamic_mw tech ~alpha:t.act.(net.Netlist.driver) ~cap_ff:!cap);
+  !acc

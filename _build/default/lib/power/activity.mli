@@ -1,0 +1,42 @@
+(** Switching-activity estimation by signal-probability propagation.
+
+    The paper sets a flat α = 0.15 on signal nets (citing [30]); this
+    module computes per-net activities instead: each logic cell gets a
+    Boolean function (the netlist is function-less, so functions are
+    assigned deterministically per cell unless provided), signal
+    probabilities propagate through the combinational DAG under the
+    usual independence approximation, flip-flop outputs iterate to a
+    fixpoint around the sequential loops, and the per-cycle switching
+    activity of a net is [2·p·(1−p)] (temporal-independence model). *)
+
+type gate = Gand | Gnand | Gor | Gnor | Gxor | Gnot
+
+type t
+
+val estimate :
+  ?seed:int ->
+  ?iterations:int ->
+  ?gate_of:(int -> gate) ->
+  Rc_netlist.Netlist.t ->
+  t
+(** Compute probabilities and activities. [gate_of] overrides the
+    deterministic per-cell function assignment; [iterations] (default
+    30) bounds the sequential fixpoint; primary inputs are p = 0.5. *)
+
+val probability : t -> int -> float
+(** Probability that the cell's output is 1. *)
+
+val activity : t -> int -> float
+(** Per-cycle switching activity of the cell's output net, in [0, 0.5]. *)
+
+val mean_activity : t -> float
+(** Average activity over driving cells — comparable to the paper's
+    flat 0.15. *)
+
+val converged : t -> bool
+(** Whether the sequential fixpoint settled within the iteration budget. *)
+
+val signal_power_mw :
+  Rc_tech.Tech.t -> Rc_netlist.Netlist.t -> Rc_geom.Point.t array -> t -> float
+(** Signal-net dynamic power with per-net activities in place of the
+    flat [alpha_signal]. *)

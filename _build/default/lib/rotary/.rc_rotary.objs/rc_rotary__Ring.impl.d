@@ -1,0 +1,1 @@
+lib/rotary/ring.ml: Array Float Point Rc_geom Rc_tech Rect Segment

@@ -1,0 +1,1 @@
+lib/rotary/ring.mli: Rc_geom Rc_tech

@@ -1,0 +1,1 @@
+lib/rotary/ring_array.ml: Array Float List Point Rc_geom Rect Ring

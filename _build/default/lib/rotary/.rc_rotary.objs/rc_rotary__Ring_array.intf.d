@@ -1,0 +1,1 @@
+lib/rotary/ring_array.mli: Rc_geom Ring

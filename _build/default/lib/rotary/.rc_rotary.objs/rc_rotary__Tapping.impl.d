@@ -1,0 +1,1 @@
+lib/rotary/tapping.ml: Array Float List Option Point Rc_geom Rc_tech Rc_util Ring Segment

@@ -1,0 +1,1 @@
+lib/rotary/tapping.mli: Rc_geom Rc_tech Ring

@@ -1,0 +1,1 @@
+lib/rotary/wave_sim.ml: Array Float List Rc_util

@@ -1,0 +1,1 @@
+lib/rotary/wave_sim.mli:

@@ -1,0 +1,89 @@
+open Rc_geom
+
+type conductor = Outer | Inner
+
+type t = {
+  id : int;
+  rect : Rect.t;
+  clockwise : bool;
+  t_ref : float;
+  period : float;
+}
+
+let make ~id ~rect ~clockwise ~t_ref ~period =
+  if Rect.width rect <= 0.0 || Rect.height rect <= 0.0 then
+    invalid_arg "Ring.make: degenerate rectangle";
+  if period <= 0.0 then invalid_arg "Ring.make: non-positive period";
+  { id; rect; clockwise; t_ref; period }
+
+let perimeter t = 2.0 *. (Rect.width t.rect +. Rect.height t.rect)
+
+let rho t = t.period /. (2.0 *. perimeter t)
+
+(* Propagation walk starts at the top-left corner. Clockwise:
+   top → right → bottom → left; counter-clockwise mirrors it. *)
+let segments t =
+  let r = t.rect in
+  let tl = Point.make r.Rect.xmin r.Rect.ymax
+  and tr = Point.make r.Rect.xmax r.Rect.ymax
+  and br = Point.make r.Rect.xmax r.Rect.ymin
+  and bl = Point.make r.Rect.xmin r.Rect.ymin in
+  let corners =
+    if t.clockwise then [| tl; tr; br; bl |] else [| tl; bl; br; tr |]
+  in
+  let segs = Array.make 4 (Segment.make tl tr, 0.0) in
+  let arc = ref 0.0 in
+  for i = 0 to 3 do
+    let a = corners.(i) and b = corners.((i + 1) mod 4) in
+    let s = Segment.make a b in
+    segs.(i) <- (s, !arc);
+    arc := !arc +. Segment.length s
+  done;
+  segs
+
+let wrap v m =
+  let r = Float.rem v m in
+  if r < 0.0 then r +. m else r
+
+let delay_at t ~arc ~conductor =
+  let d = wrap arc (perimeter t) in
+  let base = t.t_ref +. (rho t *. d) in
+  let base = match conductor with Outer -> base | Inner -> base +. (t.period /. 2.0) in
+  wrap base t.period
+
+let point_at t ~arc =
+  let d = wrap arc (perimeter t) in
+  let segs = segments t in
+  let rec find i =
+    let s, start = segs.(i) in
+    if i = 3 || d < start +. Rc_geom.Segment.length s then Segment.point_at s (d -. start)
+    else find (i + 1)
+  in
+  find 0
+
+let arc_of_point t p =
+  let segs = segments t in
+  let best = ref (infinity, 0.0) in
+  Array.iter
+    (fun (s, start) ->
+      let u = Segment.param_of_point s p in
+      let d = Point.manhattan (Segment.point_at s u) p in
+      if d < fst !best then best := (d, start +. u))
+    segs;
+  snd !best
+
+let closest_boundary_distance t p =
+  let segs = segments t in
+  Array.fold_left
+    (fun acc (s, _) -> Float.min acc (Segment.manhattan_to_point s p))
+    infinity segs
+
+let self_capacitance tech t =
+  (* two conductors around the perimeter *)
+  2.0 *. perimeter t *. tech.Rc_tech.Tech.c_wire
+
+let oscillation_frequency_ghz tech t ~load_cap =
+  let c_total_f = (self_capacitance tech t +. load_cap) *. 1e-15 in
+  let l_total_h = 2.0 *. perimeter t *. tech.Rc_tech.Tech.l_wire *. 1e-12 in
+  let f_hz = 1.0 /. (2.0 *. sqrt (l_total_h *. c_total_f)) in
+  f_hz /. 1e9

@@ -1,0 +1,58 @@
+open Rc_geom
+
+type t = {
+  rings : Ring.t array;
+  grid : int;
+  chip : Rect.t;
+  period : float;
+}
+
+let create ?(period = 1000.0) ?(t_ref = 0.0) ~chip ~grid () =
+  if grid < 1 then invalid_arg "Ring_array.create: grid < 1";
+  let pw = Rect.width chip /. float_of_int grid in
+  let ph = Rect.height chip /. float_of_int grid in
+  let rings =
+    Array.init (grid * grid) (fun id ->
+        let gx = id mod grid and gy = id / grid in
+        let rect =
+          Rect.make
+            ~xmin:(chip.Rect.xmin +. (float_of_int gx *. pw))
+            ~ymin:(chip.Rect.ymin +. (float_of_int gy *. ph))
+            ~xmax:(chip.Rect.xmin +. (float_of_int (gx + 1) *. pw))
+            ~ymax:(chip.Rect.ymin +. (float_of_int (gy + 1) *. ph))
+        in
+        (* checkerboard direction so abutting edges co-propagate *)
+        let clockwise = (gx + gy) mod 2 = 0 in
+        Ring.make ~id ~rect ~clockwise ~t_ref ~period)
+  in
+  { rings; grid; chip; period }
+
+let n_rings t = Array.length t.rings
+
+let ring t i =
+  if i < 0 || i >= n_rings t then invalid_arg "Ring_array.ring: out of range";
+  t.rings.(i)
+
+let rings t = Array.copy t.rings
+let grid t = t.grid
+let period t = t.period
+
+let containing_ring t (p : Point.t) =
+  let pw = Rect.width t.chip /. float_of_int t.grid in
+  let ph = Rect.height t.chip /. float_of_int t.grid in
+  let clampi v hi = max 0 (min hi v) in
+  let gx = clampi (int_of_float ((p.Point.x -. t.chip.Rect.xmin) /. pw)) (t.grid - 1) in
+  let gy = clampi (int_of_float ((p.Point.y -. t.chip.Rect.ymin) /. ph)) (t.grid - 1) in
+  (gy * t.grid) + gx
+
+let rings_near t p k =
+  let scored =
+    Array.mapi (fun i r -> (Point.manhattan (Rect.center r.Ring.rect) p, i)) t.rings
+  in
+  Array.sort compare scored;
+  Array.to_list (Array.sub scored 0 (min k (Array.length scored))) |> List.map snd
+
+let default_capacities t ~n_ffs ~slack =
+  if n_ffs < 0 then invalid_arg "Ring_array.default_capacities: negative n_ffs";
+  let per = int_of_float (Float.ceil (slack *. float_of_int n_ffs /. float_of_int (n_rings t))) in
+  Array.make (n_rings t) (max per 1)

@@ -1,0 +1,1 @@
+lib/route/grid.ml: Array Float Point Rc_geom Rect

@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Grid Hashtbl List Option Rc_geom Rc_graph Rc_netlist Rc_place

@@ -1,0 +1,1 @@
+lib/route/router.mli: Grid Rc_geom Rc_netlist

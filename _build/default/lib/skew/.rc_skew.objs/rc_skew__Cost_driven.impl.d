@@ -1,0 +1,1 @@
+lib/skew/cost_driven.ml: Array Either Float List Problem Rc_graph Rc_lp Rc_netflow Simplex Skew_problem

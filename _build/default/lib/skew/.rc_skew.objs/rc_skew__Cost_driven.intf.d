@@ -1,0 +1,1 @@
+lib/skew/cost_driven.mli: Skew_problem

@@ -1,0 +1,1 @@
+lib/skew/max_slack.ml: Array Float List Problem Rc_graph Rc_lp Simplex Skew_problem

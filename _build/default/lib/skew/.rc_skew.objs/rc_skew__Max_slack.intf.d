@@ -1,0 +1,1 @@
+lib/skew/max_slack.mli: Skew_problem

@@ -1,0 +1,1 @@
+lib/skew/permissible.ml: Array Float List Rc_util Skew_problem

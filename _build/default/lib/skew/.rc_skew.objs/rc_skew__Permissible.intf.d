@@ -1,0 +1,1 @@
+lib/skew/permissible.mli: Skew_problem

@@ -1,0 +1,1 @@
+lib/skew/skew_problem.ml: Array Float List Rc_graph

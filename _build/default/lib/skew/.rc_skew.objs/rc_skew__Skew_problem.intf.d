@@ -1,0 +1,1 @@
+lib/skew/skew_problem.mli: Rc_graph

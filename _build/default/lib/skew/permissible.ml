@@ -1,0 +1,25 @@
+type range = { pr_i : int; pr_j : int; lo : float; hi : float }
+
+let ranges ?(slack = 0.0) (p : Skew_problem.t) =
+  List.map
+    (fun { Skew_problem.i; j; d_max; d_min } ->
+      {
+        pr_i = i;
+        pr_j = j;
+        lo = slack +. p.Skew_problem.t_hold -. d_min;
+        hi = p.Skew_problem.period -. d_max -. p.Skew_problem.t_setup -. slack;
+      })
+    p.Skew_problem.pairs
+
+let width r = r.hi -. r.lo
+
+let margin r ~skews =
+  let s = skews.(r.pr_i) -. skews.(r.pr_j) in
+  Float.min (s -. r.lo) (r.hi -. s)
+
+let min_margin ?slack p ~skews =
+  List.fold_left (fun acc r -> Float.min acc (margin r ~skews)) infinity (ranges ?slack p)
+
+let histogram_widths ?slack p ~bins =
+  let ws = Array.of_list (List.map width (ranges ?slack p)) in
+  if Array.length ws = 0 then [||] else Rc_util.Stats.histogram ws ~bins

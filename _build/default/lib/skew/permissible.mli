@@ -1,0 +1,34 @@
+(** Permissible skew ranges [4]: for each sequentially adjacent pair
+    [i ↦ j], the interval of skews [t̂_i − t̂_j] that keeps both the
+    long-path (setup) and short-path (hold) constraints satisfied at a
+    given slack. The paper's introduction frames clock-period limits in
+    terms of these ranges — a higher clock period widens them — and the
+    safety margin of a schedule is how far each realized skew sits from
+    its range boundaries. *)
+
+type range = {
+  pr_i : int;  (** Launching flip-flop. *)
+  pr_j : int;  (** Capturing flip-flop. *)
+  lo : float;  (** Minimum permissible skew t̂_i − t̂_j, ps. *)
+  hi : float;  (** Maximum permissible skew, ps. *)
+}
+
+val ranges : ?slack:float -> Skew_problem.t -> range list
+(** One range per pair ([slack] defaults to 0):
+    [lo = M + t_hold − D_min], [hi = T − D_max − t_setup − M].
+    Self-pairs give the degenerate range around zero. *)
+
+val width : range -> float
+(** [hi − lo]; negative when the pair is unsatisfiable at this slack. *)
+
+val margin : range -> skews:float array -> float
+(** Distance of the realized skew from the nearer boundary (negative if
+    violated). *)
+
+val min_margin : ?slack:float -> Skew_problem.t -> skews:float array -> float
+(** The schedule's worst margin over all pairs — the safety metric that
+    process variation erodes. [infinity] with no pairs. *)
+
+val histogram_widths : ?slack:float -> Skew_problem.t -> bins:int -> (float * int) array
+(** Distribution of range widths — summarizes how much scheduling
+    freedom a circuit offers at a period. *)

@@ -1,0 +1,1 @@
+lib/sparse/cg.ml: Array Csr Float Option

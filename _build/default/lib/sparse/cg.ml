@@ -1,0 +1,67 @@
+type outcome = {
+  x : float array;
+  iterations : int;
+  residual_norm : float;
+  converged : bool;
+}
+
+let dot a b =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let norm2 a = sqrt (dot a a)
+
+let solve ?max_iter ?(tol = 1e-8) ?x0 a b =
+  let n = Csr.rows a in
+  if Csr.cols a <> n then invalid_arg "Cg.solve: matrix not square";
+  if Array.length b <> n then invalid_arg "Cg.solve: rhs size mismatch";
+  let max_iter = Option.value max_iter ~default:(4 * n) in
+  let x =
+    match x0 with
+    | None -> Array.make n 0.0
+    | Some v ->
+        if Array.length v <> n then invalid_arg "Cg.solve: x0 size mismatch";
+        Array.copy v
+  in
+  let inv_diag =
+    Array.map (fun d -> if Float.abs d > 1e-300 then 1.0 /. d else 1.0) (Csr.diagonal a)
+  in
+  let r = Array.make n 0.0 in
+  Csr.mul_vec_into a x r;
+  for i = 0 to n - 1 do
+    r.(i) <- b.(i) -. r.(i)
+  done;
+  let z = Array.mapi (fun i ri -> inv_diag.(i) *. ri) r in
+  let p = Array.copy z in
+  let ap = Array.make n 0.0 in
+  let b_norm = Float.max (norm2 b) 1e-300 in
+  let rz = ref (dot r z) in
+  let iter = ref 0 in
+  let res = ref (norm2 r) in
+  while !res /. b_norm > tol && !iter < max_iter do
+    Csr.mul_vec_into a p ap;
+    let pap = dot p ap in
+    if Float.abs pap < 1e-300 then iter := max_iter
+    else begin
+      let alpha = !rz /. pap in
+      for i = 0 to n - 1 do
+        x.(i) <- x.(i) +. (alpha *. p.(i));
+        r.(i) <- r.(i) -. (alpha *. ap.(i))
+      done;
+      for i = 0 to n - 1 do
+        z.(i) <- inv_diag.(i) *. r.(i)
+      done;
+      let rz' = dot r z in
+      let beta = rz' /. !rz in
+      rz := rz';
+      for i = 0 to n - 1 do
+        p.(i) <- z.(i) +. (beta *. p.(i))
+      done;
+      res := norm2 r;
+      incr iter
+    end
+  done;
+  { x; iterations = !iter; residual_norm = !res; converged = !res /. b_norm <= tol }

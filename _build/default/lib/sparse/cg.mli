@@ -1,0 +1,21 @@
+(** Jacobi-preconditioned conjugate gradient for symmetric positive
+    definite systems — the inner solver of quadratic placement. *)
+
+type outcome = {
+  x : float array;  (** The (approximate) solution. *)
+  iterations : int;
+  residual_norm : float;  (** Final 2-norm of [b - A x]. *)
+  converged : bool;
+}
+
+val solve :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?x0:float array ->
+  Csr.t ->
+  float array ->
+  outcome
+(** [solve a b] iterates until the relative residual drops below [tol]
+    (default 1e-8) or [max_iter] (default [4 * n]) is reached. [x0]
+    warm-starts the iteration (defaults to the zero vector).
+    @raise Invalid_argument on dimension mismatch or non-square [a]. *)

@@ -1,0 +1,104 @@
+type t = {
+  n_rows : int;
+  n_cols : int;
+  row_ptr : int array;  (* length n_rows + 1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+let rows t = t.n_rows
+let cols t = t.n_cols
+let nnz t = Array.length t.values
+
+let of_triplets ~rows:n_rows ~cols:n_cols triplets =
+  if n_rows < 0 || n_cols < 0 then invalid_arg "Csr.of_triplets: negative dims";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= n_rows || j < 0 || j >= n_cols then
+        invalid_arg "Csr.of_triplets: index out of range")
+    triplets;
+  (* Accumulate duplicates per row with a per-row association table. *)
+  let row_tbls = Array.init n_rows (fun _ -> Hashtbl.create 4) in
+  List.iter
+    (fun (i, j, v) ->
+      let tbl = row_tbls.(i) in
+      let cur = Option.value (Hashtbl.find_opt tbl j) ~default:0.0 in
+      Hashtbl.replace tbl j (cur +. v))
+    triplets;
+  let row_entries =
+    Array.map
+      (fun tbl ->
+        let entries =
+          Hashtbl.fold (fun j v acc -> if v <> 0.0 then (j, v) :: acc else acc) tbl []
+        in
+        List.sort (fun (a, _) (b, _) -> compare a b) entries)
+      row_tbls
+  in
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 row_entries in
+  let row_ptr = Array.make (n_rows + 1) 0 in
+  let col_idx = Array.make total 0 and values = Array.make total 0.0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i entries ->
+      row_ptr.(i) <- !k;
+      List.iter
+        (fun (j, v) ->
+          col_idx.(!k) <- j;
+          values.(!k) <- v;
+          incr k)
+        entries)
+    row_entries;
+  row_ptr.(n_rows) <- !k;
+  { n_rows; n_cols; row_ptr; col_idx; values }
+
+let get t i j =
+  if i < 0 || i >= t.n_rows || j < 0 || j >= t.n_cols then
+    invalid_arg "Csr.get: index out of range";
+  let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
+  let result = ref 0.0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = t.col_idx.(mid) in
+    if c = j then begin
+      result := t.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let mul_vec_into t x y =
+  if Array.length x <> t.n_cols || Array.length y <> t.n_rows then
+    invalid_arg "Csr.mul_vec_into: size mismatch";
+  for i = 0 to t.n_rows - 1 do
+    let acc = ref 0.0 in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+    done;
+    y.(i) <- !acc
+  done
+
+let mul_vec t x =
+  let y = Array.make t.n_rows 0.0 in
+  mul_vec_into t x y;
+  y
+
+let diagonal t =
+  if t.n_rows <> t.n_cols then invalid_arg "Csr.diagonal: not square";
+  Array.init t.n_rows (fun i -> get t i i)
+
+let transpose t =
+  let triplets = ref [] in
+  for i = 0 to t.n_rows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      triplets := (t.col_idx.(k), i, t.values.(k)) :: !triplets
+    done
+  done;
+  of_triplets ~rows:t.n_cols ~cols:t.n_rows !triplets
+
+let iter_row t i f =
+  if i < 0 || i >= t.n_rows then invalid_arg "Csr.iter_row: row out of range";
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(k) t.values.(k)
+  done

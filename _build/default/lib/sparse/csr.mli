@@ -1,0 +1,34 @@
+(** Compressed sparse row matrices.
+
+    Built once from coordinate triplets (duplicates are summed, which is
+    exactly what assembling a quadratic-placement Laplacian needs), then
+    used for fast mat-vec products inside conjugate gradient. *)
+
+type t
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** Assemble from [(row, col, value)] triplets; duplicate coordinates
+    are accumulated, exact zeros are kept out of the structure.
+    @raise Invalid_argument on out-of-range indices or negative dims. *)
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+
+val get : t -> int -> int -> float
+(** Value at (i, j); 0. when the entry is structurally absent.
+    Logarithmic in the row's nonzero count. *)
+
+val mul_vec : t -> float array -> float array
+(** [mul_vec a x] is [a * x]. @raise Invalid_argument on size mismatch. *)
+
+val mul_vec_into : t -> float array -> float array -> unit
+(** Like {!mul_vec} but writes into a caller-provided output vector. *)
+
+val diagonal : t -> float array
+(** The main diagonal as a dense vector (square matrices only). *)
+
+val transpose : t -> t
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** Iterate the nonzeros [(col, value)] of one row in column order. *)

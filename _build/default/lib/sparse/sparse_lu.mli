@@ -1,0 +1,27 @@
+(** Sparse basis factorization for the simplex method.
+
+    LP basis matrices in this library are extremely sparse (assignment
+    columns carry two nonzeros, slacks one), so a general dense LU is
+    wasteful. This module permutes the basis to block-triangular form by
+    iterated column-singleton peeling — each peeled pivot incurs zero
+    fill — and factors only the residual "bump" submatrix densely. For
+    the flip-flop-assignment LPs the bump is a few dozen rows, making
+    factorization and solves effectively linear in the nonzero count. *)
+
+type t
+
+val factor : m:int -> cols:(int array * float array) array -> t option
+(** [factor ~m ~cols] factors the square matrix whose [j]-th column has
+    nonzeros [cols.(j)] (parallel row-index/value arrays, no duplicate
+    rows within a column). [None] when numerically singular.
+    @raise Invalid_argument on shape violations. *)
+
+val solve : t -> float array -> float array
+(** Solve [B x = b]. *)
+
+val solve_transpose : t -> float array -> float array
+(** Solve [Bᵀ y = d]. *)
+
+val bump_size : t -> int
+(** Rows left to the dense factorization — instrumentation for tests and
+    benchmarks. *)

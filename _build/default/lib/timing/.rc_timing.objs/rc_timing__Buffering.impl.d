@@ -1,0 +1,1 @@
+lib/timing/buffering.ml: Float List Option Rc_tech

@@ -1,0 +1,1 @@
+lib/timing/buffering.mli: Rc_tech

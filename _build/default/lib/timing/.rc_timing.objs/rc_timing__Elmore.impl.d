@@ -1,0 +1,1 @@
+lib/timing/elmore.ml: Rc_geom Rc_netlist Rc_tech

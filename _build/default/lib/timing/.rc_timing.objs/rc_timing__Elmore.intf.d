@@ -1,0 +1,1 @@
+lib/timing/elmore.mli: Rc_geom Rc_netlist Rc_tech

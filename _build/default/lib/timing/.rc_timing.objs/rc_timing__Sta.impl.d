@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Elmore Float Hashtbl List Netlist Rc_graph Rc_netlist Rc_tech Rc_util

@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Rc_geom Rc_netlist Rc_tech

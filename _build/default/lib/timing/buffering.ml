@@ -1,0 +1,103 @@
+type rctree =
+  | Sink of { cap : float; tag : int }
+  | Wire of { length : float; child : rctree }
+  | Branch of rctree * rctree
+
+type buffer = { t_intrinsic : float; r_out : float; c_in : float }
+
+let default_buffer = { t_intrinsic = 30.0; r_out = 180.0; c_in = 12.0 }
+
+type result = {
+  buffered_delay : float;
+  unbuffered_delay : float;
+  n_buffers : int;
+  driver_load : float;
+}
+
+(* A DP option: subtree seen from the current point upward. *)
+type option_ = { cap : float; delay : float; buffers : int }
+
+(* Pareto prune: sort by cap; keep strictly improving delay. *)
+let prune options =
+  let sorted = List.sort (fun a b -> compare (a.cap, a.delay) (b.cap, b.delay)) options in
+  let rec go best_delay = function
+    | [] -> []
+    | o :: rest ->
+        if o.delay < best_delay -. 1e-12 then o :: go o.delay rest else go best_delay rest
+  in
+  go infinity sorted
+
+let optimize ?(buffer = default_buffer) ?(segment = 200.0) ?driver_r tech tree =
+  if segment <= 0.0 then invalid_arg "Buffering.optimize: non-positive segment";
+  let driver_r = Option.value driver_r ~default:buffer.r_out in
+  let r = tech.Rc_tech.Tech.r_wire and c = tech.Rc_tech.Tech.c_wire in
+  (* delay of a wire piece of length l driving downstream cap cd (ps) *)
+  let wire_delay l cd = (r *. l *. ((0.5 *. c *. l) +. cd)) /. 1000.0 in
+  let add_buffer o =
+    {
+      cap = buffer.c_in;
+      delay = o.delay +. buffer.t_intrinsic +. (buffer.r_out *. o.cap /. 1000.0);
+      buffers = o.buffers + 1;
+    }
+  in
+  let with_buffer_choice options =
+    prune (options @ List.map add_buffer options)
+  in
+  (* push options up through a wire, subdividing into candidate points *)
+  let rec up_wire length options =
+    if length <= 0.0 then options
+    else begin
+      let piece = Float.min segment length in
+      let stepped =
+        List.map
+          (fun o -> { o with cap = o.cap +. (c *. piece); delay = o.delay +. wire_delay piece o.cap })
+          options
+      in
+      up_wire (length -. piece) (with_buffer_choice stepped)
+    end
+  in
+  let rec solve ?(allow_buffers = true) = function
+    | Sink { cap; _ } -> [ { cap; delay = 0.0; buffers = 0 } ]
+    | Wire { length; child } ->
+        let below = solve ~allow_buffers child in
+        if allow_buffers then up_wire length (with_buffer_choice below)
+        else
+          List.map
+            (fun o ->
+              { o with cap = o.cap +. (c *. length); delay = o.delay +. wire_delay length o.cap })
+            below
+    | Branch (a, b) ->
+        let oa = solve ~allow_buffers a and ob = solve ~allow_buffers b in
+        prune
+          (List.concat_map
+             (fun x ->
+               List.map
+                 (fun y ->
+                   {
+                     cap = x.cap +. y.cap;
+                     delay = Float.max x.delay y.delay;
+                     buffers = x.buffers + y.buffers;
+                   })
+                 ob)
+             oa)
+  in
+  let finish options =
+    List.fold_left
+      (fun (bd, bo) o ->
+        let total = o.delay +. (driver_r *. o.cap /. 1000.0) in
+        if total < bd then (total, Some o) else (bd, bo))
+      (infinity, None) options
+  in
+  let buffered = solve tree in
+  let unbuffered = solve ~allow_buffers:false tree in
+  match (finish buffered, finish unbuffered) with
+  | (bd, Some bo), (ud, Some _) ->
+      {
+        buffered_delay = bd;
+        unbuffered_delay = ud;
+        n_buffers = bo.buffers;
+        driver_load = bo.cap;
+      }
+  | _ -> invalid_arg "Buffering.optimize: empty tree"
+
+let two_pin ~length ~load = Wire { length; child = Sink { cap = load; tag = 0 } }

@@ -1,0 +1,46 @@
+(** Van Ginneken buffer insertion on RC trees.
+
+    The paper estimates signal-net repeater counts with the
+    floorplan-stage model of [31]; this module provides the exact
+    reference: the classic dynamic program that, given a routed RC tree
+    and a buffer library entry, chooses buffer positions minimizing the
+    maximum driver-to-sink Elmore delay. Candidate positions subdivide
+    every wire; option lists are pruned to their Pareto front
+    (capacitance vs delay), which keeps the DP quadratic. *)
+
+type rctree =
+  | Sink of { cap : float  (** fF *); tag : int }
+  | Wire of { length : float  (** µm *); child : rctree }
+  | Branch of rctree * rctree
+
+type buffer = {
+  t_intrinsic : float;  (** Buffer intrinsic delay, ps. *)
+  r_out : float;  (** Output resistance, Ω. *)
+  c_in : float;  (** Input capacitance, fF. *)
+}
+
+val default_buffer : buffer
+(** A mid-size repeater consistent with [Tech.default]. *)
+
+type result = {
+  buffered_delay : float;  (** Best achievable max source-sink delay, ps. *)
+  unbuffered_delay : float;  (** The same tree with no buffers, ps. *)
+  n_buffers : int;  (** Buffers used by the best option. *)
+  driver_load : float;  (** Capacitance presented to the driver, fF. *)
+}
+
+val optimize :
+  ?buffer:buffer ->
+  ?segment:float ->
+  ?driver_r:float ->
+  Rc_tech.Tech.t ->
+  rctree ->
+  result
+(** Run the DP. [segment] (default 200 µm) is the wire subdivision pitch
+    that defines candidate positions; [driver_r] (default the buffer's
+    [r_out]) models the net's driver for the final delay.
+    @raise Invalid_argument on non-positive [segment] or an empty tree
+    ([length <= 0] wires are fine). *)
+
+val two_pin : length:float -> load:float -> rctree
+(** Convenience: a single wire to one sink. *)

@@ -1,0 +1,11 @@
+let wire_delay tech ~length ~load = Rc_tech.Tech.wire_elmore tech length load
+
+let point_delay tech a b ~load =
+  wire_delay tech ~length:(Rc_geom.Point.manhattan a b) ~load
+
+let sink_load (tech : Rc_tech.Tech.t) netlist c =
+  match Rc_netlist.Netlist.kind netlist c with
+  | Rc_netlist.Netlist.Flipflop -> tech.Rc_tech.Tech.c_ff
+  | Rc_netlist.Netlist.Logic -> tech.Rc_tech.Tech.c_gate
+  | Rc_netlist.Netlist.Input_pad | Rc_netlist.Netlist.Output_pad ->
+      tech.Rc_tech.Tech.buffer_c_in

@@ -1,0 +1,124 @@
+open Rc_netlist
+
+type adjacency = { src_ff : int; dst_ff : int; d_max : float; d_min : float }
+
+type t = { pairs : adjacency list; critical : float }
+
+(* Deterministic per-cell process-variation factor in [0.9, 1.1]. *)
+let gate_factor c =
+  let r = Rc_util.Rng.create ((c * 2654435761) + 97) in
+  0.9 +. Rc_util.Rng.float r 0.2
+
+let analyze tech netlist ~positions =
+  let n = Netlist.n_cells netlist in
+  if Array.length positions <> n then invalid_arg "Sta.analyze: positions length mismatch";
+  let pos c = positions.(c) in
+  (* out-edges: (target, wire_max, wire_min) per cell; targets restricted
+     to logic and flip-flops *)
+  let out = Array.make n [] in
+  Netlist.iter_nets netlist (fun _ net ->
+      Array.iter
+        (fun s ->
+          match Netlist.kind netlist s with
+          | Logic | Flipflop ->
+              let load = Elmore.sink_load tech netlist s in
+              let d = Elmore.point_delay tech (pos net.driver) (pos s) ~load in
+              out.(net.driver) <- (s, d) :: out.(net.driver)
+          | Input_pad | Output_pad -> ())
+        net.sinks);
+  (* gate contribution when the signal leaves a logic cell *)
+  let gmax = Array.make n 0.0 and gmin = Array.make n 0.0 in
+  for c = 0 to n - 1 do
+    if Netlist.kind netlist c = Logic then begin
+      let f = gate_factor c in
+      gmax.(c) <- tech.Rc_tech.Tech.gate_delay *. f;
+      gmin.(c) <- tech.Rc_tech.Tech.gate_delay_min *. f
+    end
+  done;
+  (* topological index of logic cells *)
+  let logic_graph = Rc_graph.Digraph.create n in
+  for c = 0 to n - 1 do
+    if Netlist.kind netlist c = Logic then
+      List.iter
+        (fun (s, _) ->
+          if Netlist.kind netlist s = Logic then Rc_graph.Digraph.add_edge logic_graph c s 0.0)
+        out.(c)
+  done;
+  let topo_idx =
+    match Rc_graph.Dag.topological_order logic_graph with
+    | None -> invalid_arg "Sta.analyze: combinational cycle"
+    | Some order ->
+        let idx = Array.make n 0 in
+        Array.iteri (fun i v -> idx.(v) <- i) order;
+        idx
+  in
+  (* per-launching-FF cone propagation, stamped to avoid O(n) clears *)
+  let dist_max = Array.make n neg_infinity in
+  let dist_min = Array.make n infinity in
+  let stamp = Array.make n (-1) in
+  let pairs = Hashtbl.create 256 in
+  let record f g dmax dmin =
+    let key = (f, g) in
+    match Hashtbl.find_opt pairs key with
+    | None -> Hashtbl.replace pairs key (dmax, dmin)
+    | Some (m, mn) -> Hashtbl.replace pairs key (Float.max m dmax, Float.min mn dmin)
+  in
+  let ffs = Netlist.flip_flops netlist in
+  Array.iter
+    (fun f ->
+      let heap = Rc_graph.Heap.create () in
+      let touch c dmax dmin =
+        if stamp.(c) <> f then begin
+          stamp.(c) <- f;
+          dist_max.(c) <- dmax;
+          dist_min.(c) <- dmin;
+          Rc_graph.Heap.push heap (float_of_int topo_idx.(c)) c
+        end
+        else begin
+          if dmax > dist_max.(c) then dist_max.(c) <- dmax;
+          if dmin < dist_min.(c) then dist_min.(c) <- dmin
+        end
+      in
+      (* launch: straight wire from FF to each of its sinks *)
+      List.iter
+        (fun (s, wire) ->
+          match Netlist.kind netlist s with
+          | Flipflop -> record f s wire wire
+          | Logic -> touch s wire wire
+          | _ -> ())
+        out.(f);
+      (* cone relaxation in topological order: each logic cell is popped
+         after all its in-cone predecessors (their topo indices are
+         smaller), so its dist values are final when processed *)
+      let rec drain () =
+        match Rc_graph.Heap.pop_min heap with
+        | None -> ()
+        | Some (_, c) ->
+            let dmax = dist_max.(c) +. gmax.(c) and dmin = dist_min.(c) +. gmin.(c) in
+            List.iter
+              (fun (s, wire) ->
+                match Netlist.kind netlist s with
+                | Flipflop -> record f s (dmax +. wire) (dmin +. wire)
+                | Logic -> touch s (dmax +. wire) (dmin +. wire)
+                | _ -> ())
+              out.(c);
+            drain ()
+      in
+      drain ())
+    ffs;
+  let pair_list =
+    Hashtbl.fold
+      (fun (f, g) (d_max, d_min) acc -> { src_ff = f; dst_ff = g; d_max; d_min } :: acc)
+      pairs []
+  in
+  let critical = List.fold_left (fun acc p -> Float.max acc p.d_max) 0.0 pair_list in
+  { pairs = pair_list; critical }
+
+let adjacencies t = t.pairs
+let n_pairs t = List.length t.pairs
+let critical_delay t = t.critical
+
+let min_period_zero_skew t ~tech =
+  List.fold_left
+    (fun acc p -> Float.max acc (p.d_max +. tech.Rc_tech.Tech.t_setup))
+    0.0 t.pairs

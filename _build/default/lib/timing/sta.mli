@@ -1,0 +1,38 @@
+(** Block-oriented static timing analysis over the placed netlist.
+
+    Produces, for every sequentially adjacent flip-flop pair [i ↦ j]
+    (combinational logic only between them), the maximum and minimum
+    combinational path delays [D_max]/[D_min] that the skew-scheduling
+    constraints (Eqs. 6–7) consume. Gate delays carry a deterministic
+    per-cell variation factor so the max/min spread is realistic. *)
+
+type adjacency = {
+  src_ff : int;  (** Launching flip-flop (cell id). *)
+  dst_ff : int;  (** Capturing flip-flop (cell id). *)
+  d_max : float;  (** Slowest combinational path, ps. *)
+  d_min : float;  (** Fastest combinational path, ps. *)
+}
+
+type t
+
+val analyze :
+  Rc_tech.Tech.t ->
+  Rc_netlist.Netlist.t ->
+  positions:Rc_geom.Point.t array ->
+  t
+(** Run STA with every cell at the given position (indexed by cell id).
+    @raise Invalid_argument if positions are missing or combinational
+    logic contains a cycle. *)
+
+val adjacencies : t -> adjacency list
+(** All sequentially adjacent pairs, each listed once. *)
+
+val n_pairs : t -> int
+
+val critical_delay : t -> float
+(** Largest [d_max] over all pairs; 0. when there are no pairs. *)
+
+val min_period_zero_skew : t -> tech:Rc_tech.Tech.t -> float
+(** The smallest clock period feasible with zero skew:
+    [max (d_max + t_setup)] — the reference point that skew scheduling
+    improves on. *)

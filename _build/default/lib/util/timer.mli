@@ -1,0 +1,13 @@
+(** Wall-clock timing for reporting experiment CPU columns. *)
+
+type t
+(** A started timer. *)
+
+val start : unit -> t
+(** Start a timer now. *)
+
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with elapsed seconds. *)

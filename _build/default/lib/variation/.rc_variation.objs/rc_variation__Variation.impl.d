@@ -1,0 +1,1 @@
+lib/variation/variation.ml: Array Buffer Float Printf Rc_ctree Rc_util

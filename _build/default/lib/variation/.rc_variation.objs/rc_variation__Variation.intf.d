@@ -1,0 +1,1 @@
+lib/variation/variation.mli: Rc_ctree

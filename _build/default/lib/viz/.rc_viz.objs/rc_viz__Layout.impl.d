@@ -1,0 +1,1 @@
+lib/viz/layout.ml: Array List Point Printf Rc_geom Rc_netlist Rc_rotary Rect Svg

@@ -1,0 +1,1 @@
+lib/viz/layout.mli: Rc_geom Rc_netlist Rc_rotary

@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Buffer Point Printf Rc_geom Rect

@@ -1,0 +1,1 @@
+test/test_assign.ml: Alcotest Array Assign Float Point Printf QCheck QCheck_alcotest Rc_assign Rc_geom Rc_ilp Rc_rotary Rc_tech Rc_util Rect Ring Ring_array Tapping

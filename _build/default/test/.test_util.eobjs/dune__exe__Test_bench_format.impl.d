@@ -1,0 +1,1 @@
+test/test_bench_format.ml: Alcotest Array Bench_format Hashtbl List Netlist Rc_geom Rc_graph Rc_netlist Rc_place Rc_skew Rc_tech Rc_timing

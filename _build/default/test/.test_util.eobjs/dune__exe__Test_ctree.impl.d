@@ -1,0 +1,1 @@
+test/test_ctree.ml: Alcotest Array List Point Printf QCheck QCheck_alcotest Rc_ctree Rc_geom Rc_tech Rc_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Ablation Alcotest Array Bench_suite Float Flow Lazy List Printf Rc_assign Rc_core Rc_geom Rc_netlist Rc_rotary Rc_tech Ring_sweep String

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Bench_suite Experiments Float Flow Hashtbl Lazy List Option Printf Rc_assign Rc_core Rc_geom Rc_netlist Rc_rotary Rc_skew Rc_timing String

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Point QCheck QCheck_alcotest Rc_geom Rect Segment

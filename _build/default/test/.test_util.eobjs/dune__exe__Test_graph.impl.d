@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dag Digraph Either Float Gen Heap List QCheck QCheck_alcotest Rc_graph Shortest_path

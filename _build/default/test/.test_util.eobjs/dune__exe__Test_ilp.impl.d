@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Branch_bound Float List QCheck QCheck_alcotest Rc_ilp Rc_lp Rc_util Rounding

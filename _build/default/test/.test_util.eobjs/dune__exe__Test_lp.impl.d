@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List Problem QCheck QCheck_alcotest Rc_lp Rc_util Simplex

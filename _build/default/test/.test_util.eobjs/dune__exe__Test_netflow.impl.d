@@ -1,0 +1,1 @@
+test/test_netflow.ml: Alcotest Array Assignment Float List Mcmf QCheck QCheck_alcotest Rc_netflow Rc_util

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Generator List Netlist QCheck QCheck_alcotest Rc_geom Rc_graph Rc_netlist

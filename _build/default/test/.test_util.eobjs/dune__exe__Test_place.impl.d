@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Float Gen Hashtbl List Netlist Point Printf QCheck QCheck_alcotest Rc_geom Rc_netlist Rc_place Rc_util Rect

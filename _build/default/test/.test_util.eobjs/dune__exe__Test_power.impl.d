@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Netlist Printf QCheck QCheck_alcotest Rc_geom Rc_netlist Rc_place Rc_power Rc_tech Rc_util

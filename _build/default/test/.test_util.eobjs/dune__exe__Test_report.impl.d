@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Float Gen List QCheck QCheck_alcotest Rc_core Report String

@@ -1,0 +1,1 @@
+test/test_rotary.ml: Alcotest Array Float Lazy List Point Printf QCheck QCheck_alcotest Rc_geom Rc_rotary Rc_tech Rc_util Rect Ring Ring_array Segment Tapping Wave_sim

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Float Grid Point Printf QCheck QCheck_alcotest Rc_geom Rc_netlist Rc_place Rc_route Rect Router

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Filename Generator Lazy List Netlist QCheck QCheck_alcotest Rc_geom Rc_netlist Rc_rotary Rc_tech Rc_util Rc_viz Serialize String Sys

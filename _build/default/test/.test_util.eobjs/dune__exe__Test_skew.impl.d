@@ -1,0 +1,1 @@
+test/test_skew.ml: Alcotest Array Cost_driven Float List Max_slack Option Printf QCheck QCheck_alcotest Rc_skew Rc_util Skew_problem

@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Cg Csr Dense Float List Printf QCheck QCheck_alcotest Rc_sparse Rc_util Sparse_lu

@@ -1,0 +1,1 @@
+test/test_studies.ml: Alcotest Bench_suite Clocking_compare Flow Lazy List Printf Rc_core Rc_variation Ring_sweep Routing_study String Variation_study

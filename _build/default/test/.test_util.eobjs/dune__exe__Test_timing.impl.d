@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array List Netlist Printf QCheck QCheck_alcotest Rc_geom Rc_netlist Rc_place Rc_power Rc_tech Rc_timing

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Approx Array Float Fun Gen QCheck QCheck_alcotest Rc_util Rng Stats

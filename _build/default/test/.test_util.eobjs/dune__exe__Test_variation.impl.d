@@ -1,0 +1,1 @@
+test/test_variation.ml: Alcotest Array Float Lazy List Max_slack Permissible Printf QCheck QCheck_alcotest Rc_ctree Rc_geom Rc_skew Rc_tech Rc_util Rc_variation Skew_problem String Variation

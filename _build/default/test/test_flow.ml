@@ -1,0 +1,217 @@
+(* Integration tests for Rc_core.Flow: the six-stage methodology on the
+   tiny benchmark, checking end-to-end invariants the paper relies on:
+   every flip-flop tapped at its scheduled phase, timing constraints
+   satisfied at the prespecified slack, tapping cost reduced vs the base
+   case without destroying signal wirelength, and the ILP mode trading
+   wirelength for maximum ring load. *)
+
+open Rc_core
+
+let tiny_outcome = lazy (Flow.run (Flow.default_config ~mode:Flow.Netflow Bench_suite.tiny))
+let tiny_ilp = lazy (Flow.run (Flow.default_config ~mode:Flow.Ilp Bench_suite.tiny))
+
+let test_flow_completes () =
+  let o = Lazy.force tiny_outcome in
+  Alcotest.(check bool) "has iterations" true (List.length o.Flow.history >= 2);
+  Alcotest.(check bool) "positive slack" true (o.Flow.slack > 0.0);
+  Alcotest.(check bool) "pairs found" true (o.Flow.n_pairs > 0)
+
+let test_tapping_cost_reduced () =
+  let o = Lazy.force tiny_outcome in
+  Alcotest.(check bool)
+    (Printf.sprintf "tapping %.0f -> %.0f" o.Flow.base.Flow.tapping_wl o.Flow.final.Flow.tapping_wl)
+    true
+    (o.Flow.final.Flow.tapping_wl < 0.8 *. o.Flow.base.Flow.tapping_wl)
+
+let test_signal_wl_not_destroyed () =
+  let o = Lazy.force tiny_outcome in
+  Alcotest.(check bool)
+    (Printf.sprintf "signal %.0f -> %.0f" o.Flow.base.Flow.signal_wl o.Flow.final.Flow.signal_wl)
+    true
+    (o.Flow.final.Flow.signal_wl < 1.15 *. o.Flow.base.Flow.signal_wl)
+
+let test_afd_is_tap_per_ff () =
+  let o = Lazy.force tiny_outcome in
+  let n = Rc_netlist.Netlist.n_ffs o.Flow.netlist in
+  Alcotest.(check (float 1e-6)) "afd definition"
+    (o.Flow.final.Flow.tapping_wl /. float_of_int n)
+    o.Flow.final.Flow.afd
+
+let test_taps_realize_schedule () =
+  let o = Lazy.force tiny_outcome in
+  let tech = o.Flow.cfg.Flow.tech in
+  let period = Rc_rotary.Ring_array.period o.Flow.rings in
+  Array.iteri
+    (fun i tap ->
+      let ring = Rc_rotary.Ring_array.ring o.Flow.rings o.Flow.assignment.Rc_assign.Assign.ring_of_ff.(i) in
+      let got =
+        Rc_rotary.Ring.delay_at ring ~arc:tap.Rc_rotary.Tapping.arc
+          ~conductor:tap.Rc_rotary.Tapping.conductor
+        +. Rc_rotary.Tapping.stub_delay tech tap.Rc_rotary.Tapping.wirelength
+      in
+      let d = Float.rem (Float.abs (got -. o.Flow.skews.(i))) period in
+      Alcotest.(check bool)
+        (Printf.sprintf "ff %d phase error" i)
+        true
+        (Float.min d (period -. d) < 0.01))
+    o.Flow.assignment.Rc_assign.Assign.taps
+
+let test_final_schedule_meets_timing () =
+  let o = Lazy.force tiny_outcome in
+  let tech = o.Flow.cfg.Flow.tech in
+  (* rebuild the timing constraints at the final placement and verify the
+     final schedule satisfies them at the stage-4 slack *)
+  let sta = Rc_timing.Sta.analyze tech o.Flow.netlist ~positions:o.Flow.positions in
+  let problem = Flow.skew_problem_of_sta tech o.Flow.netlist sta in
+  Alcotest.(check bool) "timing holds at stage-4 slack" true
+    (Rc_skew.Skew_problem.check problem ~slack:o.Flow.stage4_slack ~skews:o.Flow.skews)
+
+let test_positions_legal () =
+  let o = Lazy.force tiny_outcome in
+  let chip = o.Flow.cfg.Flow.bench.Bench_suite.gen.Rc_netlist.Generator.chip in
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun c p ->
+      if Rc_netlist.Netlist.movable o.Flow.netlist c then begin
+        Alcotest.(check bool) "in chip" true (Rc_geom.Rect.contains chip p);
+        let key = (int_of_float p.Rc_geom.Point.x, int_of_float p.Rc_geom.Point.y) in
+        Alcotest.(check bool) "no overlap" false (Hashtbl.mem seen key);
+        Hashtbl.replace seen key ()
+      end)
+    o.Flow.positions
+
+let test_ilp_mode_reduces_max_load () =
+  (* the guarantee holds on a matched state: same placement and targets.
+     (the two full flows evolve different placements, so their finals are
+     not directly comparable on small noisy circuits) *)
+  let nf = Lazy.force tiny_outcome in
+  let il = Lazy.force tiny_ilp in
+  Alcotest.(check bool) "ilp stats recorded" true (Option.is_some il.Flow.ilp_stats);
+  let tech = nf.Flow.cfg.Flow.tech in
+  let ffs, _ = Flow.ff_index nf.Flow.netlist in
+  let ff_positions = Array.map (fun c -> nf.Flow.positions.(c)) ffs in
+  let targets = nf.Flow.skews in
+  let nfa = Rc_assign.Assign.by_netflow tech nf.Flow.rings ~ff_positions ~targets in
+  let ila, stats = Rc_assign.Assign.by_ilp tech nf.Flow.rings ~ff_positions ~targets in
+  (* the network-flow assignment is a feasible point of the min-max ILP,
+     so the LP relaxation must lower-bound its max load; the rounded
+     solution may exceed it only by the (small) integrality gap *)
+  Alcotest.(check bool)
+    (Printf.sprintf "LP optimum %.1f <= netflow max load %.1f" stats.Rc_assign.Assign.lp_optimum
+       nfa.Rc_assign.Assign.max_load)
+    true
+    (stats.Rc_assign.Assign.lp_optimum <= nfa.Rc_assign.Assign.max_load +. 1e-6);
+  Alcotest.(check bool)
+    (Printf.sprintf "rounded %.1f within IG of netflow %.1f" ila.Rc_assign.Assign.max_load
+       nfa.Rc_assign.Assign.max_load)
+    true
+    (ila.Rc_assign.Assign.max_load
+    <= (nfa.Rc_assign.Assign.max_load *. stats.Rc_assign.Assign.integrality_gap) +. 1e-6);
+  Alcotest.(check bool) "IG >= 1" true (stats.Rc_assign.Assign.integrality_gap >= 1.0 -. 1e-9)
+
+let test_netflow_mode_wins_wirelength () =
+  let nf = Lazy.force tiny_outcome and il = Lazy.force tiny_ilp in
+  Alcotest.(check bool)
+    (Printf.sprintf "netflow tapping %.0f <= ilp %.0f"
+       nf.Flow.final.Flow.tapping_wl il.Flow.final.Flow.tapping_wl)
+    true
+    (nf.Flow.final.Flow.tapping_wl <= il.Flow.final.Flow.tapping_wl +. 1e-6)
+
+let test_history_monotone_cost () =
+  let o = Lazy.force tiny_outcome in
+  (* total wirelength at the end never exceeds the base case: the flow
+     only accepts improving iterations (within tolerance) *)
+  Alcotest.(check bool) "total cost improves" true
+    (o.Flow.final.Flow.total_wl <= o.Flow.base.Flow.total_wl)
+
+let test_determinism () =
+  let a = Flow.run (Flow.default_config ~mode:Flow.Netflow Bench_suite.tiny) in
+  let b = Lazy.force tiny_outcome in
+  Alcotest.(check (float 1e-9)) "same final tapping" b.Flow.final.Flow.tapping_wl
+    a.Flow.final.Flow.tapping_wl;
+  Alcotest.(check (float 1e-9)) "same final signal" b.Flow.final.Flow.signal_wl
+    a.Flow.final.Flow.signal_wl
+
+let test_experiments_tables_render () =
+  let suite = Experiments.run_suite ~benches:[ Bench_suite.tiny ] ~with_ilp:true () in
+  List.iter
+    (fun s -> Alcotest.(check bool) "non-empty table" true (String.length s > 100))
+    [
+      Experiments.table3 suite;
+      Experiments.table4 suite;
+      Experiments.table5 suite;
+      Experiments.table6 suite;
+      Experiments.table7 suite;
+    ];
+  let rows, text = Experiments.table2 ~benches:[ Bench_suite.tiny ] () in
+  Alcotest.(check int) "table2 rows" 1 (List.length rows);
+  Alcotest.(check bool) "table2 text" true (String.length text > 50);
+  let curve, fig = Experiments.fig2 () in
+  Alcotest.(check bool) "fig2 has curve" true (List.length curve > 10);
+  Alcotest.(check bool) "fig2 text" true (String.length fig > 100)
+
+let test_improved_flow_beats_default () =
+  let d = Lazy.force tiny_outcome in
+  let i = Flow.run (Flow.improved_config Bench_suite.tiny) in
+  Alcotest.(check bool)
+    (Printf.sprintf "improved tap %.0f <= default %.0f" i.Flow.final.Flow.tapping_wl
+       d.Flow.final.Flow.tapping_wl)
+    true
+    (i.Flow.final.Flow.tapping_wl <= d.Flow.final.Flow.tapping_wl +. 1e-6);
+  (* the improved flow must not blow up signal wirelength *)
+  Alcotest.(check bool) "signal within 10% of default" true
+    (i.Flow.final.Flow.signal_wl <= 1.1 *. d.Flow.final.Flow.signal_wl);
+  (* and its taps still realize the schedule *)
+  let tech = i.Flow.cfg.Flow.tech in
+  let period = Rc_rotary.Ring_array.period i.Flow.rings in
+  Array.iteri
+    (fun k tap ->
+      let ring =
+        Rc_rotary.Ring_array.ring i.Flow.rings i.Flow.assignment.Rc_assign.Assign.ring_of_ff.(k)
+      in
+      let got =
+        Rc_rotary.Ring.delay_at ring ~arc:tap.Rc_rotary.Tapping.arc
+          ~conductor:tap.Rc_rotary.Tapping.conductor
+        +. Rc_rotary.Tapping.stub_delay tech tap.Rc_rotary.Tapping.wirelength
+      in
+      let dd = Float.rem (Float.abs (got -. i.Flow.skews.(k))) period in
+      Alcotest.(check bool) "tap phase ok" true (Float.min dd (period -. dd) < 0.01))
+    i.Flow.assignment.Rc_assign.Assign.taps
+
+let test_table1_small () =
+  let rows, text = Experiments.table1 ~benches:[ Bench_suite.tiny ] ~bb_seconds:5.0 () in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  let r = List.hd rows in
+  Alcotest.(check bool) "greedy IG sane" true
+    (r.Experiments.greedy_ig >= 1.0 -. 1e-9 && r.Experiments.greedy_ig < 5.0);
+  Alcotest.(check bool) "text" true (String.length text > 50)
+
+let () =
+  Alcotest.run "rc_flow"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "completes" `Quick test_flow_completes;
+          Alcotest.test_case "tapping cost reduced" `Quick test_tapping_cost_reduced;
+          Alcotest.test_case "signal wirelength preserved" `Quick test_signal_wl_not_destroyed;
+          Alcotest.test_case "AFD definition" `Quick test_afd_is_tap_per_ff;
+          Alcotest.test_case "taps realize schedule" `Quick test_taps_realize_schedule;
+          Alcotest.test_case "final schedule meets timing" `Quick
+            test_final_schedule_meets_timing;
+          Alcotest.test_case "positions legal" `Quick test_positions_legal;
+          Alcotest.test_case "history cost improves" `Quick test_history_monotone_cost;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "ILP reduces max load" `Quick test_ilp_mode_reduces_max_load;
+          Alcotest.test_case "netflow wins wirelength" `Quick test_netflow_mode_wins_wirelength;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "improved flow beats default" `Slow
+            test_improved_flow_beats_default;
+          Alcotest.test_case "tables render" `Slow test_experiments_tables_render;
+          Alcotest.test_case "table1 on tiny" `Slow test_table1_small;
+        ] );
+    ]

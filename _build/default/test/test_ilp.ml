@@ -1,0 +1,157 @@
+(* Tests for Rc_ilp: branch & bound exactness on small ILPs (knapsack,
+   assignment), limit behaviour, and the Fig. 5 greedy rounding. *)
+
+open Rc_ilp
+module P = Rc_lp.Problem
+
+let check_float = Alcotest.(check (float 1e-5))
+
+let knapsack values weights cap =
+  let p = P.create () in
+  let vars =
+    Array.map (fun v -> P.add_var ~lo:0.0 ~hi:1.0 ~obj:(-.v) p) values
+  in
+  ignore
+    (P.add_row p (Array.to_list (Array.mapi (fun i v -> (v, weights.(i))) vars)) P.Le cap);
+  (p, Array.to_list vars)
+
+let test_bb_knapsack () =
+  (* values 60,100,120 weights 10,20,30 cap 50 -> best 220 (items 2,3) *)
+  let p, vars = knapsack [| 60.0; 100.0; 120.0 |] [| 10.0; 20.0; 30.0 |] 50.0 in
+  let r = Branch_bound.solve p ~integer_vars:vars in
+  Alcotest.(check bool) "proven optimal" true (r.Branch_bound.status = Branch_bound.Proven_optimal);
+  check_float "objective" (-220.0) r.Branch_bound.objective;
+  check_float "x0" 0.0 r.Branch_bound.x.(List.nth vars 0);
+  check_float "x1" 1.0 r.Branch_bound.x.(List.nth vars 1);
+  check_float "x2" 1.0 r.Branch_bound.x.(List.nth vars 2)
+
+let test_bb_infeasible () =
+  let p = P.create () in
+  let x = P.add_var ~lo:0.0 ~hi:1.0 ~obj:1.0 p in
+  ignore (P.add_row p [ (x, 1.0) ] P.Ge 2.0);
+  let r = Branch_bound.solve p ~integer_vars:[ x ] in
+  Alcotest.(check bool) "infeasible" true (r.Branch_bound.status = Branch_bound.Ilp_infeasible)
+
+let test_bb_lp_feasible_ilp_infeasible () =
+  (* x + y = 1 with x = y forces x = y = 0.5: LP feasible, no 0-1 point *)
+  let p = P.create () in
+  let x = P.add_var ~lo:0.0 ~hi:1.0 ~obj:1.0 p in
+  let y = P.add_var ~lo:0.0 ~hi:1.0 ~obj:1.0 p in
+  ignore (P.add_row p [ (x, 1.0); (y, 1.0) ] P.Eq 1.0);
+  ignore (P.add_row p [ (x, 1.0); (y, -1.0) ] P.Eq 0.0);
+  let r = Branch_bound.solve p ~integer_vars:[ x; y ] in
+  Alcotest.(check bool) "no integer point found" true
+    (r.Branch_bound.status = Branch_bound.Ilp_infeasible)
+
+let test_bb_already_integral_root () =
+  let p = P.create () in
+  let x = P.add_var ~lo:0.0 ~hi:5.0 ~obj:1.0 p in
+  ignore (P.add_row p [ (x, 1.0) ] P.Ge 3.0);
+  let r = Branch_bound.solve p ~integer_vars:[ x ] in
+  Alcotest.(check bool) "optimal" true (r.Branch_bound.status = Branch_bound.Proven_optimal);
+  check_float "x" 3.0 r.Branch_bound.x.(x)
+
+let test_bb_node_limit () =
+  (* tiny limit on a problem needing branching *)
+  let p, vars =
+    knapsack [| 10.0; 11.0; 12.0; 13.0; 14.0 |] [| 3.0; 4.0; 5.0; 6.0; 7.0 |] 12.0
+  in
+  let limits = { Branch_bound.max_nodes = 1; max_seconds = 60.0 } in
+  let r = Branch_bound.solve ~limits p ~integer_vars:vars in
+  Alcotest.(check bool) "terminates under node limit" true
+    (r.Branch_bound.nodes <= 2
+    && (r.Branch_bound.status = Branch_bound.Feasible
+       || r.Branch_bound.status = Branch_bound.No_solution
+       || r.Branch_bound.status = Branch_bound.Proven_optimal))
+
+let test_bb_bound_sandwich () =
+  let p, vars = knapsack [| 7.0; 9.0; 5.0; 12.0 |] [| 3.0; 4.0; 2.0; 6.0 |] 9.0 in
+  let r = Branch_bound.solve p ~integer_vars:vars in
+  Alcotest.(check bool) "bound <= objective" true
+    (r.Branch_bound.best_bound <= r.Branch_bound.objective +. 1e-6)
+
+(* brute-force knapsack for cross-checking *)
+let brute_knapsack values weights cap =
+  let n = Array.length values in
+  let best = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let v = ref 0.0 and w = ref 0.0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        v := !v +. values.(i);
+        w := !w +. weights.(i)
+      end
+    done;
+    if !w <= cap && !v > !best then best := !v
+  done;
+  !best
+
+let prop_bb_matches_brute_force =
+  QCheck.Test.make ~name:"B&B knapsack matches brute force" ~count:40
+    QCheck.(pair small_int (int_range 1 8))
+    (fun (seed, n) ->
+      let rng = Rc_util.Rng.create ((seed * 131) + 3) in
+      let values = Array.init n (fun _ -> float_of_int (Rc_util.Rng.int_in rng 1 30)) in
+      let weights = Array.init n (fun _ -> float_of_int (Rc_util.Rng.int_in rng 1 15)) in
+      let cap = float_of_int (Rc_util.Rng.int_in rng 5 40) in
+      let p, vars = knapsack values weights cap in
+      let r = Branch_bound.solve p ~integer_vars:vars in
+      r.Branch_bound.status = Branch_bound.Proven_optimal
+      && Float.abs (-.r.Branch_bound.objective -. brute_knapsack values weights cap) < 1e-6)
+
+let test_greedy_round_integral_kept () =
+  let xlp = [ (0, 1, 1.0); (0, 0, 0.0); (1, 0, 0.4); (1, 1, 0.6) ] in
+  let bins = Rounding.greedy_round ~n_items:2 xlp in
+  Alcotest.(check (array int)) "kept + argmax" [| 1; 1 |] bins
+
+let test_greedy_round_tie_break () =
+  let xlp = [ (0, 2, 0.5); (0, 1, 0.5) ] in
+  let bins = Rounding.greedy_round ~n_items:1 xlp in
+  Alcotest.(check (array int)) "lower index on tie" [| 1 |] bins
+
+let test_greedy_round_missing_item () =
+  let bins = Rounding.greedy_round ~n_items:3 [ (1, 0, 0.7) ] in
+  Alcotest.(check (array int)) "uncovered items get -1" [| -1; 0; -1 |] bins
+
+let test_integrality_gap () =
+  check_float "simple" 1.5 (Rounding.integrality_gap ~ilp_objective:3.0 ~lp_optimum:2.0);
+  check_float "both zero" 1.0 (Rounding.integrality_gap ~ilp_objective:0.0 ~lp_optimum:0.0);
+  Alcotest.(check bool) "zero lp nonzero ilp is nan" true
+    (Float.is_nan (Rounding.integrality_gap ~ilp_objective:1.0 ~lp_optimum:0.0))
+
+let prop_greedy_round_feasible =
+  QCheck.Test.make ~name:"greedy rounding covers every item with candidates" ~count:100
+    QCheck.(pair small_int (int_range 1 10))
+    (fun (seed, n) ->
+      let rng = Rc_util.Rng.create (seed + 1001) in
+      let xlp =
+        List.concat
+          (List.init n (fun i ->
+               List.init 3 (fun j -> (i, j, Rc_util.Rng.float rng 1.0))))
+      in
+      let bins = Rounding.greedy_round ~n_items:n xlp in
+      Array.for_all (fun b -> b >= 0 && b < 3) bins)
+
+let () =
+  Alcotest.run "rc_ilp"
+    [
+      ( "branch_bound",
+        [
+          Alcotest.test_case "knapsack optimum" `Quick test_bb_knapsack;
+          Alcotest.test_case "infeasible" `Quick test_bb_infeasible;
+          Alcotest.test_case "LP-feasible ILP-infeasible" `Quick
+            test_bb_lp_feasible_ilp_infeasible;
+          Alcotest.test_case "integral root" `Quick test_bb_already_integral_root;
+          Alcotest.test_case "node limit respected" `Quick test_bb_node_limit;
+          Alcotest.test_case "bound sandwiches objective" `Quick test_bb_bound_sandwich;
+          QCheck_alcotest.to_alcotest prop_bb_matches_brute_force;
+        ] );
+      ( "rounding",
+        [
+          Alcotest.test_case "integral kept" `Quick test_greedy_round_integral_kept;
+          Alcotest.test_case "tie break" `Quick test_greedy_round_tie_break;
+          Alcotest.test_case "missing item" `Quick test_greedy_round_missing_item;
+          Alcotest.test_case "integrality gap" `Quick test_integrality_gap;
+          QCheck_alcotest.to_alcotest prop_greedy_round_feasible;
+        ] );
+    ]

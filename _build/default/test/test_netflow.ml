@@ -1,0 +1,168 @@
+(* Tests for Rc_netflow: min-cost max-flow correctness and the
+   flip-flop-to-ring assignment wrapper, cross-checked against brute
+   force on small instances. *)
+
+open Rc_netflow
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_single_path () =
+  let n = Mcmf.create 3 in
+  let a01 = Mcmf.add_arc n ~src:0 ~dst:1 ~capacity:5 ~cost:2.0 in
+  let a12 = Mcmf.add_arc n ~src:1 ~dst:2 ~capacity:3 ~cost:1.0 in
+  let r = Mcmf.solve n ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow limited by bottleneck" 3 r.Mcmf.flow;
+  check_float "cost" 9.0 r.Mcmf.cost;
+  Alcotest.(check int) "flow on first arc" 3 (Mcmf.flow_on n a01);
+  Alcotest.(check int) "flow on second arc" 3 (Mcmf.flow_on n a12)
+
+let test_prefers_cheap_path () =
+  (* two parallel 0->1 paths: direct cost 10, via 2 cost 2+2=4 *)
+  let n = Mcmf.create 3 in
+  let direct = Mcmf.add_arc n ~src:0 ~dst:1 ~capacity:10 ~cost:10.0 in
+  ignore (Mcmf.add_arc n ~src:0 ~dst:2 ~capacity:4 ~cost:2.0);
+  ignore (Mcmf.add_arc n ~src:2 ~dst:1 ~capacity:4 ~cost:2.0);
+  let r = Mcmf.solve n ~amount:4 ~source:0 ~sink:1 in
+  Alcotest.(check int) "all flow shipped" 4 r.Mcmf.flow;
+  check_float "cheap path only" 16.0 r.Mcmf.cost;
+  Alcotest.(check int) "expensive path unused" 0 (Mcmf.flow_on n direct)
+
+let test_splits_when_saturated () =
+  let n = Mcmf.create 3 in
+  ignore (Mcmf.add_arc n ~src:0 ~dst:1 ~capacity:2 ~cost:1.0);
+  ignore (Mcmf.add_arc n ~src:0 ~dst:2 ~capacity:10 ~cost:3.0);
+  ignore (Mcmf.add_arc n ~src:2 ~dst:1 ~capacity:10 ~cost:0.0);
+  let r = Mcmf.solve n ~amount:5 ~source:0 ~sink:1 in
+  Alcotest.(check int) "flow" 5 r.Mcmf.flow;
+  check_float "2 cheap + 3 expensive" 11.0 r.Mcmf.cost
+
+let test_residual_rerouting () =
+  (* classic case where a later augmentation must push flow back *)
+  let n = Mcmf.create 4 in
+  ignore (Mcmf.add_arc n ~src:0 ~dst:1 ~capacity:1 ~cost:1.0);
+  ignore (Mcmf.add_arc n ~src:0 ~dst:2 ~capacity:1 ~cost:2.0);
+  ignore (Mcmf.add_arc n ~src:1 ~dst:2 ~capacity:1 ~cost:0.0);
+  ignore (Mcmf.add_arc n ~src:1 ~dst:3 ~capacity:1 ~cost:5.0);
+  ignore (Mcmf.add_arc n ~src:2 ~dst:3 ~capacity:1 ~cost:1.0);
+  let r = Mcmf.solve n ~source:0 ~sink:3 in
+  Alcotest.(check int) "max flow" 2 r.Mcmf.flow;
+  (* optimal: 0-1-3 (6) + 0-2-3 (3) = 9, vs 0-1-2-3 (2) + 0-1?... best is 9 *)
+  check_float "min cost" 9.0 r.Mcmf.cost
+
+let test_negative_cost_arc () =
+  let n = Mcmf.create 3 in
+  ignore (Mcmf.add_arc n ~src:0 ~dst:1 ~capacity:1 ~cost:(-2.0));
+  ignore (Mcmf.add_arc n ~src:1 ~dst:2 ~capacity:1 ~cost:1.0);
+  let r = Mcmf.solve n ~source:0 ~sink:2 in
+  Alcotest.(check int) "flow" 1 r.Mcmf.flow;
+  check_float "negative cost handled" (-1.0) r.Mcmf.cost
+
+let test_disconnected () =
+  let n = Mcmf.create 2 in
+  let r = Mcmf.solve n ~source:0 ~sink:1 in
+  Alcotest.(check int) "no flow" 0 r.Mcmf.flow
+
+let test_assignment_simple () =
+  (* 3 items, 2 bins with capacity 2 and 1 *)
+  let cands =
+    [
+      { Assignment.item = 0; bin = 0; cost = 1.0 };
+      { Assignment.item = 0; bin = 1; cost = 5.0 };
+      { Assignment.item = 1; bin = 0; cost = 2.0 };
+      { Assignment.item = 1; bin = 1; cost = 1.0 };
+      { Assignment.item = 2; bin = 0; cost = 3.0 };
+      { Assignment.item = 2; bin = 1; cost = 4.0 };
+    ]
+  in
+  let r = Assignment.solve ~n_items:3 ~n_bins:2 ~capacities:[| 2; 1 |] cands in
+  Alcotest.(check int) "all assigned" 3 r.Assignment.assigned;
+  (* optimum: 0->0 (1), 1->1 (1), 2->0 (3) = 5 *)
+  check_float "optimal cost" 5.0 r.Assignment.total_cost;
+  Alcotest.(check (array int)) "assignment" [| 0; 1; 0 |] r.Assignment.assignment
+
+let test_assignment_capacity_binds () =
+  (* both items prefer bin 0 but it only holds one *)
+  let cands =
+    [
+      { Assignment.item = 0; bin = 0; cost = 1.0 };
+      { Assignment.item = 0; bin = 1; cost = 10.0 };
+      { Assignment.item = 1; bin = 0; cost = 2.0 };
+      { Assignment.item = 1; bin = 1; cost = 3.0 };
+    ]
+  in
+  let r = Assignment.solve ~n_items:2 ~n_bins:2 ~capacities:[| 1; 1 |] cands in
+  check_float "forced split" 4.0 r.Assignment.total_cost;
+  Alcotest.(check (array int)) "assignment" [| 0; 1 |] r.Assignment.assignment
+
+let test_assignment_unassignable () =
+  let r =
+    Assignment.solve ~n_items:2 ~n_bins:1 ~capacities:[| 1 |]
+      [ { Assignment.item = 0; bin = 0; cost = 1.0 }; { Assignment.item = 1; bin = 0; cost = 2.0 } ]
+  in
+  Alcotest.(check int) "only capacity-many assigned" 1 r.Assignment.assigned;
+  Alcotest.(check bool) "one item unassigned" true
+    (Array.exists (fun b -> b = -1) r.Assignment.assignment)
+
+(* brute force all assignments for small instances *)
+let brute_force n_items n_bins caps cost =
+  let best = ref infinity in
+  let used = Array.make n_bins 0 in
+  let rec go i acc =
+    if acc >= !best then ()
+    else if i = n_items then best := acc
+    else
+      for j = 0 to n_bins - 1 do
+        if used.(j) < caps.(j) && cost.(i).(j) < infinity then begin
+          used.(j) <- used.(j) + 1;
+          go (i + 1) (acc +. cost.(i).(j));
+          used.(j) <- used.(j) - 1
+        end
+      done
+  in
+  go 0 0.0;
+  !best
+
+let prop_assignment_matches_brute_force =
+  QCheck.Test.make ~name:"network-flow assignment is optimal (vs brute force)" ~count:80
+    QCheck.(triple small_int (int_range 1 6) (int_range 1 4))
+    (fun (seed, n_items, n_bins) ->
+      let rng = Rc_util.Rng.create ((seed * 31) + 7) in
+      let caps =
+        Array.init n_bins (fun _ -> Rc_util.Rng.int_in rng 1 3)
+      in
+      if Array.fold_left ( + ) 0 caps < n_items then QCheck.assume_fail ()
+      else begin
+        let cost =
+          Array.init n_items (fun _ ->
+              Array.init n_bins (fun _ -> float_of_int (Rc_util.Rng.int_in rng 0 20)))
+        in
+        let cands =
+          List.concat
+            (List.init n_items (fun i ->
+                 List.init n_bins (fun j -> { Assignment.item = i; bin = j; cost = cost.(i).(j) })))
+        in
+        let r = Assignment.solve ~n_items ~n_bins ~capacities:caps cands in
+        let expected = brute_force n_items n_bins caps cost in
+        r.Assignment.assigned = n_items && Float.abs (r.Assignment.total_cost -. expected) < 1e-6
+      end)
+
+let () =
+  Alcotest.run "rc_netflow"
+    [
+      ( "mcmf",
+        [
+          Alcotest.test_case "single path" `Quick test_single_path;
+          Alcotest.test_case "prefers cheap path" `Quick test_prefers_cheap_path;
+          Alcotest.test_case "splits when saturated" `Quick test_splits_when_saturated;
+          Alcotest.test_case "residual rerouting" `Quick test_residual_rerouting;
+          Alcotest.test_case "negative costs" `Quick test_negative_cost_arc;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+        ] );
+      ( "assignment",
+        [
+          Alcotest.test_case "simple optimum" `Quick test_assignment_simple;
+          Alcotest.test_case "capacity binds" `Quick test_assignment_capacity_binds;
+          Alcotest.test_case "unassignable overflow" `Quick test_assignment_unassignable;
+          QCheck_alcotest.to_alcotest prop_assignment_matches_brute_force;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+(* Tests for Rc_power: the Eq. 8 dynamic-power arithmetic, clock vs
+   signal accounting, repeater estimation, and Eq. 9 leakage. *)
+
+open Rc_netlist
+open Netlist
+
+let tech = Rc_tech.Tech.default
+let check_float eps = Alcotest.(check (float eps))
+
+let test_dynamic_formula () =
+  (* ½αV²fC: α=1, V=1.2, f=1 GHz, C=1000 fF -> 0.72 mW *)
+  check_float 1e-9 "1000 fF at alpha 1" 0.72 (Rc_power.Power.dynamic_mw tech ~alpha:1.0 ~cap_ff:1000.0);
+  check_float 1e-12 "zero cap" 0.0 (Rc_power.Power.dynamic_mw tech ~alpha:1.0 ~cap_ff:0.0);
+  (* linear in alpha and cap *)
+  check_float 1e-9 "alpha scales" 0.108
+    (Rc_power.Power.dynamic_mw tech ~alpha:0.15 ~cap_ff:1000.0)
+
+let test_clock_power () =
+  (* 1000 um of stub wire + 10 ffs: C = 0.12*1000 + 10*25 = 370 fF *)
+  let p = Rc_power.Power.clock_power_mw tech ~tapping_wirelength:1000.0 ~n_ffs:10 in
+  check_float 1e-9 "analytic" (Rc_power.Power.dynamic_mw tech ~alpha:1.0 ~cap_ff:370.0) p;
+  Alcotest.(check bool) "monotone in wirelength" true
+    (Rc_power.Power.clock_power_mw tech ~tapping_wirelength:2000.0 ~n_ffs:10 > p)
+
+let test_buffer_estimate () =
+  Alcotest.(check int) "short net" 0 (Rc_power.Power.estimated_buffers tech ~length:500.0);
+  Alcotest.(check int) "one interval" 1 (Rc_power.Power.estimated_buffers tech ~length:2500.0);
+  Alcotest.(check int) "three intervals" 3 (Rc_power.Power.estimated_buffers tech ~length:6100.0);
+  Alcotest.(check int) "zero length" 0 (Rc_power.Power.estimated_buffers tech ~length:0.0)
+
+let test_signal_cap_hand_computed () =
+  (* one net: input pad at (0,0) driving a logic cell at (1000,0) and an
+     ff at (0,1000): star length 2000 um *)
+  let kinds = [| Input_pad; Logic; Flipflop |] in
+  let nets = [| { driver = 0; sinks = [| 1; 2 |] } |] in
+  let nl = Netlist.make ~name:"p" ~kinds ~nets ~pad_positions:[ (0, Rc_geom.Point.zero) ] in
+  let positions = [| Rc_geom.Point.zero; Rc_geom.Point.make 1000.0 0.0; Rc_geom.Point.make 0.0 1000.0 |] in
+  let cap = Rc_power.Power.signal_cap_ff tech nl positions in
+  let expect =
+    (tech.Rc_tech.Tech.c_wire *. 2000.0)
+    +. tech.Rc_tech.Tech.c_gate +. tech.Rc_tech.Tech.c_ff
+    +. float_of_int (Rc_power.Power.estimated_buffers tech ~length:2000.0)
+       *. tech.Rc_tech.Tech.buffer_c_in
+  in
+  check_float 1e-9 "hand computed" expect cap;
+  check_float 1e-9 "power uses alpha_signal"
+    (Rc_power.Power.dynamic_mw tech ~alpha:tech.Rc_tech.Tech.alpha_signal ~cap_ff:cap)
+    (Rc_power.Power.signal_power_mw tech nl positions)
+
+let test_leakage () =
+  (* V * Ioff * (S + N*S_F), 1.2 V * 10 nA * (1000 + 20*8) = 13920 nW *)
+  check_float 1e-9 "eq 9" 0.013920
+    (Rc_power.Power.leakage_mw tech ~i_off_na:10.0 ~total_inverter_size:1000.0 ~n_ffs:20
+       ~ff_gate_size:8.0)
+
+let prop_power_monotone_in_positions =
+  QCheck.Test.make ~name:"spreading cells apart increases signal power" ~count:30
+    QCheck.small_int (fun seed ->
+      let kinds = [| Input_pad; Logic; Logic |] in
+      let nets = [| { driver = 0; sinks = [| 1; 2 |] } |] in
+      let nl = Netlist.make ~name:"m" ~kinds ~nets ~pad_positions:[ (0, Rc_geom.Point.zero) ] in
+      let rng = Rc_util.Rng.create (seed + 2) in
+      let x = Rc_util.Rng.float rng 500.0 and y = Rc_util.Rng.float rng 500.0 in
+      let near = [| Rc_geom.Point.zero; Rc_geom.Point.make x y; Rc_geom.Point.make y x |] in
+      let far =
+        [| Rc_geom.Point.zero; Rc_geom.Point.make (2.0 *. x) (2.0 *. y);
+           Rc_geom.Point.make (2.0 *. y) (2.0 *. x) |]
+      in
+      Rc_power.Power.signal_power_mw tech nl near
+      <= Rc_power.Power.signal_power_mw tech nl far +. 1e-9)
+
+(* --- switching-activity estimation --- *)
+
+let act_netlist () =
+  (* in0, in1 -> AND g2 -> FF f3 -> NOT g4 -> out5 *)
+  let kinds = [| Input_pad; Input_pad; Logic; Flipflop; Logic; Output_pad |] in
+  let nets =
+    [|
+      { driver = 0; sinks = [| 2 |] };
+      { driver = 1; sinks = [| 2 |] };
+      { driver = 2; sinks = [| 3 |] };
+      { driver = 3; sinks = [| 4 |] };
+      { driver = 4; sinks = [| 5 |] };
+    |]
+  in
+  Netlist.make ~name:"act" ~kinds ~nets
+    ~pad_positions:
+      [ (0, Rc_geom.Point.zero); (1, Rc_geom.Point.make 0.0 10.0); (5, Rc_geom.Point.make 10.0 0.0) ]
+
+let gate_map = function
+  | 2 -> Rc_power.Activity.Gand
+  | 4 -> Rc_power.Activity.Gnot
+  | _ -> Rc_power.Activity.Gand
+
+let test_activity_hand_computed () =
+  let nl = act_netlist () in
+  let t = Rc_power.Activity.estimate ~gate_of:gate_map nl in
+  Alcotest.(check bool) "converged" true (Rc_power.Activity.converged t);
+  (* AND of two independent 0.5 inputs: p = 0.25, alpha = 2*.25*.75 = .375 *)
+  check_float 1e-6 "and probability" 0.25 (Rc_power.Activity.probability t 2);
+  check_float 1e-6 "and activity" 0.375 (Rc_power.Activity.activity t 2);
+  (* the FF settles to its D probability *)
+  check_float 1e-3 "ff tracks D" 0.25 (Rc_power.Activity.probability t 3);
+  (* NOT inverts *)
+  check_float 1e-3 "not inverts" 0.75 (Rc_power.Activity.probability t 4);
+  (* activity is symmetric under inversion *)
+  check_float 1e-3 "same activity through NOT" (Rc_power.Activity.activity t 3)
+    (Rc_power.Activity.activity t 4)
+
+let test_activity_bounds () =
+  let cfg =
+    {
+      Rc_netlist.Generator.default_config with
+      Rc_netlist.Generator.seed = 4;
+      n_logic = 80;
+      n_ffs = 10;
+      n_nets = 88;
+      n_inputs = 4;
+      n_outputs = 4;
+    }
+  in
+  let nl = Rc_netlist.Generator.generate cfg in
+  let t = Rc_power.Activity.estimate nl in
+  for c = 0 to Netlist.n_cells nl - 1 do
+    let p = Rc_power.Activity.probability t c and a = Rc_power.Activity.activity t c in
+    Alcotest.(check bool) "p in [0,1]" true (p >= 0.0 && p <= 1.0);
+    Alcotest.(check bool) "a in [0,0.5]" true (a >= 0.0 && a <= 0.5 +. 1e-9)
+  done;
+  let m = Rc_power.Activity.mean_activity t in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean activity %.3f plausibly near the paper's 0.15" m)
+    true
+    (m > 0.02 && m < 0.5)
+
+let test_activity_power_comparable () =
+  let cfg =
+    {
+      Rc_netlist.Generator.default_config with
+      Rc_netlist.Generator.seed = 5;
+      n_logic = 80;
+      n_ffs = 10;
+      n_nets = 88;
+      n_inputs = 4;
+      n_outputs = 4;
+    }
+  in
+  let nl = Rc_netlist.Generator.generate cfg in
+  let placed = Rc_place.Qplace.initial nl ~chip:cfg.Rc_netlist.Generator.chip in
+  let t = Rc_power.Activity.estimate nl in
+  let flat = Rc_power.Power.signal_power_mw tech nl placed.Rc_place.Qplace.positions in
+  let act = Rc_power.Activity.signal_power_mw tech nl placed.Rc_place.Qplace.positions t in
+  Alcotest.(check bool)
+    (Printf.sprintf "activity power %.3f within 5x of flat %.3f" act flat)
+    true
+    (act < 5.0 *. flat && flat < 5.0 *. act)
+
+let test_activity_xor_chain () =
+  (* XOR of independent 0.5 inputs stays at 0.5 — maximal activity *)
+  let kinds = [| Input_pad; Input_pad; Logic; Output_pad |] in
+  let nets =
+    [| { driver = 0; sinks = [| 2 |] }; { driver = 1; sinks = [| 2 |] };
+       { driver = 2; sinks = [| 3 |] } |]
+  in
+  let nl =
+    Netlist.make ~name:"xor" ~kinds ~nets
+      ~pad_positions:
+        [ (0, Rc_geom.Point.zero); (1, Rc_geom.Point.make 0.0 1.0); (3, Rc_geom.Point.make 1.0 0.0) ]
+  in
+  let t = Rc_power.Activity.estimate ~gate_of:(fun _ -> Rc_power.Activity.Gxor) nl in
+  check_float 1e-6 "xor keeps p = 0.5" 0.5 (Rc_power.Activity.probability t 2);
+  check_float 1e-6 "maximal activity" 0.5 (Rc_power.Activity.activity t 2)
+
+let () =
+  Alcotest.run "rc_power"
+    [
+      ( "dynamic",
+        [
+          Alcotest.test_case "Eq. 8 formula" `Quick test_dynamic_formula;
+          Alcotest.test_case "clock net" `Quick test_clock_power;
+          Alcotest.test_case "repeater estimate" `Quick test_buffer_estimate;
+          Alcotest.test_case "signal cap hand-computed" `Quick test_signal_cap_hand_computed;
+          QCheck_alcotest.to_alcotest prop_power_monotone_in_positions;
+        ] );
+      ("leakage", [ Alcotest.test_case "Eq. 9 formula" `Quick test_leakage ]);
+      ( "activity",
+        [
+          Alcotest.test_case "hand computed" `Quick test_activity_hand_computed;
+          Alcotest.test_case "bounds on generated circuit" `Quick test_activity_bounds;
+          Alcotest.test_case "power comparable to flat alpha" `Quick
+            test_activity_power_comparable;
+          Alcotest.test_case "xor maximal activity" `Quick test_activity_xor_chain;
+        ] );
+    ]

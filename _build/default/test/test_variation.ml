@@ -1,0 +1,171 @@
+(* Tests for the variation-analysis substrate (Monte-Carlo skew spread)
+   and the permissible-range utilities. *)
+
+open Rc_variation
+
+let tech = Rc_tech.Tech.default
+
+let tree64 =
+  lazy
+    (let rng = Rc_util.Rng.create 3 in
+     let sinks =
+       List.init 64 (fun _ ->
+           (Rc_geom.Point.make (Rc_util.Rng.float rng 2000.0) (Rc_util.Rng.float rng 2000.0), 25.0))
+     in
+     Rc_ctree.Ctree.build tech ~sinks)
+
+let test_perturbed_identity () =
+  let tree = Lazy.force tree64 in
+  let a = Rc_ctree.Ctree.sink_delays tree in
+  let b = Rc_ctree.Ctree.sink_delays_perturbed tree ~edge_factor:(fun _ -> 1.0) in
+  Alcotest.(check bool) "factor 1 reproduces nominal" true
+    (Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) a b)
+
+let test_perturbed_scales () =
+  let tree = Lazy.force tree64 in
+  let a = Rc_ctree.Ctree.sink_delays tree in
+  let b = Rc_ctree.Ctree.sink_delays_perturbed tree ~edge_factor:(fun _ -> 2.0) in
+  Alcotest.(check bool) "uniform factor scales delays" true
+    (Array.for_all2 (fun x y -> Float.abs ((2.0 *. x) -. y) < 1e-6) a b)
+
+let test_tree_skew_zero_sigma () =
+  let model = { Variation.default_model with Variation.sigma_corr = 0.0; sigma_wire = 0.0; trials = 10 } in
+  let s = Variation.tree_skew model (Lazy.force tree64) in
+  Alcotest.(check (float 1e-9)) "no variation, no spread" 0.0 s.Variation.mean_spread
+
+let test_tree_skew_grows_with_sigma () =
+  let m1 = { Variation.default_model with Variation.sigma_wire = 0.05; trials = 200 } in
+  let m2 = { Variation.default_model with Variation.sigma_wire = 0.20; trials = 200 } in
+  let s1 = Variation.tree_skew m1 (Lazy.force tree64) in
+  let s2 = Variation.tree_skew m2 (Lazy.force tree64) in
+  Alcotest.(check bool)
+    (Printf.sprintf "spread grows: %.2f < %.2f" s1.Variation.mean_spread s2.Variation.mean_spread)
+    true
+    (s1.Variation.mean_spread < s2.Variation.mean_spread)
+
+let test_tree_skew_deterministic () =
+  let m = { Variation.default_model with Variation.trials = 50 } in
+  let a = Variation.tree_skew m (Lazy.force tree64) in
+  let b = Variation.tree_skew m (Lazy.force tree64) in
+  Alcotest.(check (float 1e-12)) "same seed, same result" a.Variation.mean_spread
+    b.Variation.mean_spread
+
+let test_rotary_less_than_tree_when_stubs_short () =
+  (* rotary sinks with short stubs and strong ring averaging must beat a
+     tree whose paths are long *)
+  let model = { Variation.default_model with Variation.trials = 300 } in
+  let tree = Variation.tree_skew model (Lazy.force tree64) in
+  let sinks = Array.init 64 (fun i -> { Variation.ring_delay = 30.0 +. float_of_int i; stub_delay = 2.0 }) in
+  let rot = Variation.rotary_skew model sinks in
+  Alcotest.(check bool)
+    (Printf.sprintf "rotary %.2f < tree %.2f" rot.Variation.mean_spread tree.Variation.mean_spread)
+    true
+    (rot.Variation.mean_spread < tree.Variation.mean_spread)
+
+let test_summary_order () =
+  let m = { Variation.default_model with Variation.trials = 100 } in
+  let s = Variation.tree_skew m (Lazy.force tree64) in
+  Alcotest.(check bool) "mean <= p95 <= max" true
+    (s.Variation.mean_spread <= s.Variation.p95_spread +. 1e-9
+    && s.Variation.p95_spread <= s.Variation.max_spread +. 1e-9)
+
+let test_report_renders () =
+  let m = { Variation.default_model with Variation.trials = 20 } in
+  let tree = Variation.tree_skew m (Lazy.force tree64) in
+  let rot = Variation.rotary_skew m [| { Variation.ring_delay = 10.0; stub_delay = 1.0 } |] in
+  Alcotest.(check bool) "report" true
+    (String.length (Variation.compare_report ~tree ~rotary:rot) > 100)
+
+(* --- permissible ranges --- *)
+
+open Rc_skew
+
+let problem3 =
+  Skew_problem.make ~n:3
+    ~pairs:
+      [
+        { Skew_problem.i = 0; j = 1; d_max = 600.0; d_min = 400.0 };
+        { Skew_problem.i = 1; j = 2; d_max = 300.0; d_min = 100.0 };
+      ]
+    ~period:1000.0 ~t_setup:40.0 ~t_hold:15.0
+
+let test_ranges_formula () =
+  match Permissible.ranges problem3 with
+  | [ a; b ] ->
+      (* pair (0,1): lo = 15 - 400 = -385, hi = 1000-600-40 = 360 *)
+      Alcotest.(check (float 1e-9)) "lo" (-385.0) a.Permissible.lo;
+      Alcotest.(check (float 1e-9)) "hi" 360.0 a.Permissible.hi;
+      Alcotest.(check (float 1e-9)) "width" 745.0 (Permissible.width a);
+      Alcotest.(check (float 1e-9)) "lo 2" (-85.0) b.Permissible.lo;
+      Alcotest.(check (float 1e-9)) "hi 2" 660.0 b.Permissible.hi
+  | _ -> Alcotest.fail "expected two ranges"
+
+let test_ranges_slack_shrinks () =
+  let w0 = List.map Permissible.width (Permissible.ranges problem3) in
+  let w1 = List.map Permissible.width (Permissible.ranges ~slack:50.0 problem3) in
+  List.iter2
+    (fun a b -> Alcotest.(check (float 1e-9)) "each range narrows by 2M" (a -. 100.0) b)
+    w0 w1
+
+let test_margin () =
+  let r = List.hd (Permissible.ranges problem3) in
+  (* zero skew: s = 0, margins: 0-(-385) = 385 vs 360-0 = 360 -> 360 *)
+  Alcotest.(check (float 1e-9)) "zero-skew margin" 360.0
+    (Permissible.margin r ~skews:[| 0.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "violated is negative" true
+    (Permissible.margin r ~skews:[| 400.0; 0.0; 0.0 |] < 0.0)
+
+let test_min_margin_matches_check () =
+  let skews = [| 0.0; 100.0; 50.0 |] in
+  let mm = Permissible.min_margin problem3 ~skews in
+  Alcotest.(check bool) "consistent with feasibility" true
+    ((mm >= 0.0) = Skew_problem.check problem3 ~slack:0.0 ~skews)
+
+let test_histogram () =
+  let h = Permissible.histogram_widths problem3 ~bins:2 in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  Alcotest.(check int) "total" 2 (Array.fold_left (fun a (_, c) -> a + c) 0 h)
+
+let prop_margin_nonneg_for_scheduled =
+  QCheck.Test.make ~name:"max-slack schedules have margin >= slack" ~count:30
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, n) ->
+      let rng = Rc_util.Rng.create ((seed * 7) + 3) in
+      let pairs = ref [] in
+      for i = 0 to n - 2 do
+        let d_min = Rc_util.Rng.float_in rng 50.0 200.0 in
+        pairs :=
+          { Skew_problem.i; j = i + 1; d_max = d_min +. Rc_util.Rng.float_in rng 0.0 300.0; d_min }
+          :: !pairs
+      done;
+      let p = Skew_problem.make ~n ~pairs:!pairs ~period:1000.0 ~t_setup:40.0 ~t_hold:15.0 in
+      match Max_slack.solve_graph p with
+      | None -> false
+      | Some r ->
+          Permissible.min_margin p ~skews:r.Max_slack.skews >= r.Max_slack.slack -. 0.01)
+
+let () =
+  Alcotest.run "rc_variation"
+    [
+      ( "monte-carlo",
+        [
+          Alcotest.test_case "perturbed identity" `Quick test_perturbed_identity;
+          Alcotest.test_case "perturbed scaling" `Quick test_perturbed_scales;
+          Alcotest.test_case "zero sigma" `Quick test_tree_skew_zero_sigma;
+          Alcotest.test_case "spread grows with sigma" `Quick test_tree_skew_grows_with_sigma;
+          Alcotest.test_case "deterministic" `Quick test_tree_skew_deterministic;
+          Alcotest.test_case "rotary beats long tree" `Quick
+            test_rotary_less_than_tree_when_stubs_short;
+          Alcotest.test_case "summary ordering" `Quick test_summary_order;
+          Alcotest.test_case "report renders" `Quick test_report_renders;
+        ] );
+      ( "permissible",
+        [
+          Alcotest.test_case "range formula" `Quick test_ranges_formula;
+          Alcotest.test_case "slack shrinks ranges" `Quick test_ranges_slack_shrinks;
+          Alcotest.test_case "margin" `Quick test_margin;
+          Alcotest.test_case "min margin vs check" `Quick test_min_margin_matches_check;
+          Alcotest.test_case "width histogram" `Quick test_histogram;
+          QCheck_alcotest.to_alcotest prop_margin_nonneg_for_scheduled;
+        ] );
+    ]
