@@ -16,8 +16,7 @@ let quick = Array.exists (( = ) "--quick") Sys.argv
 let micro_only = Array.exists (( = ) "--micro-only") Sys.argv
 let tables_only = Array.exists (( = ) "--tables-only") Sys.argv
 
-let benches =
-  if quick then [ Bench_suite.tiny; Bench_suite.s9234 ] else Bench_suite.all
+let benches = if quick then Bench_suite.quick else Bench_suite.all
 
 (* ---- part 1: reproduction ------------------------------------------- *)
 
@@ -46,7 +45,7 @@ let reproduce () =
   let _, fig2 = Experiments.fig2 () in
   print_endline fig2;
   print_newline ();
-  (* design-choice ablations (DESIGN.md section 5) *)
+  (* design-choice ablations (DESIGN.md section 6) *)
   Printf.eprintf "[bench] running ablations...\n%!";
   print_endline (Ablation.all ());
   print_newline ();
@@ -55,6 +54,11 @@ let reproduce () =
   print_endline (Ring_sweep.report (Ring_sweep.sweep Bench_suite.tiny ~grids:[ 1; 2; 3; 4 ]));
   print_newline ();
   let o = Flow.run (Flow.default_config Bench_suite.tiny) in
+  (* per-stage regression surface: aggregated stage timings of the flow
+     just run, independent of the end-to-end numbers above *)
+  print_endline
+    (Flow_trace.summary ~title:"Per-stage summary (tiny, default flow)" o.Flow.trace);
+  print_newline ();
   let ffs, _ = Flow.ff_index o.Flow.netlist in
   let ff_positions = Array.map (fun c -> o.Flow.positions.(c)) ffs in
   Printf.printf "Local tapping trees (tiny, Section IX future work):\n";

@@ -11,8 +11,8 @@ let bench_conv =
     | None ->
         Error
           (`Msg
-            (Printf.sprintf "unknown benchmark %s (try tiny, s9234, s5378, s15850, s38417, s35932)"
-               s))
+            (Printf.sprintf "unknown benchmark %s (known: %s)" s
+               (String.concat ", " Bench_suite.names)))
   in
   let print fmt b = Format.pp_print_string fmt b.Bench_suite.bname in
   Arg.conv (parse, print)
@@ -29,7 +29,7 @@ let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Restrict to tiny + s9234 for a fast sanity pass")
 
 let effective_benches benches quick =
-  if quick then [ Bench_suite.tiny; Bench_suite.s9234 ] else pick_benches benches
+  if quick then Bench_suite.quick else pick_benches benches
 
 (* --- flow command --- *)
 
@@ -39,9 +39,10 @@ let mode_arg =
     value & opt mode_conv Flow.Netflow
     & info [ "mode" ] ~docv:"MODE" ~doc:"Assignment mode: netflow or ilp")
 
-let run_flow bench mode =
+let run_flow bench mode trace =
   let cfg = Flow.default_config ~mode bench in
-  let o = Flow.run cfg in
+  let plan = Flow.plan_of_config cfg in
+  let o = Flow.run ~plan cfg in
   Printf.printf "circuit %s: %d flip-flops, %d sequential pairs, max slack %.2f ps\n"
     bench.Bench_suite.bname
     (Rc_netlist.Netlist.n_ffs o.Flow.netlist)
@@ -52,15 +53,33 @@ let run_flow bench mode =
         "  iter %d: AFD %8.1f um, tapping %10.0f um, signal %10.0f um, power %7.2f mW\n"
         s.Flow.iteration s.Flow.afd s.Flow.tapping_wl s.Flow.signal_wl s.Flow.total_mw)
     o.Flow.history;
-  Printf.printf "CPU: flow %.2f s, placer %.2f s\n" o.Flow.cpu_flow_s o.Flow.cpu_placer_s
+  Printf.printf "CPU: flow %.2f s, placer %.2f s\n" o.Flow.cpu_flow_s o.Flow.cpu_placer_s;
+  if trace then begin
+    print_newline ();
+    print_endline "Stage plan:";
+    List.iter (fun l -> print_endline ("  " ^ l)) (Flow.describe_plan plan);
+    print_newline ();
+    print_endline
+      (Flow_trace.render
+         ~title:(Printf.sprintf "Per-stage trace (%s)" bench.Bench_suite.bname)
+         o.Flow.trace);
+    print_newline ();
+    print_endline (Flow_trace.summary o.Flow.trace)
+  end
 
 let flow_cmd =
   let bench =
     Arg.(value & opt bench_conv Bench_suite.tiny & info [ "b"; "bench" ] ~docv:"NAME" ~doc:"Circuit")
   in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print the stage plan and the structured per-stage trace (wall time and cost delta per stage execution)")
+  in
   Cmd.v
     (Cmd.info "flow" ~doc:"Run the six-stage flow on one circuit and print per-iteration metrics")
-    Term.(const run_flow $ bench $ mode_arg)
+    Term.(const run_flow $ bench $ mode_arg $ trace)
 
 (* --- tables command --- *)
 
@@ -133,6 +152,7 @@ let run_ablation which =
     | "pseudo" -> Ablation.pseudo_weight_schedule ()
     | "candidates" -> Ablation.candidate_rings ()
     | "objective" -> Ablation.skew_objectives ()
+    | "incremental" -> Ablation.incremental_engines ()
     | "engine" -> Ablation.scheduling_engines ()
     | "complement" -> Ablation.complementary_phase ()
     | "all" -> Ablation.all ()
@@ -145,7 +165,7 @@ let ablation_cmd =
     Arg.(
       value & pos 0 string "all"
       & info [] ~docv:"WHICH"
-          ~doc:"pseudo | candidates | objective | engine | complement | all")
+          ~doc:"pseudo | candidates | objective | incremental | engine | complement | all")
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run the design-choice ablations from DESIGN.md")

@@ -59,13 +59,16 @@ let candidate_rings ?(bench = Bench_suite.s9234) () =
     rows
 
 let skew_objectives ?(bench = Bench_suite.tiny) () =
-  let run use_weighted =
-    let cfg = { (Flow.default_config bench) with Flow.use_weighted_skew = use_weighted } in
-    let o, cpu = Rc_util.Timer.time (fun () -> Flow.run cfg) in
+  (* swap the stage-4 slot of the plan rather than re-branching on a
+     behavior flag: both runs share every other stage implementation *)
+  let run stage =
+    let cfg = Flow.default_config bench in
+    let plan = { (Flow.plan_of_config cfg) with Flow.cost_schedule = stage } in
+    let o, cpu = Rc_util.Timer.time (fun () -> Flow.run ~plan cfg) in
     (o, cpu)
   in
-  let minmax, t1 = run false in
-  let weighted, t2 = run true in
+  let minmax, t1 = run Flow_stages.cost_driven_minmax in
+  let weighted, t2 = run Flow_stages.cost_driven_weighted in
   Report.render
     ~title:(Printf.sprintf "Ablation: stage-4 objective (%s)" bench.Bench_suite.bname)
     ~header:[ "Objective"; "final tapping WL"; "final AFD"; "signal WL"; "CPU(s)" ]
@@ -85,6 +88,38 @@ let skew_objectives ?(bench = Bench_suite.tiny) () =
         Report.fmt_f ~dp:2 t2;
       ];
     ]
+
+let incremental_engines ?(bench = Bench_suite.tiny) () =
+  (* swap only the stage-6 slot: pseudo-net quadratic re-solve vs direct
+     relocate-and-heal, under the same placement/assignment/scheduling
+     stages; the trace supplies the per-category CPU split *)
+  let run stage =
+    let cfg = Flow.improved_config bench in
+    let plan = { (Flow.plan_of_config cfg) with Flow.replace = stage } in
+    Flow.run ~plan cfg
+  in
+  let rows =
+    List.map
+      (fun stage ->
+        let o = run stage in
+        [
+          stage.Flow_stage.variant;
+          Report.fmt_f ~dp:0 o.Flow.final.Flow.tapping_wl;
+          Report.fmt_pct
+            (Report.pct_improvement ~from:o.Flow.base.Flow.tapping_wl
+               ~to_:o.Flow.final.Flow.tapping_wl);
+          Report.fmt_f ~dp:0 o.Flow.final.Flow.signal_wl;
+          Report.fmt_f ~dp:2 o.Flow.cpu_placer_s;
+          Report.fmt_f ~dp:2 o.Flow.cpu_flow_s;
+        ])
+      [ Flow_stages.incremental_qplace; Flow_stages.incremental_relocate ]
+  in
+  Report.render
+    ~title:(Printf.sprintf "Ablation: stage-6 slot (%s)" bench.Bench_suite.bname)
+    ~header:
+      [ "Stage-6 variant"; "final tap WL"; "tap reduction"; "signal WL"; "CPU placer(s)";
+        "CPU flow(s)" ]
+    rows
 
 let scheduling_engines ?(bench = Bench_suite.tiny) () =
   let _, _, problem, _, _ = stage2_state bench in
@@ -136,6 +171,7 @@ let all ?bench () =
       pseudo_weight_schedule ?bench ();
       candidate_rings ();
       skew_objectives ?bench ();
+      incremental_engines ?bench ();
       scheduling_engines ();
       complementary_phase ();
     ]

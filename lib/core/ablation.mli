@@ -13,7 +13,12 @@ val candidate_rings : ?bench:Bench_suite.bench -> unit -> string
 
 val skew_objectives : ?bench:Bench_suite.bench -> unit -> string
 (** Stage-4 objective: min-max Δ (graph) vs weighted-sum (LP) — final
-    tapping cost and CPU. *)
+    tapping cost and CPU. Runs two flows that differ only in the
+    [cost_schedule] slot of the stage plan. *)
+
+val incremental_engines : ?bench:Bench_suite.bench -> unit -> string
+(** Stage-6 slot: pseudo-net quadratic re-solve vs direct
+    relocate-and-heal, with the per-category CPU split from the trace. *)
 
 val scheduling_engines : ?bench:Bench_suite.bench -> unit -> string
 (** Max-slack scheduling: graph binary search vs LP simplex — same

@@ -43,5 +43,10 @@ let all = [ s9234; s5378; s15850; s38417; s35932 ]
 
 let tiny = mk ~bname:"tiny" ~n_logic:220 ~n_ffs:32 ~n_nets:230 ~grid:2 ~seed:420
 
+(* the --quick subset shared by the CLI and the bench harness *)
+let quick = [ tiny; s9234 ]
+
+let names = List.map (fun b -> b.bname) (tiny :: all)
+
 let find name =
   List.find_opt (fun b -> b.bname = name) (tiny :: all)

@@ -24,5 +24,13 @@ val all : bench list
 val tiny : bench
 (** A fast miniature circuit for tests and the quickstart example. *)
 
+val quick : bench list
+(** The fast sanity subset ([tiny] + the smallest Table II circuit),
+    shared by the CLI's and the bench harness's [--quick] modes. *)
+
+val names : string list
+(** Every known benchmark name ([tiny] plus {!all}), for lookup error
+    messages — derived, so new circuits cannot drift out of sync. *)
+
 val find : string -> bench option
 (** Look up a benchmark (including "tiny") by name. *)

@@ -7,11 +7,11 @@ type suite_entry = {
 let log_progress log fmt =
   if log then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
 
-let run_suite ?(benches = Bench_suite.all) ?(with_ilp = true) ?(log = false) () =
+let run_suite ?plan ?(benches = Bench_suite.all) ?(with_ilp = true) ?(log = false) () =
   List.map
     (fun bench ->
       log_progress log "[suite] %s: network-flow flow..." bench.Bench_suite.bname;
-      let netflow = Flow.run (Flow.default_config ~mode:Flow.Netflow bench) in
+      let netflow = Flow.run ?plan (Flow.default_config ~mode:Flow.Netflow bench) in
       let ilp =
         if with_ilp then begin
           log_progress log "[suite] %s: ILP assignment on the final state..."

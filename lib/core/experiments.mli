@@ -17,11 +17,17 @@ type suite_entry = {
 }
 
 val run_suite :
-  ?benches:Bench_suite.bench list -> ?with_ilp:bool -> ?log:bool -> unit -> suite_entry list
+  ?plan:Flow.plan ->
+  ?benches:Bench_suite.bench list ->
+  ?with_ilp:bool ->
+  ?log:bool ->
+  unit ->
+  suite_entry list
 (** Run the full flow on each benchmark (default: the five Table II
     circuits); when [with_ilp] (default true) also evaluate the ILP
-    assignment on each final state. [log] prints per-circuit progress to
-    stderr. *)
+    assignment on each final state. [plan] swaps stage implementations
+    for every run (default: each config's own [Flow.plan_of_config]).
+    [log] prints per-circuit progress to stderr. *)
 
 (** {1 Table I — integrality gap of greedy rounding vs. a generic ILP solver} *)
 

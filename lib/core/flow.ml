@@ -1,9 +1,26 @@
-open Rc_geom
-open Rc_rotary
+(* The paper's Fig. 3 six-stage flow, expressed as a composition of
+   first-class stages (Flow_stage) over a typed context (Flow_ctx):
 
-type mode = Netflow | Ilp
+     1. initial placement            (qplace | qplace+detail)
+     2. max-slack skew scheduling
+     3. flip-flop-to-ring assignment (netflow | ilp)
+     4. cost-driven skew scheduling  (min-max graph | weighted MCF)
+     5. evaluation (best-state keeping + convergence decision)
+     6. pseudo-net incremental placement (qplace | relocate+heal)
 
-type config = {
+   Stages 1-3 run once, stages 4-6 iterate until the evaluation stage
+   reports convergence or the iteration budget is exhausted, then the
+   driver re-runs the assignment on the final placement and enforces the
+   stage-5 invariant: the shipped state is the minimum-cost snapshot
+   ever evaluated.  Which variant fills each swappable slot is chosen
+   once, up front, in `plan_of_config` — the driver loop itself contains
+   no behavior branching, and callers (Ablation, Experiments) may swap
+   any slot by passing a custom plan.  Every stage execution is recorded
+   in a structured Flow_trace carried in the outcome. *)
+
+type mode = Flow_ctx.mode = Netflow | Ilp
+
+type config = Flow_ctx.config = {
   tech : Rc_tech.Tech.t;
   bench : Bench_suite.bench;
   mode : mode;
@@ -44,7 +61,7 @@ let default_config ?(mode = Netflow) bench =
 let improved_config ?mode bench =
   { (default_config ?mode bench) with detail_passes = 3; pseudo_weight = 0.35 }
 
-type snapshot = {
+type snapshot = Flow_ctx.snapshot = {
   iteration : int;
   afd : float;
   tapping_wl : float;
@@ -59,268 +76,98 @@ type snapshot = {
 type outcome = {
   cfg : config;
   netlist : Rc_netlist.Netlist.t;
-  rings : Ring_array.t;
+  rings : Rc_rotary.Ring_array.t;
   base : snapshot;
   final : snapshot;
   history : snapshot list;
-  positions : Point.t array;
+  positions : Rc_geom.Point.t array;
   assignment : Rc_assign.Assign.t;
   skews : float array;
   slack : float;
   stage4_slack : float;
   n_pairs : int;
   ilp_stats : Rc_assign.Assign.ilp_stats option;
-  cpu_flow_s : float;
-  cpu_placer_s : float;
+  trace : Flow_trace.t;
+  cpu_flow_s : float;  (* derived: trace total over Optimizer stages *)
+  cpu_placer_s : float;  (* derived: trace total over Placer stages *)
 }
 
-let ff_index netlist =
-  let ffs = Rc_netlist.Netlist.flip_flops netlist in
-  let index = Array.make (Rc_netlist.Netlist.n_cells netlist) (-1) in
-  Array.iteri (fun i c -> index.(c) <- i) ffs;
-  (ffs, fun c -> index.(c))
+(* context helpers re-exported for Experiments/Ablation/bench kernels *)
+let ff_index = Flow_ctx.ff_index
+let skew_problem_of_sta = Flow_ctx.skew_problem_of_sta
+let anchors_of_assignment = Flow_ctx.anchors_of_assignment
 
-let skew_problem_of_sta tech netlist sta =
-  let _, idx = ff_index netlist in
-  let pairs =
-    List.map
-      (fun (a : Rc_timing.Sta.adjacency) ->
-        {
-          Rc_skew.Skew_problem.i = idx a.Rc_timing.Sta.src_ff;
-          j = idx a.Rc_timing.Sta.dst_ff;
-          d_max = a.Rc_timing.Sta.d_max;
-          d_min = a.Rc_timing.Sta.d_min;
-        })
-      (Rc_timing.Sta.adjacencies sta)
-  in
-  Rc_skew.Skew_problem.make
-    ~n:(Rc_netlist.Netlist.n_ffs netlist)
-    ~pairs ~period:tech.Rc_tech.Tech.clock_period ~t_setup:tech.Rc_tech.Tech.t_setup
-    ~t_hold:tech.Rc_tech.Tech.t_hold
+(* ---- the stage plan --------------------------------------------------- *)
 
-let anchors_of_assignment tech rings assignment ~ff_positions ~skews =
-  let period = Ring_array.period rings in
-  Array.mapi
-    (fun i pos ->
-      let ring = Ring_array.ring rings assignment.Rc_assign.Assign.ring_of_ff.(i) in
-      let l_i = Ring.closest_boundary_distance ring pos in
-      let arc = Ring.arc_of_point ring pos in
-      let t_ci = Tapping.stub_delay tech l_i in
-      (* pick the conductor and whole-period shift that land t_c nearest
-         to the current target *)
-      let representative conductor =
-        let tc = Ring.delay_at ring ~arc ~conductor in
-        let k = Float.round ((skews.(i) -. tc) /. period) in
-        tc +. (k *. period)
-      in
-      let t_outer = representative Ring.Outer and t_inner = representative Ring.Inner in
-      let t_c =
-        if Float.abs (skews.(i) -. t_outer) <= Float.abs (skews.(i) -. t_inner) then t_outer
-        else t_inner
-      in
-      { Rc_skew.Cost_driven.t_c; t_ci; weight = l_i })
-    ff_positions
+(* one stage value per slot of the six-stage flow; swap any slot to run
+   a variant flow without touching the driver *)
+type plan = {
+  place : Flow_stage.t;  (* stage 1 *)
+  schedule : Flow_stage.t;  (* stage 2 *)
+  assign : Flow_stage.t;  (* stage 3 (also re-run per iteration and at the end) *)
+  cost_schedule : Flow_stage.t;  (* stage 4 *)
+  evaluate : Flow_stage.t;  (* stage 5 *)
+  replace : Flow_stage.t;  (* stage 6 *)
+}
 
-let take_snapshot cfg netlist positions (assignment : Rc_assign.Assign.t) ~iteration =
-  let tech = cfg.tech in
-  let n_ffs = Rc_netlist.Netlist.n_ffs netlist in
-  let tapping_wl = assignment.Rc_assign.Assign.total_cost in
-  let signal_wl = Rc_place.Wirelength.total netlist positions in
-  let clock_mw = Rc_power.Power.clock_power_mw tech ~tapping_wirelength:tapping_wl ~n_ffs in
-  let signal_mw = Rc_power.Power.signal_power_mw tech netlist positions in
+let plan_of_config cfg =
   {
-    iteration;
-    afd = (if n_ffs = 0 then 0.0 else tapping_wl /. float_of_int n_ffs);
-    tapping_wl;
-    signal_wl;
-    total_wl = tapping_wl +. signal_wl;
-    clock_mw;
-    signal_mw;
-    total_mw = clock_mw +. signal_mw;
-    max_load_ff = assignment.Rc_assign.Assign.max_load;
+    place = Flow_stages.placement_of cfg;
+    schedule = Flow_stages.max_slack_scheduling;
+    assign = Flow_stages.assignment_of cfg.mode;
+    cost_schedule = Flow_stages.cost_driven_of cfg;
+    evaluate = Flow_stages.evaluation;
+    replace = Flow_stages.incremental_of cfg;
   }
 
-let run_on cfg netlist =
-  let tech = cfg.tech in
-  let bench = cfg.bench in
-  let chip = bench.Bench_suite.gen.Rc_netlist.Generator.chip in
-  let rings =
-    Ring_array.create ~period:tech.Rc_tech.Tech.clock_period ~chip
-      ~grid:bench.Bench_suite.ring_grid ()
-  in
-  let ffs, _ = ff_index netlist in
-  let n_ffs = Array.length ffs in
-  let cpu_placer = ref 0.0 and cpu_flow = ref 0.0 in
-  (* stage 1: initial placement (global + detailed refinement) *)
-  let init, t_place =
-    Rc_util.Timer.time (fun () ->
-        let global = Rc_place.Qplace.initial netlist ~chip in
-        if cfg.detail_passes > 0 then
-          fst
-            (Rc_place.Detail.refine ~max_passes:cfg.detail_passes netlist ~chip ~site:10.0
-               global.Rc_place.Qplace.positions)
-        else global.Rc_place.Qplace.positions)
-  in
-  cpu_placer := !cpu_placer +. t_place;
-  let positions = ref init in
-  (* stage 2: max-slack scheduling *)
-  let (problem0, schedule), t_sched =
-    Rc_util.Timer.time (fun () ->
-        let sta = Rc_timing.Sta.analyze tech netlist ~positions:!positions in
-        let problem = skew_problem_of_sta tech netlist sta in
-        match Rc_skew.Max_slack.solve_graph problem with
-        | Some s -> (problem, s)
-        | None -> failwith "Flow.run: max-slack scheduling infeasible")
-  in
-  cpu_flow := !cpu_flow +. t_sched;
-  let slack_star = schedule.Rc_skew.Max_slack.slack in
-  let stage4_slack =
-    if Float.is_finite slack_star then cfg.slack_fraction *. Float.max slack_star 0.0 else 0.0
-  in
-  let skews = ref schedule.Rc_skew.Max_slack.skews in
-  let n_pairs = List.length problem0.Rc_skew.Skew_problem.pairs in
-  let ff_positions () = Array.map (fun c -> !positions.(c)) ffs in
-  (* stage 3 runner *)
-  let ilp_stats = ref None in
-  let assign () =
-    match cfg.mode with
-    | Netflow ->
-        let capacities =
-          Ring_array.default_capacities rings ~n_ffs ~slack:cfg.capacity_slack
-        in
-        Rc_assign.Assign.by_netflow ~candidates:cfg.candidates ~capacities tech rings
-          ~ff_positions:(ff_positions ()) ~targets:!skews
-    | Ilp ->
-        let a, st =
-          Rc_assign.Assign.by_ilp ~candidates:cfg.candidates tech rings
-            ~ff_positions:(ff_positions ()) ~targets:!skews
-        in
-        ilp_stats := Some st;
-        a
-  in
-  let (assignment0 : Rc_assign.Assign.t), t_assign = Rc_util.Timer.time assign in
-  cpu_flow := !cpu_flow +. t_assign;
-  let assignment = ref assignment0 in
-  let base = take_snapshot cfg netlist !positions assignment0 ~iteration:0 in
-  let history = ref [ base ] in
-  (* stage-5 objective: weighted sum of tapping and signal wirelength *)
-  let cost_of snap = snap.signal_wl +. (cfg.tapping_weight *. snap.tapping_wl) in
-  let current_cost = ref (cost_of base) in
-  (* stage 5 keeps the best state seen so a regressing last iteration
-     cannot ship *)
-  let best_total = ref (cost_of base) in
-  let best_positions = ref !positions
-  and best_skews = ref !skews
-  and best_assignment = ref assignment0 in
-  let remember snap =
-    if cost_of snap < !best_total then begin
-      best_total := cost_of snap;
-      best_positions := !positions;
-      best_skews := !skews;
-      best_assignment := !assignment
-    end
-  in
-  (* stage 4-6 iterations *)
-  let iter = ref 0 and converged = ref false in
-  while (not !converged) && !iter < cfg.max_iterations do
-    incr iter;
-    let (), t_iter =
-      Rc_util.Timer.time (fun () ->
-          (* stage 4: cost-driven skew scheduling on fresh timing *)
-          let sta = Rc_timing.Sta.analyze tech netlist ~positions:!positions in
-          let problem = skew_problem_of_sta tech netlist sta in
-          let anchors =
-            anchors_of_assignment tech rings !assignment ~ff_positions:(ff_positions ())
-              ~skews:!skews
-          in
-          let scheduled =
-            if cfg.use_weighted_skew then
-              Rc_skew.Cost_driven.solve_weighted_mcf problem ~slack:stage4_slack ~anchors
-            else Rc_skew.Cost_driven.solve_minmax_graph problem ~slack:stage4_slack ~anchors
-          in
-          (match scheduled with
-          | Some r ->
-              (* polish the extreme-point schedule: pull every target as
-                 close to its anchor as the constraints allow *)
-              skews :=
-                Rc_skew.Cost_driven.refine_toward_anchors problem ~slack:stage4_slack ~anchors
-                  ~skews:r.Rc_skew.Cost_driven.skews
-          | None -> ());
-          (* re-assign with the new targets *)
-          assignment := assign ())
-    in
-    cpu_flow := !cpu_flow +. t_iter;
-    (* stage 5: evaluate *)
-    let snap = take_snapshot cfg netlist !positions !assignment ~iteration:!iter in
-    history := snap :: !history;
-    remember snap;
-    let improvement = (!current_cost -. cost_of snap) /. Float.max !current_cost 1.0 in
-    current_cost := Float.min !current_cost (cost_of snap);
-    if improvement < cfg.convergence_tol && !iter > 1 then converged := true
-    else if !iter < cfg.max_iterations then begin
-      (* stage 6: incremental placement with pseudo-nets to tap points *)
-      let weight = cfg.pseudo_weight *. (cfg.pseudo_growth ** float_of_int (!iter - 1)) in
-      let pseudo =
-        Array.to_list
-          (Array.mapi
-             (fun i cell ->
-               {
-                 Rc_place.Qplace.cell;
-                 anchor = !assignment.Rc_assign.Assign.taps.(i).Tapping.point;
-                 weight;
-               })
-             ffs)
-      in
-      let inc, t_inc =
-        Rc_util.Timer.time (fun () ->
-            if cfg.detail_passes > 0 then begin
-              (* minimal disturbance: step flip-flops toward their taps
-                 and heal the logic around them with flip-flops frozen,
-                 preserving the refined placement's quality *)
-              let moved =
-                Rc_place.Qplace.relocate netlist ~chip ~site:10.0 ~prev:!positions ~pseudo
-              in
-              fst
-                (Rc_place.Detail.refine ~max_passes:cfg.detail_passes
-                   ~frozen:(Rc_netlist.Netlist.is_ff netlist) netlist ~chip ~site:10.0 moved)
-            end
-            else
-              (Rc_place.Qplace.incremental ~stability:cfg.stability netlist ~chip
-                 ~prev:!positions ~pseudo)
-                .Rc_place.Qplace.positions)
-      in
-      cpu_placer := !cpu_placer +. t_inc;
-      positions := inc
-    end
-  done;
-  (* final evaluation after the last movement *)
-  let (last_assignment : Rc_assign.Assign.t), t_final = Rc_util.Timer.time assign in
-  cpu_flow := !cpu_flow +. t_final;
-  assignment := last_assignment;
-  let last = take_snapshot cfg netlist !positions last_assignment ~iteration:(!iter + 1) in
-  remember last;
-  (* ship the best state stage 5 saw *)
-  positions := !best_positions;
-  skews := !best_skews;
-  assignment := !best_assignment;
-  let final_assignment = !best_assignment in
-  let final = { (take_snapshot cfg netlist !positions final_assignment ~iteration:(!iter + 1)) with iteration = !iter + 1 } in
+let stages_of_plan p =
+  [ p.place; p.schedule; p.assign; p.cost_schedule; p.evaluate; p.replace ]
+
+let describe_plan p = List.map Flow_stage.describe (stages_of_plan p)
+
+(* ---- the driver -------------------------------------------------------- *)
+
+let outcome_of (ctx : Flow_ctx.t) =
+  let history = List.rev ctx.Flow_ctx.history in
+  let base = List.hd history in
+  let final = List.hd ctx.Flow_ctx.history in
   {
-    cfg;
-    netlist;
-    rings;
+    cfg = ctx.Flow_ctx.cfg;
+    netlist = ctx.Flow_ctx.netlist;
+    rings = ctx.Flow_ctx.rings;
     base;
     final;
-    history = List.rev (final :: !history);
-    positions = !positions;
-    assignment = final_assignment;
-    skews = !skews;
-    slack = slack_star;
-    stage4_slack;
-    n_pairs;
-    ilp_stats = !ilp_stats;
-    cpu_flow_s = !cpu_flow;
-    cpu_placer_s = !cpu_placer;
+    history;
+    positions = ctx.Flow_ctx.positions;
+    assignment = Flow_ctx.assignment_exn ctx;
+    skews = ctx.Flow_ctx.skews;
+    slack = ctx.Flow_ctx.slack;
+    stage4_slack = ctx.Flow_ctx.stage4_slack;
+    n_pairs = ctx.Flow_ctx.n_pairs;
+    ilp_stats = ctx.Flow_ctx.ilp_stats;
+    trace = ctx.Flow_ctx.trace;
+    cpu_flow_s = Flow_trace.total_wall ~category:Flow_trace.Optimizer ctx.Flow_ctx.trace;
+    cpu_placer_s = Flow_trace.total_wall ~category:Flow_trace.Placer ctx.Flow_ctx.trace;
   }
 
-let run cfg = run_on cfg (Rc_netlist.Generator.generate cfg.bench.Bench_suite.gen)
+let run_on ?plan cfg netlist =
+  let plan = match plan with Some p -> p | None -> plan_of_config cfg in
+  let ctx = Flow_ctx.create cfg netlist in
+  (* prologue (iteration 0): place, schedule, assign, evaluate the base *)
+  let ctx =
+    Flow_stage.run_sequence [ plan.place; plan.schedule; plan.assign; plan.evaluate ] ctx
+  in
+  (* stage 4-6 iterations *)
+  let ctx =
+    Flow_stage.run_loop ~max_iterations:cfg.max_iterations
+      [ plan.cost_schedule; plan.assign; plan.evaluate; plan.replace ]
+      ctx
+  in
+  (* epilogue: re-assign on the final placement, then enforce the stage-5
+     best-state-keeping invariant (ship the minimum-cost snapshot) *)
+  let ctx = { ctx with Flow_ctx.iteration = ctx.Flow_ctx.iteration + 1 } in
+  let ctx = Flow_stage.run_sequence [ plan.assign ] ctx in
+  let ctx = Flow_stage.exec Flow_stages.finalize ctx in
+  outcome_of ctx
+
+let run ?plan cfg = run_on ?plan cfg (Rc_netlist.Generator.generate cfg.bench.Bench_suite.gen)

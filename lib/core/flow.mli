@@ -1,22 +1,29 @@
-(** The integrated placement and skew optimization flow of Fig. 3:
+(** The integrated placement and skew optimization flow of Fig. 3,
+    expressed as a composition of first-class stages (see
+    {!Flow_stage}) over a typed context ({!Flow_ctx}):
 
-    1. initial placement (quadratic placer);
+    1. initial placement (quadratic placer, optionally + detailed
+       refinement);
     2. max-slack skew scheduling on the placed design;
     3. flip-flop-to-ring assignment (network flow, or the min-max-load
        ILP heuristic);
     4. cost-driven skew scheduling at a prespecified slack, pulling each
        delay target toward the phase of its ring's closest point;
-    5. cost evaluation (tapping + signal wirelength);
+    5. cost evaluation (tapping + signal wirelength) — keeps the best
+       state seen and decides convergence;
     6. incremental placement with a pseudo-net per flip-flop pulling it
        toward its tapping point — then back to 3, until converged or
        [max_iterations] passes ran.
 
-    The "base case" of Table III is the state right after the first
-    pass of stage 3. *)
+    The variant filling each swappable slot (stage 1, 3, 4, 6) is chosen
+    once in {!plan_of_config}; the driver itself contains no behavior
+    branching.  Callers can swap any slot by passing a custom {!plan}.
+    The "base case" of Table III is the state right after the first pass
+    of stage 3. *)
 
-type mode = Netflow | Ilp
+type mode = Flow_ctx.mode = Netflow | Ilp
 
-type config = {
+type config = Flow_ctx.config = {
   tech : Rc_tech.Tech.t;
   bench : Bench_suite.bench;
   mode : mode;
@@ -27,7 +34,7 @@ type config = {
   pseudo_growth : float;  (** Multiplier per iteration. *)
   stability : float;  (** Incremental-placement stability spring. *)
   slack_fraction : float;  (** Prespecified M for stage 4, as a fraction of the stage-2 maximum slack. *)
-  use_weighted_skew : bool;  (** Stage 4: exact weighted-sum scheduling (min-cost-flow dual) instead of min-max Δ. *)
+  use_weighted_skew : bool;  (** Stage 4 default: exact weighted-sum scheduling (min-cost-flow dual) instead of min-max Δ. *)
   convergence_tol : float;  (** Stop when total cost improves less than this fraction. *)
   detail_passes : int;  (** Detailed-placement refinement passes after each placement (0 disables; flip-flops are frozen during incremental refinement). *)
   tapping_weight : float;  (** Stage-5 evaluates signal_wl + weight × tapping_wl (the paper's "weighted sum of total tapping cost and traditional placement cost"). *)
@@ -43,7 +50,7 @@ val improved_config : ?mode:mode -> Bench_suite.bench -> config
     flip-flop-frozen healing — cuts tapping wirelength much harder at no
     signal cost (see the bench's "beyond the paper" section). *)
 
-type snapshot = {
+type snapshot = Flow_ctx.snapshot = {
   iteration : int;
   afd : float;  (** Average flip-flop distance = tapping WL / #FFs, µm. *)
   tapping_wl : float;  (** Total tapping wirelength, µm. *)
@@ -69,17 +76,44 @@ type outcome = {
   stage4_slack : float;  (** The prespecified M used by stage 4. *)
   n_pairs : int;  (** Sequentially adjacent pairs seen by scheduling. *)
   ilp_stats : Rc_assign.Assign.ilp_stats option;  (** Set in [Ilp] mode. *)
-  cpu_flow_s : float;  (** Stages 2-5 total, s. *)
-  cpu_placer_s : float;  (** Initial + incremental placement, s. *)
+  trace : Flow_trace.t;
+      (** Structured per-stage trace: one event per stage execution with
+          wall time, objective delta and the stage's decision note. *)
+  cpu_flow_s : float;  (** Derived from [trace]: total over {!Flow_trace.Optimizer} stages, s. *)
+  cpu_placer_s : float;  (** Derived from [trace]: total over {!Flow_trace.Placer} stages, s. *)
 }
 
-val run : config -> outcome
-(** Execute the full flow on the benchmark's generated circuit.
+(** One stage value per slot of the six-stage flow.  [assign] is also
+    re-run inside each iteration (after stage 4) and once more in the
+    epilogue, exactly as in the paper's loop. *)
+type plan = {
+  place : Flow_stage.t;  (** stage 1 *)
+  schedule : Flow_stage.t;  (** stage 2 *)
+  assign : Flow_stage.t;  (** stage 3 *)
+  cost_schedule : Flow_stage.t;  (** stage 4 *)
+  evaluate : Flow_stage.t;  (** stage 5 *)
+  replace : Flow_stage.t;  (** stage 6 *)
+}
+
+val plan_of_config : config -> plan
+(** Select the stage variant for every swappable slot from the config:
+    [detail_passes] picks the placement/replacement pair, [mode] the
+    assignment engine, [use_weighted_skew] the stage-4 objective. *)
+
+val stages_of_plan : plan -> Flow_stage.t list
+(** The six stage values in flow order. *)
+
+val describe_plan : plan -> string list
+(** One line per stage: name, variant, declared inputs/outputs. *)
+
+val run : ?plan:plan -> config -> outcome
+(** Execute the full flow on the benchmark's generated circuit, with
+    [plan] (default [plan_of_config cfg]) filling the stage slots.
     @raise Failure when skew scheduling is infeasible (the generated
     circuit violates the clock period — does not happen for the shipped
     benchmarks). *)
 
-val run_on : config -> Rc_netlist.Netlist.t -> outcome
+val run_on : ?plan:plan -> config -> Rc_netlist.Netlist.t -> outcome
 (** Execute the flow on a caller-supplied netlist (e.g. an imported
     ISCAS89 .bench circuit). The config's benchmark record still
     provides the die outline and ring grid. *)

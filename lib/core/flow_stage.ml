@@ -1,0 +1,73 @@
+(* First-class flow stages and the driver that executes them.
+
+   A stage is a named, categorized ctx -> ctx function with declared
+   inputs/outputs (context fields it consumes/produces — documentation
+   that is also surfaced by `describe`).  The driver `exec` times every
+   execution, measures how the stage moved the stage-5 objective, and
+   appends a Flow_trace event; `run_loop` implements the stage 4-6
+   iteration scheme: stop when the evaluation stage reports convergence
+   or the iteration budget is exhausted, and skip advance-only stages
+   (stage 6) when no further iteration will consume their output. *)
+
+type t = {
+  name : string;  (* canonical stage name, shared by all variants of a slot *)
+  variant : string;  (* which implementation fills the slot *)
+  category : Flow_trace.category;
+  inputs : string list;  (* Flow_ctx fields consumed *)
+  outputs : string list;  (* Flow_ctx fields produced/updated *)
+  advance : bool;  (* only prepares the next iteration; skip when the loop ends *)
+  run : Flow_ctx.t -> Flow_ctx.t;
+}
+
+let make ~name ~variant ~category ?(inputs = []) ?(outputs = []) ?(advance = false) run =
+  { name; variant; category; inputs; outputs; advance; run }
+
+let describe st =
+  Printf.sprintf "%-24s [%s] %s -> %s" st.name st.variant
+    (String.concat ", " st.inputs)
+    (String.concat ", " st.outputs)
+
+(* run one stage: time it, compute the objective delta across it, and
+   record the trace event (consuming the stage's note) *)
+let exec st (ctx : Flow_ctx.t) =
+  let cost_before = Flow_ctx.current_objective ctx in
+  let ctx', wall_s = Rc_util.Timer.time (fun () -> st.run ctx) in
+  let cost_after = Flow_ctx.current_objective ctx' in
+  let cost_delta =
+    match (cost_before, cost_after) with
+    | Some b, Some a -> Some (a -. b)
+    | _ -> None
+  in
+  let event =
+    {
+      Flow_trace.stage = st.name;
+      variant = st.variant;
+      category = st.category;
+      iteration = ctx'.Flow_ctx.iteration;
+      wall_s;
+      cost_delta;
+      note = ctx'.Flow_ctx.note;
+    }
+  in
+  { ctx' with Flow_ctx.trace = Flow_trace.record ctx'.Flow_ctx.trace event; note = "" }
+
+let run_sequence stages ctx = List.fold_left (fun c st -> exec st c) ctx stages
+
+let run_loop ~max_iterations stages ctx =
+  let rec go (ctx : Flow_ctx.t) =
+    if ctx.Flow_ctx.converged || ctx.Flow_ctx.iteration >= max_iterations then ctx
+    else
+      let ctx = { ctx with Flow_ctx.iteration = ctx.Flow_ctx.iteration + 1 } in
+      let ctx =
+        List.fold_left
+          (fun (c : Flow_ctx.t) st ->
+            if c.Flow_ctx.converged then c
+              (* evaluation decided this iteration is the last *)
+            else if st.advance && c.Flow_ctx.iteration >= max_iterations then c
+              (* no next iteration to prepare *)
+            else exec st c)
+          ctx stages
+      in
+      go ctx
+  in
+  go ctx

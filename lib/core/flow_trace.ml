@@ -1,0 +1,113 @@
+(* Structured per-stage trace of a flow run.
+
+   Every stage execution appends one event: which stage ran (canonical
+   name + the variant actually plugged in), at which iteration, how long
+   it took, and how it moved the stage-5 objective.  The trace replaces
+   the old cpu_flow_s/cpu_placer_s ref pair: those totals are now
+   derived by summing events per category, so the per-stage breakdown
+   and the reported CPU split can never disagree. *)
+
+(* the legacy CPU split: placement-type stages vs everything else
+   (scheduling, assignment, evaluation) *)
+type category = Placer | Optimizer
+
+type event = {
+  stage : string;  (* canonical stage name, one of six *)
+  variant : string;  (* implementation plugged into that slot *)
+  category : category;
+  iteration : int;  (* 0 = prologue, 1..k = loop, k+1 = epilogue *)
+  wall_s : float;
+  cost_delta : float option;
+      (* change of the stage-5 objective (signal WL + w * tapping WL)
+         across the stage; None while the objective is not yet defined
+         (before the first assignment exists) *)
+  note : string;  (* stage-reported decision, e.g. convergence verdict *)
+}
+
+type t = { rev_events : event list; n : int }
+
+let empty = { rev_events = []; n = 0 }
+let record t event = { rev_events = event :: t.rev_events; n = t.n + 1 }
+let length t = t.n
+let events t = List.rev t.rev_events
+
+let total_wall ?category t =
+  List.fold_left
+    (fun acc e ->
+      match category with
+      | Some c when c <> e.category -> acc
+      | _ -> acc +. e.wall_s)
+    0.0 t.rev_events
+
+let iterations t =
+  List.sort_uniq compare (List.map (fun e -> e.iteration) (events t))
+
+let stages_of_iteration t i =
+  List.filter (fun e -> e.iteration = i) (events t)
+
+let stage_names t =
+  (* distinct canonical names, in first-appearance order *)
+  List.rev
+    (List.fold_left
+       (fun acc e -> if List.mem e.stage acc then acc else e.stage :: acc)
+       [] (events t))
+
+let fmt_delta = function
+  | None -> "--"
+  | Some d -> Printf.sprintf "%+.0f" d
+
+(* per-event table: one row per stage execution, chronological *)
+let render ?(title = "Per-stage trace") t =
+  Report.render ~title
+    ~header:[ "Iter"; "Stage"; "Variant"; "Wall (ms)"; "dCost (um)"; "Note" ]
+    ~aligns:[ Report.R; L; L; R; R; L ]
+    (List.map
+       (fun e ->
+         [
+           string_of_int e.iteration;
+           e.stage;
+           e.variant;
+           Printf.sprintf "%.3f" (e.wall_s *. 1000.0);
+           fmt_delta e.cost_delta;
+           e.note;
+         ])
+       (events t))
+
+(* aggregate table: one row per (stage, variant) with call count, total
+   and mean wall time, and the summed objective movement *)
+let summary ?(title = "Per-stage summary") t =
+  let keys =
+    List.rev
+      (List.fold_left
+         (fun acc e ->
+           let k = (e.stage, e.variant) in
+           if List.mem k acc then acc else k :: acc)
+         [] (events t))
+  in
+  let rows =
+    List.map
+      (fun (stage, variant) ->
+        let es =
+          List.filter (fun e -> e.stage = stage && e.variant = variant) (events t)
+        in
+        let calls = List.length es in
+        let wall = List.fold_left (fun a e -> a +. e.wall_s) 0.0 es in
+        let delta =
+          List.fold_left
+            (fun a e -> match e.cost_delta with Some d -> a +. d | None -> a)
+            0.0 es
+        in
+        [
+          stage;
+          variant;
+          string_of_int calls;
+          Printf.sprintf "%.3f" (wall *. 1000.0);
+          Printf.sprintf "%.3f" (wall /. float_of_int (max calls 1) *. 1000.0);
+          Printf.sprintf "%+.0f" delta;
+        ])
+      keys
+  in
+  Report.render ~title
+    ~header:[ "Stage"; "Variant"; "Calls"; "Total (ms)"; "Mean (ms)"; "Sum dCost (um)" ]
+    ~aligns:[ Report.L; L; R; R; R; R ]
+    rows

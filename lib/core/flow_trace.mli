@@ -1,0 +1,50 @@
+(** Structured per-stage trace of a flow run.
+
+    One {!event} is recorded per stage execution.  The legacy
+    [cpu_flow_s]/[cpu_placer_s] split of {!Flow.outcome} is derived from
+    the trace by summing per {!category}, so the per-stage breakdown and
+    the reported totals cannot disagree. *)
+
+type category =
+  | Placer  (** initial + incremental placement (the old [cpu_placer_s]) *)
+  | Optimizer  (** scheduling, assignment, evaluation (the old [cpu_flow_s]) *)
+
+type event = {
+  stage : string;  (** canonical stage name, one of the six *)
+  variant : string;  (** implementation plugged into that slot *)
+  category : category;
+  iteration : int;  (** 0 = prologue, 1..k = loop, k+1 = epilogue *)
+  wall_s : float;
+  cost_delta : float option;
+      (** change of the stage-5 objective across the stage; [None] while
+          the objective is undefined (no assignment yet) *)
+  note : string;  (** stage-reported decision, e.g. convergence verdict *)
+}
+
+type t
+
+val empty : t
+val record : t -> event -> t
+val length : t -> int
+
+val events : t -> event list
+(** Chronological. *)
+
+val total_wall : ?category:category -> t -> float
+(** Sum of wall times, optionally restricted to one category. *)
+
+val iterations : t -> int list
+(** Distinct iteration numbers, ascending. *)
+
+val stages_of_iteration : t -> int -> event list
+(** Chronological events of one iteration. *)
+
+val stage_names : t -> string list
+(** Distinct canonical stage names, in first-appearance order. *)
+
+val render : ?title:string -> t -> string
+(** Per-event table: one row per stage execution, chronological. *)
+
+val summary : ?title:string -> t -> string
+(** Aggregate table: one row per (stage, variant) with call count,
+    total/mean wall time, and summed objective movement. *)

@@ -124,6 +124,111 @@ let test_history_monotone_cost () =
   Alcotest.(check bool) "total cost improves" true
     (o.Flow.final.Flow.total_wl <= o.Flow.base.Flow.total_wl)
 
+let test_best_state_restored () =
+  (* the shipped outcome must equal the minimum-cost snapshot in the
+     history: the stage-5 best-state-keeping invariant the driver
+     enforces (a regressing last iteration cannot ship) *)
+  let check name o =
+    let cost (s : Flow.snapshot) =
+      s.Flow.signal_wl +. (o.Flow.cfg.Flow.tapping_weight *. s.Flow.tapping_wl)
+    in
+    let min_cost =
+      List.fold_left (fun acc s -> Float.min acc (cost s)) infinity o.Flow.history
+    in
+    Alcotest.(check (float 1e-6))
+      (name ^ ": shipped = min-cost snapshot")
+      min_cost (cost o.Flow.final);
+    (* and the shipped arrays are consistent with that snapshot *)
+    Alcotest.(check (float 1e-6))
+      (name ^ ": assignment matches final snapshot")
+      o.Flow.final.Flow.tapping_wl o.Flow.assignment.Rc_assign.Assign.total_cost
+  in
+  check "netflow" (Lazy.force tiny_outcome);
+  check "ilp" (Lazy.force tiny_ilp)
+
+let canonical_stages =
+  [
+    "placement";
+    "max-slack scheduling";
+    "assignment";
+    "cost-driven scheduling";
+    "evaluation";
+    "incremental placement";
+  ]
+
+let test_trace_structure () =
+  let o = Lazy.force tiny_outcome in
+  let t = o.Flow.trace in
+  let events = Flow_trace.events t in
+  Alcotest.(check bool) "has events" true (List.length events > 0);
+  (* the trace names exactly the six stages, nothing else *)
+  Alcotest.(check (slist string compare))
+    "exactly the six stages" canonical_stages (Flow_trace.stage_names t);
+  (* wall times are non-negative *)
+  List.iter
+    (fun (e : Flow_trace.event) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "wall >= 0 (%s@%d)" e.Flow_trace.stage e.Flow_trace.iteration)
+        true
+        (e.Flow_trace.wall_s >= 0.0))
+    events;
+  (* per-iteration structure: prologue = stages 1,2,3 + evaluation; every
+     loop iteration runs cost-driven scheduling, assignment, evaluation
+     (+ incremental placement when another iteration follows) *)
+  let names i =
+    List.map (fun (e : Flow_trace.event) -> e.Flow_trace.stage) (Flow_trace.stages_of_iteration t i)
+  in
+  Alcotest.(check (list string))
+    "prologue stages"
+    [ "placement"; "max-slack scheduling"; "assignment"; "evaluation" ]
+    (names 0);
+  let last = List.fold_left max 0 (Flow_trace.iterations t) in
+  (* loop iterations 1..k: stage 4 then 3 then 5 (stage 6 only when a
+     further iteration consumes it); epilogue k+1: stage 3 then 5 *)
+  List.iter
+    (fun i ->
+      if i > 0 && i < last then begin
+        let n = names i in
+        Alcotest.(check (list string))
+          (Printf.sprintf "iteration %d prefix" i)
+          [ "cost-driven scheduling"; "assignment"; "evaluation" ]
+          (List.filteri (fun k _ -> k < 3) n);
+        Alcotest.(check bool)
+          (Printf.sprintf "iteration %d tail" i)
+          true
+          (match List.filteri (fun k _ -> k >= 3) n with
+          | [] | [ "incremental placement" ] -> true
+          | _ -> false)
+      end)
+    (Flow_trace.iterations t);
+  Alcotest.(check (list string)) "epilogue stages" [ "assignment"; "evaluation" ] (names last);
+  (* the reported CPU split is exactly the trace totals per category *)
+  Alcotest.(check (float 1e-9))
+    "cpu_flow_s = optimizer total" o.Flow.cpu_flow_s
+    (Flow_trace.total_wall ~category:Flow_trace.Optimizer t);
+  Alcotest.(check (float 1e-9))
+    "cpu_placer_s = placer total" o.Flow.cpu_placer_s
+    (Flow_trace.total_wall ~category:Flow_trace.Placer t);
+  Alcotest.(check (float 1e-9))
+    "split covers the whole trace"
+    (Flow_trace.total_wall t)
+    (o.Flow.cpu_flow_s +. o.Flow.cpu_placer_s)
+
+let test_plan_swap_matches_config_flag () =
+  (* swapping the stage-4 slot must be exactly equivalent to the config
+     flag the selector reads (pluggability acceptance) *)
+  let cfg = Flow.default_config Bench_suite.tiny in
+  let plan =
+    { (Flow.plan_of_config cfg) with Flow.cost_schedule = Flow_stages.cost_driven_weighted }
+  in
+  let swapped = Flow.run ~plan cfg in
+  let flagged = Flow.run { cfg with Flow.use_weighted_skew = true } in
+  Alcotest.(check (float 1e-9))
+    "same final tapping" flagged.Flow.final.Flow.tapping_wl
+    swapped.Flow.final.Flow.tapping_wl;
+  Alcotest.(check (float 1e-9))
+    "same final signal" flagged.Flow.final.Flow.signal_wl swapped.Flow.final.Flow.signal_wl
+
 let test_determinism () =
   let a = Flow.run (Flow.default_config ~mode:Flow.Netflow Bench_suite.tiny) in
   let b = Lazy.force tiny_outcome in
@@ -200,7 +305,14 @@ let () =
             test_final_schedule_meets_timing;
           Alcotest.test_case "positions legal" `Quick test_positions_legal;
           Alcotest.test_case "history cost improves" `Quick test_history_monotone_cost;
+          Alcotest.test_case "best state restored" `Quick test_best_state_restored;
           Alcotest.test_case "deterministic" `Quick test_determinism;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "six stages, per-iteration shape, CPU split" `Quick
+            test_trace_structure;
+          Alcotest.test_case "plan swap = config flag" `Quick test_plan_swap_matches_config_flag;
         ] );
       ( "modes",
         [
