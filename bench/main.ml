@@ -8,13 +8,34 @@
    computational kernel behind that table on a small instance, so
    per-kernel performance regressions are visible independently of the
    full reproduction. Pass --quick to restrict part 1 to two small
-   circuits, --micro-only / --tables-only to run a single part. *)
+   circuits, --micro-only / --tables-only to run a single part.
+
+   Part 3 times the flow and the experiment suite sequentially (jobs=1)
+   and at the configured job count (--jobs N / ROTARY_JOBS), and writes
+   every measurement — per-kernel micro timings, per-circuit flow wall
+   times, the suite walls, job count and git revision — to
+   BENCH_results.json (schema: DESIGN.md "Bench results file"). *)
 
 open Rc_core
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let micro_only = Array.exists (( = ) "--micro-only") Sys.argv
 let tables_only = Array.exists (( = ) "--tables-only") Sys.argv
+
+let jobs_arg =
+  let n = Array.length Sys.argv in
+  let rec scan i =
+    if i >= n then None
+    else if Sys.argv.(i) = "--jobs" && i + 1 < n then int_of_string_opt Sys.argv.(i + 1)
+    else
+      match String.length Sys.argv.(i) with
+      | l when l > 7 && String.sub Sys.argv.(i) 0 7 = "--jobs=" ->
+          int_of_string_opt (String.sub Sys.argv.(i) 7 (l - 7))
+      | _ -> scan (i + 1)
+  in
+  scan 1
+
+let () = Option.iter Rc_par.Pool.set_jobs jobs_arg
 
 let benches = if quick then Bench_suite.quick else Bench_suite.all
 
@@ -246,14 +267,121 @@ let micro () =
   in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols (Instance.monotonic_clock :> Measure.witness) raw in
-  Hashtbl.iter
-    (fun name ols_result ->
-      match Analyze.OLS.estimates ols_result with
-      | Some [ t ] -> Printf.printf "  %-38s %12.1f ns/run\n" name t
-      | _ -> Printf.printf "  %-38s (no estimate)\n" name)
-    results;
-  print_newline ()
+  let timings =
+    List.sort compare
+      (Hashtbl.fold
+         (fun name ols_result acc ->
+           match Analyze.OLS.estimates ols_result with
+           | Some [ t ] -> (name, Some t) :: acc
+           | _ -> (name, None) :: acc)
+         results [])
+  in
+  List.iter
+    (fun (name, t) ->
+      match t with
+      | Some t -> Printf.printf "  %-38s %12.1f ns/run\n" name t
+      | None -> Printf.printf "  %-38s (no estimate)\n" name)
+    timings;
+  print_newline ();
+  timings
+
+(* ---- part 3: sequential vs parallel wall time + results file --------- *)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | _ -> None)
+  with _ -> None
+
+let wall f = snd (Rc_util.Timer.time f)
+
+(* one sequential and one parallel run per circuit (plus the suite as a
+   whole, which also parallelizes across circuit arms) *)
+let compare_walls () =
+  let par_jobs = Rc_par.Pool.jobs () in
+  let at j f =
+    Rc_par.Pool.set_jobs j;
+    f ()
+  in
+  let flows =
+    List.map
+      (fun bench ->
+        let seq = at 1 (fun () -> wall (fun () -> ignore (Flow.run (Flow.default_config bench)))) in
+        let par =
+          at par_jobs (fun () -> wall (fun () -> ignore (Flow.run (Flow.default_config bench))))
+        in
+        (bench.Bench_suite.bname, seq, par))
+      benches
+  in
+  let suite_seq =
+    at 1 (fun () -> wall (fun () -> ignore (Experiments.run_suite ~benches ~with_ilp:false ())))
+  in
+  let suite_par =
+    at par_jobs (fun () ->
+        wall (fun () -> ignore (Experiments.run_suite ~benches ~with_ilp:false ())))
+  in
+  Rc_par.Pool.set_jobs par_jobs;
+  print_endline
+    (Report.render
+       ~title:
+         (Printf.sprintf "Wall time: sequential (--jobs 1) vs parallel (--jobs %d)" par_jobs)
+       ~header:[ "Run"; "Seq (s)"; "Par (s)"; "Speedup" ]
+       (List.map
+          (fun (name, seq, par) ->
+            [ name; Report.fmt_f ~dp:2 seq; Report.fmt_f ~dp:2 par;
+              Report.fmt_f ~dp:2 (seq /. Float.max par 1e-9) ])
+          (flows @ [ ("suite", suite_seq, suite_par) ])));
+  print_newline ();
+  (flows, (suite_seq, suite_par))
+
+let results_json micro_timings (flows, (suite_seq, suite_par)) =
+  let module J = Rc_util.Json in
+  J.Obj
+    [
+      ("schema_version", J.Int 1);
+      ("git_rev", match git_rev () with Some r -> J.String r | None -> J.Null);
+      ("jobs", J.Int (Rc_par.Pool.jobs ()));
+      ("quick", J.Bool quick);
+      ( "micro_kernels",
+        J.List
+          (List.map
+             (fun (name, t) ->
+               J.Obj
+                 [
+                   ("name", J.String name);
+                   ("ns_per_run", match t with Some t -> J.Float t | None -> J.Null);
+                 ])
+             micro_timings) );
+      ( "flow_wall_s",
+        J.List
+          (List.map
+             (fun (name, seq, par) ->
+               J.Obj
+                 [
+                   ("circuit", J.String name);
+                   ("jobs1_s", J.Float seq);
+                   ("jobsN_s", J.Float par);
+                   ("speedup", J.Float (seq /. Float.max par 1e-9));
+                 ])
+             flows) );
+      ( "suite_wall_s",
+        J.Obj
+          [
+            ("jobs1_s", J.Float suite_seq);
+            ("jobsN_s", J.Float suite_par);
+            ("speedup", J.Float (suite_seq /. Float.max suite_par 1e-9));
+          ] );
+    ]
 
 let () =
+  Printf.printf "[bench] jobs = %d%s\n%!" (Rc_par.Pool.jobs ())
+    (if quick then " (quick)" else "");
   if not micro_only then reproduce ();
-  if not tables_only then micro ()
+  let micro_timings = if not tables_only then micro () else [] in
+  let walls = compare_walls () in
+  let path = "BENCH_results.json" in
+  Rc_util.Json.to_file path (results_json micro_timings walls);
+  Printf.printf "[bench] wrote %s\n%!" path

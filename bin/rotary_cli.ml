@@ -28,6 +28,18 @@ let pick_benches = function [] -> Bench_suite.all | l -> l
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Restrict to tiny + s9234 for a fast sanity pass")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel kernels (default: the ROTARY_JOBS environment \
+           variable, else the machine's core count, capped at 8). Results are identical for \
+           any value; 1 runs fully sequentially.")
+
+let setup_jobs jobs = Option.iter Rc_par.Pool.set_jobs jobs
+
 let effective_benches benches quick =
   if quick then Bench_suite.quick else pick_benches benches
 
@@ -39,7 +51,8 @@ let mode_arg =
     value & opt mode_conv Flow.Netflow
     & info [ "mode" ] ~docv:"MODE" ~doc:"Assignment mode: netflow or ilp")
 
-let run_flow bench mode trace =
+let run_flow jobs bench mode trace =
+  setup_jobs jobs;
   let cfg = Flow.default_config ~mode bench in
   let plan = Flow.plan_of_config cfg in
   let o = Flow.run ~plan cfg in
@@ -79,7 +92,7 @@ let flow_cmd =
   in
   Cmd.v
     (Cmd.info "flow" ~doc:"Run the six-stage flow on one circuit and print per-iteration metrics")
-    Term.(const run_flow $ bench $ mode_arg $ trace)
+    Term.(const run_flow $ jobs_arg $ bench $ mode_arg $ trace)
 
 (* --- tables command --- *)
 
@@ -94,7 +107,8 @@ let tables_of_string = function
   | "fig2" -> `Fig2
   | s -> failwith ("unknown table: " ^ s)
 
-let run_tables tables benches quick bb_seconds =
+let run_tables jobs tables benches quick bb_seconds =
+  setup_jobs jobs;
   let benches = effective_benches benches quick in
   let wanted =
     match tables with [] -> [ `T1; `T2; `T3; `T4; `T5; `T6; `T7; `Fig2 ] | l -> List.map tables_of_string l
@@ -131,22 +145,24 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables (I-VII) and the Fig. 2 curve")
-    Term.(const run_tables $ tables $ benches_arg $ quick_arg $ bb_seconds)
+    Term.(const run_tables $ jobs_arg $ tables $ benches_arg $ quick_arg $ bb_seconds)
 
 (* --- info command --- *)
 
-let run_info benches quick =
+let run_info jobs benches quick =
+  setup_jobs jobs;
   let benches = effective_benches benches quick in
   print_endline (snd (Experiments.table2 ~benches ()))
 
 let info_cmd =
   Cmd.v
     (Cmd.info "info" ~doc:"Print benchmark characteristics (Table II)")
-    Term.(const run_info $ benches_arg $ quick_arg)
+    Term.(const run_info $ jobs_arg $ benches_arg $ quick_arg)
 
 (* --- ablation command --- *)
 
-let run_ablation which =
+let run_ablation jobs which =
+  setup_jobs jobs;
   let text =
     match which with
     | "pseudo" -> Ablation.pseudo_weight_schedule ()
@@ -169,11 +185,12 @@ let ablation_cmd =
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run the design-choice ablations from DESIGN.md")
-    Term.(const run_ablation $ which)
+    Term.(const run_ablation $ jobs_arg $ which)
 
 (* --- sweep command (future-work: ring count as a variable) --- *)
 
-let run_sweep bench grids =
+let run_sweep jobs bench grids =
+  setup_jobs jobs;
   let grids = match grids with [] -> [ 2; 3; 4; 5; 6 ] | l -> l in
   print_endline (Ring_sweep.report (Ring_sweep.sweep bench ~grids))
 
@@ -184,11 +201,12 @@ let sweep_cmd =
   let grids = Arg.(value & pos_all int [] & info [] ~docv:"GRID" ~doc:"Grid sizes to sweep") in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep the rotary ring count (Section IX future work)")
-    Term.(const run_sweep $ bench $ grids)
+    Term.(const run_sweep $ jobs_arg $ bench $ grids)
 
 (* --- render command --- *)
 
-let run_render bench mode out =
+let run_render jobs bench mode out =
+  setup_jobs jobs;
   let cfg = Flow.default_config ~mode bench in
   let o = Flow.run cfg in
   let ffs, _ = Flow.ff_index o.Flow.netlist in
@@ -213,11 +231,12 @@ let render_cmd =
   in
   Cmd.v
     (Cmd.info "render" ~doc:"Run the flow and render the layout (rings, cells, taps) as SVG")
-    Term.(const run_render $ bench $ mode_arg $ out)
+    Term.(const run_render $ jobs_arg $ bench $ mode_arg $ out)
 
 (* --- export command --- *)
 
-let run_export bench out_net out_pl =
+let run_export jobs bench out_net out_pl =
+  setup_jobs jobs;
   let gen = bench.Bench_suite.gen in
   let netlist = Rc_netlist.Generator.generate gen in
   let chip = gen.Rc_netlist.Generator.chip in
@@ -246,11 +265,12 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Write a benchmark circuit (and optionally its placement) to disk")
-    Term.(const run_export $ bench $ out_net $ out_pl)
+    Term.(const run_export $ jobs_arg $ bench $ out_net $ out_pl)
 
 (* --- import command (.bench) --- *)
 
-let run_import path grid pitch =
+let run_import jobs path grid pitch =
+  setup_jobs jobs;
   let side = float_of_int grid *. pitch in
   let chip = Rc_geom.Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:side ~ymax:side in
   match Rc_netlist.Bench_format.read_file ~chip path with
@@ -287,7 +307,7 @@ let import_cmd =
   in
   Cmd.v
     (Cmd.info "import" ~doc:"Run the flow on an ISCAS89 .bench netlist")
-    Term.(const run_import $ path $ grid $ pitch)
+    Term.(const run_import $ jobs_arg $ path $ grid $ pitch)
 
 let main_cmd =
   Cmd.group

@@ -12,21 +12,37 @@ let load_of_tap (tech : Rc_tech.Tech.t) (tap : Tapping.tap) =
   (tech.Rc_tech.Tech.c_wire *. tap.Tapping.wirelength) +. tech.Rc_tech.Tech.c_ff
 
 let check_inputs arr ff_positions targets =
-  ignore arr;
+  if Ring_array.n_rings arr = 0 then invalid_arg "Assign: empty ring array";
   if Array.length ff_positions <> Array.length targets then
     invalid_arg "Assign: positions/targets size mismatch"
 
-(* Tap cache: solving Eq. 1 per (ff, ring) candidate once. *)
+(* Per-flip-flop candidates: the nearest rings and the Eq. 1 tap on
+   each, as index-aligned arrays (the assignment hot path probes them
+   per attempt, so no association lists). *)
+type cand = { rings : int array; ctaps : Tapping.tap array }
+
+(* Tap cache: solving Eq. 1 per (ff, ring) candidate once.  The per-FF
+   solves are independent — the flow's second hot kernel — and fan out
+   across the domain pool; the per-FF merge order is the array index,
+   so the result is identical for any job count. *)
 let candidate_taps tech arr ~ff_positions ~targets ~candidates =
-  let n = Array.length ff_positions in
-  Array.init n (fun i ->
-      Ring_array.rings_near arr ff_positions.(i) candidates
-      |> List.map (fun rj ->
-             let tap =
-               Tapping.solve tech (Ring_array.ring arr rj) ~ff:ff_positions.(i)
-                 ~target:targets.(i)
-             in
-             (rj, tap)))
+  Rc_par.Pool.init (Array.length ff_positions) (fun i ->
+      let rings = Array.of_list (Ring_array.rings_near arr ff_positions.(i) candidates) in
+      let ctaps =
+        Array.map
+          (fun rj ->
+            Tapping.solve tech (Ring_array.ring arr rj) ~ff:ff_positions.(i)
+              ~target:targets.(i))
+          rings
+      in
+      { rings; ctaps })
+
+let tap_for c rj =
+  let m = Array.length c.rings in
+  let rec find k =
+    if k >= m then raise Not_found else if c.rings.(k) = rj then c.ctaps.(k) else find (k + 1)
+  in
+  find 0
 
 let finish tech arr taps ring_of_ff =
   let loads = Array.make (Ring_array.n_rings arr) 0.0 in
@@ -59,16 +75,22 @@ let by_netflow ?(candidates = 6) ?capacities tech arr ~ff_positions ~targets =
     invalid_arg "Assign.by_netflow: total capacity below flip-flop count";
   let rec attempt k =
     let cand = candidate_taps tech arr ~ff_positions ~targets ~candidates:k in
-    let cands =
-      List.concat
-        (List.init n (fun i ->
-             List.map
-               (fun (rj, (tap : Tapping.tap)) ->
-                 { Rc_netflow.Assignment.item = i; bin = rj; cost = tap.Tapping.wirelength })
-               cand.(i)))
-    in
+    (* candidate arcs in (ff, nearest-ring) order, built back to front *)
+    let cands = ref [] in
+    for i = n - 1 downto 0 do
+      let c = cand.(i) in
+      for q = Array.length c.rings - 1 downto 0 do
+        cands :=
+          {
+            Rc_netflow.Assignment.item = i;
+            bin = c.rings.(q);
+            cost = c.ctaps.(q).Tapping.wirelength;
+          }
+          :: !cands
+      done
+    done;
     let r =
-      Rc_netflow.Assignment.solve ~n_items:n ~n_bins:(Ring_array.n_rings arr) ~capacities cands
+      Rc_netflow.Assignment.solve ~n_items:n ~n_bins:(Ring_array.n_rings arr) ~capacities !cands
     in
     if r.Rc_netflow.Assignment.assigned < n && k < Ring_array.n_rings arr then
       attempt (min (Ring_array.n_rings arr) (2 * k))
@@ -78,7 +100,7 @@ let by_netflow ?(candidates = 6) ?capacities tech arr ~ff_positions ~targets =
         Array.init n (fun i ->
             let rj = assignment.(i) in
             if rj < 0 then invalid_arg "Assign.by_netflow: unassignable flip-flop"
-            else List.assoc rj cand.(i))
+            else tap_for cand.(i) rj)
       in
       finish tech arr taps assignment
     end
@@ -94,31 +116,38 @@ type ilp_stats = {
 }
 
 (* Build the Eq. 3 min-max ILP over the candidate arcs. Returns the LP
-   problem, the (ff, ring, var) triples and the cap variable. *)
+   problem, the (ff, ring, var, load) rows and the cap variable.
+   Explicit loops keep the LP column order identical to the candidate
+   enumeration order. *)
 let build_minmax_problem tech arr cand =
   let open Rc_lp in
   let n = Array.length cand in
   let p = Problem.create () in
   let cap_var = Problem.add_var ~lo:0.0 ~obj:1.0 p in
-  let triples =
-    Array.mapi
-      (fun i lst ->
-        List.map
-          (fun (rj, tap) ->
-            let v = Problem.add_var ~lo:0.0 ~hi:1.0 p in
-            (i, rj, v, load_of_tap tech tap))
-          lst)
-      cand
-  in
+  let triples = Array.make n [||] in
+  for i = 0 to n - 1 do
+    let c = cand.(i) in
+    let m = Array.length c.rings in
+    let row = Array.make m (0, 0, 0, 0.0) in
+    for q = 0 to m - 1 do
+      let v = Problem.add_var ~lo:0.0 ~hi:1.0 p in
+      row.(q) <- (i, c.rings.(q), v, load_of_tap tech c.ctaps.(q))
+    done;
+    triples.(i) <- row
+  done;
   (* each flip-flop on exactly one ring *)
   Array.iter
-    (fun lst -> ignore (Problem.add_row p (List.map (fun (_, _, v, _) -> (v, 1.0)) lst) Problem.Eq 1.0))
+    (fun row ->
+      ignore
+        (Problem.add_row p
+           (Array.to_list (Array.map (fun (_, _, v, _) -> (v, 1.0)) row))
+           Problem.Eq 1.0))
     triples;
   (* per-ring load <= cap *)
   let per_ring = Array.make (Ring_array.n_rings arr) [] in
   Array.iter
-    (fun lst ->
-      List.iter (fun (_, rj, v, load) -> per_ring.(rj) <- (v, load) :: per_ring.(rj)) lst)
+    (fun row ->
+      Array.iter (fun (_, rj, v, load) -> per_ring.(rj) <- (v, load) :: per_ring.(rj)) row)
     triples;
   Array.iter
     (fun entries ->
@@ -128,16 +157,11 @@ let build_minmax_problem tech arr cand =
              ((cap_var, -1.0) :: List.map (fun (v, load) -> (v, load)) entries)
              Problem.Le 0.0))
     per_ring;
-  ignore n;
   (p, triples, cap_var)
 
 let assignment_from_bins tech arr cand bins =
   let n = Array.length cand in
-  let taps =
-    Array.init n (fun i ->
-        let rj = bins.(i) in
-        List.assoc rj cand.(i))
-  in
+  let taps = Array.init n (fun i -> tap_for cand.(i) bins.(i)) in
   finish tech arr taps (Array.copy bins)
 
 let by_ilp ?(candidates = 6) tech arr ~ff_positions ~targets =
@@ -151,7 +175,9 @@ let by_ilp ?(candidates = 6) tech arr ~ff_positions ~targets =
     failwith "Assign.by_ilp: LP relaxation did not solve";
   let xlp =
     Array.to_list triples
-    |> List.concat_map (List.map (fun (i, rj, v, _) -> (i, rj, sol.Rc_lp.Simplex.x.(v))))
+    |> List.concat_map (fun row ->
+           Array.to_list
+             (Array.map (fun (i, rj, v, _) -> (i, rj, sol.Rc_lp.Simplex.x.(v))) row))
   in
   let bins = Rc_ilp.Rounding.greedy_round ~n_items:n xlp in
   let result = assignment_from_bins tech arr cand bins in
@@ -186,7 +212,8 @@ let by_branch_bound ?(candidates = 6) ?limits tech arr ~ff_positions ~targets =
     if lp.Rc_lp.Simplex.status = Rc_lp.Simplex.Optimal then lp.Rc_lp.Simplex.objective else nan
   in
   let int_vars =
-    Array.to_list triples |> List.concat_map (List.map (fun (_, _, v, _) -> v))
+    Array.to_list triples
+    |> List.concat_map (fun row -> Array.to_list (Array.map (fun (_, _, v, _) -> v) row))
   in
   let out = Rc_ilp.Branch_bound.solve ?limits p ~integer_vars:int_vars in
   let stats ok obj =
@@ -202,10 +229,10 @@ let by_branch_bound ?(candidates = 6) ?limits tech arr ~ff_positions ~targets =
   | Rc_ilp.Branch_bound.Proven_optimal | Rc_ilp.Branch_bound.Feasible ->
       let bins = Array.make n (-1) in
       Array.iter
-        (fun lst ->
-          List.iter
+        (fun row ->
+          Array.iter
             (fun (i, rj, v, _) -> if out.Rc_ilp.Branch_bound.x.(v) > 0.5 then bins.(i) <- rj)
-            lst)
+            row)
         triples;
       if Array.exists (fun b -> b < 0) bins then (None, stats false infinity)
       else begin

@@ -7,11 +7,17 @@ type suite_entry = {
 let log_progress log fmt =
   if log then Printf.eprintf (fmt ^^ "\n%!") else Printf.ifprintf stderr fmt
 
+(* The suite arms (one per circuit: the network-flow run plus the
+   optional ILP re-assignment that depends on it) are independent, so
+   they fan out across the domain pool; results come back in bench
+   order, and each run's trace events are tagged with its arm, so suite
+   output is identical for any job count. *)
 let run_suite ?plan ?(benches = Bench_suite.all) ?(with_ilp = true) ?(log = false) () =
-  List.map
+  Rc_par.Pool.map_list
     (fun bench ->
       log_progress log "[suite] %s: network-flow flow..." bench.Bench_suite.bname;
-      let netflow = Flow.run ?plan (Flow.default_config ~mode:Flow.Netflow bench) in
+      let arm = bench.Bench_suite.bname ^ "/netflow" in
+      let netflow = Flow.run ?plan ~arm (Flow.default_config ~mode:Flow.Netflow bench) in
       let ilp =
         if with_ilp then begin
           log_progress log "[suite] %s: ILP assignment on the final state..."

@@ -150,9 +150,9 @@ let outcome_of (ctx : Flow_ctx.t) =
     cpu_placer_s = Flow_trace.total_wall ~category:Flow_trace.Placer ctx.Flow_ctx.trace;
   }
 
-let run_on ?plan cfg netlist =
+let run_on ?plan ?arm cfg netlist =
   let plan = match plan with Some p -> p | None -> plan_of_config cfg in
-  let ctx = Flow_ctx.create cfg netlist in
+  let ctx = Flow_ctx.create ?arm cfg netlist in
   (* prologue (iteration 0): place, schedule, assign, evaluate the base *)
   let ctx =
     Flow_stage.run_sequence [ plan.place; plan.schedule; plan.assign; plan.evaluate ] ctx
@@ -170,4 +170,5 @@ let run_on ?plan cfg netlist =
   let ctx = Flow_stage.exec Flow_stages.finalize ctx in
   outcome_of ctx
 
-let run ?plan cfg = run_on ?plan cfg (Rc_netlist.Generator.generate cfg.bench.Bench_suite.gen)
+let run ?plan ?arm cfg =
+  run_on ?plan ?arm cfg (Rc_netlist.Generator.generate cfg.bench.Bench_suite.gen)

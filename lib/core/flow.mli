@@ -106,14 +106,15 @@ val stages_of_plan : plan -> Flow_stage.t list
 val describe_plan : plan -> string list
 (** One line per stage: name, variant, declared inputs/outputs. *)
 
-val run : ?plan:plan -> config -> outcome
+val run : ?plan:plan -> ?arm:string -> config -> outcome
 (** Execute the full flow on the benchmark's generated circuit, with
-    [plan] (default [plan_of_config cfg]) filling the stage slots.
+    [plan] (default [plan_of_config cfg]) filling the stage slots and
+    [arm] (default [""]) tagging every trace event of the run.
     @raise Failure when skew scheduling is infeasible (the generated
     circuit violates the clock period — does not happen for the shipped
     benchmarks). *)
 
-val run_on : ?plan:plan -> config -> Rc_netlist.Netlist.t -> outcome
+val run_on : ?plan:plan -> ?arm:string -> config -> Rc_netlist.Netlist.t -> outcome
 (** Execute the flow on a caller-supplied netlist (e.g. an imported
     ISCAS89 .bench circuit). The config's benchmark record still
     provides the die outline and ring grid. *)

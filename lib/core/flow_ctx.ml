@@ -50,6 +50,7 @@ type best = {
 
 type t = {
   cfg : config;
+  arm : string;  (* experiment-arm tag stamped onto trace events; "" outside a suite *)
   netlist : Rc_netlist.Netlist.t;
   chip : Rect.t;
   rings : Ring_array.t;
@@ -76,7 +77,7 @@ let ff_index netlist =
   Array.iteri (fun i c -> index.(c) <- i) ffs;
   (ffs, fun c -> index.(c))
 
-let create cfg netlist =
+let create ?(arm = "") cfg netlist =
   let chip = cfg.bench.Bench_suite.gen.Rc_netlist.Generator.chip in
   let rings =
     Ring_array.create ~period:cfg.tech.Rc_tech.Tech.clock_period ~chip
@@ -85,6 +86,7 @@ let create cfg netlist =
   let ffs, _ = ff_index netlist in
   {
     cfg;
+    arm;
     netlist;
     chip;
     rings;

@@ -47,6 +47,8 @@ type best = {
 
 type t = {
   cfg : config;
+  arm : string;
+      (** experiment-arm tag stamped onto trace events; [""] outside a suite *)
   netlist : Rc_netlist.Netlist.t;
   chip : Rc_geom.Rect.t;
   rings : Rc_rotary.Ring_array.t;
@@ -67,9 +69,10 @@ type t = {
   note : string;  (** set by a stage, moved into the trace by the driver *)
 }
 
-val create : config -> Rc_netlist.Netlist.t -> t
+val create : ?arm:string -> config -> Rc_netlist.Netlist.t -> t
 (** Fresh context: rings built from the benchmark's grid, nothing placed
-    or scheduled yet. *)
+    or scheduled yet. [arm] tags every trace event of the run (default
+    [""]). *)
 
 val assignment_exn : t -> Rc_assign.Assign.t
 (** @raise Invalid_argument before stage 3 has run. *)

@@ -40,7 +40,8 @@ let exec st (ctx : Flow_ctx.t) =
   in
   let event =
     {
-      Flow_trace.stage = st.name;
+      Flow_trace.arm = ctx'.Flow_ctx.arm;
+      stage = st.name;
       variant = st.variant;
       category = st.category;
       iteration = ctx'.Flow_ctx.iteration;

@@ -12,6 +12,7 @@
 type category = Placer | Optimizer
 
 type event = {
+  arm : string;  (* experiment arm ("circuit/mode") the run belongs to; "" outside a suite *)
   stage : string;  (* canonical stage name, one of six *)
   variant : string;  (* implementation plugged into that slot *)
   category : category;
@@ -38,6 +39,15 @@ let total_wall ?category t =
       | Some c when c <> e.category -> acc
       | _ -> acc +. e.wall_s)
     0.0 t.rev_events
+
+let events_of_arm t arm = List.filter (fun e -> e.arm = arm) (events t)
+
+let arms t =
+  (* distinct arm tags, in first-appearance order *)
+  List.rev
+    (List.fold_left
+       (fun acc e -> if List.mem e.arm acc then acc else e.arm :: acc)
+       [] (events t))
 
 let iterations t =
   List.sort_uniq compare (List.map (fun e -> e.iteration) (events t))

@@ -10,6 +10,9 @@ type category =
   | Optimizer  (** scheduling, assignment, evaluation (the old [cpu_flow_s]) *)
 
 type event = {
+  arm : string;
+      (** experiment arm (e.g. ["s9234/netflow"]) the run belongs to;
+          [""] for runs outside a suite *)
   stage : string;  (** canonical stage name, one of the six *)
   variant : string;  (** implementation plugged into that slot *)
   category : category;
@@ -32,6 +35,12 @@ val events : t -> event list
 
 val total_wall : ?category:category -> t -> float
 (** Sum of wall times, optionally restricted to one category. *)
+
+val events_of_arm : t -> string -> event list
+(** Chronological events carrying one arm tag. *)
+
+val arms : t -> string list
+(** Distinct arm tags, in first-appearance order. *)
 
 val iterations : t -> int list
 (** Distinct iteration numbers, ascending. *)

@@ -1,0 +1,263 @@
+(* Persistent domain pool behind the deterministic parallel primitives.
+
+   Design: one process-wide pool of [jobs - 1] worker domains plus the
+   calling domain.  A "region" publishes one job function; every
+   participant (workers + caller) runs it, claiming work by index from
+   an atomic counter, so chunks never overlap and results land in
+   caller-owned slots.  The caller waits until all workers quiesce
+   before reading results — the pool mutex provides the happens-before
+   edge for every slot written inside the region.
+
+   Determinism holds by construction: parallel bodies only write state
+   owned by their index (ordered maps) or their domain (for_with
+   scratch), so scheduling cannot change any output bit.
+
+   jobs = 1 (or nesting inside a worker) short-circuits every primitive
+   to a plain sequential loop: no pool, no domains, no atomics. *)
+
+let max_jobs = 8
+let hard_cap = 64
+
+let env_jobs () =
+  match Sys.getenv_opt "ROTARY_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some (min n hard_cap)
+      | _ -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> max 1 (min (Domain.recommended_domain_count ()) max_jobs)
+
+(* explicit --jobs / set_jobs override; None = resolve from environment *)
+let requested = ref None
+let jobs_value () = match !requested with Some n -> n | None -> default_jobs ()
+let jobs = jobs_value
+
+type pool = {
+  n : int;  (* participants, including the calling domain *)
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when a new region starts (epoch bump) *)
+  quiet : Condition.t;  (* signalled when the last worker finishes *)
+  mutable epoch : int;
+  mutable job : (int -> unit) option;
+  mutable running : int;  (* workers still inside the current region *)
+  mutable failed : exn option;  (* first exception raised by a worker *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let in_region_key = Domain.DLS.new_key (fun () -> false)
+let in_parallel_region () = Domain.DLS.get in_region_key
+
+let worker pool id () =
+  (* workers only ever execute region bodies: nested primitives must
+     run sequentially, so the flag is set for the domain's lifetime *)
+  Domain.DLS.set in_region_key true;
+  let my_epoch = ref 0 in
+  let live = ref true in
+  while !live do
+    Mutex.lock pool.lock;
+    while (not pool.stop) && pool.epoch = !my_epoch do
+      Condition.wait pool.work pool.lock
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.lock;
+      live := false
+    end
+    else begin
+      my_epoch := pool.epoch;
+      let f = match pool.job with Some f -> f | None -> fun _ -> () in
+      Mutex.unlock pool.lock;
+      (try f id
+       with e ->
+         Mutex.lock pool.lock;
+         if pool.failed = None then pool.failed <- Some e;
+         Mutex.unlock pool.lock);
+      Mutex.lock pool.lock;
+      pool.running <- pool.running - 1;
+      if pool.running = 0 then Condition.broadcast pool.quiet;
+      Mutex.unlock pool.lock
+    end
+  done
+
+(* the process-wide pool; guarded by [pool_lock].  Only the main domain
+   creates or destroys it (workers never reach [get_pool]). *)
+let the_pool = ref None
+let pool_lock = Mutex.create ()
+
+let shutdown_pool p =
+  Mutex.lock p.lock;
+  p.stop <- true;
+  Condition.broadcast p.work;
+  Mutex.unlock p.lock;
+  Array.iter Domain.join p.domains
+
+let shutdown () =
+  Mutex.lock pool_lock;
+  let p = !the_pool in
+  the_pool := None;
+  Mutex.unlock pool_lock;
+  Option.iter shutdown_pool p
+
+(* blocked workers would keep the runtime from shutting down *)
+let () = at_exit shutdown
+
+let set_jobs n =
+  shutdown ();
+  requested := Some (max 1 (min n hard_cap))
+
+let create_pool n =
+  let pool =
+    {
+      n;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      quiet = Condition.create ();
+      epoch = 0;
+      job = None;
+      running = 0;
+      failed = None;
+      stop = false;
+      domains = [||];
+    }
+  in
+  pool.domains <- Array.init (n - 1) (fun i -> Domain.spawn (worker pool (i + 1)));
+  pool
+
+let get_pool () =
+  Mutex.lock pool_lock;
+  let p =
+    match !the_pool with
+    | Some p when p.n = jobs_value () -> p
+    | existing ->
+        Option.iter shutdown_pool existing;
+        let p = create_pool (jobs_value ()) in
+        the_pool := Some p;
+        p
+  in
+  Mutex.unlock pool_lock;
+  p
+
+(* run one region: publish the job, participate as id 0, wait for the
+   workers, re-raise the first exception seen *)
+let run_region pool (g : int -> unit) =
+  Mutex.lock pool.lock;
+  pool.job <- Some g;
+  pool.failed <- None;
+  pool.running <- pool.n - 1;
+  pool.epoch <- pool.epoch + 1;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.lock;
+  Domain.DLS.set in_region_key true;
+  let caller_exn = (try g 0; None with e -> Some e) in
+  Domain.DLS.set in_region_key false;
+  Mutex.lock pool.lock;
+  while pool.running > 0 do
+    Condition.wait pool.quiet pool.lock
+  done;
+  pool.job <- None;
+  let worker_exn = pool.failed in
+  pool.failed <- None;
+  Mutex.unlock pool.lock;
+  match (caller_exn, worker_exn) with
+  | Some e, _ | None, Some e -> raise e
+  | None, None -> ()
+
+(* ---- primitives ------------------------------------------------------ *)
+
+let sequential () = jobs_value () <= 1 || in_parallel_region ()
+
+let for_with ?chunk ~init n body =
+  if n > 0 then
+    if sequential () || n = 1 then begin
+      let s = init () in
+      for i = 0 to n - 1 do
+        body s i
+      done
+    end
+    else begin
+      let pool = get_pool () in
+      let chunk =
+        match chunk with
+        | Some c -> max 1 c
+        | None -> max 1 (n / (8 * pool.n))
+      in
+      let n_chunks = (n + chunk - 1) / chunk in
+      let next = Atomic.make 0 in
+      run_region pool (fun _id ->
+          (* init only when this participant actually claims work *)
+          let scratch = ref None in
+          let rec claim () =
+            let c = Atomic.fetch_and_add next 1 in
+            if c < n_chunks then begin
+              let s =
+                match !scratch with
+                | Some s -> s
+                | None ->
+                    let s = init () in
+                    scratch := Some s;
+                    s
+              in
+              let lo = c * chunk in
+              let hi = min n (lo + chunk) - 1 in
+              for i = lo to hi do
+                body s i
+              done;
+              claim ()
+            end
+          in
+          claim ())
+    end
+
+let for_ ?chunk n body = for_with ?chunk ~init:(fun () -> ()) n (fun () i -> body i)
+
+let unwrap = function Some v -> v | None -> assert false
+
+let mapi f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if sequential () then Array.mapi f a
+  else begin
+    let out = Array.make n None in
+    for_ n (fun i -> out.(i) <- Some (f i a.(i)));
+    Array.map unwrap out
+  end
+
+let map f a = mapi (fun _ x -> f x) a
+
+let init n f =
+  if n <= 0 then [||]
+  else if sequential () then Array.init n f
+  else begin
+    let out = Array.make n None in
+    for_ n (fun i -> out.(i) <- Some (f i));
+    Array.map unwrap out
+  end
+
+let map_list f l = Array.to_list (map f (Array.of_list l))
+
+let both f g =
+  if sequential () then begin
+    let a = f () in
+    let b = g () in
+    (a, b)
+  end
+  else begin
+    let pool = get_pool () in
+    let ra = ref None and rb = ref None in
+    let next = Atomic.make 0 in
+    run_region pool (fun _id ->
+        let rec claim () =
+          let t = Atomic.fetch_and_add next 1 in
+          if t = 0 then begin
+            ra := Some (f ());
+            claim ()
+          end
+          else if t = 1 then rb := Some (g ())
+        in
+        claim ());
+    (unwrap !ra, unwrap !rb)
+  end

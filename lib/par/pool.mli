@@ -1,0 +1,74 @@
+(** Deterministic domain-parallel execution for the flow's hot kernels.
+
+    A single process-wide pool of worker domains executes chunked
+    parallel loops and ordered maps.  The contract every caller relies
+    on:
+
+    - {b Determinism.} Every primitive produces output identical to its
+      sequential execution, for any job count: ordered maps write
+      result slot [i] from input [i] only, parallel loops own disjoint
+      index ranges, and work is claimed by index, never racily merged.
+    - {b jobs = 1 bypasses the pool entirely}: no domains are spawned
+      and the body runs in the calling domain, so a single-job run is
+      the sequential program, not a degenerate parallel one.
+    - {b Nesting is sequential.} A parallel primitive called from inside
+      a worker (e.g. a flow arm that itself solves CG systems) runs its
+      body sequentially in that worker — no deadlock, same results.
+    - {b Exceptions propagate.} The first exception raised by any
+      participant is re-raised in the caller once the region quiesces.
+
+    The job count comes from [ROTARY_JOBS], a [set_jobs] call (the
+    CLI/bench [--jobs] flag), or [Domain.recommended_domain_count]
+    capped at {!max_jobs}.  The pool is created lazily on first use and
+    torn down via [at_exit]. *)
+
+val max_jobs : int
+(** Upper cap on the automatic job count (explicit settings may exceed
+    it, up to 64). *)
+
+val default_jobs : unit -> int
+(** The job count a fresh pool would use: [ROTARY_JOBS] if set to a
+    positive integer, otherwise [Domain.recommended_domain_count ()]
+    capped at {!max_jobs}. *)
+
+val set_jobs : int -> unit
+(** Override the job count (clamped to [1 .. 64]).  Shuts down any
+    existing pool; the next primitive re-creates one lazily. *)
+
+val jobs : unit -> int
+(** The job count currently in effect. *)
+
+val in_parallel_region : unit -> bool
+(** True inside a pool worker (where primitives run sequentially). *)
+
+val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Run the two thunks, concurrently when [jobs () > 1].  [both f g]
+    equals [(f (), g ())] bit-for-bit when [f] and [g] are independent. *)
+
+val for_ : ?chunk:int -> int -> (int -> unit) -> unit
+(** [for_ n body] runs [body i] for [i = 0 .. n-1], claimed in chunks of
+    [chunk] (default: [n / (8 * jobs)], at least 1) by the
+    participants.  [body] must only write state owned by index [i]. *)
+
+val for_with : ?chunk:int -> init:(unit -> 's) -> int -> ('s -> int -> unit) -> unit
+(** Like {!for_}, but each participating domain calls [init] once and
+    passes the resulting scratch state to every [body] call it executes
+    — per-domain scratch buffers without per-index allocation. *)
+
+val map : ('a -> 'b) -> 'a array -> 'b array
+(** Ordered parallel map: result slot [i] is [f a.(i)].  Identical to
+    [Array.map f a] for pure [f], for any job count. *)
+
+val mapi : (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Ordered parallel mapi, same guarantees as {!map}. *)
+
+val map_list : ('a -> 'b) -> 'a list -> 'b list
+(** Ordered parallel map over a list (internally via arrays). *)
+
+val init : int -> (int -> 'a) -> 'a array
+(** Ordered parallel [Array.init] (evaluation order of [f] is not
+    left-to-right, but slot contents are identical for pure [f]). *)
+
+val shutdown : unit -> unit
+(** Join and discard the pool's domains (idempotent).  Registered with
+    [at_exit]; callers only need it to force teardown early. *)

@@ -63,9 +63,16 @@ let build_system netlist ~chip ~extra_springs =
   let matrix = Rc_sparse.Csr.of_triplets ~rows:m ~cols:m !triplets in
   { movable; index; matrix; rhs_x; rhs_y }
 
-let solve_system ?x0 ?y0 sys =
-  let rx = Rc_sparse.Cg.solve ?x0:x0 ~tol:1e-7 sys.matrix sys.rhs_x in
-  let ry = Rc_sparse.Cg.solve ?x0:y0 ~tol:1e-7 sys.matrix sys.rhs_y in
+(* The x and y systems share the matrix but are otherwise independent —
+   the flow's first hot kernel.  With jobs > 1 the two CG solves run on
+   two domains (each on its own workspace); each solve is sequential
+   internally, so the results are bit-identical to the one-domain path. *)
+let solve_system ?wsx ?wsy ?x0 ?y0 sys =
+  let rx, ry =
+    Rc_par.Pool.both
+      (fun () -> Rc_sparse.Cg.solve ?ws:wsx ?x0 ~tol:1e-7 sys.matrix sys.rhs_x)
+      (fun () -> Rc_sparse.Cg.solve ?ws:wsy ?x0:y0 ~tol:1e-7 sys.matrix sys.rhs_y)
+  in
   (rx.Rc_sparse.Cg.x, ry.Rc_sparse.Cg.x, rx.Rc_sparse.Cg.iterations + ry.Rc_sparse.Cg.iterations)
 
 let assemble_positions netlist sys xs ys =
@@ -182,8 +189,12 @@ let initial ?(seed = 7) ?(spread_rounds = 5) netlist ~chip =
   let iters = ref 0 in
   (* pass 1: pure connectivity solve *)
   let sys0 = build_system netlist ~chip ~extra_springs:[] in
+  (* every round solves the same-size system: share two CG workspaces
+     (one per axis — the solves run concurrently) across all rounds *)
+  let m = Array.length sys0.movable in
+  let wsx = Rc_sparse.Cg.workspace m and wsy = Rc_sparse.Cg.workspace m in
   let xs = ref [||] and ys = ref [||] in
-  let x0, y0, it0 = solve_system sys0 in
+  let x0, y0, it0 = solve_system ~wsx ~wsy sys0 in
   xs := x0;
   ys := y0;
   iters := !iters + it0;
@@ -196,7 +207,7 @@ let initial ?(seed = 7) ?(spread_rounds = 5) netlist ~chip =
         (Array.mapi (fun i c -> (c, targets.(i), alpha)) sys0.movable)
     in
     let sys = build_system netlist ~chip ~extra_springs:springs in
-    let x, y, it = solve_system ~x0:!xs ~y0:!ys sys in
+    let x, y, it = solve_system ~wsx ~wsy ~x0:!xs ~y0:!ys sys in
     xs := x;
     ys := y;
     iters := !iters + it
@@ -217,6 +228,7 @@ let incremental ?(stability = 0.004) netlist ~chip ~prev ~pseudo =
   in
   let sys0 = build_system netlist ~chip ~extra_springs:base_springs in
   let m = Array.length sys0.movable in
+  let wsx = Rc_sparse.Cg.workspace m and wsy = Rc_sparse.Cg.workspace m in
   let x0 = Array.make m 0.0 and y0 = Array.make m 0.0 in
   Array.iteri
     (fun i c ->
@@ -224,7 +236,7 @@ let incremental ?(stability = 0.004) netlist ~chip ~prev ~pseudo =
       y0.(i) <- prev.(c).Point.y)
     sys0.movable;
   let xs = ref x0 and ys = ref y0 and iters = ref 0 in
-  let x, y, it = solve_system ~x0:!xs ~y0:!ys sys0 in
+  let x, y, it = solve_system ~wsx ~wsy ~x0:!xs ~y0:!ys sys0 in
   xs := x;
   ys := y;
   iters := !iters + it;
@@ -239,7 +251,7 @@ let incremental ?(stability = 0.004) netlist ~chip ~prev ~pseudo =
       @ Array.to_list (Array.mapi (fun i c -> (c, targets.(i), alpha)) sys0.movable)
     in
     let sys = build_system netlist ~chip ~extra_springs:springs in
-    let x, y, it = solve_system ~x0:!xs ~y0:!ys sys in
+    let x, y, it = solve_system ~wsx ~wsy ~x0:!xs ~y0:!ys sys in
     xs := x;
     ys := y;
     iters := !iters + it

@@ -5,6 +5,29 @@ type outcome = {
   converged : bool;
 }
 
+(* Scratch buffers of one solve, reusable across solves of the same
+   dimension.  Quadratic placement solves dozens of same-size systems
+   (two per spreading round); reusing the residual/direction/
+   preconditioner buffers removes four n-vector allocations per solve.
+   Only [x] (the returned solution) is allocated fresh. *)
+type workspace = {
+  inv_diag : float array;
+  r : float array;  (* residual *)
+  z : float array;  (* preconditioned residual *)
+  p : float array;  (* search direction *)
+  ap : float array;  (* A p *)
+}
+
+let workspace n =
+  if n < 0 then invalid_arg "Cg.workspace: negative size";
+  {
+    inv_diag = Array.make n 0.0;
+    r = Array.make n 0.0;
+    z = Array.make n 0.0;
+    p = Array.make n 0.0;
+    ap = Array.make n 0.0;
+  }
+
 let dot a b =
   let s = ref 0.0 in
   for i = 0 to Array.length a - 1 do
@@ -14,7 +37,7 @@ let dot a b =
 
 let norm2 a = sqrt (dot a a)
 
-let solve ?max_iter ?(tol = 1e-8) ?x0 a b =
+let solve ?ws ?max_iter ?(tol = 1e-8) ?x0 a b =
   let n = Csr.rows a in
   if Csr.cols a <> n then invalid_arg "Cg.solve: matrix not square";
   if Array.length b <> n then invalid_arg "Cg.solve: rhs size mismatch";
@@ -26,17 +49,26 @@ let solve ?max_iter ?(tol = 1e-8) ?x0 a b =
         if Array.length v <> n then invalid_arg "Cg.solve: x0 size mismatch";
         Array.copy v
   in
-  let inv_diag =
-    Array.map (fun d -> if Float.abs d > 1e-300 then 1.0 /. d else 1.0) (Csr.diagonal a)
+  let ws =
+    match ws with
+    | Some w ->
+        if Array.length w.r <> n then invalid_arg "Cg.solve: workspace size mismatch";
+        w
+    | None -> workspace n
   in
-  let r = Array.make n 0.0 in
+  let inv_diag = ws.inv_diag and r = ws.r and z = ws.z and p = ws.p and ap = ws.ap in
+  Csr.diagonal_into a inv_diag;
+  for i = 0 to n - 1 do
+    inv_diag.(i) <- (if Float.abs inv_diag.(i) > 1e-300 then 1.0 /. inv_diag.(i) else 1.0)
+  done;
   Csr.mul_vec_into a x r;
   for i = 0 to n - 1 do
     r.(i) <- b.(i) -. r.(i)
   done;
-  let z = Array.mapi (fun i ri -> inv_diag.(i) *. ri) r in
-  let p = Array.copy z in
-  let ap = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    z.(i) <- inv_diag.(i) *. r.(i);
+    p.(i) <- z.(i)
+  done;
   let b_norm = Float.max (norm2 b) 1e-300 in
   let rz = ref (dot r z) in
   let iter = ref 0 in

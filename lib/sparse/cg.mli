@@ -8,7 +8,18 @@ type outcome = {
   converged : bool;
 }
 
+type workspace
+(** Reusable scratch buffers (residual, preconditioned residual, search
+    direction, [A p], inverse diagonal) for systems of one fixed size.
+    Quadratic placement solves many same-size systems back to back;
+    passing a workspace removes the per-solve vector allocations without
+    changing a single bit of the result. *)
+
+val workspace : int -> workspace
+(** A workspace for [n]-dimensional systems. *)
+
 val solve :
+  ?ws:workspace ->
   ?max_iter:int ->
   ?tol:float ->
   ?x0:float array ->
@@ -17,5 +28,9 @@ val solve :
   outcome
 (** [solve a b] iterates until the relative residual drops below [tol]
     (default 1e-8) or [max_iter] (default [4 * n]) is reached. [x0]
-    warm-starts the iteration (defaults to the zero vector).
-    @raise Invalid_argument on dimension mismatch or non-square [a]. *)
+    warm-starts the iteration (defaults to the zero vector). [ws]
+    provides scratch buffers (default: freshly allocated); the returned
+    solution is always a fresh array, so a workspace may be reused for
+    the next solve immediately — but never by two concurrent solves.
+    @raise Invalid_argument on dimension mismatch, non-square [a], or a
+    workspace of the wrong size. *)

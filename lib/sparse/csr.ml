@@ -84,6 +84,13 @@ let mul_vec t x =
   mul_vec_into t x y;
   y
 
+let diagonal_into t out =
+  if t.n_rows <> t.n_cols then invalid_arg "Csr.diagonal_into: not square";
+  if Array.length out <> t.n_rows then invalid_arg "Csr.diagonal_into: size mismatch";
+  for i = 0 to t.n_rows - 1 do
+    out.(i) <- get t i i
+  done
+
 let diagonal t =
   if t.n_rows <> t.n_cols then invalid_arg "Csr.diagonal: not square";
   Array.init t.n_rows (fun i -> get t i i)

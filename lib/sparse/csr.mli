@@ -28,6 +28,10 @@ val mul_vec_into : t -> float array -> float array -> unit
 val diagonal : t -> float array
 (** The main diagonal as a dense vector (square matrices only). *)
 
+val diagonal_into : t -> float array -> unit
+(** Like {!diagonal} but writes into a caller-provided vector.
+    @raise Invalid_argument on size mismatch or a non-square matrix. *)
+
 val transpose : t -> t
 
 val iter_row : t -> int -> (int -> float -> unit) -> unit

@@ -52,20 +52,40 @@ let analyze tech netlist ~positions =
         Array.iteri (fun i v -> idx.(v) <- i) order;
         idx
   in
-  (* per-launching-FF cone propagation, stamped to avoid O(n) clears *)
-  let dist_max = Array.make n neg_infinity in
-  let dist_min = Array.make n infinity in
-  let stamp = Array.make n (-1) in
-  let pairs = Hashtbl.create 256 in
-  let record f g dmax dmin =
-    let key = (f, g) in
-    match Hashtbl.find_opt pairs key with
-    | None -> Hashtbl.replace pairs key (dmax, dmin)
-    | Some (m, mn) -> Hashtbl.replace pairs key (Float.max m dmax, Float.min mn dmin)
-  in
+  (* per-launching-FF cone propagation, stamped to avoid O(n) clears.
+     Cones are independent, so they fan out across the domain pool with
+     per-domain scratch; each cone returns its (sink, max, min) entries
+     in first-touch order, and a sequential replay below inserts them
+     into the pairs table in launching-FF order — the same key-insertion
+     sequence the sequential loop produces, so the fold order (and the
+     adjacency list) is identical for any job count. *)
   let ffs = Netlist.flip_flops netlist in
-  Array.iter
-    (fun f ->
+  let nffs = Array.length ffs in
+  let entries = Array.make nffs [] in
+  Rc_par.Pool.for_with
+    ~init:(fun () ->
+      ( Array.make n neg_infinity,
+        Array.make n infinity,
+        Array.make n (-1),
+        Array.make n neg_infinity,
+        Array.make n infinity,
+        Array.make n (-1) ))
+    nffs
+    (fun (dist_max, dist_min, stamp, rmax, rmin, rstamp) k ->
+      let f = ffs.(k) in
+      let order = ref [] in
+      let record g dmax dmin =
+        if rstamp.(g) <> f then begin
+          rstamp.(g) <- f;
+          rmax.(g) <- dmax;
+          rmin.(g) <- dmin;
+          order := g :: !order
+        end
+        else begin
+          rmax.(g) <- Float.max rmax.(g) dmax;
+          rmin.(g) <- Float.min rmin.(g) dmin
+        end
+      in
       let heap = Rc_graph.Heap.create () in
       let touch c dmax dmin =
         if stamp.(c) <> f then begin
@@ -83,7 +103,7 @@ let analyze tech netlist ~positions =
       List.iter
         (fun (s, wire) ->
           match Netlist.kind netlist s with
-          | Flipflop -> record f s wire wire
+          | Flipflop -> record s wire wire
           | Logic -> touch s wire wire
           | _ -> ())
         out.(f);
@@ -98,13 +118,18 @@ let analyze tech netlist ~positions =
             List.iter
               (fun (s, wire) ->
                 match Netlist.kind netlist s with
-                | Flipflop -> record f s (dmax +. wire) (dmin +. wire)
+                | Flipflop -> record s (dmax +. wire) (dmin +. wire)
                 | Logic -> touch s (dmax +. wire) (dmin +. wire)
                 | _ -> ())
               out.(c);
             drain ()
       in
-      drain ())
+      drain ();
+      entries.(k) <- List.rev_map (fun g -> (g, rmax.(g), rmin.(g))) !order);
+  let pairs = Hashtbl.create 256 in
+  Array.iteri
+    (fun k f ->
+      List.iter (fun (g, dmax, dmin) -> Hashtbl.replace pairs (f, g) (dmax, dmin)) entries.(k))
     ffs;
   let pair_list =
     Hashtbl.fold

@@ -1,0 +1,18 @@
+(** Minimal JSON emitter for machine-readable artifacts (e.g. the bench
+    harness's [BENCH_results.json]).  Emit-only: the repo writes these
+    files for external consumers and never parses them back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** nan/infinity are emitted as [null]. *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed (2-space indent), newline-terminated. *)
+
+val to_file : string -> t -> unit
+(** [to_file path v] writes {!to_string}[ v] to [path] (truncating). *)

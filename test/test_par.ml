@@ -1,0 +1,241 @@
+(* Rc_par.Pool unit tests plus the determinism contract the parallel
+   layer promises: for any job count, every parallelized kernel —
+   quadratic placement, candidate tapping / assignment, STA, the whole
+   flow and the experiment suite — produces bit-identical results. *)
+
+open Rc_core
+
+let with_jobs n f =
+  Rc_par.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Rc_par.Pool.set_jobs 1) f
+
+(* ---- pool primitives ------------------------------------------------- *)
+
+let test_jobs_roundtrip () =
+  with_jobs 3 (fun () -> Alcotest.(check int) "set_jobs 3" 3 (Rc_par.Pool.jobs ()));
+  Alcotest.(check int) "restored to 1" 1 (Rc_par.Pool.jobs ());
+  Alcotest.(check bool) "caller not in a region" false (Rc_par.Pool.in_parallel_region ())
+
+let test_map_ordered () =
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          List.iter
+            (fun n ->
+              let a = Array.init n (fun i -> (7 * i) + 3) in
+              let expect = Array.map (fun x -> (x * x) - 1) a in
+              Alcotest.(check (array int))
+                (Printf.sprintf "map jobs=%d n=%d" jobs n)
+                expect
+                (Rc_par.Pool.map (fun x -> (x * x) - 1) a);
+              Alcotest.(check (array int))
+                (Printf.sprintf "mapi jobs=%d n=%d" jobs n)
+                (Array.mapi (fun i x -> i - x) a)
+                (Rc_par.Pool.mapi (fun i x -> i - x) a);
+              Alcotest.(check (array int))
+                (Printf.sprintf "init jobs=%d n=%d" jobs n)
+                (Array.init n (fun i -> i * 13))
+                (Rc_par.Pool.init n (fun i -> i * 13)))
+            [ 0; 1; 2; 17; 100 ]))
+    [ 1; 2; 4 ]
+
+let test_map_list_ordered () =
+  with_jobs 4 (fun () ->
+      Alcotest.(check (list string))
+        "map_list keeps order"
+        [ "a!"; "b!"; "c!"; "d!"; "e!" ]
+        (Rc_par.Pool.map_list (fun s -> s ^ "!") [ "a"; "b"; "c"; "d"; "e" ]))
+
+let test_for_covers_once () =
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          let n = 1000 in
+          let hits = Array.init n (fun _ -> Atomic.make 0) in
+          Rc_par.Pool.for_ ~chunk:7 n (fun i -> Atomic.incr hits.(i));
+          Array.iteri
+            (fun i h ->
+              Alcotest.(check int) (Printf.sprintf "index %d once (jobs=%d)" i jobs) 1
+                (Atomic.get h))
+            hits))
+    [ 1; 2; 4 ]
+
+let test_for_with_scratch () =
+  with_jobs 4 (fun () ->
+      let n = 500 in
+      let out = Array.make n 0 in
+      (* scratch counts the indices its owning domain processed; the sum
+         of final scratch values must equal n exactly *)
+      let made = Atomic.make 0 in
+      let totals = Array.make 64 0 in
+      Rc_par.Pool.for_with
+        ~init:(fun () -> Atomic.fetch_and_add made 1)
+        n
+        (fun slot i ->
+          totals.(slot) <- totals.(slot) + 1;
+          out.(i) <- i + 1);
+      Alcotest.(check bool) "at most jobs scratches" true (Atomic.get made <= 4);
+      Alcotest.(check int) "every index processed once" n (Array.fold_left ( + ) 0 totals);
+      Alcotest.(check (array int)) "all slots written" (Array.init n (fun i -> i + 1)) out)
+
+let test_both () =
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          let a, b = Rc_par.Pool.both (fun () -> 6 * 7) (fun () -> "ok") in
+          Alcotest.(check int) (Printf.sprintf "both fst jobs=%d" jobs) 42 a;
+          Alcotest.(check string) (Printf.sprintf "both snd jobs=%d" jobs) "ok" b))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_exception_propagates_and_pool_survives () =
+  with_jobs 2 (fun () ->
+      (try
+         Rc_par.Pool.for_ 100 (fun i -> if i = 37 then raise (Boom i));
+         Alcotest.fail "expected Boom"
+       with Boom 37 -> ());
+      (* the pool must remain usable after a failed region *)
+      Alcotest.(check (array int))
+        "pool reusable after exception"
+        (Array.init 50 (fun i -> 2 * i))
+        (Rc_par.Pool.init 50 (fun i -> 2 * i)))
+
+let test_nested_runs_sequentially () =
+  with_jobs 2 (fun () ->
+      let inner_flags = Rc_par.Pool.init 8 (fun _ -> Rc_par.Pool.in_parallel_region ()) in
+      Array.iter
+        (fun f -> Alcotest.(check bool) "body runs inside the region" true f)
+        inner_flags;
+      (* a nested primitive inside the region must still be correct *)
+      let nested =
+        Rc_par.Pool.init 4 (fun i ->
+            Array.fold_left ( + ) 0 (Rc_par.Pool.init (i + 3) (fun j -> j)))
+      in
+      Alcotest.(check (array int))
+        "nested init correct" [| 3; 6; 10; 15 |] nested)
+
+(* ---- kernel determinism across job counts ----------------------------- *)
+
+let at_jobs jobs f =
+  List.map (fun j -> with_jobs j f) jobs
+
+let check_all_equal name = function
+  | [] | [ _ ] -> ()
+  | first :: rest ->
+      List.iteri
+        (fun k v -> Alcotest.(check bool) (Printf.sprintf "%s [%d]" name k) true (v = first))
+        rest
+
+let tiny_netlist =
+  lazy (Rc_netlist.Generator.generate Bench_suite.tiny.Bench_suite.gen)
+
+let test_qplace_deterministic () =
+  let netlist = Lazy.force tiny_netlist in
+  let chip = Bench_suite.tiny.Bench_suite.gen.Rc_netlist.Generator.chip in
+  let runs =
+    at_jobs [ 1; 2; 4 ] (fun () ->
+        (Rc_place.Qplace.initial netlist ~chip).Rc_place.Qplace.positions)
+  in
+  check_all_equal "placement positions" runs
+
+let stage2 () =
+  let tech = Rc_tech.Tech.default in
+  let bench = Bench_suite.tiny in
+  let netlist = Lazy.force tiny_netlist in
+  let chip = bench.Bench_suite.gen.Rc_netlist.Generator.chip in
+  let rings =
+    Rc_rotary.Ring_array.create ~period:tech.Rc_tech.Tech.clock_period ~chip
+      ~grid:bench.Bench_suite.ring_grid ()
+  in
+  let placed = Rc_place.Qplace.initial netlist ~chip in
+  let ffs = Rc_netlist.Netlist.flip_flops netlist in
+  let ff_positions = Array.map (fun c -> placed.Rc_place.Qplace.positions.(c)) ffs in
+  (tech, netlist, rings, placed.Rc_place.Qplace.positions, ff_positions)
+
+let test_sta_deterministic () =
+  let tech, netlist, _, positions, _ = stage2 () in
+  let runs =
+    at_jobs [ 1; 2; 4 ] (fun () ->
+        let sta = Rc_timing.Sta.analyze tech netlist ~positions in
+        (Rc_timing.Sta.adjacencies sta, Rc_timing.Sta.critical_delay sta))
+  in
+  check_all_equal "sta adjacencies + critical" runs
+
+let test_assign_deterministic () =
+  let tech, _, rings, _, ff_positions = stage2 () in
+  let targets = Array.make (Array.length ff_positions) 0.0 in
+  let runs =
+    at_jobs [ 1; 2; 4 ] (fun () ->
+        Rc_assign.Assign.by_netflow tech rings ~ff_positions ~targets)
+  in
+  check_all_equal "netflow assignment" runs
+
+(* every numeric output of the flow (the Table III/IV columns except the
+   CPU-seconds ones, which measure wall time) must be bit-identical *)
+let test_flow_deterministic () =
+  let runs =
+    at_jobs [ 1; 2; 4 ] (fun () ->
+        let o = Flow.run (Flow.default_config ~mode:Flow.Netflow Bench_suite.tiny) in
+        ( o.Flow.base,
+          o.Flow.final,
+          o.Flow.history,
+          o.Flow.positions,
+          o.Flow.skews,
+          o.Flow.assignment,
+          o.Flow.slack,
+          o.Flow.n_pairs ))
+  in
+  check_all_equal "flow outcome" runs
+
+let test_suite_deterministic_and_tagged () =
+  let runs =
+    at_jobs [ 1; 2 ] (fun () ->
+        Experiments.run_suite ~benches:[ Bench_suite.tiny ] ~with_ilp:true ())
+  in
+  let project suite =
+    List.map
+      (fun (e : Experiments.suite_entry) ->
+        ( e.Experiments.netflow.Flow.base,
+          e.Experiments.netflow.Flow.final,
+          Option.map (fun ((a : Rc_assign.Assign.t), _) -> a) e.Experiments.ilp ))
+      suite
+  in
+  check_all_equal "suite entries" (List.map project runs);
+  List.iter
+    (fun suite ->
+      List.iter
+        (fun (e : Experiments.suite_entry) ->
+          Alcotest.(check (list string))
+            "all trace events tagged with the arm"
+            [ e.Experiments.bench.Bench_suite.bname ^ "/netflow" ]
+            (Flow_trace.arms e.Experiments.netflow.Flow.trace))
+        suite)
+    runs
+
+let () =
+  Alcotest.run "rc_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "jobs roundtrip" `Quick test_jobs_roundtrip;
+          Alcotest.test_case "ordered map/mapi/init" `Quick test_map_ordered;
+          Alcotest.test_case "map_list order" `Quick test_map_list_ordered;
+          Alcotest.test_case "for_ covers each index once" `Quick test_for_covers_once;
+          Alcotest.test_case "for_with per-domain scratch" `Quick test_for_with_scratch;
+          Alcotest.test_case "both" `Quick test_both;
+          Alcotest.test_case "exception propagation + reuse" `Quick
+            test_exception_propagates_and_pool_survives;
+          Alcotest.test_case "nested primitives run sequentially" `Quick
+            test_nested_runs_sequentially;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "quadratic placement" `Quick test_qplace_deterministic;
+          Alcotest.test_case "static timing analysis" `Quick test_sta_deterministic;
+          Alcotest.test_case "netflow assignment" `Quick test_assign_deterministic;
+          Alcotest.test_case "full flow" `Slow test_flow_deterministic;
+          Alcotest.test_case "experiment suite + arm tags" `Slow
+            test_suite_deterministic_and_tagged;
+        ] );
+    ]
