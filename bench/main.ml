@@ -299,7 +299,10 @@ let git_rev () =
 let wall f = snd (Rc_util.Timer.time f)
 
 (* one sequential and one parallel run per circuit (plus the suite as a
-   whole, which also parallelizes across circuit arms) *)
+   whole, which also parallelizes across circuit arms).  The sequential
+   run of each circuit also records its final quality snapshot and its
+   solver-metric delta, so the bench trajectory carries comparable
+   quality numbers alongside the wall times. *)
 let compare_walls () =
   let par_jobs = Rc_par.Pool.jobs () in
   let at j f =
@@ -309,11 +312,23 @@ let compare_walls () =
   let flows =
     List.map
       (fun bench ->
-        let seq = at 1 (fun () -> wall (fun () -> ignore (Flow.run (Flow.default_config bench)))) in
+        let outcome = ref None in
+        let seq =
+          at 1 (fun () ->
+              Rc_obs.Metrics.set_enabled true;
+              let before = Rc_obs.Metrics.snapshot () in
+              let w = wall (fun () -> outcome := Some (Flow.run (Flow.default_config bench))) in
+              let metrics =
+                Rc_obs.Metrics.diff ~before ~after:(Rc_obs.Metrics.snapshot ())
+              in
+              Rc_obs.Metrics.set_enabled false;
+              (w, metrics))
+        in
         let par =
           at par_jobs (fun () -> wall (fun () -> ignore (Flow.run (Flow.default_config bench))))
         in
-        (bench.Bench_suite.bname, seq, par))
+        let wall_seq, metrics = seq in
+        (bench.Bench_suite.bname, wall_seq, par, Option.get !outcome, metrics))
       benches
   in
   let suite_seq =
@@ -333,7 +348,8 @@ let compare_walls () =
           (fun (name, seq, par) ->
             [ name; Report.fmt_f ~dp:2 seq; Report.fmt_f ~dp:2 par;
               Report.fmt_f ~dp:2 (seq /. Float.max par 1e-9) ])
-          (flows @ [ ("suite", suite_seq, suite_par) ])));
+          (List.map (fun (name, seq, par, _, _) -> (name, seq, par)) flows
+          @ [ ("suite", suite_seq, suite_par) ])));
   print_newline ();
   (flows, (suite_seq, suite_par))
 
@@ -341,7 +357,7 @@ let results_json micro_timings (flows, (suite_seq, suite_par)) =
   let module J = Rc_util.Json in
   J.Obj
     [
-      ("schema_version", J.Int 1);
+      ("schema_version", J.Int 2);
       ("git_rev", match git_rev () with Some r -> J.String r | None -> J.Null);
       ("jobs", J.Int (Rc_par.Pool.jobs ()));
       ("quick", J.Bool quick);
@@ -358,13 +374,28 @@ let results_json micro_timings (flows, (suite_seq, suite_par)) =
       ( "flow_wall_s",
         J.List
           (List.map
-             (fun (name, seq, par) ->
+             (fun (name, seq, par, (outcome : Flow.outcome), metrics) ->
+               let s = outcome.Flow.final in
                J.Obj
                  [
                    ("circuit", J.String name);
                    ("jobs1_s", J.Float seq);
                    ("jobsN_s", J.Float par);
                    ("speedup", J.Float (seq /. Float.max par 1e-9));
+                   (* schema v2: quality of the converged flow, so the
+                      trajectory records what the time bought *)
+                   ( "final",
+                     J.Obj
+                       [
+                         ("tapping_wl_um", J.Float s.Flow.tapping_wl);
+                         ("signal_wl_um", J.Float s.Flow.signal_wl);
+                         ("total_wl_um", J.Float s.Flow.total_wl);
+                         ("max_load_ff", J.Float s.Flow.max_load_ff);
+                         ("total_mw", J.Float s.Flow.total_mw);
+                         ("afd_um", J.Float s.Flow.afd);
+                       ] );
+                   (* schema v2: solver-metric delta of the jobs=1 run *)
+                   ("metrics", Rc_obs.Metrics.to_json metrics);
                  ])
              flows) );
       ( "suite_wall_s",

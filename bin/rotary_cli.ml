@@ -51,8 +51,9 @@ let mode_arg =
     value & opt mode_conv Flow.Netflow
     & info [ "mode" ] ~docv:"MODE" ~doc:"Assignment mode: netflow or ilp")
 
-let run_flow jobs bench mode trace =
+let run_flow jobs bench mode trace metrics =
   setup_jobs jobs;
+  if metrics then Rc_obs.Metrics.set_enabled true;
   let cfg = Flow.default_config ~mode bench in
   let plan = Flow.plan_of_config cfg in
   let o = Flow.run ~plan cfg in
@@ -78,6 +79,13 @@ let run_flow jobs bench mode trace =
          o.Flow.trace);
     print_newline ();
     print_endline (Flow_trace.summary o.Flow.trace)
+  end;
+  if metrics then begin
+    print_newline ();
+    print_string
+      (Rc_obs.Metrics.render
+         ~title:(Printf.sprintf "Solver metrics (%s)" bench.Bench_suite.bname)
+         (Rc_obs.Metrics.snapshot ()))
   end
 
 let flow_cmd =
@@ -90,9 +98,16 @@ let flow_cmd =
       & info [ "trace" ]
           ~doc:"Print the stage plan and the structured per-stage trace (wall time and cost delta per stage execution)")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Enable the solver-metrics registry and print the merged totals after the run \
+                (CG iterations, simplex pivots, netflow augmentations, Eq. 1 tapping cases, ...)")
+  in
   Cmd.v
     (Cmd.info "flow" ~doc:"Run the six-stage flow on one circuit and print per-iteration metrics")
-    Term.(const run_flow $ jobs_arg $ bench $ mode_arg $ trace)
+    Term.(const run_flow $ jobs_arg $ bench $ mode_arg $ trace $ metrics)
 
 (* --- tables command --- *)
 
@@ -309,10 +324,58 @@ let import_cmd =
     (Cmd.info "import" ~doc:"Run the flow on an ISCAS89 .bench netlist")
     Term.(const run_import $ jobs_arg $ path $ grid $ pitch)
 
+(* --- report command --- *)
+
+let run_report jobs benches quick out no_timings =
+  setup_jobs jobs;
+  let benches = effective_benches benches quick in
+  let reports = Paper_report.collect ~benches () in
+  let doc = Paper_report.build ~timings:(not no_timings) reports in
+  let md = Rc_obs.Report.to_markdown doc in
+  print_string md;
+  let md_path = out ^ ".md" and json_path = out ^ ".json" in
+  let oc = open_out md_path in
+  output_string oc md;
+  close_out oc;
+  Rc_util.Json.to_file json_path (Paper_report.json_of doc);
+  Printf.eprintf "wrote %s and %s\n" md_path json_path
+
+let report_cmd =
+  let out =
+    Arg.(
+      value & opt string "REPORT"
+      & info [ "o"; "output" ] ~docv:"PREFIX"
+          ~doc:"Write the Markdown to PREFIX.md and the JSON to PREFIX.json")
+  in
+  let no_timings =
+    Arg.(
+      value & flag
+      & info [ "no-timings" ]
+          ~doc:"Omit wall-clock columns and timer metrics, making the output bit-reproducible \
+                across runs and machines")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run the flow per circuit with solver metrics enabled and emit the paper-table report \
+          (skew-scheduling slack, tapping WL / ring load, Table-I ILP vs greedy, solver metrics) \
+          as Markdown + JSON")
+    Term.(const run_report $ jobs_arg $ benches_arg $ quick_arg $ out $ no_timings)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "rotary_cli" ~version:"1.0.0"
        ~doc:"Integrated placement and skew optimization for rotary clocking")
-    [ flow_cmd; tables_cmd; info_cmd; ablation_cmd; sweep_cmd; render_cmd; export_cmd; import_cmd ]
+    [
+      flow_cmd;
+      tables_cmd;
+      info_cmd;
+      ablation_cmd;
+      sweep_cmd;
+      render_cmd;
+      export_cmd;
+      import_cmd;
+      report_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -11,6 +11,27 @@ type t = {
 let load_of_tap (tech : Rc_tech.Tech.t) (tap : Tapping.tap) =
   (tech.Rc_tech.Tech.c_wire *. tap.Tapping.wirelength) +. tech.Rc_tech.Tech.c_ff
 
+let m_candidate_solves = Rc_obs.Metrics.counter "assign.candidate_solves"
+let m_widen_retries = Rc_obs.Metrics.counter "assign.netflow.widen_retries"
+let m_assignments = Rc_obs.Metrics.counter "assign.assignments"
+
+(* the four Eq. 1 cases, counted over each *final* assignment's taps *)
+let m_case1 = Rc_obs.Metrics.counter "assign.tap.case1_period_shift"
+let m_case2 = Rc_obs.Metrics.counter "assign.tap.case2_two_root"
+let m_case3 = Rc_obs.Metrics.counter "assign.tap.case3_tangent"
+let m_case4 = Rc_obs.Metrics.counter "assign.tap.case4_snaked"
+
+let count_tap_cases taps ff_positions =
+  Array.iteri
+    (fun i tap ->
+      Rc_obs.Metrics.incr
+        (match Tapping.case_of tap ~ff:ff_positions.(i) with
+        | Tapping.Period_shift -> m_case1
+        | Tapping.Two_root -> m_case2
+        | Tapping.Tangent -> m_case3
+        | Tapping.Snaked -> m_case4))
+    taps
+
 let check_inputs arr ff_positions targets =
   if Ring_array.n_rings arr = 0 then invalid_arg "Assign: empty ring array";
   if Array.length ff_positions <> Array.length targets then
@@ -35,6 +56,7 @@ let candidate_taps tech arr ~ff_positions ~targets ~candidates =
               ~target:targets.(i))
           rings
       in
+      Rc_obs.Metrics.add m_candidate_solves (Array.length rings);
       { rings; ctaps })
 
 let tap_for c rj =
@@ -44,7 +66,7 @@ let tap_for c rj =
   in
   find 0
 
-let finish tech arr taps ring_of_ff =
+let finish tech arr ~ff_positions taps ring_of_ff =
   let loads = Array.make (Ring_array.n_rings arr) 0.0 in
   let total = ref 0.0 in
   Array.iteri
@@ -52,6 +74,8 @@ let finish tech arr taps ring_of_ff =
       total := !total +. tap.Tapping.wirelength;
       loads.(ring_of_ff.(i)) <- loads.(ring_of_ff.(i)) +. load_of_tap tech tap)
     taps;
+  Rc_obs.Metrics.incr m_assignments;
+  if Rc_obs.Metrics.enabled () then count_tap_cases taps ff_positions;
   {
     ring_of_ff;
     taps;
@@ -92,8 +116,10 @@ let by_netflow ?(candidates = 6) ?capacities tech arr ~ff_positions ~targets =
     let r =
       Rc_netflow.Assignment.solve ~n_items:n ~n_bins:(Ring_array.n_rings arr) ~capacities !cands
     in
-    if r.Rc_netflow.Assignment.assigned < n && k < Ring_array.n_rings arr then
+    if r.Rc_netflow.Assignment.assigned < n && k < Ring_array.n_rings arr then begin
+      Rc_obs.Metrics.incr m_widen_retries;
       attempt (min (Ring_array.n_rings arr) (2 * k))
+    end
     else begin
       let assignment = r.Rc_netflow.Assignment.assignment in
       let taps =
@@ -102,7 +128,7 @@ let by_netflow ?(candidates = 6) ?capacities tech arr ~ff_positions ~targets =
             if rj < 0 then invalid_arg "Assign.by_netflow: unassignable flip-flop"
             else tap_for cand.(i) rj)
       in
-      finish tech arr taps assignment
+      finish tech arr ~ff_positions taps assignment
     end
   in
   attempt candidates
@@ -159,10 +185,10 @@ let build_minmax_problem tech arr cand =
     per_ring;
   (p, triples, cap_var)
 
-let assignment_from_bins tech arr cand bins =
+let assignment_from_bins tech arr ~ff_positions cand bins =
   let n = Array.length cand in
   let taps = Array.init n (fun i -> tap_for cand.(i) bins.(i)) in
-  finish tech arr taps (Array.copy bins)
+  finish tech arr ~ff_positions taps (Array.copy bins)
 
 let by_ilp ?(candidates = 6) tech arr ~ff_positions ~targets =
   check_inputs arr ff_positions targets;
@@ -180,7 +206,7 @@ let by_ilp ?(candidates = 6) tech arr ~ff_positions ~targets =
              (Array.map (fun (i, rj, v, _) -> (i, rj, sol.Rc_lp.Simplex.x.(v))) row))
   in
   let bins = Rc_ilp.Rounding.greedy_round ~n_items:n xlp in
-  let result = assignment_from_bins tech arr cand bins in
+  let result = assignment_from_bins tech arr ~ff_positions cand bins in
   let stats =
     {
       lp_optimum = sol.Rc_lp.Simplex.objective;
@@ -236,7 +262,7 @@ let by_branch_bound ?(candidates = 6) ?limits tech arr ~ff_positions ~targets =
         triples;
       if Array.exists (fun b -> b < 0) bins then (None, stats false infinity)
       else begin
-        let result = assignment_from_bins tech arr cand bins in
+        let result = assignment_from_bins tech arr ~ff_positions cand bins in
         (Some result, stats true result.max_load)
       end
   | _ -> (None, stats false infinity)

@@ -12,6 +12,8 @@ type bench = {
 val ring_pitch : float
 (** Side of one ring tile, µm (600). *)
 
+(** The five Table II circuits, in the paper's size order. *)
+
 val s9234 : bench
 val s5378 : bench
 val s15850 : bench

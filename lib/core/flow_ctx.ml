@@ -69,6 +69,10 @@ type t = {
   converged : bool;
   trace : Flow_trace.t;
   note : string;  (* set by a stage, moved into the trace by the driver *)
+  obs : Rc_obs.Metrics.t;
+      (* the solver-metrics registry the stage driver snapshots around
+         each stage; the process-global one — stages record into it
+         implicitly through the instrumented solver layers *)
 }
 
 let ff_index netlist =
@@ -105,6 +109,7 @@ let create ?(arm = "") cfg netlist =
     converged = false;
     trace = Flow_trace.empty;
     note = "";
+    obs = Rc_obs.Metrics.global;
   }
 
 let assignment_exn ctx =

@@ -67,6 +67,10 @@ type t = {
   converged : bool;
   trace : Flow_trace.t;
   note : string;  (** set by a stage, moved into the trace by the driver *)
+  obs : Rc_obs.Metrics.t;
+      (** solver-metrics registry ({!Rc_obs.Metrics.global}); the stage
+          driver snapshots it around each stage so trace events carry
+          per-stage metric deltas when recording is enabled *)
 }
 
 val create : ?arm:string -> config -> Rc_netlist.Netlist.t -> t

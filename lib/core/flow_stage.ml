@@ -31,12 +31,19 @@ let describe st =
    record the trace event (consuming the stage's note) *)
 let exec st (ctx : Flow_ctx.t) =
   let cost_before = Flow_ctx.current_objective ctx in
+  let metrics_before = Rc_obs.Metrics.snapshot ~reg:ctx.Flow_ctx.obs () in
   let ctx', wall_s = Rc_util.Timer.time (fun () -> st.run ctx) in
   let cost_after = Flow_ctx.current_objective ctx' in
   let cost_delta =
     match (cost_before, cost_after) with
     | Some b, Some a -> Some (a -. b)
     | _ -> None
+  in
+  let metrics =
+    if metrics_before = [] then []
+    else
+      Rc_obs.Metrics.diff ~before:metrics_before
+        ~after:(Rc_obs.Metrics.snapshot ~reg:ctx'.Flow_ctx.obs ())
   in
   let event =
     {
@@ -48,6 +55,7 @@ let exec st (ctx : Flow_ctx.t) =
       wall_s;
       cost_delta;
       note = ctx'.Flow_ctx.note;
+      metrics;
     }
   in
   { ctx' with Flow_ctx.trace = Flow_trace.record ctx'.Flow_ctx.trace event; note = "" }

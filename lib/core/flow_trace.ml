@@ -23,6 +23,11 @@ type event = {
          across the stage; None while the objective is not yet defined
          (before the first assignment exists) *)
   note : string;  (* stage-reported decision, e.g. convergence verdict *)
+  metrics : Rc_obs.Metrics.snapshot;
+      (* solver-metric delta across the stage ([] when the registry is
+         disabled).  Per-stage attribution is exact in sequential runs;
+         inside parallel suite arms concurrent stages share the global
+         registry, so deltas are approximate there *)
 }
 
 type t = { rev_events : event list; n : int }

@@ -22,6 +22,11 @@ type event = {
       (** change of the stage-5 objective across the stage; [None] while
           the objective is undefined (no assignment yet) *)
   note : string;  (** stage-reported decision, e.g. convergence verdict *)
+  metrics : Rc_obs.Metrics.snapshot;
+      (** solver-metric delta across the stage; [[]] when the registry
+          is disabled.  Exact in sequential runs; approximate inside
+          parallel suite arms, where concurrent stages share the global
+          registry. *)
 }
 
 type t

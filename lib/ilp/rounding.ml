@@ -1,3 +1,7 @@
+let m_rounds = Rc_obs.Metrics.counter "ilp.rounding.rounds"
+let m_fractional = Rc_obs.Metrics.counter "ilp.rounding.fractional"
+let m_gap = Rc_obs.Metrics.gauge "ilp.relaxation_gap"
+
 let greedy_round ~n_items xlp =
   let best_val = Array.make n_items neg_infinity in
   let best_bin = Array.make n_items (-1) in
@@ -13,9 +17,21 @@ let greedy_round ~n_items xlp =
         best_bin.(i) <- j
       end)
     xlp;
+  Rc_obs.Metrics.incr m_rounds;
+  if Rc_obs.Metrics.enabled () then
+    (* items whose winning LP value is fractional: rounding actually
+       made a choice there, rather than ratifying an integral solution *)
+    Array.iter
+      (fun v ->
+        if v > neg_infinity && v < 0.999 then Rc_obs.Metrics.incr m_fractional)
+      best_val;
   best_bin
 
 let integrality_gap ~ilp_objective ~lp_optimum =
-  if Float.abs lp_optimum < 1e-300 then
-    if Float.abs ilp_objective < 1e-300 then 1.0 else nan
-  else ilp_objective /. lp_optimum
+  let gap =
+    if Float.abs lp_optimum < 1e-300 then
+      if Float.abs ilp_objective < 1e-300 then 1.0 else nan
+    else ilp_objective /. lp_optimum
+  in
+  Rc_obs.Metrics.set_gauge m_gap gap;
+  gap

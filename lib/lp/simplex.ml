@@ -95,7 +95,12 @@ let recompute_x_b st =
   let xb = ftran st r in
   Array.blit xb 0 st.x_b 0 st.m
 
+let m_solves = Rc_obs.Metrics.counter "lp.simplex.solves"
+let m_pivots = Rc_obs.Metrics.counter "lp.simplex.pivots"
+let m_refactorizations = Rc_obs.Metrics.counter "lp.simplex.refactorizations"
+
 let refactorize st =
+  Rc_obs.Metrics.incr m_refactorizations;
   match Rc_sparse.Sparse_lu.factor ~m:st.m ~cols:(basis_columns st) with
   | Some lu ->
       st.lu <- lu;
@@ -324,6 +329,8 @@ let solve ?max_iter ?(eps = 1e-7) problem =
     with Done s -> s
   in
   let finish status =
+    Rc_obs.Metrics.incr m_solves;
+    Rc_obs.Metrics.add m_pivots !iterations;
     let x = Array.make nv 0.0 in
     for j = 0 to nv - 1 do
       x.(j) <- (if st.pos_in_basis.(j) >= 0 then st.x_b.(st.pos_in_basis.(j)) else st.nb_val.(j))

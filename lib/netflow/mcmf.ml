@@ -61,6 +61,11 @@ let add_arc t ~src ~dst ~capacity ~cost =
 
 type outcome = { flow : int; cost : float }
 
+let m_solves = Rc_obs.Metrics.counter "netflow.mcmf.solves"
+let m_augmentations = Rc_obs.Metrics.counter "netflow.mcmf.augmentations"
+let m_flow_units = Rc_obs.Metrics.counter "netflow.mcmf.flow_units"
+let m_bf_runs = Rc_obs.Metrics.counter "netflow.mcmf.bellman_ford_runs"
+
 let bellman_ford_potentials t source =
   let pot = Array.make t.n infinity in
   pot.(source) <- 0.0;
@@ -94,7 +99,11 @@ let solve ?(amount = max_int) t ~source ~sink =
     if t.caps.(a) > 0 && t.costs.(a) < 0.0 then has_negative := true
   done;
   let pot =
-    if !has_negative then bellman_ford_potentials t source else Array.make t.n 0.0
+    if !has_negative then begin
+      Rc_obs.Metrics.incr m_bf_runs;
+      bellman_ford_potentials t source
+    end
+    else Array.make t.n 0.0
   in
   let dist = Array.make t.n infinity in
   let pred_arc = Array.make t.n (-1) in
@@ -153,9 +162,12 @@ let solve ?(amount = max_int) t ~source ~sink =
         total_cost := !total_cost +. (float_of_int f *. t.costs.(a));
         v := t.heads.(a lxor 1)
       done;
-      total_flow := !total_flow + f
+      total_flow := !total_flow + f;
+      Rc_obs.Metrics.incr m_augmentations;
+      Rc_obs.Metrics.add m_flow_units f
     end
   done;
+  Rc_obs.Metrics.incr m_solves;
   { flow = !total_flow; cost = !total_cost }
 
 let flow_on t a =

@@ -1,0 +1,115 @@
+(* A tiny report-document model: titled sections of prose + tables,
+   rendered to GitHub Markdown or JSON.  Deliberately knows nothing
+   about the flow — lib/core/paper_report.ml builds the docs. *)
+
+type cell =
+  | Str of string
+  | Int of int
+  | Float of float * int  (* value, decimal places *)
+  | Pct of float  (* rendered "12.3 %" *)
+
+type table = { title : string; columns : string list; rows : cell list list }
+
+type section = {
+  heading : string;
+  prose : string;
+  tables : table list;
+  data : (string * Rc_util.Json.t) list;
+}
+
+type doc = { title : string; intro : string; sections : section list }
+
+let section ?(prose = "") ?(tables = []) ?(data = []) heading =
+  { heading; prose; tables; data }
+
+let cell_text = function
+  | Str s -> s
+  | Int n -> string_of_int n
+  | Float (v, dp) ->
+      if Float.is_nan v then "-" else Printf.sprintf "%.*f" dp v
+  | Pct v -> if Float.is_nan v then "-" else Printf.sprintf "%.1f %%" v
+
+(* numbers right-align in GitHub pipe tables via the delimiter row *)
+let cell_is_num = function Str _ -> false | Int _ | Float _ | Pct _ -> true
+
+let to_markdown doc =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "# %s" doc.title;
+  if doc.intro <> "" then begin
+    line "";
+    line "%s" doc.intro
+  end;
+  List.iter
+    (fun sec ->
+      line "";
+      line "## %s" sec.heading;
+      if sec.prose <> "" then begin
+        line "";
+        line "%s" sec.prose
+      end;
+      List.iter
+        (fun (t : table) ->
+          line "";
+          if t.title <> "" then begin
+            line "### %s" t.title;
+            line ""
+          end;
+          line "| %s |" (String.concat " | " t.columns);
+          let aligns =
+            List.mapi
+              (fun i _ ->
+                let numeric =
+                  t.rows <> []
+                  && List.for_all
+                       (fun row ->
+                         match List.nth_opt row i with
+                         | Some c -> cell_is_num c
+                         | None -> true)
+                       t.rows
+                in
+                if numeric then "---:" else "---")
+              t.columns
+          in
+          line "| %s |" (String.concat " | " aligns);
+          List.iter
+            (fun row -> line "| %s |" (String.concat " | " (List.map cell_text row)))
+            t.rows)
+        sec.tables)
+    doc.sections;
+  Buffer.contents buf
+
+let cell_json =
+  let module J = Rc_util.Json in
+  function
+  | Str s -> J.String s
+  | Int n -> J.Int n
+  | Float (v, _) -> J.Float v
+  | Pct v -> J.Float v
+
+let table_json (t : table) =
+  let module J = Rc_util.Json in
+  J.Obj
+    [
+      ("title", J.String t.title);
+      ("columns", J.List (List.map (fun c -> J.String c) t.columns));
+      ("rows", J.List (List.map (fun row -> J.List (List.map cell_json row)) t.rows));
+    ]
+
+let to_json doc =
+  let module J = Rc_util.Json in
+  J.Obj
+    [
+      ("title", J.String doc.title);
+      ("intro", J.String doc.intro);
+      ( "sections",
+        J.List
+          (List.map
+             (fun sec ->
+               J.Obj
+                 (("heading", J.String sec.heading)
+                 :: ("prose", J.String sec.prose)
+                 :: ("tables", J.List (List.map table_json sec.tables))
+                 :: sec.data))
+             doc.sections) );
+    ]

@@ -56,6 +56,10 @@ let worker pool id () =
   (* workers only ever execute region bodies: nested primitives must
      run sequentially, so the flag is set for the domain's lifetime *)
   Domain.DLS.set in_region_key true;
+  (* metric shards: worker ids are stable and never concurrently reused
+     (get_pool joins the previous generation before spawning), so the
+     worker id doubles as this domain's shard slot *)
+  Rc_obs.Metrics.set_shard_slot id;
   let my_epoch = ref 0 in
   let live = ref true in
   while !live do

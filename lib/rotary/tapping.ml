@@ -136,6 +136,21 @@ let segment_taps tech ~load ring ~seg ~arc_start ~conductor ~ff ~target =
              }))
     [ k0; k0 + 1 ]
 
+type case = Two_root | Period_shift | Tangent | Snaked
+
+let case_of (tap : tap) ~(ff : Point.t) =
+  (* precedence mirrors the paper's narrative: snaking is always case 4;
+     any period shift is case 1 even if the shifted tap is tangent *)
+  if tap.snaked then Snaked
+  else if tap.periods_shifted <> 0 then Period_shift
+  else begin
+    (* a tangent (case 3) tap sits at the flip-flop's projection onto
+       the segment: one coordinate coincides with the flip-flop's *)
+    let dx = Float.abs (tap.point.Point.x -. ff.Point.x)
+    and dy = Float.abs (tap.point.Point.y -. ff.Point.y) in
+    if Float.min dx dy < 1e-6 then Tangent else Two_root
+  end
+
 let best_of taps =
   List.fold_left
     (fun acc (t : tap) ->

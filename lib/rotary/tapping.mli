@@ -30,6 +30,21 @@ type tap = {
   periods_shifted : int;  (** Whole periods added to the target (Case 1). *)
 }
 
+(** Which of the four Eq. 1 solution cases produced a tap. *)
+type case =
+  | Two_root  (** Case 2: two roots, smaller stub chosen. *)
+  | Period_shift  (** Case 1: whole periods were added to the target. *)
+  | Tangent  (** Case 3: root at the flip-flop's projection (near-tangent). *)
+  | Snaked  (** Case 4: wire detouring. *)
+
+val case_of : tap -> ff:Rc_geom.Point.t -> case
+(** Classify a tap for the flip-flop it was solved for. Precedence:
+    snaking is always [Snaked]; any period shift is [Period_shift] even
+    when the shifted solution is tangent; a non-shifted root at the
+    flip-flop's projection (within 1e-6 µm) is [Tangent]; everything
+    else is [Two_root]. Used for the tapping-case distribution metrics
+    ([assign.tap.*]). *)
+
 val solve :
   ?use_complement:bool ->
   ?load:float ->

@@ -5,6 +5,10 @@ type outcome = {
   converged : bool;
 }
 
+let m_solves = Rc_obs.Metrics.counter "sparse.cg.solves"
+let m_iterations = Rc_obs.Metrics.counter "sparse.cg.iterations"
+let m_unconverged = Rc_obs.Metrics.counter "sparse.cg.unconverged"
+
 (* Scratch buffers of one solve, reusable across solves of the same
    dimension.  Quadratic placement solves dozens of same-size systems
    (two per spreading round); reusing the residual/direction/
@@ -96,4 +100,8 @@ let solve ?ws ?max_iter ?(tol = 1e-8) ?x0 a b =
       incr iter
     end
   done;
-  { x; iterations = !iter; residual_norm = !res; converged = !res /. b_norm <= tol }
+  let converged = !res /. b_norm <= tol in
+  Rc_obs.Metrics.incr m_solves;
+  Rc_obs.Metrics.add m_iterations !iter;
+  if not converged then Rc_obs.Metrics.incr m_unconverged;
+  { x; iterations = !iter; residual_norm = !res; converged }

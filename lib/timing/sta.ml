@@ -4,6 +4,10 @@ type adjacency = { src_ff : int; dst_ff : int; d_max : float; d_min : float }
 
 type t = { pairs : adjacency list; critical : float }
 
+let m_analyses = Rc_obs.Metrics.counter "timing.sta.analyses"
+let m_pairs = Rc_obs.Metrics.counter "timing.sta.pairs"
+let m_cone_sinks = Rc_obs.Metrics.histogram "timing.sta.cone_sinks"
+
 (* Deterministic per-cell process-variation factor in [0.9, 1.1]. *)
 let gate_factor c =
   let r = Rc_util.Rng.create ((c * 2654435761) + 97) in
@@ -125,6 +129,10 @@ let analyze tech netlist ~positions =
             drain ()
       in
       drain ();
+      (* histogram merge is a commutative sum, so recording from inside
+         the parallel region keeps the snapshot job-count independent *)
+      if Rc_obs.Metrics.enabled () then
+        Rc_obs.Metrics.observe m_cone_sinks (List.length !order);
       entries.(k) <- List.rev_map (fun g -> (g, rmax.(g), rmin.(g))) !order);
   let pairs = Hashtbl.create 256 in
   Array.iteri
@@ -137,6 +145,8 @@ let analyze tech netlist ~positions =
       pairs []
   in
   let critical = List.fold_left (fun acc p -> Float.max acc p.d_max) 0.0 pair_list in
+  Rc_obs.Metrics.incr m_analyses;
+  Rc_obs.Metrics.add m_pairs (List.length pair_list);
   { pairs = pair_list; critical }
 
 let adjacencies t = t.pairs
