@@ -245,6 +245,102 @@ let test_fig2 =
            (fun i ff -> ignore (Rc_rotary.Tapping.solve tech ring ~ff ~target:targets.(i)))
            ff_positions))
 
+(* --- solver kernels behind the incremental layer (PR 4): the four hot
+   solves the flow reuses across iterations, timed in isolation so the
+   cold-path cost and the incremental win stay visible per kernel --- *)
+
+(* CG on a qplace-shaped SPD system: 1-D Laplacian + unit diagonal
+   (strictly diagonally dominant), seeded RHS *)
+let cg_state =
+  lazy
+    (let n = 600 in
+     let rng = Rc_util.Rng.create 4242 in
+     let triplets = ref [] in
+     for i = 0 to n - 1 do
+       triplets := (i, i, 3.0) :: !triplets;
+       if i + 1 < n then triplets := (i, i + 1, -1.0) :: (i + 1, i, -1.0) :: !triplets
+     done;
+     let m = Rc_sparse.Csr.of_triplets ~rows:n ~cols:n !triplets in
+     let b = Array.init n (fun _ -> Rc_util.Rng.float rng 100.0) in
+     (m, b, Rc_sparse.Cg.workspace n))
+
+let test_cg =
+  Test.make ~name:"cg:spd-solve"
+    (Staged.stage (fun () ->
+         let m, b, ws = Lazy.force cg_state in
+         ignore (Rc_sparse.Cg.solve ~ws ~tol:1e-7 m b)))
+
+(* the Fig. 4 min-cost-flow assignment on a seeded bipartite instance *)
+let mcmf_state =
+  lazy
+    (let n_items = 200 and n_bins = 16 in
+     let rng = Rc_util.Rng.create 1717 in
+     let cands =
+       List.concat
+         (List.init n_items (fun i ->
+              List.init 6 (fun k ->
+                  {
+                    Rc_netflow.Assignment.item = i;
+                    bin = (i + (k * 5)) mod n_bins;
+                    cost = Rc_util.Rng.float rng 50.0;
+                  })))
+     in
+     (n_items, n_bins, Array.make n_bins ((n_items / n_bins) + 4), cands))
+
+let test_mcmf =
+  Test.make ~name:"mcmf:assignment-solve"
+    (Staged.stage (fun () ->
+         let n_items, n_bins, capacities, cands = Lazy.force mcmf_state in
+         ignore (Rc_netflow.Assignment.solve ~n_items ~n_bins ~capacities cands)))
+
+(* per-flip-flop Eq. 1 candidate construction: nearest rings + one tap
+   solve per candidate (the input to stage 3, cached by Assign.cache) *)
+let test_eq1_candidates =
+  Test.make ~name:"eq1:candidate-taps"
+    (Staged.stage (fun () ->
+         let tech, _, _, rings, _, _, _, ff_positions, targets, _ = Lazy.force kernel_state in
+         Array.iteri
+           (fun i ff ->
+             List.iter
+               (fun rj ->
+                 ignore
+                   (Rc_rotary.Tapping.solve tech
+                      (Rc_rotary.Ring_array.ring rings rj)
+                      ~ff ~target:targets.(i)))
+               (Rc_rotary.Ring_array.rings_near rings ff 6))
+           ff_positions))
+
+let test_sta_cold =
+  Test.make ~name:"sta:analyze-cold"
+    (Staged.stage (fun () ->
+         let tech, netlist, _, _, placed, _, _, _, _, _ = Lazy.force kernel_state in
+         ignore (Rc_timing.Sta.analyze tech netlist ~positions:placed.Rc_place.Qplace.positions)))
+
+(* incremental STA: alternate between two placements differing in every
+   8th cell, so every run re-evaluates the same dirty cone set *)
+let sta_inc_state =
+  lazy
+    (let tech, netlist, _, _, placed, _, _, _, _, _ = Lazy.force kernel_state in
+     let pos_a = placed.Rc_place.Qplace.positions in
+     let pos_b =
+       Array.mapi
+         (fun c (p : Rc_geom.Point.t) ->
+           if c mod 8 = 0 then Rc_geom.Point.make (p.Rc_geom.Point.x +. 1.0) p.Rc_geom.Point.y
+           else p)
+         pos_a
+     in
+     let sess = Rc_timing.Sta.make_session tech netlist in
+     ignore (Rc_timing.Sta.analyze_incremental sess ~positions:pos_a);
+     (sess, pos_a, pos_b, ref false))
+
+let test_sta_incremental =
+  Test.make ~name:"sta:analyze-incremental"
+    (Staged.stage (fun () ->
+         let sess, pos_a, pos_b, flip = Lazy.force sta_inc_state in
+         let positions = if !flip then pos_a else pos_b in
+         flip := not !flip;
+         ignore (Rc_timing.Sta.analyze_incremental sess ~positions)))
+
 let micro () =
   Printf.printf "=== Bechamel micro-benchmarks (one kernel per table) ===\n%!";
   let tests =
@@ -258,6 +354,11 @@ let micro () =
         test_table6;
         test_table7;
         test_fig2;
+        test_cg;
+        test_mcmf;
+        test_eq1_candidates;
+        test_sta_cold;
+        test_sta_incremental;
       ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in

@@ -51,10 +51,10 @@ let mode_arg =
     value & opt mode_conv Flow.Netflow
     & info [ "mode" ] ~docv:"MODE" ~doc:"Assignment mode: netflow or ilp")
 
-let run_flow jobs bench mode trace metrics =
+let run_flow jobs bench mode trace metrics no_incremental =
   setup_jobs jobs;
   if metrics then Rc_obs.Metrics.set_enabled true;
-  let cfg = Flow.default_config ~mode bench in
+  let cfg = { (Flow.default_config ~mode bench) with Flow.incremental = not no_incremental } in
   let plan = Flow.plan_of_config cfg in
   let o = Flow.run ~plan cfg in
   Printf.printf "circuit %s: %d flip-flops, %d sequential pairs, max slack %.2f ps\n"
@@ -105,9 +105,16 @@ let flow_cmd =
           ~doc:"Enable the solver-metrics registry and print the merged totals after the run \
                 (CG iterations, simplex pivots, netflow augmentations, Eq. 1 tapping cases, ...)")
   in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:"Disable the cross-iteration incremental caches (dirty-set STA, Eq. 1 tap cache, \
+                warm-started assignment); results are bit-identical either way, only slower")
+  in
   Cmd.v
     (Cmd.info "flow" ~doc:"Run the six-stage flow on one circuit and print per-iteration metrics")
-    Term.(const run_flow $ jobs_arg $ bench $ mode_arg $ trace $ metrics)
+    Term.(const run_flow $ jobs_arg $ bench $ mode_arg $ trace $ metrics $ no_incremental)
 
 (* --- tables command --- *)
 

@@ -46,8 +46,11 @@ type cand = { rings : int array; ctaps : Tapping.tap array }
    solves are independent — the flow's second hot kernel — and fan out
    across the domain pool; the per-FF merge order is the array index,
    so the result is identical for any job count. *)
+(* below ~64 flip-flops a solve is cheaper than waking the pool *)
+let par_cutoff = 64
+
 let candidate_taps tech arr ~ff_positions ~targets ~candidates =
-  Rc_par.Pool.init (Array.length ff_positions) (fun i ->
+  Rc_par.Pool.init ~min_items:par_cutoff (Array.length ff_positions) (fun i ->
       let rings = Array.of_list (Ring_array.rings_near arr ff_positions.(i) candidates) in
       let ctaps =
         Array.map
@@ -58,6 +61,73 @@ let candidate_taps tech arr ~ff_positions ~targets ~candidates =
       in
       Rc_obs.Metrics.add m_candidate_solves (Array.length rings);
       { rings; ctaps })
+
+(* --- Candidate-tap cache + warm-assignment session ---------------- *)
+
+let m_tap_hits = Rc_obs.Metrics.counter "assign.tapcache.hits"
+let m_tap_misses = Rc_obs.Metrics.counter "assign.tapcache.misses"
+let m_tap_invalidations = Rc_obs.Metrics.counter "assign.tapcache.invalidations"
+
+(* One cached Eq. 1 candidate solve. [key] is a quantized fingerprint of
+   (position, delay target) for cheap rejection; the exact fields are
+   the authority — a slot is reused only when position, target, and the
+   candidate count match bit-for-bit, so a cached cand is
+   indistinguishable from a fresh solve. *)
+type tap_entry = {
+  e_key : int;
+  e_pos : Rc_geom.Point.t;
+  e_target : float;
+  e_k : int;
+  e_cand : cand;
+}
+
+type cache = {
+  mutable slots : tap_entry option array;  (* per flip-flop *)
+  mutable slots_arr : Ring_array.t option;  (* ring array the slots refer to *)
+  mutable solver : (Rc_netflow.Assignment.solver * int * int array) option;
+      (* solver, n_items, capacities it was built for *)
+}
+
+let make_cache () = { slots = [||]; slots_arr = None; solver = None }
+
+let quantized_key (p : Rc_geom.Point.t) target k =
+  let q v = int_of_float (v *. 1024.0) in
+  (q p.Rc_geom.Point.x * 31) + (q p.Rc_geom.Point.y * 17) + (q target * 7) + k
+
+let candidate_taps_cached cache tech arr ~ff_positions ~targets ~candidates =
+  let n = Array.length ff_positions in
+  let fresh =
+    match cache.slots_arr with Some a -> a != arr | None -> true
+  in
+  if fresh || Array.length cache.slots <> n then begin
+    cache.slots <- Array.make n None;
+    cache.slots_arr <- Some arr
+  end;
+  let slots = cache.slots in
+  Rc_par.Pool.init ~min_items:par_cutoff n (fun i ->
+      let p = ff_positions.(i) and target = targets.(i) in
+      let key = quantized_key p target candidates in
+      match slots.(i) with
+      | Some e
+        when e.e_key = key && e.e_k = candidates
+             && e.e_pos.Rc_geom.Point.x = p.Rc_geom.Point.x
+             && e.e_pos.Rc_geom.Point.y = p.Rc_geom.Point.y
+             && e.e_target = target ->
+          Rc_obs.Metrics.incr m_tap_hits;
+          e.e_cand
+      | prev ->
+          Rc_obs.Metrics.incr
+            (if prev = None then m_tap_misses else m_tap_invalidations);
+          let rings = Array.of_list (Ring_array.rings_near arr p candidates) in
+          let ctaps =
+            Array.map
+              (fun rj -> Tapping.solve tech (Ring_array.ring arr rj) ~ff:p ~target)
+              rings
+          in
+          Rc_obs.Metrics.add m_candidate_solves (Array.length rings);
+          let c = { rings; ctaps } in
+          slots.(i) <- Some { e_key = key; e_pos = p; e_target = target; e_k = candidates; e_cand = c };
+          c)
 
 let tap_for c rj =
   let m = Array.length c.rings in
@@ -84,7 +154,7 @@ let finish tech arr ~ff_positions taps ring_of_ff =
     max_load = Array.fold_left Float.max 0.0 loads;
   }
 
-let by_netflow ?(candidates = 6) ?capacities tech arr ~ff_positions ~targets =
+let by_netflow ?(candidates = 6) ?capacities ?cache tech arr ~ff_positions ~targets =
   check_inputs arr ff_positions targets;
   let n = Array.length ff_positions in
   let capacities =
@@ -97,8 +167,31 @@ let by_netflow ?(candidates = 6) ?capacities tech arr ~ff_positions ~targets =
   in
   if Array.fold_left ( + ) 0 capacities < n then
     invalid_arg "Assign.by_netflow: total capacity below flip-flop count";
+  let solve_cands cands =
+    match cache with
+    | None ->
+        Rc_netflow.Assignment.solve ~n_items:n ~n_bins:(Ring_array.n_rings arr) ~capacities
+          cands
+    | Some cc ->
+        let solver =
+          match cc.solver with
+          | Some (s, sn, scaps) when sn = n && scaps = capacities -> s
+          | _ ->
+              let s =
+                Rc_netflow.Assignment.make_solver ~n_items:n
+                  ~n_bins:(Ring_array.n_rings arr) ~capacities
+              in
+              cc.solver <- Some (s, n, Array.copy capacities);
+              s
+        in
+        Rc_netflow.Assignment.solve_with solver cands
+  in
   let rec attempt k =
-    let cand = candidate_taps tech arr ~ff_positions ~targets ~candidates:k in
+    let cand =
+      match cache with
+      | None -> candidate_taps tech arr ~ff_positions ~targets ~candidates:k
+      | Some cc -> candidate_taps_cached cc tech arr ~ff_positions ~targets ~candidates:k
+    in
     (* candidate arcs in (ff, nearest-ring) order, built back to front *)
     let cands = ref [] in
     for i = n - 1 downto 0 do
@@ -113,9 +206,7 @@ let by_netflow ?(candidates = 6) ?capacities tech arr ~ff_positions ~targets =
           :: !cands
       done
     done;
-    let r =
-      Rc_netflow.Assignment.solve ~n_items:n ~n_bins:(Ring_array.n_rings arr) ~capacities !cands
-    in
+    let r = solve_cands !cands in
     if r.Rc_netflow.Assignment.assigned < n && k < Ring_array.n_rings arr then begin
       Rc_obs.Metrics.incr m_widen_retries;
       attempt (min (Ring_array.n_rings arr) (2 * k))

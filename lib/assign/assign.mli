@@ -25,9 +25,23 @@ val load_of_tap : Rc_tech.Tech.t -> Rc_rotary.Tapping.tap -> float
 (** [C_p^{ij}]: stub wire capacitance plus the flip-flop input
     capacitance, fF. *)
 
+type cache
+(** Cross-iteration reuse state for {!by_netflow}: a per-flip-flop cache
+    of Eq. 1 candidate-tap solves (a slot is reused only when the
+    flip-flop's position, delay target, and candidate count match the
+    cached solve bit-for-bit) plus a warm-started
+    {!Rc_netflow.Assignment.solver}. Reuse is reported under the
+    [assign.tapcache.hits] / [misses] / [invalidations] and
+    [netflow.assignment.*] metrics. *)
+
+val make_cache : unit -> cache
+(** An empty cache; pass it to successive {!by_netflow} calls of the
+    same circuit to skip work whose inputs did not change. *)
+
 val by_netflow :
   ?candidates:int ->
   ?capacities:int array ->
+  ?cache:cache ->
   Rc_tech.Tech.t ->
   Rc_rotary.Ring_array.t ->
   ff_positions:Rc_geom.Point.t array ->
@@ -37,6 +51,9 @@ val by_netflow :
     flip-flop; [capacities] default to
     [Ring_array.default_capacities ~slack:1.3]. If capacities leave some
     flip-flop unassigned the candidate set is widened automatically.
+    With [cache], unchanged flip-flops reuse their cached candidate taps
+    and the flow network is replayed or warm-started when possible; the
+    result is bit-identical to the uncached call.
     @raise Invalid_argument on size mismatches or infeasible total
     capacity. *)
 

@@ -35,6 +35,7 @@ type config = Flow_ctx.config = {
   convergence_tol : float;
   detail_passes : int;
   tapping_weight : float;
+  incremental : bool;
 }
 
 let default_config ?(mode = Netflow) bench =
@@ -53,6 +54,7 @@ let default_config ?(mode = Netflow) bench =
     convergence_tol = 0.002;
     detail_passes = 0;
     tapping_weight = 8.0;
+    incremental = true;
   }
 
 (* Beyond-paper configuration: detailed-placement refinement after the

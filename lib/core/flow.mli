@@ -38,6 +38,7 @@ type config = Flow_ctx.config = {
   convergence_tol : float;  (** Stop when total cost improves less than this fraction. *)
   detail_passes : int;  (** Detailed-placement refinement passes after each placement (0 disables; flip-flops are frozen during incremental refinement). *)
   tapping_weight : float;  (** Stage-5 evaluates signal_wl + weight × tapping_wl (the paper's "weighted sum of total tapping cost and traditional placement cost"). *)
+  incremental : bool;  (** Reuse STA cones, Eq. 1 candidate taps, and the assignment flow network across loop iterations ({!Flow_cache}). Exact-input caching: results are bit-identical either way. *)
 }
 
 val default_config : ?mode:mode -> Bench_suite.bench -> config

@@ -1,0 +1,68 @@
+(* Mutable cross-iteration recomputation state carried by the flow
+   context. The context itself is functional (stages map ctx -> ctx);
+   the caches are deliberately not — they are sessions whose whole point
+   is to persist across iterations: the incremental STA session, the
+   Eq. 1 candidate-tap cache with its warm-started assignment solver,
+   and the dirty-set tracker fed by stage 6's displacement vector.
+
+   Every cache matches on exact inputs, so a flow run with caching
+   enabled is bit-identical to one without — the caches only skip
+   recomputation of values they can prove unchanged. *)
+
+let m_dirty_cells = Rc_obs.Metrics.counter "flow.dirty.cells"
+let m_moved = Rc_obs.Metrics.histogram "flow.dirty.displacement_um"
+let g_max_disp = Rc_obs.Metrics.gauge "flow.dirty.max_displacement_um"
+
+type t = {
+  mutable sta : Rc_timing.Sta.session option;
+  assign : Rc_assign.Assign.cache;
+  epsilon : float;  (* movement threshold for the dirty set, um *)
+  mutable dirty_cells : int;  (* cells moved > epsilon in the last stage-6 pass *)
+  mutable max_displacement : float;  (* largest move of that pass, um *)
+}
+
+let create ?(epsilon = 0.0) () =
+  {
+    sta = None;
+    assign = Rc_assign.Assign.make_cache ();
+    epsilon;
+    dirty_cells = 0;
+    max_displacement = 0.0;
+  }
+
+let sta_session t tech netlist =
+  match t.sta with
+  | Some s -> s
+  | None ->
+      let s = Rc_timing.Sta.make_session tech netlist in
+      t.sta <- Some s;
+      s
+
+let assign_cache t = t.assign
+
+(* Stage 6 reports its displacement vector here: the dirty set of the
+   iteration is every cell that moved more than epsilon. The counts and
+   magnitudes surface in the metrics registry; the per-subsystem caches
+   detect staleness themselves from exact positions, so an epsilon
+   greater than 0 only coarsens the *reported* dirty set, never the
+   recomputation. *)
+let note_displacement t ~prev ~next =
+  let n = min (Array.length prev) (Array.length next) in
+  let dirty = ref 0 and max_d = ref 0.0 in
+  for c = 0 to n - 1 do
+    let d = Rc_geom.Point.manhattan prev.(c) next.(c) in
+    if d > t.epsilon then begin
+      incr dirty;
+      if d > !max_d then max_d := d
+    end
+  done;
+  t.dirty_cells <- !dirty;
+  t.max_displacement <- !max_d;
+  if Rc_obs.Metrics.enabled () then begin
+    Rc_obs.Metrics.add m_dirty_cells !dirty;
+    Rc_obs.Metrics.observe m_moved (int_of_float (Float.round !max_d));
+    Rc_obs.Metrics.set_gauge g_max_disp !max_d
+  end
+
+let dirty_cells t = t.dirty_cells
+let max_displacement t = t.max_displacement

@@ -26,6 +26,7 @@ type config = {
   convergence_tol : float;
   detail_passes : int;
   tapping_weight : float;
+  incremental : bool;
 }
 
 type snapshot = {
@@ -73,6 +74,10 @@ type t = {
       (* the solver-metrics registry the stage driver snapshots around
          each stage; the process-global one — stages record into it
          implicitly through the instrumented solver layers *)
+  caches : Flow_cache.t;
+      (* cross-iteration recomputation state (incremental STA session,
+         tap cache, warm assignment solver, dirty-set tracker); consulted
+         by stages only when [cfg.incremental] is set *)
 }
 
 let ff_index netlist =
@@ -110,6 +115,7 @@ let create ?(arm = "") cfg netlist =
     trace = Flow_trace.empty;
     note = "";
     obs = Rc_obs.Metrics.global;
+    caches = Flow_cache.create ();
   }
 
 let assignment_exn ctx =

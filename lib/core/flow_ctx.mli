@@ -21,6 +21,7 @@ type config = {
   convergence_tol : float;
   detail_passes : int;
   tapping_weight : float;
+  incremental : bool;
 }
 (** See {!Flow.config} for per-field documentation. *)
 
@@ -71,6 +72,10 @@ type t = {
       (** solver-metrics registry ({!Rc_obs.Metrics.global}); the stage
           driver snapshots it around each stage so trace events carry
           per-stage metric deltas when recording is enabled *)
+  caches : Flow_cache.t;
+      (** cross-iteration recomputation state (incremental STA session,
+          candidate-tap cache, warm assignment solver, dirty-set
+          tracker); consulted by stages only when [cfg.incremental] *)
 }
 
 val create : ?arm:string -> config -> Rc_netlist.Netlist.t -> t

@@ -10,6 +10,17 @@ open Rc_rotary
 
 let site = 10.0 (* legalization site pitch, um *)
 
+(* STA entry point shared by stages 2 and 4: the incremental session
+   when the config enables reuse (bit-identical to the cold path — the
+   session compares exact positions), the plain analyze otherwise. *)
+let run_sta ctx =
+  let cfg = ctx.Flow_ctx.cfg in
+  let tech = cfg.Flow_ctx.tech in
+  if cfg.Flow_ctx.incremental then
+    let session = Flow_cache.sta_session ctx.Flow_ctx.caches tech ctx.Flow_ctx.netlist in
+    Rc_timing.Sta.analyze_incremental session ~positions:ctx.Flow_ctx.positions
+  else Rc_timing.Sta.analyze tech ctx.Flow_ctx.netlist ~positions:ctx.Flow_ctx.positions
+
 (* ---- stage 1: initial placement -------------------------------------- *)
 
 let placement_global =
@@ -43,9 +54,7 @@ let max_slack_scheduling =
     (fun ctx ->
       let cfg = ctx.Flow_ctx.cfg in
       let tech = cfg.Flow_ctx.tech in
-      let sta =
-        Rc_timing.Sta.analyze tech ctx.Flow_ctx.netlist ~positions:ctx.Flow_ctx.positions
-      in
+      let sta = run_sta ctx in
       let problem = Flow_ctx.skew_problem_of_sta tech ctx.Flow_ctx.netlist sta in
       match Rc_skew.Max_slack.solve_graph problem with
       | None -> failwith "Flow.run: max-slack scheduling infeasible"
@@ -78,8 +87,12 @@ let assignment_netflow =
           ~n_ffs:(Array.length ctx.Flow_ctx.ffs)
           ~slack:cfg.Flow_ctx.capacity_slack
       in
+      let cache =
+        if cfg.Flow_ctx.incremental then Some (Flow_cache.assign_cache ctx.Flow_ctx.caches)
+        else None
+      in
       let a =
-        Rc_assign.Assign.by_netflow ~candidates:cfg.Flow_ctx.candidates ~capacities
+        Rc_assign.Assign.by_netflow ~candidates:cfg.Flow_ctx.candidates ~capacities ?cache
           cfg.Flow_ctx.tech ctx.Flow_ctx.rings
           ~ff_positions:(Flow_ctx.ff_positions ctx) ~targets:ctx.Flow_ctx.skews
       in
@@ -108,9 +121,7 @@ let cost_driven solver ~variant =
     ~inputs:[ "positions"; "skews"; "assignment"; "stage4_slack" ] ~outputs:[ "skews" ]
     (fun ctx ->
       let tech = ctx.Flow_ctx.cfg.Flow_ctx.tech in
-      let sta =
-        Rc_timing.Sta.analyze tech ctx.Flow_ctx.netlist ~positions:ctx.Flow_ctx.positions
-      in
+      let sta = run_sta ctx in
       let problem = Flow_ctx.skew_problem_of_sta tech ctx.Flow_ctx.netlist sta in
       let anchors =
         Flow_ctx.anchors_of_assignment tech ctx.Flow_ctx.rings (Flow_ctx.assignment_exn ctx)
@@ -205,10 +216,14 @@ let incremental_qplace =
         Rc_place.Qplace.incremental ~stability:cfg.Flow_ctx.stability ctx.Flow_ctx.netlist
           ~chip:ctx.Flow_ctx.chip ~prev:ctx.Flow_ctx.positions ~pseudo
       in
+      Flow_cache.note_displacement ctx.Flow_ctx.caches ~prev:ctx.Flow_ctx.positions
+        ~next:inc.Rc_place.Qplace.positions;
       {
         ctx with
         Flow_ctx.positions = inc.Rc_place.Qplace.positions;
-        note = Printf.sprintf "pseudo weight %.3f" weight;
+        note =
+          Printf.sprintf "pseudo weight %.3f, %d cells moved" weight
+            (Flow_cache.dirty_cells ctx.Flow_ctx.caches);
       })
 
 let incremental_relocate =
@@ -231,10 +246,14 @@ let incremental_relocate =
           (Rc_place.Detail.refine ~max_passes:cfg.Flow_ctx.detail_passes
              ~frozen:(Rc_netlist.Netlist.is_ff netlist) netlist ~chip ~site moved)
       in
+      Flow_cache.note_displacement ctx.Flow_ctx.caches ~prev:ctx.Flow_ctx.positions
+        ~next:healed;
       {
         ctx with
         Flow_ctx.positions = healed;
-        note = Printf.sprintf "pseudo weight %.3f" weight;
+        note =
+          Printf.sprintf "pseudo weight %.3f, %d cells moved" weight
+            (Flow_cache.dirty_cells ctx.Flow_ctx.caches);
       })
 
 let incremental_of (cfg : Flow_ctx.config) =

@@ -1,4 +1,4 @@
-type edge = { src : int; dst : int; weight : float; tag : int }
+type edge = { src : int; dst : int; mutable weight : float; tag : int }
 
 type t = { n : int; adj : edge list array; mutable m : int }
 
@@ -12,11 +12,17 @@ let n_edges g = g.m
 let check g v name =
   if v < 0 || v >= g.n then invalid_arg ("Digraph." ^ name ^ ": vertex out of range")
 
-let add_edge ?(tag = -1) g u v w =
+let add_edge_get ?(tag = -1) g u v w =
   check g u "add_edge";
   check g v "add_edge";
-  g.adj.(u) <- { src = u; dst = v; weight = w; tag } :: g.adj.(u);
-  g.m <- g.m + 1
+  let e = { src = u; dst = v; weight = w; tag } in
+  g.adj.(u) <- e :: g.adj.(u);
+  g.m <- g.m + 1;
+  e
+
+let add_edge ?tag g u v w = ignore (add_edge_get ?tag g u v w)
+
+let set_weight (e : edge) w = e.weight <- w
 
 let out_edges g v =
   check g v "out_edges";

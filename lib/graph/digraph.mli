@@ -5,7 +5,7 @@
     residual network. Edges carry a float weight and an arbitrary
     payload index so algorithms can report which edge they used. *)
 
-type edge = { src : int; dst : int; weight : float; tag : int }
+type edge = { src : int; dst : int; mutable weight : float; tag : int }
 
 type t
 
@@ -20,6 +20,15 @@ val add_edge : ?tag:int -> t -> int -> int -> float -> unit
 (** [add_edge g u v w] adds a directed edge [u -> v] of weight [w].
     Parallel edges are allowed. [tag] defaults to -1.
     @raise Invalid_argument on out-of-range vertices. *)
+
+val add_edge_get : ?tag:int -> t -> int -> int -> float -> edge
+(** Like {!add_edge} but returns the edge record, whose weight may later
+    be rewritten in place with {!set_weight} — how the Δ binary search of
+    cost-driven scheduling reuses one window graph across its probes. *)
+
+val set_weight : edge -> float -> unit
+(** Rewrite an edge's weight in place. The edge keeps its position in
+    the adjacency structure, so iteration order is unchanged. *)
 
 val out_edges : t -> int -> edge list
 (** Outgoing edges of a vertex, in insertion order. *)

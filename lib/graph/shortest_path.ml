@@ -56,9 +56,39 @@ let extract_cycle pred start n =
   in
   walk start 0
 
+(* Predecessor-forest cycle check: any cycle among the pred pointers
+   certifies a negative cycle (each pointer was set by a strictly
+   improving relaxation, and distances only decrease, so the cycle's
+   weight sum is < 0). Returns a vertex on such a cycle, or -1. *)
+let pred_cycle pred mark n =
+  Array.fill mark 0 n (-1);
+  let found = ref (-1) in
+  let v = ref 0 in
+  while !found < 0 && !v < n do
+    if mark.(!v) < 0 then begin
+      (* walk up the chain, stamping with this walk's root; hitting our
+         own stamp closes a cycle, an older stamp merges into a chain
+         already cleared *)
+      let u = ref !v in
+      while !found < 0 && !u >= 0 && mark.(!u) < 0 do
+        mark.(!u) <- !v;
+        u := pred.(!u)
+      done;
+      if !found < 0 && !u >= 0 && mark.(!u) = !v then found := !u
+    end;
+    incr v
+  done;
+  !found
+
 (* Queue-based Bellman-Ford (SPFA): near-linear on the sparse
    difference-constraint graphs of skew scheduling. A vertex dequeued
-   more than |V| times certifies a reachable negative cycle. *)
+   more than |V| times certifies a reachable negative cycle; on
+   infeasible graphs that certificate is O(|V|·|E|), so the predecessor
+   forest is additionally scanned for a cycle every ~|V| successful
+   relaxations — amortized O(1) per relaxation, and it fires as soon as
+   the negative cycle materializes instead of after |V| revisits.
+   Feasible graphs never grow a predecessor cycle, so their distance
+   output (and hence every caller-visible result) is unchanged. *)
 let bellman_ford g ~sources =
   let n = Digraph.n_vertices g in
   let dist = Array.make n infinity and pred = Array.make n (-1) in
@@ -73,6 +103,9 @@ let bellman_ford g ~sources =
       end)
     sources;
   let cycle_at = ref (-1) in
+  let mark = Array.make (max n 1) (-1) in
+  let relaxations = ref 0 in
+  let check_every = max 64 n in
   (try
      while not (Queue.is_empty queue) do
        let u = Queue.pop queue in
@@ -87,6 +120,15 @@ let bellman_ford g ~sources =
            if nd < dist.(e.dst) -. 1e-12 then begin
              dist.(e.dst) <- nd;
              pred.(e.dst) <- u;
+             incr relaxations;
+             if !relaxations >= check_every then begin
+               relaxations := 0;
+               let c = pred_cycle pred mark n in
+               if c >= 0 then begin
+                 cycle_at := c;
+                 raise Exit
+               end
+             end;
              if not in_queue.(e.dst) then begin
                in_queue.(e.dst) <- true;
                Queue.add e.dst queue

@@ -67,44 +67,51 @@ let m_flow_units = Rc_obs.Metrics.counter "netflow.mcmf.flow_units"
 let m_bf_runs = Rc_obs.Metrics.counter "netflow.mcmf.bellman_ford_runs"
 
 let bellman_ford_potentials t source =
-  let pot = Array.make t.n infinity in
+  (* Vertices unreachable from [source] must NOT be mapped down to 0.0:
+     an arc out of such a vertex into the reachable region would then get
+     reduced cost [cost - pot(head)], which can be negative, and later
+     augmentations (e.g. from a warm start) would see an inconsistent
+     dual. Instead every non-source vertex starts at a large *finite*
+     sentinel [big] and the sweep relaxes to a fixpoint; any fixpoint of
+     the relaxation satisfies pot(head) <= pot(tail) + cost on every
+     residual arc, which is all the Dijkstra stage needs. [big] exceeds
+     twice the total absolute cost, so vertices reachable from [source]
+     still converge to their true shortest-path distance (a source path
+     costs at most the total, while any sentinel-seeded path costs at
+     least [big] minus the total). *)
+  let big = ref 1.0 in
+  for a = 0 to t.m - 1 do
+    big := !big +. Float.abs t.costs.(a)
+  done;
+  let pot = Array.make t.n !big in
   pot.(source) <- 0.0;
   let changed = ref true and rounds = ref 0 in
   while !changed && !rounds <= t.n do
     changed := false;
     incr rounds;
     for v = 0 to t.n - 1 do
-      if pot.(v) < infinity then begin
-        let a = ref t.first.(v) in
-        while !a >= 0 do
-          if t.caps.(!a) > 0 then begin
-            let nd = pot.(v) +. t.costs.(!a) in
-            if nd < pot.(t.heads.(!a)) -. 1e-12 then begin
-              pot.(t.heads.(!a)) <- nd;
-              changed := true
-            end
-          end;
-          a := t.next.(!a)
-        done
-      end
+      let a = ref t.first.(v) in
+      while !a >= 0 do
+        if t.caps.(!a) > 0 then begin
+          let nd = pot.(v) +. t.costs.(!a) in
+          if nd < pot.(t.heads.(!a)) -. 1e-12 then begin
+            pot.(t.heads.(!a)) <- nd;
+            changed := true
+          end
+        end;
+        a := t.next.(!a)
+      done
     done
   done;
-  Array.map (fun p -> if p = infinity then 0.0 else p) pot
+  pot
 
-let solve ?(amount = max_int) t ~source ~sink =
+(* Successive shortest paths from a given feasible dual. [pot] is
+   mutated in place, so after the call it holds the final potentials —
+   a warm start for a later re-solve of the mutated network. *)
+let augment ?(amount = max_int) t ~pot ~source ~sink =
   if source < 0 || source >= t.n || sink < 0 || sink >= t.n then
     invalid_arg "Mcmf.solve: vertex out of range";
-  let has_negative = ref false in
-  for a = 0 to t.m - 1 do
-    if t.caps.(a) > 0 && t.costs.(a) < 0.0 then has_negative := true
-  done;
-  let pot =
-    if !has_negative then begin
-      Rc_obs.Metrics.incr m_bf_runs;
-      bellman_ford_potentials t source
-    end
-    else Array.make t.n 0.0
-  in
+  if Array.length pot <> t.n then invalid_arg "Mcmf: potentials length mismatch";
   let dist = Array.make t.n infinity in
   let pred_arc = Array.make t.n (-1) in
   let total_flow = ref 0 and total_cost = ref 0.0 in
@@ -169,6 +176,131 @@ let solve ?(amount = max_int) t ~source ~sink =
   done;
   Rc_obs.Metrics.incr m_solves;
   { flow = !total_flow; cost = !total_cost }
+
+let solve ?amount t ~source ~sink =
+  let has_negative = ref false in
+  for a = 0 to t.m - 1 do
+    if t.caps.(a) > 0 && t.costs.(a) < 0.0 then has_negative := true
+  done;
+  let pot =
+    if !has_negative then begin
+      Rc_obs.Metrics.incr m_bf_runs;
+      bellman_ford_potentials t source
+    end
+    else Array.make t.n 0.0
+  in
+  augment ?amount t ~pot ~source ~sink
+
+let solve_warm ?amount t ~potentials ~source ~sink =
+  augment ?amount t ~pot:potentials ~source ~sink
+
+let feasible_potentials t ~source =
+  Rc_obs.Metrics.incr m_bf_runs;
+  bellman_ford_potentials t source
+
+let set_cost t a cost =
+  if a < 0 || a >= t.m then invalid_arg "Mcmf.set_cost: bad arc";
+  t.costs.(a) <- cost;
+  t.costs.(a lxor 1) <- -.cost
+
+let cost_of t a =
+  if a < 0 || a >= t.m then invalid_arg "Mcmf.cost_of: bad arc";
+  t.costs.(a)
+
+let unroute t a amount =
+  if a < 0 || a >= t.m then invalid_arg "Mcmf.unroute: bad arc";
+  if amount < 0 || amount > t.caps.(a lxor 1) then
+    invalid_arg "Mcmf.unroute: amount exceeds routed flow";
+  t.caps.(a) <- t.caps.(a) + amount;
+  t.caps.(a lxor 1) <- t.caps.(a lxor 1) - amount
+
+let m_cancellations = Rc_obs.Metrics.counter "netflow.mcmf.cycle_cancellations"
+
+(* After unrouting some flow and rewriting arc costs, the retained flow
+   may no longer be min-cost for its own value — the residual then holds
+   a negative cycle, and successive shortest paths would build on a
+   broken dual. One Klein step: Bellman-Ford from a virtual super-source
+   (all distances start at 0); continued relaxation past n rounds proves
+   a negative residual cycle, recovered by scanning the predecessor
+   forest. Returns [Some arcs] around the cycle, [None] if the residual
+   is clean, raises [Exit] in the (theoretically impossible) case where
+   relaxation persists but no predecessor cycle is found. *)
+let find_negative_cycle t =
+  let dist = Array.make t.n 0.0 and pred = Array.make t.n (-1) in
+  let tail a = t.heads.(a lxor 1) in
+  let improving = ref true and rounds = ref 0 in
+  while !improving && !rounds <= t.n do
+    improving := false;
+    incr rounds;
+    for v = 0 to t.n - 1 do
+      let a = ref t.first.(v) in
+      while !a >= 0 do
+        if t.caps.(!a) > 0 then begin
+          let u = t.heads.(!a) in
+          let nd = dist.(v) +. t.costs.(!a) in
+          if nd < dist.(u) -. 1e-9 then begin
+            dist.(u) <- nd;
+            pred.(u) <- !a;
+            improving := true
+          end
+        end;
+        a := t.next.(!a)
+      done
+    done
+  done;
+  if not !improving then None
+  else begin
+    (* find a cycle in the predecessor forest *)
+    let mark = Array.make t.n (-1) in
+    let found = ref (-1) in
+    let v = ref 0 in
+    while !found < 0 && !v < t.n do
+      if mark.(!v) < 0 then begin
+        let u = ref !v in
+        while !found < 0 && !u >= 0 && mark.(!u) < 0 do
+          mark.(!u) <- !v;
+          u := if pred.(!u) < 0 then -1 else tail pred.(!u)
+        done;
+        if !found < 0 && !u >= 0 && mark.(!u) = !v then found := !u
+      end;
+      incr v
+    done;
+    if !found < 0 then raise Exit;
+    let arcs = ref [] and u = ref !found in
+    let finished = ref false in
+    while not !finished do
+      let a = pred.(!u) in
+      arcs := a :: !arcs;
+      u := tail a;
+      if !u = !found then finished := true
+    done;
+    Some !arcs
+  end
+
+let cancel_negative_cycles ?(limit = max_int) t =
+  let cancelled = ref 0 and outcome = ref None and stop = ref false in
+  (try
+     while not !stop do
+       if !cancelled > limit then stop := true
+       else
+         match find_negative_cycle t with
+         | None ->
+             outcome := Some !cancelled;
+             stop := true
+         | Some arcs ->
+             let bottleneck =
+               List.fold_left (fun acc a -> min acc t.caps.(a)) max_int arcs
+             in
+             List.iter
+               (fun a ->
+                 t.caps.(a) <- t.caps.(a) - bottleneck;
+                 t.caps.(a lxor 1) <- t.caps.(a lxor 1) + bottleneck)
+               arcs;
+             incr cancelled;
+             Rc_obs.Metrics.incr m_cancellations
+     done
+   with Exit -> ());
+  !outcome
 
 let flow_on t a =
   if a < 0 || a >= t.m then invalid_arg "Mcmf.flow_on: bad arc";

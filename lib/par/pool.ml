@@ -174,9 +174,9 @@ let run_region pool (g : int -> unit) =
 
 let sequential () = jobs_value () <= 1 || in_parallel_region ()
 
-let for_with ?chunk ~init n body =
+let for_with ?chunk ?(min_items = 2) ~init n body =
   if n > 0 then
-    if sequential () || n = 1 then begin
+    if sequential () || n < min_items || n = 1 then begin
       let s = init () in
       for i = 0 to n - 1 do
         body s i
@@ -216,35 +216,36 @@ let for_with ?chunk ~init n body =
           claim ())
     end
 
-let for_ ?chunk n body = for_with ?chunk ~init:(fun () -> ()) n (fun () i -> body i)
+let for_ ?chunk ?min_items n body =
+  for_with ?chunk ?min_items ~init:(fun () -> ()) n (fun () i -> body i)
 
 let unwrap = function Some v -> v | None -> assert false
 
-let mapi f a =
+let mapi ?(min_items = 2) f a =
   let n = Array.length a in
   if n = 0 then [||]
-  else if sequential () then Array.mapi f a
+  else if sequential () || n < min_items then Array.mapi f a
   else begin
     let out = Array.make n None in
     for_ n (fun i -> out.(i) <- Some (f i a.(i)));
     Array.map unwrap out
   end
 
-let map f a = mapi (fun _ x -> f x) a
+let map ?min_items f a = mapi ?min_items (fun _ x -> f x) a
 
-let init n f =
+let init ?(min_items = 2) n f =
   if n <= 0 then [||]
-  else if sequential () then Array.init n f
+  else if sequential () || n < min_items then Array.init n f
   else begin
     let out = Array.make n None in
     for_ n (fun i -> out.(i) <- Some (f i));
     Array.map unwrap out
   end
 
-let map_list f l = Array.to_list (map f (Array.of_list l))
+let map_list ?min_items f l = Array.to_list (map ?min_items f (Array.of_list l))
 
-let both f g =
-  if sequential () then begin
+let both ?(parallel = true) f g =
+  if (not parallel) || sequential () then begin
     let a = f () in
     let b = g () in
     (a, b)

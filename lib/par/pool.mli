@@ -41,33 +41,42 @@ val jobs : unit -> int
 val in_parallel_region : unit -> bool
 (** True inside a pool worker (where primitives run sequentially). *)
 
-val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+val both : ?parallel:bool -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** Run the two thunks, concurrently when [jobs () > 1].  [both f g]
-    equals [(f (), g ())] bit-for-bit when [f] and [g] are independent. *)
+    equals [(f (), g ())] bit-for-bit when [f] and [g] are independent.
+    Pass [~parallel:false] when the caller knows the work is too small
+    to amortize a pool region — the thunks then run sequentially in the
+    calling domain (identical results, no region overhead). *)
 
-val for_ : ?chunk:int -> int -> (int -> unit) -> unit
+val for_ : ?chunk:int -> ?min_items:int -> int -> (int -> unit) -> unit
 (** [for_ n body] runs [body i] for [i = 0 .. n-1], claimed in chunks of
     [chunk] (default: [n / (8 * jobs)], at least 1) by the
-    participants.  [body] must only write state owned by index [i]. *)
+    participants.  [body] must only write state owned by index [i].
+    When [n < min_items] (default 2) the loop runs sequentially in the
+    calling domain: a per-call cutoff for bodies too cheap to amortize
+    waking the pool.  Results are identical either way. *)
 
-val for_with : ?chunk:int -> init:(unit -> 's) -> int -> ('s -> int -> unit) -> unit
+val for_with :
+  ?chunk:int -> ?min_items:int -> init:(unit -> 's) -> int -> ('s -> int -> unit) -> unit
 (** Like {!for_}, but each participating domain calls [init] once and
     passes the resulting scratch state to every [body] call it executes
     — per-domain scratch buffers without per-index allocation. *)
 
-val map : ('a -> 'b) -> 'a array -> 'b array
+val map : ?min_items:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Ordered parallel map: result slot [i] is [f a.(i)].  Identical to
-    [Array.map f a] for pure [f], for any job count. *)
+    [Array.map f a] for pure [f], for any job count.  Sequential below
+    [min_items] elements (default 2), like {!for_}. *)
 
-val mapi : (int -> 'a -> 'b) -> 'a array -> 'b array
+val mapi : ?min_items:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Ordered parallel mapi, same guarantees as {!map}. *)
 
-val map_list : ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?min_items:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Ordered parallel map over a list (internally via arrays). *)
 
-val init : int -> (int -> 'a) -> 'a array
+val init : ?min_items:int -> int -> (int -> 'a) -> 'a array
 (** Ordered parallel [Array.init] (evaluation order of [f] is not
-    left-to-right, but slot contents are identical for pure [f]). *)
+    left-to-right, but slot contents are identical for pure [f]).
+    Sequential below [min_items] elements (default 2), like {!for_}. *)
 
 val shutdown : unit -> unit
 (** Join and discard the pool's domains (idempotent).  Registered with

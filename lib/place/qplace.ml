@@ -66,10 +66,13 @@ let build_system netlist ~chip ~extra_springs =
 (* The x and y systems share the matrix but are otherwise independent —
    the flow's first hot kernel.  With jobs > 1 the two CG solves run on
    two domains (each on its own workspace); each solve is sequential
-   internally, so the results are bit-identical to the one-domain path. *)
+   internally, so the results are bit-identical to the one-domain path.
+   Below ~512 unknowns one CG solve finishes faster than the pool
+   region starts, so small systems stay in the calling domain. *)
 let solve_system ?wsx ?wsy ?x0 ?y0 sys =
   let rx, ry =
     Rc_par.Pool.both
+      ~parallel:(Array.length sys.rhs_x >= 512)
       (fun () -> Rc_sparse.Cg.solve ?ws:wsx ?x0 ~tol:1e-7 sys.matrix sys.rhs_x)
       (fun () -> Rc_sparse.Cg.solve ?ws:wsy ?x0:y0 ~tol:1e-7 sys.matrix sys.rhs_y)
   in

@@ -45,12 +45,87 @@ let containing_ring t (p : Point.t) =
   let gy = clampi (int_of_float ((p.Point.y -. t.chip.Rect.ymin) /. ph)) (t.grid - 1) in
   (gy * t.grid) + gx
 
+(* Nearest rings by (manhattan distance to ring center, ring id). The
+   rings form a uniform grid, so instead of scoring all of them the
+   search expands Chebyshev shells of tiles around the query's tile and
+   stops once no unvisited shell can hold a center closer than the k-th
+   best so far (strictly closer — equal distances tie-break on ring id,
+   which only shells already visited can win). The collected superset is
+   sorted with the same comparator as the full scan, and distinct ids
+   make the order total, so the result is identical to sorting every
+   ring. *)
 let rings_near t p k =
-  let scored =
-    Array.mapi (fun i r -> (Point.manhattan (Rect.center r.Ring.rect) p, i)) t.rings
-  in
-  Array.sort compare scored;
-  Array.to_list (Array.sub scored 0 (min k (Array.length scored))) |> List.map snd
+  let nr = Array.length t.rings in
+  let kk = min k nr in
+  let score i = (Point.manhattan (Rect.center t.rings.(i).Ring.rect) p, i) in
+  if t.grid <= 4 || 4 * kk >= nr then begin
+    let scored = Array.init nr score in
+    Array.sort compare scored;
+    Array.to_list (Array.sub scored 0 kk) |> List.map snd
+  end
+  else begin
+    let pw = Rect.width t.chip /. float_of_int t.grid in
+    let ph = Rect.height t.chip /. float_of_int t.grid in
+    let clampi v hi = max 0 (min hi v) in
+    let cx = clampi (int_of_float ((p.Point.x -. t.chip.Rect.xmin) /. pw)) (t.grid - 1) in
+    let cy = clampi (int_of_float ((p.Point.y -. t.chip.Rect.ymin) /. ph)) (t.grid - 1) in
+    let buf = ref [] and count = ref 0 in
+    let add gx gy =
+      if gx >= 0 && gx < t.grid && gy >= 0 && gy < t.grid then begin
+        buf := score ((gy * t.grid) + gx) :: !buf;
+        incr count
+      end
+    in
+    let collect_shell s =
+      if s = 0 then add cx cy
+      else begin
+        for gx = cx - s to cx + s do
+          add gx (cy - s);
+          add gx (cy + s)
+        done;
+        for gy = cy - s + 1 to cy + s - 1 do
+          add (cx - s) gy;
+          add (cx + s) gy
+        done
+      end
+    in
+    (* smallest possible distance from [p] to a center in any shell >= s:
+       such a center is offset at least s tiles along some axis, putting
+       its coordinate at least this far from [p] on that axis (bounds
+       for directions that run off the grid don't exist) *)
+    let shell_lower_bound s =
+      let fl v = float_of_int v +. 0.5 in
+      let left =
+        if cx - s >= 0 then p.Point.x -. (t.chip.Rect.xmin +. (fl (cx - s) *. pw))
+        else infinity
+      and right =
+        if cx + s <= t.grid - 1 then t.chip.Rect.xmin +. (fl (cx + s) *. pw) -. p.Point.x
+        else infinity
+      and down =
+        if cy - s >= 0 then p.Point.y -. (t.chip.Rect.ymin +. (fl (cy - s) *. ph))
+        else infinity
+      and up =
+        if cy + s <= t.grid - 1 then t.chip.Rect.ymin +. (fl (cy + s) *. ph) -. p.Point.y
+        else infinity
+      in
+      Float.min (Float.min left right) (Float.min down up)
+    in
+    let result = ref [] and finished = ref false and s = ref 0 in
+    while not !finished do
+      collect_shell !s;
+      if !count >= kk then begin
+        let arr = Array.of_list !buf in
+        Array.sort compare arr;
+        let kth, _ = arr.(kk - 1) in
+        if shell_lower_bound (!s + 1) > kth then begin
+          result := Array.to_list (Array.sub arr 0 kk) |> List.map snd;
+          finished := true
+        end
+      end;
+      incr s
+    done;
+    !result
+  end
 
 let default_capacities t ~n_ffs ~slack =
   if n_ffs < 0 then invalid_arg "Ring_array.default_capacities: negative n_ffs";

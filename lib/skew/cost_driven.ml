@@ -6,42 +6,54 @@ let check_sizes problem anchors =
   if Array.length anchors <> problem.Skew_problem.n then
     invalid_arg "Cost_driven: anchors size mismatch"
 
-(* Difference-constraint graph extended with a reference vertex [n]
-   (clock value 0) encoding the window constraints at a given Δ:
-     t̂_i ≤ t_c + Δ            — edge  ref → i  weight t_c + Δ
-     t̂_i ≥ t_c + 2·t_ci − Δ   — edge  i → ref  weight Δ − t_c − 2·t_ci *)
-let window_graph problem ~slack ~anchors ~delta =
+let m_probes = Rc_obs.Metrics.counter "skew.minmax.probes"
+let m_solves = Rc_obs.Metrics.counter "skew.minmax.solves"
+
+let solve_minmax_graph ?(tolerance = 1e-3) problem ~slack ~anchors =
+  check_sizes problem anchors;
   let n = problem.Skew_problem.n in
+  (* Difference-constraint graph extended with a reference vertex [n]
+     (clock value 0) encoding the window constraints at a given Δ:
+       t̂_i ≤ t_c + Δ            — edge  ref → i  weight t_c + Δ
+       t̂_i ≥ t_c + 2·t_ci − Δ   — edge  i → ref  weight Δ − t_c − 2·t_ci
+     Only those 2n window edges depend on Δ, so the graph is built once
+     and shared by every probe of the binary search, with the window
+     weights rewritten in place.  [set_weight] keeps each edge's slot in
+     the adjacency structure, so the SPFA oracle sees the same edge order
+     a fresh build would produce and the search trajectory is unchanged —
+     the probes just stop paying for 2·|pairs| edge allocations each. *)
   let base = Skew_problem.constraint_graph problem ~slack in
   let g = Rc_graph.Digraph.create (n + 1) in
   Rc_graph.Digraph.iter_edges base (fun e ->
       Rc_graph.Digraph.add_edge g e.Rc_graph.Digraph.src e.Rc_graph.Digraph.dst
         e.Rc_graph.Digraph.weight);
+  let upper = Array.make n None and lower = Array.make n None in
   Array.iteri
-    (fun i a ->
-      Rc_graph.Digraph.add_edge g n i (a.t_c +. delta);
-      Rc_graph.Digraph.add_edge g i n (delta -. a.t_c -. (2.0 *. a.t_ci)))
+    (fun i _ ->
+      upper.(i) <- Some (Rc_graph.Digraph.add_edge_get g n i 0.0);
+      lower.(i) <- Some (Rc_graph.Digraph.add_edge_get g i n 0.0))
     anchors;
-  g
-
-let feasible problem ~slack ~anchors ~delta =
-  let n = problem.Skew_problem.n in
-  let g = window_graph problem ~slack ~anchors ~delta in
-  match Rc_graph.Shortest_path.bellman_ford g ~sources:[ n ] with
-  | Either.Right _ -> None
-  | Either.Left r ->
-      (* potentials relative to the reference vertex; unreachable
-         flip-flops are pinned to their window's midpoint *)
-      let skews =
-        Array.init n (fun i ->
-            if r.Rc_graph.Shortest_path.dist.(i) < infinity then
-              r.Rc_graph.Shortest_path.dist.(i)
-            else anchors.(i).t_c +. anchors.(i).t_ci)
-      in
-      Some skews
-
-let solve_minmax_graph ?(tolerance = 1e-3) problem ~slack ~anchors =
-  check_sizes problem anchors;
+  let probe delta =
+    Rc_obs.Metrics.incr m_probes;
+    Array.iteri
+      (fun i a ->
+        Option.iter (fun e -> Rc_graph.Digraph.set_weight e (a.t_c +. delta)) upper.(i);
+        Option.iter
+          (fun e -> Rc_graph.Digraph.set_weight e (delta -. a.t_c -. (2.0 *. a.t_ci)))
+          lower.(i))
+      anchors;
+    match Rc_graph.Shortest_path.bellman_ford g ~sources:[ n ] with
+    | Either.Right _ -> None
+    | Either.Left r ->
+        let skews =
+          Array.init n (fun i ->
+              if r.Rc_graph.Shortest_path.dist.(i) < infinity then
+                r.Rc_graph.Shortest_path.dist.(i)
+              else anchors.(i).t_c +. anchors.(i).t_ci)
+        in
+        Some skews
+  in
+  Rc_obs.Metrics.incr m_solves;
   (* a Δ large enough to be surely feasible when the timing constraints
      alone are: wide enough to cover every window plus the full period *)
   let span =
@@ -50,11 +62,11 @@ let solve_minmax_graph ?(tolerance = 1e-3) problem ~slack ~anchors =
       0.0 anchors
   in
   let hi0 = (2.0 *. span) +. (4.0 *. problem.Skew_problem.period) +. 1.0 in
-  match feasible problem ~slack ~anchors ~delta:hi0 with
+  match probe hi0 with
   | None -> None
   | Some skews0 ->
       let lo = ref 0.0 and hi = ref hi0 and best = ref skews0 and best_d = ref hi0 in
-      (match feasible problem ~slack ~anchors ~delta:0.0 with
+      (match probe 0.0 with
       | Some s ->
           best := s;
           best_d := 0.0;
@@ -62,7 +74,7 @@ let solve_minmax_graph ?(tolerance = 1e-3) problem ~slack ~anchors =
       | None -> ());
       while !hi -. !lo > tolerance do
         let mid = 0.5 *. (!lo +. !hi) in
-        match feasible problem ~slack ~anchors ~delta:mid with
+        match probe mid with
         | Some s ->
             best := s;
             best_d := mid;

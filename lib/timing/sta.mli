@@ -24,6 +24,23 @@ val analyze :
     @raise Invalid_argument if positions are missing or combinational
     logic contains a cycle. *)
 
+type session
+(** An incremental-analysis session over a fixed netlist: the fanout
+    structure, gate variation factors, topological order, and per-cone
+    results are kept alive between analyses, so only the cones whose
+    support cells moved since the previous call are re-evaluated. *)
+
+val make_session : Rc_tech.Tech.t -> Rc_netlist.Netlist.t -> session
+
+val analyze_incremental : session -> positions:Rc_geom.Point.t array -> t
+(** Like {!analyze} at the given positions, but incremental against the
+    session's previous call. Cells are compared by exact position, so the
+    result — pairs list, its order, and the critical delay — is
+    bit-identical to a fresh {!analyze} of the same positions; identical
+    positions are a pure replay of the cached result. Reuse is reported
+    under the [timing.sta.replays] / [timing.sta.cone_recomputes] /
+    [timing.sta.cone_reuses] / [timing.sta.dirty_cells] metrics. *)
+
 val adjacencies : t -> adjacency list
 (** All sequentially adjacent pairs, each listed once. *)
 

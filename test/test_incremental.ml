@@ -1,0 +1,321 @@
+(* The PR-4 incremental layer's contract: every reuse tier — incremental
+   STA, the Eq. 1 candidate-tap cache, the warm-started assignment
+   solver, and the rings_near shell search — is bit-identical to the
+   cold path, under randomized displacement sequences and for any job
+   count.  Plus the regression for the unreachable-vertex potentials of
+   the min-cost-flow dual initialization, and the pool's sequential
+   cutoffs. *)
+
+open Rc_core
+open Rc_geom
+
+let tech = Rc_tech.Tech.default
+
+let with_jobs n f =
+  Rc_par.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Rc_par.Pool.set_jobs 1) f
+
+let with_warm_check f =
+  Unix.putenv "ROTARY_WARM_CHECK" "1";
+  Fun.protect ~finally:(fun () -> Unix.putenv "ROTARY_WARM_CHECK" "") f
+
+let tiny = Bench_suite.tiny
+let tiny_netlist = lazy (Rc_netlist.Generator.generate tiny.Bench_suite.gen)
+let tiny_chip = tiny.Bench_suite.gen.Rc_netlist.Generator.chip
+
+let tiny_placed =
+  lazy (Rc_place.Qplace.initial (Lazy.force tiny_netlist) ~chip:tiny_chip)
+
+(* move a random ~[frac] of the cells by up to [amp] um in each axis *)
+let perturb rng ~frac ~amp positions =
+  Array.iteri
+    (fun c (p : Point.t) ->
+      if Rc_util.Rng.float rng 1.0 < frac then
+        positions.(c) <-
+          Point.make
+            (p.Point.x +. Rc_util.Rng.float_in rng (-.amp) amp)
+            (p.Point.y +. Rc_util.Rng.float_in rng (-.amp) amp))
+    positions
+
+(* ---- incremental STA -------------------------------------------------- *)
+
+let check_sta_equal name cold inc =
+  Alcotest.(check int)
+    (name ^ ": n_pairs") (Rc_timing.Sta.n_pairs cold) (Rc_timing.Sta.n_pairs inc);
+  Alcotest.(check bool)
+    (name ^ ": adjacency lists bit-identical") true
+    (Rc_timing.Sta.adjacencies cold = Rc_timing.Sta.adjacencies inc);
+  Alcotest.(check bool)
+    (name ^ ": critical delay bit-identical") true
+    (Rc_timing.Sta.critical_delay cold = Rc_timing.Sta.critical_delay inc)
+
+let test_sta_incremental_matches () =
+  let netlist = Lazy.force tiny_netlist in
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          let pos = Array.copy (Lazy.force tiny_placed).Rc_place.Qplace.positions in
+          let sess = Rc_timing.Sta.make_session tech netlist in
+          let rng = Rc_util.Rng.create ((jobs * 991) + 7) in
+          for step = 0 to 5 do
+            (* step 0: cold; later steps displace 0 %, 5 %, 30 %, 100 % ... *)
+            if step > 0 then
+              perturb rng ~frac:[| 0.0; 0.05; 0.3; 1.0; 0.1 |].((step - 1) mod 5) ~amp:25.0 pos;
+            let inc = Rc_timing.Sta.analyze_incremental sess ~positions:pos in
+            let cold = Rc_timing.Sta.analyze tech netlist ~positions:pos in
+            check_sta_equal (Printf.sprintf "jobs=%d step %d" jobs step) cold inc
+          done;
+          (* identical positions again: the pure-replay tier *)
+          let replay = Rc_timing.Sta.analyze_incremental sess ~positions:pos in
+          let cold = Rc_timing.Sta.analyze tech netlist ~positions:pos in
+          check_sta_equal (Printf.sprintf "jobs=%d replay" jobs) cold replay))
+    [ 1; 2; 4 ]
+
+(* ---- cached candidate taps + warm assignment through by_netflow ------- *)
+
+let check_assign_equal name (a : Rc_assign.Assign.t) (b : Rc_assign.Assign.t) =
+  Alcotest.(check (array int))
+    (name ^ ": ring_of_ff") a.Rc_assign.Assign.ring_of_ff b.Rc_assign.Assign.ring_of_ff;
+  Alcotest.(check bool)
+    (name ^ ": total_cost bit-identical") true
+    (a.Rc_assign.Assign.total_cost = b.Rc_assign.Assign.total_cost);
+  Alcotest.(check bool)
+    (name ^ ": max_load bit-identical") true
+    (a.Rc_assign.Assign.max_load = b.Rc_assign.Assign.max_load);
+  Alcotest.(check bool)
+    (name ^ ": taps bit-identical") true
+    (a.Rc_assign.Assign.taps = b.Rc_assign.Assign.taps)
+
+let test_by_netflow_cached_matches () =
+  let netlist = Lazy.force tiny_netlist in
+  let rings = Rc_rotary.Ring_array.create ~chip:tiny_chip ~grid:tiny.Bench_suite.ring_grid () in
+  let ffs, _ = Flow.ff_index netlist in
+  with_warm_check (fun () ->
+      List.iter
+        (fun jobs ->
+          with_jobs jobs (fun () ->
+              let cache = Rc_assign.Assign.make_cache () in
+              let rng = Rc_util.Rng.create ((jobs * 131) + 5) in
+              let pos = (Lazy.force tiny_placed).Rc_place.Qplace.positions in
+              let ffp = Array.map (fun c -> pos.(c)) ffs in
+              let targets = Array.map (fun _ -> Rc_util.Rng.float rng 200.0) ffs in
+              for step = 0 to 5 do
+                (* dirty fractions span replay (0), warm (small), scratch (all) *)
+                if step > 0 then begin
+                  perturb rng ~frac:[| 0.0; 0.1; 1.0; 0.05; 0.3 |].((step - 1) mod 5) ~amp:30.0 ffp;
+                  Array.iteri
+                    (fun i t ->
+                      if Rc_util.Rng.float rng 1.0 < 0.2 then
+                        targets.(i) <- t +. Rc_util.Rng.float_in rng (-10.0) 10.0)
+                    targets
+                end;
+                let cached =
+                  Rc_assign.Assign.by_netflow ~cache tech rings ~ff_positions:ffp ~targets
+                in
+                let cold = Rc_assign.Assign.by_netflow tech rings ~ff_positions:ffp ~targets in
+                check_assign_equal (Printf.sprintf "jobs=%d step %d" jobs step) cold cached
+              done))
+        [ 1; 2; 4 ])
+
+(* ---- warm-started assignment solver directly -------------------------- *)
+
+let check_result_equal name (a : Rc_netflow.Assignment.result) (b : Rc_netflow.Assignment.result)
+    =
+  Alcotest.(check (array int))
+    (name ^ ": assignment") a.Rc_netflow.Assignment.assignment b.Rc_netflow.Assignment.assignment;
+  Alcotest.(check bool)
+    (name ^ ": total_cost bit-identical") true
+    (a.Rc_netflow.Assignment.total_cost = b.Rc_netflow.Assignment.total_cost);
+  Alcotest.(check int) (name ^ ": assigned") a.Rc_netflow.Assignment.assigned
+    b.Rc_netflow.Assignment.assigned
+
+let test_solve_with_matches () =
+  with_warm_check (fun () ->
+      let rng = Rc_util.Rng.create 8080 in
+      List.iter
+        (fun (n_items, n_bins, cands_per_item) ->
+          let capacities = Array.make n_bins ((n_items / n_bins) + 2) in
+          (* fixed candidate structure: bin n_bins-1 stays empty in the
+             3-candidate trials, so the duals always see an unreachable
+             bin vertex *)
+          let bin_of i k = (i + (k * 3)) mod (max 1 (n_bins - 1)) in
+          let costs =
+            Array.init n_items (fun _ ->
+                Array.init cands_per_item (fun _ -> Rc_util.Rng.float rng 100.0))
+          in
+          let cands () =
+            List.concat
+              (List.init n_items (fun i ->
+                   List.init cands_per_item (fun k ->
+                       {
+                         Rc_netflow.Assignment.item = i;
+                         bin = bin_of i k;
+                         cost = costs.(i).(k);
+                       })))
+          in
+          let solver = Rc_netflow.Assignment.make_solver ~n_items ~n_bins ~capacities in
+          for step = 0 to 7 do
+            (* step 1 repeats step 0's input: the replay tier *)
+            if step > 1 then
+              Array.iter
+                (fun row ->
+                  Array.iteri
+                    (fun k c ->
+                      if Rc_util.Rng.float rng 1.0 < 0.1 then
+                        row.(k) <- Float.abs (c +. Rc_util.Rng.float_in rng (-20.0) 20.0))
+                    row)
+                costs;
+            let l = cands () in
+            let warm = Rc_netflow.Assignment.solve_with solver l in
+            let cold = Rc_netflow.Assignment.solve ~n_items ~n_bins ~capacities l in
+            check_result_equal
+              (Printf.sprintf "%dx%d step %d" n_items n_bins step)
+              cold warm
+          done)
+        [ (24, 5, 3); (40, 8, 3); (15, 4, 4) ])
+
+(* ---- rings_near shell search vs full sort ----------------------------- *)
+
+let test_rings_near_equivalence () =
+  let chip = Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:900.0 ~ymax:900.0 in
+  List.iter
+    (fun grid ->
+      let arr = Rc_rotary.Ring_array.create ~chip ~grid () in
+      let nr = Rc_rotary.Ring_array.n_rings arr in
+      let centers =
+        Array.init nr (fun i ->
+            Rect.center (Rc_rotary.Ring_array.ring arr i).Rc_rotary.Ring.rect)
+      in
+      let brute p k =
+        let scored = Array.init nr (fun i -> (Point.manhattan centers.(i) p, i)) in
+        Array.sort compare scored;
+        Array.to_list (Array.map snd (Array.sub scored 0 (min k nr)))
+      in
+      let rng = Rc_util.Rng.create (grid + 12345) in
+      for _ = 1 to 60 do
+        (* queries inside, outside, and far off the chip *)
+        let p =
+          Point.make (Rc_util.Rng.float_in rng (-300.0) 1200.0)
+            (Rc_util.Rng.float_in rng (-300.0) 1200.0)
+        in
+        List.iter
+          (fun k ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "grid=%d k=%d (%.1f, %.1f)" grid k p.Point.x p.Point.y)
+              (brute p k)
+              (Rc_rotary.Ring_array.rings_near arr p k))
+          [ 1; 2; 6; 13; (2 * nr) ]
+      done)
+    [ 2; 5; 6; 7 ]
+
+(* ---- potentials of a disconnected candidate graph --------------------- *)
+
+(* A bin vertex no candidate arc reaches is unreachable from the source,
+   but still has its capacity arc to the sink.  The dual initialization
+   used to collapse unreachable vertices' Bellman-Ford distance
+   (infinity) to potential 0.0, which makes that sink arc's reduced cost
+   negative (0 + 0 - pot(sink) < 0) and breaks the invariant Dijkstra
+   relies on.  The fix holds unreachable vertices at a large finite
+   sentinel instead. *)
+let test_potentials_unreachable_sentinel () =
+  let open Rc_netflow in
+  (* s=0, item=1, bin1=2, bin2=3 (empty), t=4 *)
+  let net = Mcmf.create 5 in
+  ignore (Mcmf.add_arc net ~src:0 ~dst:1 ~capacity:1 ~cost:0.0);
+  ignore (Mcmf.add_arc net ~src:1 ~dst:2 ~capacity:1 ~cost:5.0);
+  ignore (Mcmf.add_arc net ~src:2 ~dst:4 ~capacity:1 ~cost:0.0);
+  ignore (Mcmf.add_arc net ~src:3 ~dst:4 ~capacity:1 ~cost:0.0);
+  let pot = Mcmf.feasible_potentials net ~source:0 in
+  (* every residual arc must have non-negative reduced cost — including
+     the empty bin's sink arc *)
+  Mcmf.iter_residual net (fun ~src ~dst ~cost ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reduced cost %d->%d non-negative" src dst)
+        true
+        (cost +. pot.(src) -. pot.(dst) >= -1e-9));
+  let o = Mcmf.solve net ~source:0 ~sink:4 in
+  Alcotest.(check int) "ships the one unit" 1 o.Mcmf.flow;
+  Alcotest.(check bool) "at the candidate cost" true (o.Mcmf.cost = 5.0)
+
+(* end-to-end: assignment on a graph with an empty bin, warm path
+   included, stays optimal and bit-identical *)
+let test_assignment_empty_bin () =
+  with_warm_check (fun () ->
+      let capacities = [| 2; 2; 2 |] in
+      let cands c0 =
+        [
+          { Rc_netflow.Assignment.item = 0; bin = 0; cost = c0 };
+          { Rc_netflow.Assignment.item = 0; bin = 1; cost = 9.0 };
+          { Rc_netflow.Assignment.item = 1; bin = 0; cost = 4.0 };
+          { Rc_netflow.Assignment.item = 1; bin = 1; cost = 6.0 };
+          { Rc_netflow.Assignment.item = 2; bin = 1; cost = 2.0 };
+        ]
+      in
+      let solver = Rc_netflow.Assignment.make_solver ~n_items:3 ~n_bins:3 ~capacities in
+      List.iter
+        (fun c0 ->
+          let warm = Rc_netflow.Assignment.solve_with solver (cands c0) in
+          let cold = Rc_netflow.Assignment.solve ~n_items:3 ~n_bins:3 ~capacities (cands c0) in
+          check_result_equal (Printf.sprintf "empty bin c0=%.1f" c0) cold warm)
+        [ 3.0; 3.0; 11.0; 1.0 ])
+
+(* ---- pool sequential cutoffs ------------------------------------------ *)
+
+let test_pool_min_items_cutoff () =
+  with_jobs 4 (fun () ->
+      let saw_region = ref false in
+      Rc_par.Pool.for_ ~min_items:1000 100 (fun _ ->
+          if Rc_par.Pool.in_parallel_region () then saw_region := true);
+      Alcotest.(check bool) "below cutoff runs in the caller" false !saw_region;
+      Rc_par.Pool.for_ ~min_items:10 100 (fun _ ->
+          if Rc_par.Pool.in_parallel_region () then saw_region := true);
+      Alcotest.(check bool) "above cutoff uses the pool" true !saw_region;
+      (* results are identical regardless of which side of the cutoff *)
+      let expect = Array.init 100 (fun i -> i * 3) in
+      Alcotest.(check (array int))
+        "init below cutoff" expect
+        (Rc_par.Pool.init ~min_items:1000 100 (fun i -> i * 3));
+      Alcotest.(check (array int))
+        "init above cutoff" expect
+        (Rc_par.Pool.init ~min_items:10 100 (fun i -> i * 3)))
+
+let test_pool_both_sequential () =
+  with_jobs 4 (fun () ->
+      let in_region = ref true in
+      let a, b =
+        Rc_par.Pool.both ~parallel:false
+          (fun () ->
+            in_region := Rc_par.Pool.in_parallel_region ();
+            21)
+          (fun () -> 2)
+      in
+      Alcotest.(check bool) "thunks run in the caller" false !in_region;
+      Alcotest.(check int) "results intact" 42 (a * b))
+
+let () =
+  Alcotest.run "rc_incremental"
+    [
+      ( "sta",
+        [ Alcotest.test_case "incremental = cold, jobs 1/2/4" `Quick test_sta_incremental_matches ]
+      );
+      ( "assign",
+        [
+          Alcotest.test_case "cached by_netflow = cold, jobs 1/2/4" `Quick
+            test_by_netflow_cached_matches;
+        ] );
+      ( "netflow",
+        [
+          Alcotest.test_case "solve_with = solve over cost walks" `Quick test_solve_with_matches;
+          Alcotest.test_case "unreachable potentials sentinel" `Quick
+            test_potentials_unreachable_sentinel;
+          Alcotest.test_case "empty bin stays optimal warm" `Quick test_assignment_empty_bin;
+        ] );
+      ( "rotary",
+        [ Alcotest.test_case "rings_near shell = full sort" `Quick test_rings_near_equivalence ]
+      );
+      ( "pool",
+        [
+          Alcotest.test_case "min_items cutoff" `Quick test_pool_min_items_cutoff;
+          Alcotest.test_case "both ~parallel:false" `Quick test_pool_both_sequential;
+        ] );
+    ]
