@@ -1,0 +1,194 @@
+(* Concurrent load generator for `rotary_cli serve`.
+
+   Opens N client connections to a running server's Unix-domain socket,
+   pipelines a deterministic mix of requests (flow / sweep / status /
+   checkpoint-inspect) across them, and measures client-side latency
+   per request: send instant to response instant on the monotonic
+   clock.  Results — ok/error counts, latency percentiles, throughput —
+   are printed and merged under the "loadgen" key of
+   BENCH_results.json (schema: DESIGN.md "Bench results file"), read
+   and rewritten with Rc_util.Json.
+
+   Usage:
+     loadgen.exe --socket PATH [-n CONNS] [--requests TOTAL]
+                 [--deadline-ms MS] [--out FILE.json]
+
+   The request mix is a fixed rotation, so a given (--requests, -n)
+   pair always issues the same workload — comparable across runs. *)
+
+module Json = Rc_util.Json
+module Timer = Rc_util.Timer
+
+let socket_path = ref ""
+let n_conns = ref 4
+let n_requests = ref 16
+let deadline_ms = ref 0.0 (* 0 = no deadline field *)
+let out_path = ref "BENCH_results.json"
+
+let args =
+  [
+    ("--socket", Arg.Set_string socket_path, "PATH server Unix-domain socket (required)");
+    ("-n", Arg.Set_int n_conns, "N concurrent client connections (default 4)");
+    ("--requests", Arg.Set_int n_requests, "N total requests across all connections (default 16)");
+    ( "--deadline-ms",
+      Arg.Set_float deadline_ms,
+      "MS attach this deadline to every async request (default: none)" );
+    ("--out", Arg.Set_string out_path, "FILE merge results into this JSON file (default BENCH_results.json)");
+  ]
+
+(* deterministic mixed workload: mostly flow, plus sweep and cheap
+   status probes interleaved *)
+let request_body k =
+  match k mod 4 with
+  | 0 | 1 -> [ ("op", Json.String "flow"); ("bench", Json.String "tiny") ]
+  | 2 ->
+      [
+        ("op", Json.String "sweep");
+        ("bench", Json.String "tiny");
+        ("grids", Json.List [ Json.Int 2; Json.Int 3 ]);
+      ]
+  | _ -> [ ("op", Json.String "status") ]
+
+let is_async k = k mod 4 <> 3
+
+type reply = { ok : bool; error : string; latency_s : float }
+
+(* one connection: pipeline our requests, then collect until every id
+   has answered (responses arrive in completion order) *)
+let run_connection ~conn ~count ~first_id =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX !socket_path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let sent = Hashtbl.create count in
+  for i = 0 to count - 1 do
+    let id = first_id + i in
+    let body = request_body (conn + i) in
+    let body =
+      if is_async (conn + i) && !deadline_ms > 0.0 then
+        body @ [ ("deadline_ms", Json.Float !deadline_ms) ]
+      else body
+    in
+    let line = Json.to_line (Json.Obj (("id", Json.Int id) :: body)) in
+    Hashtbl.replace sent id (Timer.now_s ());
+    output_string oc line;
+    output_char oc '\n'
+  done;
+  flush oc;
+  let replies = ref [] in
+  (try
+     while Hashtbl.length sent > 0 do
+       let line = input_line ic in
+       let now = Timer.now_s () in
+       match Json.of_string line with
+       | Error e -> failwith ("unparseable response: " ^ e)
+       | Ok j -> (
+           match Option.bind (Json.member "id" j) Json.to_int_opt with
+           | None -> failwith ("response without id: " ^ line)
+           | Some id -> (
+               match Hashtbl.find_opt sent id with
+               | None -> failwith (Printf.sprintf "unexpected response id %d" id)
+               | Some t0 ->
+                   Hashtbl.remove sent id;
+                   let ok =
+                     match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
+                   in
+                   let error =
+                     if ok then ""
+                     else
+                       Option.value
+                         (Option.bind (Json.member "error" j) Json.to_string_opt)
+                         ~default:"?"
+                   in
+                   replies := { ok; error; latency_s = now -. t0 } :: !replies))
+     done
+   with End_of_file ->
+     failwith
+       (Printf.sprintf "connection %d: server closed with %d responses outstanding" conn
+          (Hashtbl.length sent)));
+  close_out_noerr oc;
+  close_in_noerr ic;
+  !replies
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let frac = rank -. floor rank in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let merge_results loadgen_doc =
+  let existing =
+    if Sys.file_exists !out_path then
+      let ic = open_in_bin !out_path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      match Json.of_string s with Ok (Json.Obj fields) -> fields | _ -> []
+    else []
+  in
+  let fields = List.remove_assoc "loadgen" existing @ [ ("loadgen", loadgen_doc) ] in
+  Json.to_file !out_path (Json.Obj fields)
+
+let () =
+  Arg.parse args
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "loadgen.exe --socket PATH [-n CONNS] [--requests TOTAL]";
+  if !socket_path = "" then (
+    prerr_endline "loadgen: --socket is required";
+    exit 2);
+  let conns = max 1 !n_conns and total = max 1 !n_requests in
+  (* split TOTAL across connections, remainder to the first ones *)
+  let share c = (total / conns) + if c < total mod conns then 1 else 0 in
+  let t0 = Timer.now_s () in
+  let results = Array.make conns [] in
+  let threads =
+    List.init conns (fun c ->
+        Thread.create
+          (fun () ->
+            let first_id = (c * total) + 1 in
+            results.(c) <- run_connection ~conn:c ~count:(share c) ~first_id)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Timer.now_s () -. t0 in
+  let replies = Array.to_list results |> List.concat in
+  let n_ok = List.length (List.filter (fun r -> r.ok) replies) in
+  let n_err = List.length replies - n_ok in
+  List.iter
+    (fun r -> if not r.ok then Printf.eprintf "[loadgen] error response: %s\n" r.error)
+    replies;
+  let lats =
+    List.map (fun r -> r.latency_s) (List.filter (fun r -> r.ok) replies)
+    |> Array.of_list
+  in
+  Array.sort compare lats;
+  let pcts = [ (0.50, "p50"); (0.90, "p90"); (0.95, "p95"); (0.99, "p99") ] in
+  let lat_fields =
+    List.map (fun (p, name) -> (name ^ "_s", Json.Float (percentile lats p))) pcts
+    @ [ ("max_s", Json.Float (if Array.length lats = 0 then nan else lats.(Array.length lats - 1))) ]
+  in
+  Printf.printf "[loadgen] %d requests over %d connections: %d ok, %d errors, %.2f s wall\n"
+    (List.length replies) conns n_ok n_err wall_s;
+  List.iter
+    (function name, Json.Float v -> Printf.printf "[loadgen]   %-6s %8.4f s\n" name v | _ -> ())
+    lat_fields;
+  Printf.printf "[loadgen] throughput %.2f req/s\n"
+    (float_of_int (List.length replies) /. Float.max wall_s 1e-9);
+  let doc =
+    Json.Obj
+      [
+        ("connections", Json.Int conns);
+        ("requests", Json.Int (List.length replies));
+        ("ok", Json.Int n_ok);
+        ("errors", Json.Int n_err);
+        ("wall_s", Json.Float wall_s);
+        ("throughput_per_s", Json.Float (float_of_int (List.length replies) /. Float.max wall_s 1e-9));
+        ("latency", Json.Obj lat_fields);
+      ]
+  in
+  merge_results doc;
+  Printf.printf "[loadgen] merged into %s\n" !out_path;
+  if n_err > 0 || List.length replies <> total then exit 1

@@ -51,14 +51,32 @@ let mode_arg =
     value & opt mode_conv Flow.Netflow
     & info [ "mode" ] ~docv:"MODE" ~doc:"Assignment mode: netflow or ilp")
 
-let run_flow jobs bench mode trace metrics no_incremental =
+let run_flow jobs bench mode trace metrics no_incremental checkpoint_every checkpoint_dir
+    resume digest =
   setup_jobs jobs;
   if metrics then Rc_obs.Metrics.set_enabled true;
   let cfg = { (Flow.default_config ~mode bench) with Flow.incremental = not no_incremental } in
   let plan = Flow.plan_of_config cfg in
-  let o = Flow.run ~plan cfg in
+  let o, checkpoints =
+    match resume with
+    | Some path -> (
+        match Rc_serve.Checkpoint.resume ~path () with
+        | Ok o -> (o, [])
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            exit 1)
+    | None -> (
+        match checkpoint_every with
+        | None -> (Flow.run ~plan cfg, [])
+        | Some every ->
+            let name =
+              Printf.sprintf "%s-%s" bench.Bench_suite.bname
+                (match mode with Flow.Netflow -> "netflow" | Flow.Ilp -> "ilp")
+            in
+            Rc_serve.Checkpoint.run_with_checkpoints ~every ~dir:checkpoint_dir ~name cfg)
+  in
   Printf.printf "circuit %s: %d flip-flops, %d sequential pairs, max slack %.2f ps\n"
-    bench.Bench_suite.bname
+    o.Flow.cfg.Flow.bench.Bench_suite.bname
     (Rc_netlist.Netlist.n_ffs o.Flow.netlist)
     o.Flow.n_pairs o.Flow.slack;
   List.iter
@@ -68,6 +86,11 @@ let run_flow jobs bench mode trace metrics no_incremental =
         s.Flow.iteration s.Flow.afd s.Flow.tapping_wl s.Flow.signal_wl s.Flow.total_mw)
     o.Flow.history;
   Printf.printf "CPU: flow %.2f s, placer %.2f s\n" o.Flow.cpu_flow_s o.Flow.cpu_placer_s;
+  List.iter
+    (fun (k, path) -> Printf.printf "checkpoint: iter %d -> %s\n" k path)
+    checkpoints;
+  if digest then
+    Printf.printf "digest: %s\n" (Rc_serve.Checkpoint.digest_of_outcome o);
   if trace then begin
     print_newline ();
     print_endline "Stage plan:";
@@ -112,28 +135,56 @@ let flow_cmd =
           ~doc:"Disable the cross-iteration incremental caches (dirty-set STA, Eq. 1 tap cache, \
                 warm-started assignment); results are bit-identical either way, only slower")
   in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Write a checkpoint every N iteration boundaries (resumable with --resume; \
+                resuming finishes bit-identically to the uninterrupted run)")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value & opt string "checkpoints"
+      & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc:"Directory for checkpoint files")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE.ckpt"
+          ~doc:"Resume a checkpointed flow instead of starting fresh ($(b,-b)/$(b,--mode) are \
+                ignored; the checkpoint embeds its configuration)")
+  in
+  let digest =
+    Arg.(
+      value & flag
+      & info [ "digest" ]
+          ~doc:"Print the bit-identity digest of the final placement/skews/assignment \
+                (equal digests = bit-identical results)")
+  in
   Cmd.v
     (Cmd.info "flow" ~doc:"Run the six-stage flow on one circuit and print per-iteration metrics")
-    Term.(const run_flow $ jobs_arg $ bench $ mode_arg $ trace $ metrics $ no_incremental)
+    Term.(
+      const run_flow $ jobs_arg $ bench $ mode_arg $ trace $ metrics $ no_incremental
+      $ checkpoint_every $ checkpoint_dir $ resume $ digest)
 
 (* --- tables command --- *)
 
-let tables_of_string = function
-  | "1" -> `T1
-  | "2" -> `T2
-  | "3" -> `T3
-  | "4" -> `T4
-  | "5" -> `T5
-  | "6" -> `T6
-  | "7" -> `T7
-  | "fig2" -> `Fig2
-  | s -> failwith ("unknown table: " ^ s)
+(* table selectors are validated by cmdliner itself: an unknown TABLE is
+   a usage error (listed alternatives, non-zero exit), not a crash *)
+let table_conv =
+  Arg.enum
+    [
+      ("1", `T1); ("2", `T2); ("3", `T3); ("4", `T4); ("5", `T5); ("6", `T6); ("7", `T7);
+      ("fig2", `Fig2);
+    ]
 
 let run_tables jobs tables benches quick bb_seconds =
   setup_jobs jobs;
   let benches = effective_benches benches quick in
   let wanted =
-    match tables with [] -> [ `T1; `T2; `T3; `T4; `T5; `T6; `T7; `Fig2 ] | l -> List.map tables_of_string l
+    match tables with [] -> [ `T1; `T2; `T3; `T4; `T5; `T6; `T7; `Fig2 ] | l -> l
   in
   let needs_suite = List.exists (fun t -> List.mem t [ `T3; `T4; `T5; `T6; `T7 ]) wanted in
   let suite =
@@ -159,7 +210,7 @@ let run_tables jobs tables benches quick bb_seconds =
 let tables_cmd =
   let tables =
     Arg.(
-      value & pos_all string []
+      value & pos_all table_conv []
       & info [] ~docv:"TABLE" ~doc:"Tables to produce: 1-7 and/or fig2 (default: all)")
   in
   let bb_seconds =
@@ -187,21 +238,33 @@ let run_ablation jobs which =
   setup_jobs jobs;
   let text =
     match which with
-    | "pseudo" -> Ablation.pseudo_weight_schedule ()
-    | "candidates" -> Ablation.candidate_rings ()
-    | "objective" -> Ablation.skew_objectives ()
-    | "incremental" -> Ablation.incremental_engines ()
-    | "engine" -> Ablation.scheduling_engines ()
-    | "complement" -> Ablation.complementary_phase ()
-    | "all" -> Ablation.all ()
-    | s -> failwith ("unknown ablation: " ^ s)
+    | `Pseudo -> Ablation.pseudo_weight_schedule ()
+    | `Candidates -> Ablation.candidate_rings ()
+    | `Objective -> Ablation.skew_objectives ()
+    | `Incremental -> Ablation.incremental_engines ()
+    | `Engine -> Ablation.scheduling_engines ()
+    | `Complement -> Ablation.complementary_phase ()
+    | `All -> Ablation.all ()
   in
   print_endline text
 
 let ablation_cmd =
+  (* like table_conv: an unknown WHICH is a cmdliner usage error *)
+  let which_conv =
+    Arg.enum
+      [
+        ("pseudo", `Pseudo);
+        ("candidates", `Candidates);
+        ("objective", `Objective);
+        ("incremental", `Incremental);
+        ("engine", `Engine);
+        ("complement", `Complement);
+        ("all", `All);
+      ]
+  in
   let which =
     Arg.(
-      value & pos 0 string "all"
+      value & pos 0 which_conv `All
       & info [] ~docv:"WHICH"
           ~doc:"pseudo | candidates | objective | incremental | engine | complement | all")
   in
@@ -369,20 +432,90 @@ let report_cmd =
           as Markdown + JSON")
     Term.(const run_report $ jobs_arg $ benches_arg $ quick_arg $ out $ no_timings)
 
+(* --- serve command --- *)
+
+let run_serve jobs socket stdio workers max_pending =
+  setup_jobs jobs;
+  if stdio then Rc_serve.Server.run_stdio ~workers ~max_pending ()
+  else Rc_serve.Server.run_unix ~workers ~max_pending ~path:socket ()
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value & opt string "rotary.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on")
+  in
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve requests from stdin / responses to stdout instead of a socket")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains executing jobs concurrently")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Admission bound: reject new jobs once N are queued")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve flow/report/sweep/variation requests concurrently over line-delimited JSON \
+          (see docs/serving.md for the protocol); SIGTERM drains gracefully")
+    Term.(const run_serve $ jobs_arg $ socket $ stdio $ workers $ max_pending)
+
+let subcommands =
+  [
+    flow_cmd;
+    tables_cmd;
+    info_cmd;
+    ablation_cmd;
+    sweep_cmd;
+    render_cmd;
+    export_cmd;
+    import_cmd;
+    report_cmd;
+    serve_cmd;
+  ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "rotary_cli" ~version:"1.0.0"
        ~doc:"Integrated placement and skew optimization for rotary clocking")
+    subcommands
+
+(* Exit-code contract: 0 for success/--help/--version; cli_error (124)
+   for every command-line usage error — unknown subcommand, bad flag,
+   invalid value (cmdliner splits these across `Term and `Parse) — with
+   a usage listing of every subcommand; internal_error (125) for
+   uncaught exceptions. *)
+let list_subcommands () =
+  Printf.eprintf "usage: rotary_cli COMMAND [OPTIONS], where COMMAND is one of:\n";
+  List.iter
+    (fun (name, doc) -> Printf.eprintf "  %-10s %s\n" name doc)
     [
-      flow_cmd;
-      tables_cmd;
-      info_cmd;
-      ablation_cmd;
-      sweep_cmd;
-      render_cmd;
-      export_cmd;
-      import_cmd;
-      report_cmd;
+      ("flow", "run the six-stage flow on one circuit");
+      ("tables", "regenerate the paper's tables (I-VII) and the Fig. 2 curve");
+      ("info", "print benchmark characteristics (Table II)");
+      ("ablation", "run the design-choice ablations");
+      ("sweep", "sweep the rotary ring count");
+      ("render", "render the placed layout as SVG");
+      ("export", "write a benchmark circuit to disk");
+      ("import", "run the flow on an ISCAS89 .bench netlist");
+      ("report", "emit the paper-table report as Markdown + JSON");
+      ("serve", "serve concurrent flow requests over JSON (docs/serving.md)");
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  match Cmd.eval_value main_cmd with
+  | Ok (`Ok ()) -> exit Cmd.Exit.ok
+  | Ok (`Version | `Help) -> exit Cmd.Exit.ok
+  | Error (`Parse | `Term) ->
+      list_subcommands ();
+      exit Cmd.Exit.cli_error
+  | Error `Exn -> exit Cmd.Exit.internal_error

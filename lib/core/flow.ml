@@ -152,25 +152,39 @@ let outcome_of (ctx : Flow_ctx.t) =
     cpu_placer_s = Flow_trace.total_wall ~category:Flow_trace.Placer ctx.Flow_ctx.trace;
   }
 
-let run_on ?plan ?arm cfg netlist =
+(* stage 4-6 iterations plus the epilogue, shared by a fresh run and a
+   checkpoint resume: from an iteration-boundary context both paths are
+   literally the same code, which is what makes resume bit-identical *)
+let finish ?plan ?guard ?on_iteration (ctx : Flow_ctx.t) =
+  let cfg = ctx.Flow_ctx.cfg in
   let plan = match plan with Some p -> p | None -> plan_of_config cfg in
-  let ctx = Flow_ctx.create ?arm cfg netlist in
-  (* prologue (iteration 0): place, schedule, assign, evaluate the base *)
   let ctx =
-    Flow_stage.run_sequence [ plan.place; plan.schedule; plan.assign; plan.evaluate ] ctx
-  in
-  (* stage 4-6 iterations *)
-  let ctx =
-    Flow_stage.run_loop ~max_iterations:cfg.max_iterations
+    Flow_stage.run_loop ?guard ?on_iteration ~max_iterations:cfg.max_iterations
       [ plan.cost_schedule; plan.assign; plan.evaluate; plan.replace ]
       ctx
   in
   (* epilogue: re-assign on the final placement, then enforce the stage-5
      best-state-keeping invariant (ship the minimum-cost snapshot) *)
   let ctx = { ctx with Flow_ctx.iteration = ctx.Flow_ctx.iteration + 1 } in
-  let ctx = Flow_stage.run_sequence [ plan.assign ] ctx in
+  let ctx = Flow_stage.run_sequence ?guard [ plan.assign ] ctx in
   let ctx = Flow_stage.exec Flow_stages.finalize ctx in
   outcome_of ctx
 
-let run ?plan ?arm cfg =
-  run_on ?plan ?arm cfg (Rc_netlist.Generator.generate cfg.bench.Bench_suite.gen)
+let run_on ?plan ?arm ?guard ?on_iteration cfg netlist =
+  let plan = match plan with Some p -> p | None -> plan_of_config cfg in
+  let ctx = Flow_ctx.create ?arm cfg netlist in
+  (* prologue (iteration 0): place, schedule, assign, evaluate the base *)
+  let ctx =
+    Flow_stage.run_sequence ?guard
+      [ plan.place; plan.schedule; plan.assign; plan.evaluate ]
+      ctx
+  in
+  (* the prologue's end is iteration boundary 0: checkpointable too *)
+  (match on_iteration with Some f -> f ctx | None -> ());
+  finish ~plan ?guard ?on_iteration ctx
+
+let resume_on ?plan ?guard ?on_iteration ctx = finish ?plan ?guard ?on_iteration ctx
+
+let run ?plan ?arm ?guard ?on_iteration cfg =
+  run_on ?plan ?arm ?guard ?on_iteration cfg
+    (Rc_netlist.Generator.generate cfg.bench.Bench_suite.gen)

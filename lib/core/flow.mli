@@ -107,18 +107,50 @@ val stages_of_plan : plan -> Flow_stage.t list
 val describe_plan : plan -> string list
 (** One line per stage: name, variant, declared inputs/outputs. *)
 
-val run : ?plan:plan -> ?arm:string -> config -> outcome
+val run :
+  ?plan:plan ->
+  ?arm:string ->
+  ?guard:(Flow_ctx.t -> unit) ->
+  ?on_iteration:(Flow_ctx.t -> unit) ->
+  config ->
+  outcome
 (** Execute the full flow on the benchmark's generated circuit, with
     [plan] (default [plan_of_config cfg]) filling the stage slots and
     [arm] (default [""]) tagging every trace event of the run.
+
+    [guard] runs before every stage execution and may raise to abort
+    the run — the cooperative cancellation point used by the serve
+    scheduler for deadlines and client cancels.  [on_iteration] runs at
+    every iteration boundary (after the prologue, and after each
+    completed stage 4-6 iteration) with a consistent context — the
+    checkpoint hook (see [Rc_serve.Checkpoint]).
     @raise Failure when skew scheduling is infeasible (the generated
     circuit violates the clock period — does not happen for the shipped
     benchmarks). *)
 
-val run_on : ?plan:plan -> ?arm:string -> config -> Rc_netlist.Netlist.t -> outcome
+val run_on :
+  ?plan:plan ->
+  ?arm:string ->
+  ?guard:(Flow_ctx.t -> unit) ->
+  ?on_iteration:(Flow_ctx.t -> unit) ->
+  config ->
+  Rc_netlist.Netlist.t ->
+  outcome
 (** Execute the flow on a caller-supplied netlist (e.g. an imported
     ISCAS89 .bench circuit). The config's benchmark record still
     provides the die outline and ring grid. *)
+
+val resume_on :
+  ?plan:plan ->
+  ?guard:(Flow_ctx.t -> unit) ->
+  ?on_iteration:(Flow_ctx.t -> unit) ->
+  Flow_ctx.t ->
+  outcome
+(** Continue a flow from an iteration-boundary context (as restored by
+    [Rc_serve.Checkpoint.load]): runs the remaining stage 4-6
+    iterations and the epilogue through exactly the code path of an
+    uninterrupted {!run}, so the outcome is bit-identical to never
+    having stopped.  The context's [cfg] provides the plan defaults. *)
 
 val ff_index : Rc_netlist.Netlist.t -> int array * (int -> int)
 (** [(ffs, index_of_cell)]: the flip-flop cell ids and the inverse

@@ -60,9 +60,18 @@ let exec st (ctx : Flow_ctx.t) =
   in
   { ctx' with Flow_ctx.trace = Flow_trace.record ctx'.Flow_ctx.trace event; note = "" }
 
-let run_sequence stages ctx = List.fold_left (fun c st -> exec st c) ctx stages
+(* the guard hook is the flow's cooperative-cancellation point: it runs
+   before every stage execution and aborts the run by raising (the
+   serve scheduler raises its Cancelled exception here on deadline
+   expiry or client cancellation) *)
+let checked ?guard st (ctx : Flow_ctx.t) =
+  (match guard with Some g -> g ctx | None -> ());
+  exec st ctx
 
-let run_loop ~max_iterations stages ctx =
+let run_sequence ?guard stages ctx =
+  List.fold_left (fun c st -> checked ?guard st c) ctx stages
+
+let run_loop ?guard ?on_iteration ~max_iterations stages ctx =
   let rec go (ctx : Flow_ctx.t) =
     if ctx.Flow_ctx.converged || ctx.Flow_ctx.iteration >= max_iterations then ctx
     else
@@ -74,9 +83,13 @@ let run_loop ~max_iterations stages ctx =
               (* evaluation decided this iteration is the last *)
             else if st.advance && c.Flow_ctx.iteration >= max_iterations then c
               (* no next iteration to prepare *)
-            else exec st c)
+            else checked ?guard st c)
           ctx stages
       in
+      (* iteration boundary: a consistent context a checkpoint hook may
+         persist — resuming from here re-enters [go] exactly as an
+         uninterrupted run would *)
+      (match on_iteration with Some f -> f ctx | None -> ());
       go ctx
   in
   go ctx

@@ -32,13 +32,25 @@ val exec : t -> Flow_ctx.t -> Flow_ctx.t
 (** Run one stage: time it, compute the objective delta across it, and
     record the trace event (consuming the stage's note). *)
 
-val run_sequence : t list -> Flow_ctx.t -> Flow_ctx.t
-(** [exec] each stage in order. *)
+val run_sequence : ?guard:(Flow_ctx.t -> unit) -> t list -> Flow_ctx.t -> Flow_ctx.t
+(** [exec] each stage in order.  [guard] runs before every stage
+    execution; raising from it aborts the run — the flow's cooperative
+    cancellation point (deadlines, client cancels). *)
 
-val run_loop : max_iterations:int -> t list -> Flow_ctx.t -> Flow_ctx.t
+val run_loop :
+  ?guard:(Flow_ctx.t -> unit) ->
+  ?on_iteration:(Flow_ctx.t -> unit) ->
+  max_iterations:int ->
+  t list ->
+  Flow_ctx.t ->
+  Flow_ctx.t
 (** The stage 4-6 iteration scheme: repeat the stage list, incrementing
     [Flow_ctx.iteration], until the evaluation stage reports convergence
     or [max_iterations] is reached; once convergence is flagged the rest
     of the iteration is skipped, and [advance]-only stages (stage 6) are
     skipped on the final iteration because no later iteration will
-    consume their output. *)
+    consume their output.  [guard] is the per-stage cancellation hook
+    (see {!run_sequence}); [on_iteration] runs after each completed
+    iteration with the consistent boundary context — the checkpoint
+    hook: resuming a saved boundary context via {!Flow.resume_on}
+    replays the remaining iterations exactly as an uninterrupted run. *)

@@ -171,9 +171,9 @@ let add_time t s =
 
 let time t f =
   if Atomic.get on then begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Rc_util.Timer.start () in
     let r = f () in
-    add_time t (Unix.gettimeofday () -. t0);
+    add_time t (Rc_util.Timer.elapsed_s t0);
     r
   end
   else f ()

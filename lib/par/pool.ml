@@ -52,6 +52,15 @@ type pool = {
 let in_region_key = Domain.DLS.new_key (fun () -> false)
 let in_parallel_region () = Domain.DLS.get in_region_key
 
+(* force every nested primitive to its sequential path for the duration
+   of [f] — used by callers that provide their own cross-task
+   parallelism (e.g. the serve scheduler's worker domains, where two
+   concurrent pool regions would race on the single region slot) *)
+let sequential_scope f =
+  let saved = Domain.DLS.get in_region_key in
+  Domain.DLS.set in_region_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_region_key saved) f
+
 let worker pool id () =
   (* workers only ever execute region bodies: nested primitives must
      run sequentially, so the flag is set for the domain's lifetime *)

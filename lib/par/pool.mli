@@ -41,6 +41,15 @@ val jobs : unit -> int
 val in_parallel_region : unit -> bool
 (** True inside a pool worker (where primitives run sequentially). *)
 
+val sequential_scope : (unit -> 'a) -> 'a
+(** [sequential_scope f] runs [f] with every pool primitive forced to
+    its sequential path in the calling domain, and restores the previous
+    behavior afterwards (also on exceptions).  For callers that provide
+    their own cross-task parallelism — e.g. the serve scheduler's worker
+    domains, which must not open concurrent pool regions — the pool's
+    determinism contract makes this transparent: sequential execution
+    produces bit-identical results. *)
+
 val both : ?parallel:bool -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** Run the two thunks, concurrently when [jobs () > 1].  [both f g]
     equals [(f (), g ())] bit-for-bit when [f] and [g] are independent.

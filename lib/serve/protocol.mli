@@ -1,0 +1,81 @@
+(** The serve wire protocol: line-delimited JSON requests/responses and
+    the job bodies they dispatch to.
+
+    One request per line; the server replies with one line per request,
+    matched by the echoed ["id"] field — responses may arrive out of
+    request order.  Envelope:
+
+    {v
+    request:   {"id": any, "op": str, "priority"?: int,
+                "deadline_ms"?: num, ...op fields}
+    response:  {"id": any, "ok": true,  "result": {...}}
+             | {"id": any, "ok": false, "error": "reason"}
+    v}
+
+    Heavy ops ([flow], [report], [sweep], [variation]) become
+    {!Scheduler} jobs; [checkpoint] (header inspection), [status] and
+    [shutdown] are answered inline.  Checkpoint payloads never cross
+    the socket — requests carry file paths.  See [docs/serving.md] for
+    the full field reference. *)
+
+open Rc_core
+
+type flow_request = {
+  f_bench : Bench_suite.bench;
+  f_mode : Flow.mode;
+  f_max_iterations : int option;
+  f_incremental : bool option;
+  f_checkpoint_every : int option;  (** [None] = no checkpointing. *)
+  f_checkpoint_dir : string option;
+  f_resume_from : string option;
+      (** Checkpoint path; when set the other flow fields are ignored
+          (the checkpoint embeds its config). *)
+}
+
+type report_request = { r_benches : Bench_suite.bench list; r_timings : bool }
+
+type sweep_request = { s_bench : Bench_suite.bench; s_grids : int list }
+
+type variation_request = { v_bench : Bench_suite.bench; v_mode : Flow.mode }
+
+type op =
+  | Flow_op of flow_request
+  | Report_op of report_request
+  | Sweep_op of sweep_request
+  | Variation_op of variation_request
+  | Checkpoint_op of string  (** Inspect this checkpoint file's header. *)
+  | Status_op
+  | Shutdown_op
+
+type request = {
+  req_id : Rc_util.Json.t;  (** Echoed back; [Null] when absent. *)
+  priority : int;  (** Default 0; higher runs first. *)
+  deadline_s : float option;  (** From ["deadline_ms"], converted to s. *)
+  op : op;
+}
+
+val parse_request : string -> (request, Rc_util.Json.t * string) result
+(** Parse one request line.  Errors carry the request id (if one could
+    be recovered) so the server can still address its error response. *)
+
+val response_ok : id:Rc_util.Json.t -> Rc_util.Json.t -> Rc_util.Json.t
+
+val response_error : id:Rc_util.Json.t -> string -> Rc_util.Json.t
+
+val json_of_outcome :
+  ?checkpoints:(int * string) list -> Flow.outcome -> Rc_util.Json.t
+(** The [flow] result document: metric snapshots, history, the
+    bit-identity digest ({!Checkpoint.digest_of_outcome}) and any
+    checkpoints written. *)
+
+val job_of_op : op -> (Cancel.t -> Rc_util.Json.t) option
+(** The scheduler job body for an async op ([Some]), or [None] for the
+    ops the server answers inline ([checkpoint], [status],
+    [shutdown]).  Flow jobs poll their token at every stage boundary
+    via {!Rc_core.Flow.run}'s [guard]. *)
+
+val inspect_checkpoint : string -> (Rc_util.Json.t, string) result
+
+val op_name : op -> string
+(** Short human-readable label for queue listings, e.g.
+    ["flow:s1423/netflow"]. *)

@@ -1,8 +1,20 @@
-type t = float
+(* Elapsed-time measurement on the OS monotonic clock (clock_gettime
+   CLOCK_MONOTONIC via timer_stubs.c), not gettimeofday: intervals,
+   service latency metrics and scheduler deadlines must be immune to
+   wall-clock jumps.  The epoch is arbitrary (boot time on Linux), so
+   values are only meaningful as differences. *)
 
-let start () = Unix.gettimeofday ()
+external monotonic_ns : unit -> int64 = "rc_timer_monotonic_ns"
 
-let elapsed_s t = Unix.gettimeofday () -. t
+type t = int64
+
+let now_ns = monotonic_ns
+
+let now_s () = Int64.to_float (monotonic_ns ()) *. 1e-9
+
+let start () = monotonic_ns ()
+
+let elapsed_s t = Int64.to_float (Int64.sub (monotonic_ns ()) t) *. 1e-9
 
 let time f =
   let t = start () in

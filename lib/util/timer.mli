@@ -1,4 +1,10 @@
-(** Wall-clock timing for reporting experiment CPU columns. *)
+(** Elapsed-time measurement for experiment CPU columns, service latency
+    metrics and scheduler deadlines.
+
+    Backed by the OS monotonic clock ([CLOCK_MONOTONIC]), so intervals
+    are immune to wall-clock jumps (NTP corrections, manual clock
+    changes).  The epoch is arbitrary: absolute values are only
+    meaningful as differences. *)
 
 type t
 (** A started timer. *)
@@ -11,3 +17,10 @@ val elapsed_s : t -> float
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f] and returns its result with elapsed seconds. *)
+
+val now_ns : unit -> int64
+(** The monotonic clock, nanoseconds since an arbitrary epoch. *)
+
+val now_s : unit -> float
+(** The monotonic clock in seconds — the time base for scheduler
+    deadlines ({!Rc_serve.Cancel}) and latency percentiles. *)

@@ -1,0 +1,33 @@
+/* Monotonic clock for Rc_util.Timer: immune to wall-clock jumps (NTP
+ * slews, manual resets), which matters for service latency metrics and
+ * scheduler deadlines.  CLOCK_MONOTONIC is POSIX; the Windows branch is
+ * untested but keeps the stub portable in principle. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value rc_timer_monotonic_ns(value unit)
+{
+    static LARGE_INTEGER freq;
+    LARGE_INTEGER now;
+    if (freq.QuadPart == 0)
+        QueryPerformanceFrequency(&freq);
+    QueryPerformanceCounter(&now);
+    return caml_copy_int64((int64_t)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+
+CAMLprim value rc_timer_monotonic_ns(value unit)
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    (void)unit;
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}
+
+#endif

@@ -101,6 +101,72 @@ let test_exception_propagates_and_pool_survives () =
         (Array.init 50 (fun i -> 2 * i))
         (Rc_par.Pool.init 50 (fun i -> 2 * i)))
 
+(* a raising task must neither wedge the workers nor poison later jobs:
+   hammer the pool with failing regions at several job counts and check
+   it still computes correctly afterwards — the property the serve
+   scheduler's workers rely on *)
+let test_repeated_failures_do_not_poison () =
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          for round = 1 to 5 do
+            (try
+               ignore
+                 (Rc_par.Pool.map
+                    (fun x -> if x mod 13 = round then raise (Boom x) else x)
+                    (Array.init 64 Fun.id));
+               Alcotest.fail "expected Boom from map"
+             with Boom _ -> ());
+            (try
+               Rc_par.Pool.for_ 64 (fun i -> if i = (round * 7) mod 64 then raise (Boom i));
+               Alcotest.fail "expected Boom from for_"
+             with Boom _ -> ());
+            Alcotest.(check (array int))
+              (Printf.sprintf "pool correct after failures (jobs=%d round=%d)" jobs round)
+              (Array.init 40 (fun i -> i * i))
+              (Rc_par.Pool.init 40 (fun i -> i * i))
+          done))
+    [ 1; 2; 4 ]
+
+(* multiple tasks raising concurrently: exactly one exception reaches
+   the caller and the pool stays usable *)
+let test_concurrent_raises () =
+  with_jobs 4 (fun () ->
+      (try
+         Rc_par.Pool.for_ 100 (fun i -> if i mod 3 = 0 then raise (Boom i));
+         Alcotest.fail "expected Boom"
+       with Boom _ -> ());
+      Alcotest.(check (array int))
+        "pool survives a raise in every chunk"
+        (Array.init 10 succ)
+        (Rc_par.Pool.init 10 succ))
+
+let test_sequential_scope () =
+  with_jobs 4 (fun () ->
+      Alcotest.(check bool) "outside scope" false (Rc_par.Pool.in_parallel_region ());
+      let r =
+        Rc_par.Pool.sequential_scope (fun () ->
+            Alcotest.(check bool)
+              "inside scope primitives see a busy region" true
+              (Rc_par.Pool.in_parallel_region ());
+            (* primitives still compute correctly, just sequentially *)
+            Rc_par.Pool.init 20 (fun i -> 3 * i))
+      in
+      Alcotest.(check (array int)) "scope result" (Array.init 20 (fun i -> 3 * i)) r;
+      Alcotest.(check bool) "flag restored" false (Rc_par.Pool.in_parallel_region ());
+      (* restored even when the body raises *)
+      (try
+         Rc_par.Pool.sequential_scope (fun () -> raise (Boom 1))
+       with Boom 1 -> ());
+      Alcotest.(check bool) "restored after raise" false (Rc_par.Pool.in_parallel_region ());
+      (* nesting is harmless *)
+      Rc_par.Pool.sequential_scope (fun () ->
+          Rc_par.Pool.sequential_scope (fun () ->
+              Alcotest.(check bool) "nested scope" true (Rc_par.Pool.in_parallel_region ()));
+          Alcotest.(check bool)
+            "inner exit keeps outer scope" true
+            (Rc_par.Pool.in_parallel_region ())))
+
 let test_nested_runs_sequentially () =
   with_jobs 2 (fun () ->
       let inner_flags = Rc_par.Pool.init 8 (fun _ -> Rc_par.Pool.in_parallel_region ()) in
@@ -226,6 +292,10 @@ let () =
           Alcotest.test_case "both" `Quick test_both;
           Alcotest.test_case "exception propagation + reuse" `Quick
             test_exception_propagates_and_pool_survives;
+          Alcotest.test_case "repeated failures do not poison" `Quick
+            test_repeated_failures_do_not_poison;
+          Alcotest.test_case "concurrent raises" `Quick test_concurrent_raises;
+          Alcotest.test_case "sequential_scope" `Quick test_sequential_scope;
           Alcotest.test_case "nested primitives run sequentially" `Quick
             test_nested_runs_sequentially;
         ] );

@@ -1,0 +1,433 @@
+(* Tests for the flow service: checkpoint save/load/resume
+   bit-identity, the deadline-aware scheduler, the wire protocol, and
+   an in-process socket smoke of the server. *)
+
+open Rc_core
+open Rc_serve
+module Json = Rc_util.Json
+
+let with_jobs n f =
+  Rc_par.Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Rc_par.Pool.set_jobs 1) f
+
+let temp_dir =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rc_serve_test_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let tiny_cfg = Flow.default_config ~mode:Flow.Netflow Bench_suite.tiny
+
+let contains hay needle =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+(* ---- checkpoint round-trip -------------------------------------------- *)
+
+(* The acceptance criterion: save at iteration k, reload, finish — the
+   final placement/skews/assignment must equal the uninterrupted run's,
+   for jobs in {1, 2, 4}. *)
+let test_checkpoint_bit_identity () =
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          let uninterrupted = Flow.run tiny_cfg in
+          let d0 = Checkpoint.digest_of_outcome uninterrupted in
+          let _, checkpoints =
+            Checkpoint.run_with_checkpoints ~every:1 ~dir:temp_dir
+              ~name:(Printf.sprintf "bitid-j%d" jobs) tiny_cfg
+          in
+          Alcotest.(check bool)
+            "several checkpoints written" true
+            (List.length checkpoints >= 2);
+          (* resume from every saved boundary, not just one *)
+          List.iter
+            (fun (k, path) ->
+              match Checkpoint.resume ~path () with
+              | Error e -> Alcotest.failf "resume iter %d: %s" k e
+              | Ok resumed ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "digest after resume from iter %d (jobs=%d)" k jobs)
+                    d0
+                    (Checkpoint.digest_of_outcome resumed);
+                  Alcotest.(check bool)
+                    (Printf.sprintf "final snapshot equal (iter %d, jobs=%d)" k jobs)
+                    true
+                    (resumed.Flow.final = uninterrupted.Flow.final);
+                  Alcotest.(check bool)
+                    (Printf.sprintf "history equal (iter %d, jobs=%d)" k jobs)
+                    true
+                    (resumed.Flow.history = uninterrupted.Flow.history))
+            checkpoints))
+    [ 1; 2; 4 ]
+
+let test_checkpoint_inspect () =
+  let _, checkpoints =
+    Checkpoint.run_with_checkpoints ~every:1 ~dir:temp_dir ~name:"inspect" tiny_cfg
+  in
+  let k, path = List.hd checkpoints in
+  match Checkpoint.inspect ~path with
+  | Error e -> Alcotest.fail e
+  | Ok meta ->
+      Alcotest.(check int) "version" Checkpoint.format_version meta.Checkpoint.version;
+      Alcotest.(check string) "bench" "tiny" meta.Checkpoint.bench;
+      Alcotest.(check string) "mode" "netflow" meta.Checkpoint.mode;
+      Alcotest.(check int) "iteration" k meta.Checkpoint.iteration;
+      Alcotest.(check bool) "payload non-empty" true (meta.Checkpoint.payload_bytes > 0)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let check_load_error name path expect =
+  match Checkpoint.load ~path () with
+  | Ok _ -> Alcotest.failf "%s: load unexpectedly succeeded" name
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions %S (got %S)" name expect e)
+        true (contains e expect)
+
+let test_checkpoint_rejects_corruption () =
+  let _, checkpoints =
+    Checkpoint.run_with_checkpoints ~every:1 ~dir:temp_dir ~name:"corrupt" tiny_cfg
+  in
+  let _, path = List.hd checkpoints in
+  let valid = read_file path in
+  (* not a checkpoint at all *)
+  let p = Filename.concat temp_dir "bad-magic.ckpt" in
+  write_file p ("JUNK 1\n" ^ valid);
+  check_load_error "bad magic" p "bad magic";
+  (* future format version: swap the magic line, keep the rest *)
+  let p = Filename.concat temp_dir "bad-version.ckpt" in
+  let nl = String.index valid '\n' in
+  write_file p ("RCCKPT 99" ^ String.sub valid nl (String.length valid - nl));
+  check_load_error "unsupported version" p "version 99 unsupported";
+  (* flipped byte deep in the payload: digest must catch it *)
+  let p = Filename.concat temp_dir "flipped.ckpt" in
+  let b = Bytes.of_string valid in
+  let i = Bytes.length b - 7 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  write_file p (Bytes.to_string b);
+  check_load_error "digest mismatch" p "digest mismatch";
+  (* truncated payload *)
+  let p = Filename.concat temp_dir "truncated.ckpt" in
+  write_file p (String.sub valid 0 (String.length valid - 100));
+  check_load_error "truncated" p "truncated";
+  (* missing file is an error, not an exception *)
+  check_load_error "missing file" (Filename.concat temp_dir "nope.ckpt") "nope.ckpt"
+
+(* ---- cancel tokens ----------------------------------------------------- *)
+
+let test_cancel_token () =
+  let t = Cancel.create () in
+  Alcotest.(check bool) "fresh token not cancelled" false (Cancel.cancelled t);
+  Cancel.check t;
+  Cancel.cancel t ~reason:"first";
+  Cancel.cancel t ~reason:"second";
+  Alcotest.(check (option string)) "first reason wins" (Some "first") (Cancel.reason t);
+  Alcotest.check_raises "check raises" (Cancel.Cancelled "first") (fun () -> Cancel.check t);
+  let d = Cancel.create ~deadline:(Rc_util.Timer.now_s () -. 0.001) () in
+  Alcotest.(check bool) "past deadline trips without polling" true (Cancel.cancelled d)
+
+(* ---- scheduler --------------------------------------------------------- *)
+
+let await_done sched id =
+  match Scheduler.await sched id with
+  | None -> Alcotest.failf "job %d vanished" id
+  | Some (outcome, info) -> (outcome, info)
+
+let submit_ok sched ?priority ?deadline_s ?name work =
+  match Scheduler.submit sched ?priority ?deadline_s ?name work with
+  | Ok id -> id
+  | Error e -> Alcotest.failf "submit rejected: %s" e
+
+let test_scheduler_runs_jobs () =
+  let sched = Scheduler.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.shutdown sched)
+    (fun () ->
+      let ids =
+        List.init 6 (fun i -> submit_ok sched (fun _ -> Json.Int (i * i)))
+      in
+      List.iteri
+        (fun i id ->
+          match await_done sched id with
+          | Scheduler.Done (Json.Int v), _ ->
+              Alcotest.(check int) (Printf.sprintf "job %d result" i) (i * i) v
+          | _ -> Alcotest.failf "job %d did not complete" i)
+        ids;
+      let c = Scheduler.counts sched in
+      Alcotest.(check int) "completed" 6 c.Scheduler.completed;
+      Alcotest.(check int) "nothing pending" 0 c.Scheduler.pending;
+      let lat = Scheduler.latency_percentiles sched ~percentiles:[ 0.5; 0.99 ] in
+      List.iter
+        (fun (_, v) -> Alcotest.(check bool) "latency is finite" true (Float.is_finite v))
+        lat)
+
+let test_scheduler_priority_order () =
+  (* one worker: a blocker occupies it while low/high queue up; the
+     high-priority job must run first despite being submitted last *)
+  let sched = Scheduler.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.shutdown sched)
+    (fun () ->
+      let order = ref [] in
+      let lock = Mutex.create () in
+      let record name = Mutex.protect lock (fun () -> order := name :: !order) in
+      let started = Atomic.make false in
+      let blocker =
+        submit_ok sched (fun _ ->
+            Atomic.set started true;
+            Unix.sleepf 0.2;
+            record "blocker";
+            Json.Null)
+      in
+      (* low/high must be queued while the worker is busy, or priority
+         has nothing to decide *)
+      while not (Atomic.get started) do
+        Thread.yield ()
+      done;
+      let low = submit_ok sched ~priority:0 ~name:"low" (fun _ -> record "low"; Json.Null) in
+      let high =
+        submit_ok sched ~priority:5 ~name:"high" (fun _ -> record "high"; Json.Null)
+      in
+      List.iter (fun id -> ignore (await_done sched id)) [ blocker; low; high ];
+      Alcotest.(check (list string))
+        "high preempts low in the queue" [ "blocker"; "high"; "low" ]
+        (List.rev !order))
+
+let test_scheduler_deadline_expires_queued () =
+  let sched = Scheduler.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.shutdown sched)
+    (fun () ->
+      let blocker = submit_ok sched (fun _ -> Unix.sleepf 0.25; Json.Null) in
+      let doomed =
+        submit_ok sched ~deadline_s:0.02 (fun _ ->
+            Alcotest.fail "expired job must never start")
+      in
+      (match await_done sched doomed with
+      | Scheduler.Cancelled reason, _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "reason mentions deadline: %S" reason)
+            true (contains reason "deadline")
+      | _ -> Alcotest.fail "expected Cancelled");
+      ignore (await_done sched blocker);
+      let c = Scheduler.counts sched in
+      Alcotest.(check int) "one cancelled" 1 c.Scheduler.cancelled)
+
+let test_scheduler_cooperative_cancel_running () =
+  let sched = Scheduler.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.shutdown sched)
+    (fun () ->
+      let started = Atomic.make false in
+      let id =
+        submit_ok sched (fun token ->
+            Atomic.set started true;
+            (* a long job polling its token, like the flow guard does at
+               stage boundaries *)
+            for _ = 1 to 1000 do
+              Cancel.check token;
+              Unix.sleepf 0.005
+            done;
+            Json.Null)
+      in
+      while not (Atomic.get started) do
+        Thread.yield ()
+      done;
+      Alcotest.(check bool) "cancel accepted" true
+        (Scheduler.cancel sched id ~reason:"client gave up");
+      match await_done sched id with
+      | Scheduler.Cancelled reason, _ ->
+          Alcotest.(check string) "reason" "client gave up" reason
+      | _ -> Alcotest.fail "expected Cancelled")
+
+let test_scheduler_failure_does_not_poison () =
+  let sched = Scheduler.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.shutdown sched)
+    (fun () ->
+      let bad = submit_ok sched (fun _ -> failwith "kaboom") in
+      (match await_done sched bad with
+      | Scheduler.Failed msg, _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "failure text kept: %S" msg)
+            true
+            (String.length msg > 0)
+      | _ -> Alcotest.fail "expected Failed");
+      (* the worker must survive and run later jobs normally *)
+      let ok = submit_ok sched (fun _ -> Json.String "alive") in
+      match await_done sched ok with
+      | Scheduler.Done (Json.String s), _ -> Alcotest.(check string) "worker alive" "alive" s
+      | _ -> Alcotest.fail "worker poisoned by earlier failure")
+
+let test_scheduler_admission_control () =
+  let sched = Scheduler.create ~workers:1 ~max_pending:1 () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.shutdown sched)
+    (fun () ->
+      let gate = Atomic.make false in
+      let running = Atomic.make false in
+      let blocker =
+        submit_ok sched (fun _ ->
+            Atomic.set running true;
+            while not (Atomic.get gate) do
+              Unix.sleepf 0.002
+            done;
+            Json.Null)
+      in
+      while not (Atomic.get running) do
+        Thread.yield ()
+      done;
+      let queued = submit_ok sched (fun _ -> Json.Null) in
+      (match Scheduler.submit sched (fun _ -> Json.Null) with
+      | Error reason ->
+          Alcotest.(check bool)
+            (Printf.sprintf "rejection carries a reason: %S" reason)
+            true
+            (String.length reason > 0)
+      | Ok _ -> Alcotest.fail "expected saturation rejection");
+      Atomic.set gate true;
+      ignore (await_done sched blocker);
+      ignore (await_done sched queued);
+      let c = Scheduler.counts sched in
+      Alcotest.(check int) "rejected counted" 1 c.Scheduler.rejected;
+      Alcotest.(check int) "completed" 2 c.Scheduler.completed)
+
+(* ---- protocol ---------------------------------------------------------- *)
+
+let test_protocol_parse () =
+  (match Protocol.parse_request {|{"id":7,"op":"flow","bench":"tiny","mode":"ilp"}|} with
+  | Ok { Protocol.req_id = Json.Int 7; op = Protocol.Flow_op f; _ } ->
+      Alcotest.(check string) "bench" "tiny" f.Protocol.f_bench.Bench_suite.bname;
+      Alcotest.(check bool) "mode ilp" true (f.Protocol.f_mode = Flow.Ilp)
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error (_, e) -> Alcotest.fail e);
+  (match
+     Protocol.parse_request
+       {|{"id":"a","op":"sweep","bench":"tiny","grids":[2,3],"priority":4,"deadline_ms":1500}|}
+   with
+  | Ok { Protocol.priority; deadline_s; op = Protocol.Sweep_op s; _ } ->
+      Alcotest.(check int) "priority" 4 priority;
+      Alcotest.(check (option (float 1e-9))) "deadline converted" (Some 1.5) deadline_s;
+      Alcotest.(check (list int)) "grids" [ 2; 3 ] s.Protocol.s_grids
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error (_, e) -> Alcotest.fail e);
+  (* errors keep the id so the response can still be addressed *)
+  (match Protocol.parse_request {|{"id":9,"op":"flow","bench":"nonesuch"}|} with
+  | Error (Json.Int 9, e) ->
+      Alcotest.(check bool) "names the bad bench" true (contains e "nonesuch")
+  | _ -> Alcotest.fail "expected an id-carrying error");
+  (match Protocol.parse_request {|{"id":1,"op":"transmogrify"}|} with
+  | Error (_, e) ->
+      Alcotest.(check bool) "lists known ops" true (contains e "flow | report")
+  | Ok _ -> Alcotest.fail "unknown op accepted");
+  match Protocol.parse_request "not json at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+let test_protocol_sync_ops_have_no_job () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "sync op" true (Protocol.job_of_op op = None))
+    [ Protocol.Checkpoint_op "x"; Protocol.Status_op; Protocol.Shutdown_op ]
+
+(* ---- server ------------------------------------------------------------ *)
+
+let send_line fd line = ignore (Unix.write_substring fd (line ^ "\n") 0 (String.length line + 1))
+
+let read_response ic =
+  match Json.of_string (input_line ic) with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "bad response line: %s" e
+
+let field name j =
+  match Json.member name j with Some v -> v | None -> Alcotest.failf "missing %S" name
+
+(* End-to-end over a real Unix-domain socket: concurrent requests on one
+   connection, out-of-order completion, graceful shutdown via the
+   protocol. *)
+let test_server_socket_smoke () =
+  let path = Filename.concat temp_dir "test-server.sock" in
+  let server = Thread.create (fun () -> Server.run_unix ~workers:2 ~path ()) () in
+  (* wait for the socket to appear *)
+  let rec wait n =
+    if Sys.file_exists path then ()
+    else if n = 0 then Alcotest.fail "server socket never appeared"
+    else (
+      Unix.sleepf 0.05;
+      wait (n - 1))
+  in
+  wait 100;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  send_line fd {|{"id":1,"op":"status"}|};
+  send_line fd {|{"id":2,"op":"flow","bench":"tiny"}|};
+  send_line fd {|{"id":3,"op":"flow","bench":"bogus"}|};
+  send_line fd {|{"id":4,"op":"shutdown"}|};
+  let responses = List.init 4 (fun _ -> read_response ic) in
+  let by_id k =
+    match List.find_opt (fun j -> field "id" j = Json.Int k) responses with
+    | Some j -> j
+    | None -> Alcotest.failf "no response with id %d" k
+  in
+  Alcotest.(check bool) "status ok" true (field "ok" (by_id 1) = Json.Bool true);
+  let flow = by_id 2 in
+  Alcotest.(check bool) "flow ok" true (field "ok" flow = Json.Bool true);
+  let result = field "result" flow in
+  Alcotest.(check bool) "flow names its bench" true
+    (field "bench" result = Json.String "tiny");
+  (match field "digest" result with
+  | Json.String d -> Alcotest.(check int) "digest is hex md5" 32 (String.length d)
+  | _ -> Alcotest.fail "digest missing");
+  Alcotest.(check bool) "bad bench rejected" true (field "ok" (by_id 3) = Json.Bool false);
+  Alcotest.(check bool) "shutdown acked" true (field "ok" (by_id 4) = Json.Bool true);
+  close_in_noerr ic;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Thread.join server;
+  Alcotest.(check bool) "socket removed after drain" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "rc_serve"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "resume is bit-identical (jobs 1/2/4)" `Slow
+            test_checkpoint_bit_identity;
+          Alcotest.test_case "inspect header" `Quick test_checkpoint_inspect;
+          Alcotest.test_case "rejects corruption" `Quick test_checkpoint_rejects_corruption;
+        ] );
+      ("cancel", [ Alcotest.test_case "token semantics" `Quick test_cancel_token ]);
+      ( "scheduler",
+        [
+          Alcotest.test_case "runs jobs to completion" `Quick test_scheduler_runs_jobs;
+          Alcotest.test_case "priority order" `Quick test_scheduler_priority_order;
+          Alcotest.test_case "queued deadline expires" `Quick
+            test_scheduler_deadline_expires_queued;
+          Alcotest.test_case "cooperative cancel of a running job" `Quick
+            test_scheduler_cooperative_cancel_running;
+          Alcotest.test_case "failure does not poison workers" `Quick
+            test_scheduler_failure_does_not_poison;
+          Alcotest.test_case "bounded admission" `Quick test_scheduler_admission_control;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request parsing" `Quick test_protocol_parse;
+          Alcotest.test_case "sync ops are inline" `Quick test_protocol_sync_ops_have_no_job;
+        ] );
+      ("server", [ Alcotest.test_case "socket smoke" `Slow test_server_socket_smoke ]);
+    ]
