@@ -11,31 +11,49 @@
    circuits, --micro-only / --tables-only to run a single part.
 
    Part 3 times the flow and the experiment suite sequentially (jobs=1)
-   and at the configured job count (--jobs N / ROTARY_JOBS), and writes
-   every measurement — per-kernel micro timings, per-circuit flow wall
-   times, the suite walls, job count and git revision — to
-   BENCH_results.json (schema: DESIGN.md "Bench results file"). *)
+   and at every job count of the sweep (--jobs N or --jobs N1,N2,... /
+   ROTARY_JOBS), and writes every measurement — per-kernel micro
+   timings, per-circuit flow wall times with per-job-count speedups,
+   the suite walls, job counts and git revision — to BENCH_results.json
+   (schema v3: DESIGN.md "Bench results file").  --walls-only skips
+   parts 1 and 2; --min-suite-speedup F exits nonzero when the suite
+   speedup at the highest job count falls below F (the CI floor,
+   recorded in the artifact). *)
 
 open Rc_core
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let micro_only = Array.exists (( = ) "--micro-only") Sys.argv
 let tables_only = Array.exists (( = ) "--tables-only") Sys.argv
+let walls_only = Array.exists (( = ) "--walls-only") Sys.argv
 
-let jobs_arg =
+let flag_value name =
   let n = Array.length Sys.argv in
+  let eq = name ^ "=" in
+  let le = String.length eq in
   let rec scan i =
     if i >= n then None
-    else if Sys.argv.(i) = "--jobs" && i + 1 < n then int_of_string_opt Sys.argv.(i + 1)
-    else
-      match String.length Sys.argv.(i) with
-      | l when l > 7 && String.sub Sys.argv.(i) 0 7 = "--jobs=" ->
-          int_of_string_opt (String.sub Sys.argv.(i) 7 (l - 7))
-      | _ -> scan (i + 1)
+    else if Sys.argv.(i) = name && i + 1 < n then Some Sys.argv.(i + 1)
+    else if
+      String.length Sys.argv.(i) > le && String.sub Sys.argv.(i) 0 le = eq
+    then Some (String.sub Sys.argv.(i) le (String.length Sys.argv.(i) - le))
+    else scan (i + 1)
   in
   scan 1
 
-let () = Option.iter Rc_par.Pool.set_jobs jobs_arg
+(* --jobs accepts a single count or a comma-separated sweep ("1,8") *)
+let jobs_arg =
+  match flag_value "--jobs" with
+  | None -> None
+  | Some s ->
+      let parts = String.split_on_char ',' s in
+      let counts = List.filter_map (fun p -> int_of_string_opt (String.trim p)) parts in
+      if counts = [] then None else Some (List.sort_uniq compare counts)
+
+let min_suite_speedup =
+  Option.bind (flag_value "--min-suite-speedup") float_of_string_opt
+
+let () = Option.iter (fun l -> Rc_par.Pool.set_jobs (List.fold_left max 1 l)) jobs_arg
 
 let benches = if quick then Bench_suite.quick else Bench_suite.all
 
@@ -399,13 +417,20 @@ let git_rev () =
 
 let wall f = snd (Rc_util.Timer.time f)
 
-(* one sequential and one parallel run per circuit (plus the suite as a
-   whole, which also parallelizes across circuit arms).  The sequential
-   run of each circuit also records its final quality snapshot and its
-   solver-metric delta, so the bench trajectory carries comparable
-   quality numbers alongside the wall times. *)
+(* the parallel job counts to sweep (always measured against jobs=1) *)
+let sweep_jobs =
+  let explicit = match jobs_arg with Some l -> l | None -> [ Rc_par.Pool.jobs () ] in
+  match List.filter (fun j -> j > 1) explicit with [] -> [ Rc_par.Pool.jobs () ] | l -> l
+
+let top_jobs = List.fold_left max 1 sweep_jobs
+let speedup_of seq par = seq /. Float.max par 1e-9
+
+(* one sequential run plus one run per sweep job count per circuit (and
+   the suite as a whole, which also parallelizes across circuit arms).
+   The sequential run of each circuit also records its final quality
+   snapshot and its solver-metric delta, so the bench trajectory carries
+   comparable quality numbers alongside the wall times. *)
 let compare_walls () =
-  let par_jobs = Rc_par.Pool.jobs () in
   let at j f =
     Rc_par.Pool.set_jobs j;
     f ()
@@ -425,42 +450,70 @@ let compare_walls () =
               Rc_obs.Metrics.set_enabled false;
               (w, metrics))
         in
-        let par =
-          at par_jobs (fun () -> wall (fun () -> ignore (Flow.run (Flow.default_config bench))))
+        let runs =
+          List.map
+            (fun j ->
+              (j, at j (fun () -> wall (fun () -> ignore (Flow.run (Flow.default_config bench))))))
+            sweep_jobs
         in
         let wall_seq, metrics = seq in
-        (bench.Bench_suite.bname, wall_seq, par, Option.get !outcome, metrics))
+        (bench.Bench_suite.bname, wall_seq, runs, Option.get !outcome, metrics))
       benches
   in
   let suite_seq =
     at 1 (fun () -> wall (fun () -> ignore (Experiments.run_suite ~benches ~with_ilp:false ())))
   in
-  let suite_par =
-    at par_jobs (fun () ->
-        wall (fun () -> ignore (Experiments.run_suite ~benches ~with_ilp:false ())))
+  let suite_runs =
+    List.map
+      (fun j ->
+        (j, at j (fun () -> wall (fun () -> ignore (Experiments.run_suite ~benches ~with_ilp:false ())))))
+      sweep_jobs
   in
-  Rc_par.Pool.set_jobs par_jobs;
+  Rc_par.Pool.set_jobs top_jobs;
   print_endline
     (Report.render
        ~title:
-         (Printf.sprintf "Wall time: sequential (--jobs 1) vs parallel (--jobs %d)" par_jobs)
-       ~header:[ "Run"; "Seq (s)"; "Par (s)"; "Speedup" ]
-       (List.map
-          (fun (name, seq, par) ->
-            [ name; Report.fmt_f ~dp:2 seq; Report.fmt_f ~dp:2 par;
-              Report.fmt_f ~dp:2 (seq /. Float.max par 1e-9) ])
-          (List.map (fun (name, seq, par, _, _) -> (name, seq, par)) flows
-          @ [ ("suite", suite_seq, suite_par) ])));
+         (Printf.sprintf "Wall time: sequential (--jobs 1) vs parallel (--jobs %s)"
+            (String.concat "," (List.map string_of_int sweep_jobs)))
+       ~header:[ "Run"; "Jobs"; "Seq (s)"; "Par (s)"; "Speedup" ]
+       (List.concat_map
+          (fun (name, seq, runs) ->
+            List.map
+              (fun (j, par) ->
+                [ name; string_of_int j; Report.fmt_f ~dp:2 seq; Report.fmt_f ~dp:2 par;
+                  Report.fmt_f ~dp:2 (speedup_of seq par) ])
+              runs)
+          (List.map (fun (name, seq, runs, _, _) -> (name, seq, runs)) flows
+          @ [ ("suite", suite_seq, suite_runs) ])));
   print_newline ();
-  (flows, (suite_seq, suite_par))
+  (flows, (suite_seq, suite_runs))
 
-let results_json micro_timings (flows, (suite_seq, suite_par)) =
+let sweep_json seq runs =
   let module J = Rc_util.Json in
+  J.List
+    (List.map
+       (fun (j, par) ->
+         J.Obj
+           [
+             ("jobs", J.Int j);
+             ("wall_s", J.Float par);
+             ("speedup_vs_seq", J.Float (speedup_of seq par));
+           ])
+       runs)
+
+let results_json micro_timings (flows, (suite_seq, suite_runs)) =
+  let module J = Rc_util.Json in
+  let top_of runs = List.assoc top_jobs runs in
   J.Obj
     [
-      ("schema_version", J.Int 2);
+      ("schema_version", J.Int 3);
       ("git_rev", match git_rev () with Some r -> J.String r | None -> J.Null);
       ("jobs", J.Int (Rc_par.Pool.jobs ()));
+      ("jobs_sweep", J.List (List.map (fun j -> J.Int j) (1 :: sweep_jobs)));
+      (* schema v3: the CI regression floor on the top-job-count suite
+         speedup, recorded in the artifact next to the measurement *)
+      ( "suite_speedup_floor",
+        match min_suite_speedup with Some f -> J.Float f | None -> J.Null );
       ("quick", J.Bool quick);
       ( "micro_kernels",
         J.List
@@ -475,14 +528,19 @@ let results_json micro_timings (flows, (suite_seq, suite_par)) =
       ( "flow_wall_s",
         J.List
           (List.map
-             (fun (name, seq, par, (outcome : Flow.outcome), metrics) ->
+             (fun (name, seq, runs, (outcome : Flow.outcome), metrics) ->
                let s = outcome.Flow.final in
+               let par = top_of runs in
                J.Obj
                  [
                    ("circuit", J.String name);
                    ("jobs1_s", J.Float seq);
                    ("jobsN_s", J.Float par);
-                   ("speedup", J.Float (seq /. Float.max par 1e-9));
+                   ("speedup", J.Float (speedup_of seq par));
+                   (* schema v3: per-circuit speedup at the top job
+                      count plus the full per-job-count sweep *)
+                   ("speedup_vs_seq", J.Float (speedup_of seq par));
+                   ("sweep", sweep_json seq runs);
                    (* schema v2: quality of the converged flow, so the
                       trajectory records what the time bought *)
                    ( "final",
@@ -503,17 +561,30 @@ let results_json micro_timings (flows, (suite_seq, suite_par)) =
         J.Obj
           [
             ("jobs1_s", J.Float suite_seq);
-            ("jobsN_s", J.Float suite_par);
-            ("speedup", J.Float (suite_seq /. Float.max suite_par 1e-9));
+            ("jobsN_s", J.Float (top_of suite_runs));
+            ("speedup", J.Float (speedup_of suite_seq (top_of suite_runs)));
+            ("speedup_vs_seq", J.Float (speedup_of suite_seq (top_of suite_runs)));
+            ("sweep", sweep_json suite_seq suite_runs);
           ] );
     ]
 
 let () =
   Printf.printf "[bench] jobs = %d%s\n%!" (Rc_par.Pool.jobs ())
     (if quick then " (quick)" else "");
-  if not micro_only then reproduce ();
-  let micro_timings = if not tables_only then micro () else [] in
+  if (not micro_only) && not walls_only then reproduce ();
+  let micro_timings = if (not tables_only) && not walls_only then micro () else [] in
   let walls = compare_walls () in
   let path = "BENCH_results.json" in
   Rc_util.Json.to_file path (results_json micro_timings walls);
-  Printf.printf "[bench] wrote %s\n%!" path
+  Printf.printf "[bench] wrote %s\n%!" path;
+  let _, (suite_seq, suite_runs) = walls in
+  let suite_speedup = speedup_of suite_seq (List.assoc top_jobs suite_runs) in
+  match min_suite_speedup with
+  | Some floor when suite_speedup < floor ->
+      Printf.printf "[bench] FAIL: suite speedup %.2fx at jobs=%d below floor %.2fx\n%!"
+        suite_speedup top_jobs floor;
+      exit 1
+  | Some floor ->
+      Printf.printf "[bench] suite speedup %.2fx at jobs=%d (floor %.2fx)\n%!" suite_speedup
+        top_jobs floor
+  | None -> ()

@@ -7,11 +7,14 @@
       them disabled (incremental = false is the original cold path).
    2. Reuse actually happens: on the medium circuit (s9234) the reuse
       counters — STA replays, assignment-network replays, tap-cache
-      hits — must all be non-zero at jobs = 1.  A refactor that silently
-      stops the caches from firing fails CI even though the results
-      would still be correct.
+      hits — must all be non-zero.  A refactor that silently stops the
+      caches from firing fails CI even though the results would still
+      be correct.  The counters are deterministic for any job count, so
+      both checks hold at every -j value.
 
-   Exit status 0 on success, 1 with a diagnostic on any failure. *)
+   -j/--jobs N selects the job count (default 1) so CI can exercise the
+   parallel regions; exit status 0 on success, 1 with a diagnostic on
+   any failure. *)
 
 open Rc_core
 
@@ -42,8 +45,22 @@ let run_flow ~incremental bench =
   let cfg = { (Flow.default_config bench) with Flow.incremental } in
   Flow.run cfg
 
+let jobs =
+  let n = Array.length Sys.argv in
+  let value s = Option.value (int_of_string_opt s) ~default:1 in
+  let rec scan i =
+    if i >= n then 1
+    else if (Sys.argv.(i) = "-j" || Sys.argv.(i) = "--jobs") && i + 1 < n then
+      value Sys.argv.(i + 1)
+    else if String.length Sys.argv.(i) > 7 && String.sub Sys.argv.(i) 0 7 = "--jobs=" then
+      value (String.sub Sys.argv.(i) 7 (String.length Sys.argv.(i) - 7))
+    else scan (i + 1)
+  in
+  scan 1
+
 let () =
-  Rc_par.Pool.set_jobs 1;
+  Rc_par.Pool.set_jobs jobs;
+  Printf.printf "perf smoke: jobs = %d\n%!" jobs;
   List.iter
     (fun bench ->
       let name = bench.Bench_suite.bname in

@@ -11,6 +11,10 @@ type t = {
 let load_of_tap (tech : Rc_tech.Tech.t) (tap : Tapping.tap) =
   (tech.Rc_tech.Tech.c_wire *. tap.Tapping.wirelength) +. tech.Rc_tech.Tech.c_ff
 
+(* same expression over the pool's stored wirelength *)
+let load_of_wl (tech : Rc_tech.Tech.t) wl =
+  (tech.Rc_tech.Tech.c_wire *. wl) +. tech.Rc_tech.Tech.c_ff
+
 let m_candidate_solves = Rc_obs.Metrics.counter "assign.candidate_solves"
 let m_widen_retries = Rc_obs.Metrics.counter "assign.netflow.widen_retries"
 let m_assignments = Rc_obs.Metrics.counter "assign.assignments"
@@ -37,30 +41,103 @@ let check_inputs arr ff_positions targets =
   if Array.length ff_positions <> Array.length targets then
     invalid_arg "Assign: positions/targets size mismatch"
 
-(* Per-flip-flop candidates: the nearest rings and the Eq. 1 tap on
-   each, as index-aligned arrays (the assignment hot path probes them
-   per attempt, so no association lists). *)
-type cand = { rings : int array; ctaps : Tapping.tap array }
+(* --- Flat candidate pool ------------------------------------------ *)
 
-(* Tap cache: solving Eq. 1 per (ff, ring) candidate once.  The per-FF
-   solves are independent — the flow's second hot kernel — and fan out
-   across the domain pool; the per-FF merge order is the array index,
-   so the result is identical for any job count. *)
+type fvec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type ivec = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* All (ff, candidate-ring) Eq. 1 solves of one assignment call as a
+   structure of arrays: slot [i * stride + q] holds flip-flop [i]'s
+   [q]-th candidate, in [Ring_array.rings_near] order.  Tap fields are
+   spread across parallel Bigarrays (positions/arcs/costs as unboxed
+   float64, ring ids and packed case tags as ints) so the hot
+   enumeration loops stream flat memory instead of chasing per-FF
+   record arrays; {!pool_tap} reconstructs the exact [Tapping.tap] on
+   demand. *)
+type pool = {
+  n_ffs : int;
+  stride : int;  (* the call's candidate count; per-FF counts may be less *)
+  p_count : int array;  (* candidates actually present per flip-flop *)
+  p_ring : ivec;
+  p_x : fvec;
+  p_y : fvec;
+  p_arc : fvec;
+  p_cost : fvec;  (* tap wirelength — the assignment cost *)
+  p_tag : ivec;  (* (periods_shifted lsl 2) lor snaked lor conductor *)
+}
+
+let fvec n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+let ivec n = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let alloc_pool n_ffs stride =
+  let slots = n_ffs * stride in
+  {
+    n_ffs;
+    stride;
+    p_count = Array.make n_ffs 0;
+    p_ring = ivec slots;
+    p_x = fvec slots;
+    p_y = fvec slots;
+    p_arc = fvec slots;
+    p_cost = fvec slots;
+    p_tag = ivec slots;
+  }
+
+let pool_count pl i = pl.p_count.(i)
+let pool_ring pl i q = pl.p_ring.{(i * pl.stride) + q}
+let pool_cost pl i q = pl.p_cost.{(i * pl.stride) + q}
+
+let pool_tap pl i q =
+  let o = (i * pl.stride) + q in
+  let tag = pl.p_tag.{o} in
+  {
+    Tapping.ring = pl.p_ring.{o};
+    point = { Rc_geom.Point.x = pl.p_x.{o}; y = pl.p_y.{o} };
+    arc = pl.p_arc.{o};
+    conductor = (if tag land 1 = 1 then Ring.Inner else Ring.Outer);
+    wirelength = pl.p_cost.{o};
+    snaked = tag land 2 <> 0;
+    periods_shifted = tag asr 2;
+  }
+
+(* solve one flip-flop's candidates into its pool segment; returns the
+   candidate count (= the Eq. 1 solves charged to assign.candidate_solves) *)
+let fill_ff pl tech arr i p target =
+  let rings = Ring_array.rings_near arr p pl.stride in
+  let base = i * pl.stride in
+  let q = ref 0 in
+  List.iter
+    (fun rj ->
+      let tap = Tapping.solve tech (Ring_array.ring arr rj) ~ff:p ~target in
+      let o = base + !q in
+      pl.p_ring.{o} <- rj;
+      pl.p_x.{o} <- tap.Tapping.point.Rc_geom.Point.x;
+      pl.p_y.{o} <- tap.Tapping.point.Rc_geom.Point.y;
+      pl.p_arc.{o} <- tap.Tapping.arc;
+      pl.p_cost.{o} <- tap.Tapping.wirelength;
+      pl.p_tag.{o} <-
+        (tap.Tapping.periods_shifted lsl 2)
+        lor (if tap.Tapping.snaked then 2 else 0)
+        lor (match tap.Tapping.conductor with Ring.Inner -> 1 | Ring.Outer -> 0);
+      incr q)
+    rings;
+  pl.p_count.(i) <- !q;
+  !q
+
 (* below ~64 flip-flops a solve is cheaper than waking the pool *)
 let par_cutoff = 64
 
-let candidate_taps tech arr ~ff_positions ~targets ~candidates =
-  Rc_par.Pool.init ~min_items:par_cutoff (Array.length ff_positions) (fun i ->
-      let rings = Array.of_list (Ring_array.rings_near arr ff_positions.(i) candidates) in
-      let ctaps =
-        Array.map
-          (fun rj ->
-            Tapping.solve tech (Ring_array.ring arr rj) ~ff:ff_positions.(i)
-              ~target:targets.(i))
-          rings
-      in
-      Rc_obs.Metrics.add m_candidate_solves (Array.length rings);
-      { rings; ctaps })
+(* The per-FF solves are independent — the flow's second hot kernel —
+   and fan out across the domain pool in one batch; every write lands in
+   flip-flop [i]'s own pool segment, so the result is identical for any
+   job count. *)
+let candidate_taps_batch tech arr ~ff_positions ~targets ~candidates =
+  let n = Array.length ff_positions in
+  let pl = alloc_pool n candidates in
+  Rc_par.Pool.for_ ~min_items:par_cutoff n (fun i ->
+      let solves = fill_ff pl tech arr i ff_positions.(i) targets.(i) in
+      Rc_obs.Metrics.add m_candidate_solves solves);
+  pl
 
 (* --- Candidate-tap cache + warm-assignment session ---------------- *)
 
@@ -68,71 +145,89 @@ let m_tap_hits = Rc_obs.Metrics.counter "assign.tapcache.hits"
 let m_tap_misses = Rc_obs.Metrics.counter "assign.tapcache.misses"
 let m_tap_invalidations = Rc_obs.Metrics.counter "assign.tapcache.invalidations"
 
-(* One cached Eq. 1 candidate solve. [key] is a quantized fingerprint of
-   (position, delay target) for cheap rejection; the exact fields are
-   the authority — a slot is reused only when position, target, and the
-   candidate count match bit-for-bit, so a cached cand is
-   indistinguishable from a fresh solve. *)
-type tap_entry = {
-  e_key : int;
-  e_pos : Rc_geom.Point.t;
-  e_target : float;
-  e_k : int;
-  e_cand : cand;
-}
-
+(* The cache *is* a retained pool: a slot segment is reused only when
+   the flip-flop's position, delay target, and the call's candidate
+   count match the cached solve bit-for-bit ([c_key] is a quantized
+   fingerprint for cheap rejection; the exact fields are the authority),
+   so a cached segment is indistinguishable from a fresh solve.
+   [c_valid] survives pool reallocation (a candidate-count change) to
+   keep the hit/miss/invalidation accounting identical to a slot cache:
+   a previously-cached flip-flop that must re-solve counts as an
+   invalidation, a never-cached one as a miss. *)
 type cache = {
-  mutable slots : tap_entry option array;  (* per flip-flop *)
-  mutable slots_arr : Ring_array.t option;  (* ring array the slots refer to *)
+  mutable c_pool : pool option;
+  mutable c_valid : bool array;
+  mutable c_key : int array;
+  mutable c_x : float array;
+  mutable c_y : float array;
+  mutable c_t : float array;
+  mutable c_arr : Ring_array.t option;  (* ring array the pool refers to *)
   mutable solver : (Rc_netflow.Assignment.solver * int * int array) option;
       (* solver, n_items, capacities it was built for *)
 }
 
-let make_cache () = { slots = [||]; slots_arr = None; solver = None }
+let make_cache () =
+  {
+    c_pool = None;
+    c_valid = [||];
+    c_key = [||];
+    c_x = [||];
+    c_y = [||];
+    c_t = [||];
+    c_arr = None;
+    solver = None;
+  }
 
 let quantized_key (p : Rc_geom.Point.t) target k =
   let q v = int_of_float (v *. 1024.0) in
   (q p.Rc_geom.Point.x * 31) + (q p.Rc_geom.Point.y * 17) + (q target * 7) + k
 
-let candidate_taps_cached cache tech arr ~ff_positions ~targets ~candidates =
+let candidate_taps_cached cc tech arr ~ff_positions ~targets ~candidates =
   let n = Array.length ff_positions in
-  let fresh =
-    match cache.slots_arr with Some a -> a != arr | None -> true
-  in
-  if fresh || Array.length cache.slots <> n then begin
-    cache.slots <- Array.make n None;
-    cache.slots_arr <- Some arr
+  let fresh = match cc.c_arr with Some a -> a != arr | None -> true in
+  if fresh || Array.length cc.c_valid <> n then begin
+    cc.c_valid <- Array.make n false;
+    cc.c_key <- Array.make n 0;
+    cc.c_x <- Array.make n 0.0;
+    cc.c_y <- Array.make n 0.0;
+    cc.c_t <- Array.make n 0.0;
+    cc.c_pool <- None;
+    cc.c_arr <- Some arr
   end;
-  let slots = cache.slots in
-  Rc_par.Pool.init ~min_items:par_cutoff n (fun i ->
+  let pl, retained =
+    match cc.c_pool with
+    | Some pl when pl.stride = candidates && pl.n_ffs = n -> (pl, true)
+    | _ -> (alloc_pool n candidates, false)
+  in
+  Rc_par.Pool.for_ ~min_items:par_cutoff n (fun i ->
       let p = ff_positions.(i) and target = targets.(i) in
       let key = quantized_key p target candidates in
-      match slots.(i) with
-      | Some e
-        when e.e_key = key && e.e_k = candidates
-             && e.e_pos.Rc_geom.Point.x = p.Rc_geom.Point.x
-             && e.e_pos.Rc_geom.Point.y = p.Rc_geom.Point.y
-             && e.e_target = target ->
-          Rc_obs.Metrics.incr m_tap_hits;
-          e.e_cand
-      | prev ->
-          Rc_obs.Metrics.incr
-            (if prev = None then m_tap_misses else m_tap_invalidations);
-          let rings = Array.of_list (Ring_array.rings_near arr p candidates) in
-          let ctaps =
-            Array.map
-              (fun rj -> Tapping.solve tech (Ring_array.ring arr rj) ~ff:p ~target)
-              rings
-          in
-          Rc_obs.Metrics.add m_candidate_solves (Array.length rings);
-          let c = { rings; ctaps } in
-          slots.(i) <- Some { e_key = key; e_pos = p; e_target = target; e_k = candidates; e_cand = c };
-          c)
+      if
+        retained && cc.c_valid.(i) && cc.c_key.(i) = key
+        && cc.c_x.(i) = p.Rc_geom.Point.x
+        && cc.c_y.(i) = p.Rc_geom.Point.y
+        && cc.c_t.(i) = target
+      then Rc_obs.Metrics.incr m_tap_hits
+      else begin
+        Rc_obs.Metrics.incr
+          (if cc.c_valid.(i) then m_tap_invalidations else m_tap_misses);
+        let solves = fill_ff pl tech arr i p target in
+        Rc_obs.Metrics.add m_candidate_solves solves;
+        cc.c_valid.(i) <- true;
+        cc.c_key.(i) <- key;
+        cc.c_x.(i) <- p.Rc_geom.Point.x;
+        cc.c_y.(i) <- p.Rc_geom.Point.y;
+        cc.c_t.(i) <- target
+      end);
+  cc.c_pool <- Some pl;
+  pl
 
-let tap_for c rj =
-  let m = Array.length c.rings in
-  let rec find k =
-    if k >= m then raise Not_found else if c.rings.(k) = rj then c.ctaps.(k) else find (k + 1)
+let tap_for pl i rj =
+  let m = pool_count pl i in
+  let rec find q =
+    if q >= m then raise Not_found
+    else if pool_ring pl i q = rj then pool_tap pl i q
+    else find (q + 1)
   in
   find 0
 
@@ -187,21 +282,20 @@ let by_netflow ?(candidates = 6) ?capacities ?cache tech arr ~ff_positions ~targ
         Rc_netflow.Assignment.solve_with solver cands
   in
   let rec attempt k =
-    let cand =
+    let pl =
       match cache with
-      | None -> candidate_taps tech arr ~ff_positions ~targets ~candidates:k
+      | None -> candidate_taps_batch tech arr ~ff_positions ~targets ~candidates:k
       | Some cc -> candidate_taps_cached cc tech arr ~ff_positions ~targets ~candidates:k
     in
     (* candidate arcs in (ff, nearest-ring) order, built back to front *)
     let cands = ref [] in
     for i = n - 1 downto 0 do
-      let c = cand.(i) in
-      for q = Array.length c.rings - 1 downto 0 do
+      for q = pool_count pl i - 1 downto 0 do
         cands :=
           {
             Rc_netflow.Assignment.item = i;
-            bin = c.rings.(q);
-            cost = c.ctaps.(q).Tapping.wirelength;
+            bin = pool_ring pl i q;
+            cost = pool_cost pl i q;
           }
           :: !cands
       done
@@ -217,7 +311,7 @@ let by_netflow ?(candidates = 6) ?capacities ?cache tech arr ~ff_positions ~targ
         Array.init n (fun i ->
             let rj = assignment.(i) in
             if rj < 0 then invalid_arg "Assign.by_netflow: unassignable flip-flop"
-            else tap_for cand.(i) rj)
+            else tap_for pl i rj)
       in
       finish tech arr ~ff_positions taps assignment
     end
@@ -236,19 +330,18 @@ type ilp_stats = {
    problem, the (ff, ring, var, load) rows and the cap variable.
    Explicit loops keep the LP column order identical to the candidate
    enumeration order. *)
-let build_minmax_problem tech arr cand =
+let build_minmax_problem tech arr pl =
   let open Rc_lp in
-  let n = Array.length cand in
+  let n = pl.n_ffs in
   let p = Problem.create () in
   let cap_var = Problem.add_var ~lo:0.0 ~obj:1.0 p in
   let triples = Array.make n [||] in
   for i = 0 to n - 1 do
-    let c = cand.(i) in
-    let m = Array.length c.rings in
+    let m = pool_count pl i in
     let row = Array.make m (0, 0, 0, 0.0) in
     for q = 0 to m - 1 do
       let v = Problem.add_var ~lo:0.0 ~hi:1.0 p in
-      row.(q) <- (i, c.rings.(q), v, load_of_tap tech c.ctaps.(q))
+      row.(q) <- (i, pool_ring pl i q, v, load_of_wl tech (pool_cost pl i q))
     done;
     triples.(i) <- row
   done;
@@ -276,17 +369,17 @@ let build_minmax_problem tech arr cand =
     per_ring;
   (p, triples, cap_var)
 
-let assignment_from_bins tech arr ~ff_positions cand bins =
-  let n = Array.length cand in
-  let taps = Array.init n (fun i -> tap_for cand.(i) bins.(i)) in
+let assignment_from_bins tech arr ~ff_positions pl bins =
+  let n = pl.n_ffs in
+  let taps = Array.init n (fun i -> tap_for pl i bins.(i)) in
   finish tech arr ~ff_positions taps (Array.copy bins)
 
 let by_ilp ?(candidates = 6) tech arr ~ff_positions ~targets =
   check_inputs arr ff_positions targets;
   let timer = Rc_util.Timer.start () in
   let n = Array.length ff_positions in
-  let cand = candidate_taps tech arr ~ff_positions ~targets ~candidates in
-  let p, triples, _cap = build_minmax_problem tech arr cand in
+  let pl = candidate_taps_batch tech arr ~ff_positions ~targets ~candidates in
+  let p, triples, _cap = build_minmax_problem tech arr pl in
   let sol = Rc_lp.Simplex.solve p in
   if sol.Rc_lp.Simplex.status <> Rc_lp.Simplex.Optimal then
     failwith "Assign.by_ilp: LP relaxation did not solve";
@@ -297,7 +390,7 @@ let by_ilp ?(candidates = 6) tech arr ~ff_positions ~targets =
              (Array.map (fun (i, rj, v, _) -> (i, rj, sol.Rc_lp.Simplex.x.(v))) row))
   in
   let bins = Rc_ilp.Rounding.greedy_round ~n_items:n xlp in
-  let result = assignment_from_bins tech arr ~ff_positions cand bins in
+  let result = assignment_from_bins tech arr ~ff_positions pl bins in
   let stats =
     {
       lp_optimum = sol.Rc_lp.Simplex.objective;
@@ -322,8 +415,8 @@ type bb_stats = {
 let by_branch_bound ?(candidates = 6) ?limits tech arr ~ff_positions ~targets =
   check_inputs arr ff_positions targets;
   let n = Array.length ff_positions in
-  let cand = candidate_taps tech arr ~ff_positions ~targets ~candidates in
-  let p, triples, _cap = build_minmax_problem tech arr cand in
+  let pl = candidate_taps_batch tech arr ~ff_positions ~targets ~candidates in
+  let p, triples, _cap = build_minmax_problem tech arr pl in
   let lp = Rc_lp.Simplex.solve p in
   let lp_opt =
     if lp.Rc_lp.Simplex.status = Rc_lp.Simplex.Optimal then lp.Rc_lp.Simplex.objective else nan
@@ -353,7 +446,7 @@ let by_branch_bound ?(candidates = 6) ?limits tech arr ~ff_positions ~targets =
         triples;
       if Array.exists (fun b -> b < 0) bins then (None, stats false infinity)
       else begin
-        let result = assignment_from_bins tech arr ~ff_positions cand bins in
+        let result = assignment_from_bins tech arr ~ff_positions pl bins in
         (Some result, stats true result.max_load)
       end
   | _ -> (None, stats false infinity)

@@ -25,6 +25,36 @@ val load_of_tap : Rc_tech.Tech.t -> Rc_rotary.Tapping.tap -> float
 (** [C_p^{ij}]: stub wire capacitance plus the flip-flop input
     capacitance, fF. *)
 
+type pool
+(** All (flip-flop, candidate-ring) Eq. 1 solves of one assignment call
+    in structure-of-arrays form: tap positions, arcs, costs, ring ids
+    and case tags in parallel flat Bigarrays, segment [i] holding
+    flip-flop [i]'s candidates in [Ring_array.rings_near] order.  The
+    assignment hot loops stream these arrays directly; {!pool_tap}
+    reconstructs the exact [Tapping.tap] a boxed candidate array would
+    have held. *)
+
+val candidate_taps_batch :
+  Rc_tech.Tech.t ->
+  Rc_rotary.Ring_array.t ->
+  ff_positions:Rc_geom.Point.t array ->
+  targets:float array ->
+  candidates:int ->
+  pool
+(** Solve every flip-flop's [candidates] nearest-ring taps in one
+    parallel batch.  Each flip-flop's solves write only its own pool
+    segment, so the pool contents are identical for any job count. *)
+
+val pool_count : pool -> int -> int
+(** Candidates present for flip-flop [i] (≤ the call's [candidates]). *)
+
+val pool_ring : pool -> int -> int -> int
+(** [pool_ring p i q]: the ring id of flip-flop [i]'s [q]-th candidate. *)
+
+val pool_tap : pool -> int -> int -> Rc_rotary.Tapping.tap
+(** [pool_tap p i q]: the full tap record of candidate [(i, q)],
+    bit-identical to the direct [Tapping.solve] result. *)
+
 type cache
 (** Cross-iteration reuse state for {!by_netflow}: a per-flip-flop cache
     of Eq. 1 candidate-tap solves (a slot is reused only when the

@@ -158,26 +158,33 @@ let outcome_of (ctx : Flow_ctx.t) =
 let finish ?plan ?guard ?on_iteration (ctx : Flow_ctx.t) =
   let cfg = ctx.Flow_ctx.cfg in
   let plan = match plan with Some p -> p | None -> plan_of_config cfg in
-  let ctx =
-    Flow_stage.run_loop ?guard ?on_iteration ~max_iterations:cfg.max_iterations
-      [ plan.cost_schedule; plan.assign; plan.evaluate; plan.replace ]
-      ctx
-  in
-  (* epilogue: re-assign on the final placement, then enforce the stage-5
-     best-state-keeping invariant (ship the minimum-cost snapshot) *)
-  let ctx = { ctx with Flow_ctx.iteration = ctx.Flow_ctx.iteration + 1 } in
-  let ctx = Flow_stage.run_sequence ?guard [ plan.assign ] ctx in
-  let ctx = Flow_stage.exec Flow_stages.finalize ctx in
-  outcome_of ctx
+  (* one batch region across the whole stage 4-6 loop and epilogue:
+     every parallel kernel inside (CG solve pairs, candidate-tap
+     batches, STA cone sweeps) publishes a sub-job to the same captive
+     workers instead of waking the pool per call *)
+  Rc_par.Pool.region (fun () ->
+      let ctx =
+        Flow_stage.run_loop ?guard ?on_iteration ~max_iterations:cfg.max_iterations
+          [ plan.cost_schedule; plan.assign; plan.evaluate; plan.replace ]
+          ctx
+      in
+      (* epilogue: re-assign on the final placement, then enforce the stage-5
+         best-state-keeping invariant (ship the minimum-cost snapshot) *)
+      let ctx = { ctx with Flow_ctx.iteration = ctx.Flow_ctx.iteration + 1 } in
+      let ctx = Flow_stage.run_sequence ?guard [ plan.assign ] ctx in
+      let ctx = Flow_stage.exec Flow_stages.finalize ctx in
+      outcome_of ctx)
 
 let run_on ?plan ?arm ?guard ?on_iteration cfg netlist =
   let plan = match plan with Some p -> p | None -> plan_of_config cfg in
   let ctx = Flow_ctx.create ?arm cfg netlist in
-  (* prologue (iteration 0): place, schedule, assign, evaluate the base *)
+  (* prologue (iteration 0): place, schedule, assign, evaluate the base —
+     one batch region, like the iteration loop in [finish] *)
   let ctx =
-    Flow_stage.run_sequence ?guard
-      [ plan.place; plan.schedule; plan.assign; plan.evaluate ]
-      ctx
+    Rc_par.Pool.region (fun () ->
+        Flow_stage.run_sequence ?guard
+          [ plan.place; plan.schedule; plan.assign; plan.evaluate ]
+          ctx)
   in
   (* the prologue's end is iteration boundary 0: checkpointable too *)
   (match on_iteration with Some f -> f ctx | None -> ());

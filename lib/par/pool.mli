@@ -50,6 +50,31 @@ val sequential_scope : (unit -> 'a) -> 'a
     determinism contract makes this transparent: sequential execution
     produces bit-identical results. *)
 
+val region : (unit -> 'a) -> 'a
+(** [region f] runs [f] with the pool's workers held captive for its
+    whole extent: every primitive called inside [f] publishes a sub-job
+    to the waiting workers through a lock-free sub-barrier instead of
+    waking the pool through its mutex — one domain wake-up per stage
+    instead of one per solve.  Wrap a stage loop (placement iterations,
+    the flow's assign/evaluate cycle) in [region]; leave leaf calls
+    unchanged.
+
+    Semantics are unchanged: work is claimed by index exactly as in a
+    plain pool region, so results are bit-identical for any job count;
+    exceptions raised by any participant re-raise in the caller; nested
+    [region]s and primitives running inside sub-job bodies collapse to
+    direct sequential calls.  When [jobs () = 1], inside a worker, or
+    under {!sequential_scope}, [region f] is just [f ()]. *)
+
+type 'a keepalive
+(** Per-participant scratch slabs that survive across primitive calls.
+    Slot [id] belongs exclusively to participant [id] of the pool, so
+    reuse is race-free and does not affect determinism. *)
+
+val keepalive : unit -> 'a keepalive
+(** A fresh keepalive with no slabs allocated; {!for_with} fills slots
+    on demand via its [init]. *)
+
 val both : ?parallel:bool -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** Run the two thunks, concurrently when [jobs () > 1].  [both f g]
     equals [(f (), g ())] bit-for-bit when [f] and [g] are independent.
@@ -66,10 +91,23 @@ val for_ : ?chunk:int -> ?min_items:int -> int -> (int -> unit) -> unit
     waking the pool.  Results are identical either way. *)
 
 val for_with :
-  ?chunk:int -> ?min_items:int -> init:(unit -> 's) -> int -> ('s -> int -> unit) -> unit
+  ?chunk:int ->
+  ?min_items:int ->
+  ?reuse:'s keepalive ->
+  init:(unit -> 's) ->
+  int ->
+  ('s -> int -> unit) ->
+  unit
 (** Like {!for_}, but each participating domain calls [init] once and
     passes the resulting scratch state to every [body] call it executes
-    — per-domain scratch buffers without per-index allocation. *)
+    — per-domain scratch buffers without per-index allocation.
+
+    With [~reuse:ka], the slab for participant [id] is looked up in
+    [ka] first and stored there after creation, so repeated calls (a
+    batch region's iteration loop) allocate scratch at most once per
+    participant instead of once per call.  The caller owns [ka] and
+    must pass it only to call sites whose [init] builds compatible
+    scratch. *)
 
 val map : ?min_items:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Ordered parallel map: result slot [i] is [f a.(i)].  Identical to

@@ -197,24 +197,28 @@ let initial ?(seed = 7) ?(spread_rounds = 5) netlist ~chip =
   let m = Array.length sys0.movable in
   let wsx = Rc_sparse.Cg.workspace m and wsy = Rc_sparse.Cg.workspace m in
   let xs = ref [||] and ys = ref [||] in
-  let x0, y0, it0 = solve_system ~wsx ~wsy sys0 in
-  xs := x0;
-  ys := y0;
-  iters := !iters + it0;
-  (* spreading rounds with growing anchor strength *)
-  for round = 1 to spread_rounds do
-    let targets = spreading_targets rng chip sys0.movable !xs !ys in
-    let alpha = 0.01 *. (2.0 ** float_of_int round) in
-    let springs =
-      Array.to_list
-        (Array.mapi (fun i c -> (c, targets.(i), alpha)) sys0.movable)
-    in
-    let sys = build_system netlist ~chip ~extra_springs:springs in
-    let x, y, it = solve_system ~wsx ~wsy ~x0:!xs ~y0:!ys sys in
-    xs := x;
-    ys := y;
-    iters := !iters + it
-  done;
+  (* one batch region for the whole spreading stage: every round's x/y
+     solve pair publishes a sub-job to the captive workers instead of
+     waking the pool per solve *)
+  Rc_par.Pool.region (fun () ->
+      let x0, y0, it0 = solve_system ~wsx ~wsy sys0 in
+      xs := x0;
+      ys := y0;
+      iters := !iters + it0;
+      (* spreading rounds with growing anchor strength *)
+      for round = 1 to spread_rounds do
+        let targets = spreading_targets rng chip sys0.movable !xs !ys in
+        let alpha = 0.01 *. (2.0 ** float_of_int round) in
+        let springs =
+          Array.to_list
+            (Array.mapi (fun i c -> (c, targets.(i), alpha)) sys0.movable)
+        in
+        let sys = build_system netlist ~chip ~extra_springs:springs in
+        let x, y, it = solve_system ~wsx ~wsy ~x0:!xs ~y0:!ys sys in
+        xs := x;
+        ys := y;
+        iters := !iters + it
+      done);
   let spread = assemble_positions netlist sys0 !xs !ys in
   let legal = legalize netlist ~chip ~site:10.0 spread in
   { positions = legal; hpwl = Wirelength.total netlist legal; solver_iterations = !iters }
@@ -239,26 +243,29 @@ let incremental ?(stability = 0.004) netlist ~chip ~prev ~pseudo =
       y0.(i) <- prev.(c).Point.y)
     sys0.movable;
   let xs = ref x0 and ys = ref y0 and iters = ref 0 in
-  let x, y, it = solve_system ~wsx ~wsy ~x0:!xs ~y0:!ys sys0 in
-  xs := x;
-  ys := y;
-  iters := !iters + it;
-  (* keep the density profile of the initial placement: the same
-     bisection-spreading rounds, ending at the strength the initial pass
-     ends with (0.01·2⁵), so incremental results stay comparable *)
-  for round = 3 to 5 do
-    let targets = spreading_targets rng chip sys0.movable !xs !ys in
-    let alpha = 0.01 *. (2.0 ** float_of_int round) in
-    let springs =
-      base_springs
-      @ Array.to_list (Array.mapi (fun i c -> (c, targets.(i), alpha)) sys0.movable)
-    in
-    let sys = build_system netlist ~chip ~extra_springs:springs in
-    let x, y, it = solve_system ~wsx ~wsy ~x0:!xs ~y0:!ys sys in
-    xs := x;
-    ys := y;
-    iters := !iters + it
-  done;
+  (* same batch-region discipline as [initial] *)
+  Rc_par.Pool.region (fun () ->
+      let x, y, it = solve_system ~wsx ~wsy ~x0:!xs ~y0:!ys sys0 in
+      xs := x;
+      ys := y;
+      iters := !iters + it;
+      (* keep the density profile of the initial placement: the same
+         bisection-spreading rounds, ending at the strength the initial
+         pass ends with (0.01·2⁵), so incremental results stay
+         comparable *)
+      for round = 3 to 5 do
+        let targets = spreading_targets rng chip sys0.movable !xs !ys in
+        let alpha = 0.01 *. (2.0 ** float_of_int round) in
+        let springs =
+          base_springs
+          @ Array.to_list (Array.mapi (fun i c -> (c, targets.(i), alpha)) sys0.movable)
+        in
+        let sys = build_system netlist ~chip ~extra_springs:springs in
+        let x, y, it = solve_system ~wsx ~wsy ~x0:!xs ~y0:!ys sys in
+        xs := x;
+        ys := y;
+        iters := !iters + it
+      done);
   let spread = assemble_positions netlist sys0 !xs !ys in
   let legal = legalize netlist ~chip ~site:10.0 spread in
   { positions = legal; hpwl = Wirelength.total netlist legal; solver_iterations = !iters }

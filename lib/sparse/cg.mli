@@ -10,10 +10,11 @@ type outcome = {
 
 type workspace
 (** Reusable scratch buffers (residual, preconditioned residual, search
-    direction, [A p], inverse diagonal) for systems of one fixed size.
-    Quadratic placement solves many same-size systems back to back;
-    passing a workspace removes the per-solve vector allocations without
-    changing a single bit of the result. *)
+    direction, [A p], inverse diagonal, iterate, rhs) for systems of one
+    fixed size, held as flat float64 Bigarrays streamed by the {!Vec} C
+    kernels.  Quadratic placement solves many same-size systems back to
+    back; passing a workspace removes the per-solve vector allocations
+    without changing a single bit of the result. *)
 
 val workspace : int -> workspace
 (** A workspace for [n]-dimensional systems. *)

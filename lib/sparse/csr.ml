@@ -1,14 +1,24 @@
+type ivec = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   n_rows : int;
   n_cols : int;
-  row_ptr : int array;  (* length n_rows + 1 *)
-  col_idx : int array;
-  values : float array;
+  row_ptr : ivec;  (* length n_rows + 1 *)
+  col_idx : ivec;
+  values : Vec.t;
 }
+
+external spmv_unsafe : ivec -> ivec -> Vec.t -> Vec.t -> Vec.t -> unit = "rc_csr_spmv"
+  [@@noalloc]
 
 let rows t = t.n_rows
 let cols t = t.n_cols
-let nnz t = Array.length t.values
+let nnz t = Vec.length t.values
+
+let ivec_of_array a =
+  let v = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (Array.length a) in
+  Array.iteri (fun i x -> v.{i} <- x) a;
+  v
 
 let of_triplets ~rows:n_rows ~cols:n_cols triplets =
   if n_rows < 0 || n_cols < 0 then invalid_arg "Csr.of_triplets: negative dims";
@@ -49,18 +59,24 @@ let of_triplets ~rows:n_rows ~cols:n_cols triplets =
         entries)
     row_entries;
   row_ptr.(n_rows) <- !k;
-  { n_rows; n_cols; row_ptr; col_idx; values }
+  {
+    n_rows;
+    n_cols;
+    row_ptr = ivec_of_array row_ptr;
+    col_idx = ivec_of_array col_idx;
+    values = Vec.of_array values;
+  }
 
 let get t i j =
   if i < 0 || i >= t.n_rows || j < 0 || j >= t.n_cols then
     invalid_arg "Csr.get: index out of range";
-  let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
+  let lo = ref t.row_ptr.{i} and hi = ref (t.row_ptr.{i + 1} - 1) in
   let result = ref 0.0 in
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let c = t.col_idx.(mid) in
+    let c = t.col_idx.{mid} in
     if c = j then begin
-      result := t.values.(mid);
+      result := t.values.{mid};
       lo := !hi + 1
     end
     else if c < j then lo := mid + 1
@@ -68,13 +84,18 @@ let get t i j =
   done;
   !result
 
+let spmv t x y =
+  if Vec.length x <> t.n_cols || Vec.length y <> t.n_rows then
+    invalid_arg "Csr.spmv: size mismatch";
+  spmv_unsafe t.row_ptr t.col_idx t.values x y
+
 let mul_vec_into t x y =
   if Array.length x <> t.n_cols || Array.length y <> t.n_rows then
     invalid_arg "Csr.mul_vec_into: size mismatch";
   for i = 0 to t.n_rows - 1 do
     let acc = ref 0.0 in
-    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+    for k = t.row_ptr.{i} to t.row_ptr.{i + 1} - 1 do
+      acc := !acc +. (t.values.{k} *. x.(t.col_idx.{k}))
     done;
     y.(i) <- !acc
   done
@@ -83,6 +104,13 @@ let mul_vec t x =
   let y = Array.make t.n_rows 0.0 in
   mul_vec_into t x y;
   y
+
+let diag_into_vec t out =
+  if t.n_rows <> t.n_cols then invalid_arg "Csr.diag_into_vec: not square";
+  if Vec.length out <> t.n_rows then invalid_arg "Csr.diag_into_vec: size mismatch";
+  for i = 0 to t.n_rows - 1 do
+    out.{i} <- get t i i
+  done
 
 let diagonal_into t out =
   if t.n_rows <> t.n_cols then invalid_arg "Csr.diagonal_into: not square";
@@ -98,14 +126,14 @@ let diagonal t =
 let transpose t =
   let triplets = ref [] in
   for i = 0 to t.n_rows - 1 do
-    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-      triplets := (t.col_idx.(k), i, t.values.(k)) :: !triplets
+    for k = t.row_ptr.{i} to t.row_ptr.{i + 1} - 1 do
+      triplets := (t.col_idx.{k}, i, t.values.{k}) :: !triplets
     done
   done;
   of_triplets ~rows:t.n_cols ~cols:t.n_rows !triplets
 
 let iter_row t i f =
   if i < 0 || i >= t.n_rows then invalid_arg "Csr.iter_row: row out of range";
-  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-    f t.col_idx.(k) t.values.(k)
+  for k = t.row_ptr.{i} to t.row_ptr.{i + 1} - 1 do
+    f t.col_idx.{k} t.values.{k}
   done

@@ -2,7 +2,12 @@
 
     Built once from coordinate triplets (duplicates are summed, which is
     exactly what assembling a quadratic-placement Laplacian needs), then
-    used for fast mat-vec products inside conjugate gradient. *)
+    used for fast mat-vec products inside conjugate gradient.
+
+    Storage is flat Bigarray (int row pointers / column indices, float64
+    values) so the {!spmv} C kernel streams the structure without
+    boxing; the [float array] entry points remain for callers outside
+    the hot path and produce bit-identical results. *)
 
 type t
 
@@ -24,6 +29,15 @@ val mul_vec : t -> float array -> float array
 
 val mul_vec_into : t -> float array -> float array -> unit
 (** Like {!mul_vec} but writes into a caller-provided output vector. *)
+
+val spmv : t -> Vec.t -> Vec.t -> unit
+(** [spmv a x y] sets [y <- a * x] through the C kernel.  Row sums
+    accumulate left to right, exactly like {!mul_vec_into} — the two
+    entry points are bit-identical.  @raise Invalid_argument on size
+    mismatch. *)
+
+val diag_into_vec : t -> Vec.t -> unit
+(** {!diagonal_into} writing into a {!Vec.t} (square matrices only). *)
 
 val diagonal : t -> float array
 (** The main diagonal as a dense vector (square matrices only). *)

@@ -1,0 +1,72 @@
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create n =
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill v 0.0;
+  v
+
+let length = Bigarray.Array1.dim
+
+let of_array a =
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (Array.length a) in
+  Array.iteri (fun i x -> v.{i} <- x) a;
+  v
+
+let to_array v = Array.init (length v) (fun i -> v.{i})
+let fill v x = Bigarray.Array1.fill v x
+
+let blit src dst =
+  if length src <> length dst then invalid_arg "Vec.blit: size mismatch";
+  Bigarray.Array1.blit src dst
+
+(* C kernels for the inner loops where OCaml float boxing and bounds
+   checks bite.  All accumulate/update in ascending index order, exactly
+   matching the sequential OCaml loops they replaced — results are
+   bit-identical.  [@@noalloc] is safe: none allocate or raise. *)
+
+external dot_unsafe : t -> t -> (float[@unboxed]) = "rc_vec_dot_byte" "rc_vec_dot"
+  [@@noalloc]
+
+external axpy_unsafe : (float[@unboxed]) -> t -> t -> unit
+  = "rc_vec_axpy_byte" "rc_vec_axpy"
+  [@@noalloc]
+
+external axmy_unsafe : (float[@unboxed]) -> t -> t -> unit
+  = "rc_vec_axmy_byte" "rc_vec_axmy"
+  [@@noalloc]
+
+external xpby_unsafe : t -> (float[@unboxed]) -> t -> unit
+  = "rc_vec_xpby_byte" "rc_vec_xpby"
+  [@@noalloc]
+
+external had_unsafe : t -> t -> t -> unit = "rc_vec_had" [@@noalloc]
+external rsub_unsafe : t -> t -> unit = "rc_vec_rsub" [@@noalloc]
+
+let check2 name a b = if length a <> length b then invalid_arg (name ^ ": size mismatch")
+
+let dot a b =
+  check2 "Vec.dot" a b;
+  dot_unsafe a b
+
+let norm2 a = sqrt (dot a a)
+
+let axpy a x y =
+  check2 "Vec.axpy" x y;
+  axpy_unsafe a x y
+
+let axmy a x y =
+  check2 "Vec.axmy" x y;
+  axmy_unsafe a x y
+
+let xpby z b p =
+  check2 "Vec.xpby" z p;
+  xpby_unsafe z b p
+
+let had a b out =
+  check2 "Vec.had" a b;
+  check2 "Vec.had" a out;
+  had_unsafe a b out
+
+let rsub b r =
+  check2 "Vec.rsub" b r;
+  rsub_unsafe b r

@@ -1,0 +1,46 @@
+(** Flat unboxed float64 vectors (Bigarray) with C inner-loop kernels.
+
+    The numeric core's working vectors live here instead of in [float
+    array]: contiguous unboxed storage the C kernels stream without
+    boxing or bounds checks, and that parallel regions can hand between
+    domains without copying.
+
+    Every kernel updates or accumulates in ascending index order — the
+    same order as the sequential OCaml loop it replaced — so switching a
+    caller to these kernels changes no result bit. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** A zero-filled vector of length [n]. *)
+
+val length : t -> int
+val of_array : float array -> t
+val to_array : t -> float array
+val fill : t -> float -> unit
+
+val blit : t -> t -> unit
+(** [blit src dst] copies [src] into [dst].
+    @raise Invalid_argument on size mismatch (as all kernels below). *)
+
+val dot : t -> t -> float
+(** Dot product, accumulated in ascending index order. *)
+
+val norm2 : t -> float
+(** [sqrt (dot a a)]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] sets [y.(i) <- y.(i) +. a *. x.(i)]. *)
+
+val axmy : float -> t -> t -> unit
+(** [axmy a x y] sets [y.(i) <- y.(i) -. a *. x.(i)]. *)
+
+val xpby : t -> float -> t -> unit
+(** [xpby z b p] sets [p.(i) <- z.(i) +. b *. p.(i)]. *)
+
+val had : t -> t -> t -> unit
+(** [had a b out] sets [out.(i) <- a.(i) *. b.(i)] (Hadamard product). *)
+
+val rsub : t -> t -> unit
+(** [rsub b r] sets [r.(i) <- b.(i) -. r.(i)] — turns [A x] into the
+    residual [b - A x] in place. *)

@@ -84,26 +84,52 @@ let build_structure tech netlist ~positions =
   in
   { tech; netlist; n; out; gmax; gmin; topo_idx; ffs = Netlist.flip_flops netlist }
 
-let make_scratch n () =
-  ( Array.make n neg_infinity,
-    Array.make n infinity,
-    Array.make n (-1),
-    Array.make n neg_infinity,
-    Array.make n infinity,
-    Array.make n (-1) )
+(* Flat cone-stamp arena: the per-domain scratch of cone evaluation as
+   six parallel arrays over cell ids, valid entries distinguished by a
+   per-run token so the same arena is reused across cones, analyses,
+   and flow iterations without any clearing.  Tokens are purely domain-
+   local, so reuse cannot change any result bit. *)
+type arena = {
+  dist_max : float array;
+  dist_min : float array;
+  stamp : int array;
+  rmax : float array;
+  rmin : float array;
+  rstamp : int array;
+  mutable a_token : int;
+}
+
+let make_arena n () =
+  {
+    dist_max = Array.make n neg_infinity;
+    dist_min = Array.make n infinity;
+    stamp = Array.make n (-1);
+    rmax = Array.make n neg_infinity;
+    rmin = Array.make n infinity;
+    rstamp = Array.make n (-1);
+    a_token = 0;
+  }
 
 (* Evaluate the cone of launching FF [k], writing its (sink, max, min)
    entries — in first-touch order — into [entries.(k)]. [visit] is
    called once per cell whose position the cone's delays depend on
    (first touch of each target; the launching FF is the caller's to
    add): the support set recorded by incremental sessions. *)
-let run_cone st (dist_max, dist_min, stamp, rmax, rmin, rstamp) ~visit entries k =
+let run_cone st arena ~visit entries k =
   let netlist = st.netlist in
   let f = st.ffs.(k) in
+  arena.a_token <- arena.a_token + 1;
+  let tok = arena.a_token in
+  let dist_max = arena.dist_max
+  and dist_min = arena.dist_min
+  and stamp = arena.stamp
+  and rmax = arena.rmax
+  and rmin = arena.rmin
+  and rstamp = arena.rstamp in
   let order = ref [] in
   let record g dmax dmin =
-    if rstamp.(g) <> f then begin
-      rstamp.(g) <- f;
+    if rstamp.(g) <> tok then begin
+      rstamp.(g) <- tok;
       rmax.(g) <- dmax;
       rmin.(g) <- dmin;
       order := g :: !order;
@@ -116,8 +142,8 @@ let run_cone st (dist_max, dist_min, stamp, rmax, rmin, rstamp) ~visit entries k
   in
   let heap = Rc_graph.Heap.create () in
   let touch c dmax dmin =
-    if stamp.(c) <> f then begin
-      stamp.(c) <- f;
+    if stamp.(c) <> tok then begin
+      stamp.(c) <- tok;
       dist_max.(c) <- dmax;
       dist_min.(c) <- dmin;
       Rc_graph.Heap.push heap (float_of_int st.topo_idx.(c)) c;
@@ -186,8 +212,8 @@ let analyze tech netlist ~positions =
   let st = build_structure tech netlist ~positions in
   let nffs = Array.length st.ffs in
   let entries = Array.make nffs [] in
-  Rc_par.Pool.for_with ~min_items:par_cutoff ~init:(make_scratch st.n) nffs (fun scratch k ->
-      run_cone st scratch ~visit:ignore entries k);
+  Rc_par.Pool.for_with ~min_items:par_cutoff ~init:(make_arena st.n) nffs (fun arena k ->
+      run_cone st arena ~visit:ignore entries k);
   assemble st entries
 
 (* --- Incremental sessions: keep the structure, wires, and per-cone
@@ -201,6 +227,7 @@ type sstate = {
   cone_of_cell : int list array;  (* cell -> cones whose delays it feeds *)
   dirty : bool array;  (* scratch, length n *)
   dirty_cone : bool array;  (* scratch, length nffs *)
+  arenas : arena Rc_par.Pool.keepalive;  (* per-domain slabs, kept across calls *)
   mutable last : t;
 }
 
@@ -217,9 +244,11 @@ let cold_analyze sess ~positions =
   let nffs = Array.length st.ffs in
   let entries = Array.make nffs [] in
   let visited = Array.make nffs [] in
-  Rc_par.Pool.for_with ~min_items:par_cutoff ~init:(make_scratch st.n) nffs (fun scratch k ->
+  let arenas = Rc_par.Pool.keepalive () in
+  Rc_par.Pool.for_with ~min_items:par_cutoff ~reuse:arenas ~init:(make_arena st.n) nffs
+    (fun arena k ->
       let vis = ref [ st.ffs.(k) ] in
-      run_cone st scratch ~visit:(fun c -> vis := c :: !vis) entries k;
+      run_cone st arena ~visit:(fun c -> vis := c :: !vis) entries k;
       visited.(k) <- !vis);
   let cone_of_cell = Array.make st.n [] in
   (* invert from the last cone down so each cell's list ends up in
@@ -237,11 +266,12 @@ let cold_analyze sess ~positions =
         cone_of_cell;
         dirty = Array.make st.n false;
         dirty_cone = Array.make nffs false;
+        arenas;
         last = result;
       };
   result
 
-let analyze_incremental sess ~positions =
+let analyze_batch sess ~positions =
   match sess.state with
   | None -> cold_analyze sess ~positions
   | Some s ->
@@ -262,45 +292,52 @@ let analyze_incremental sess ~positions =
       end
       else begin
         Rc_obs.Metrics.add m_dirty_cells !n_dirty;
-        (* refresh the wire delays touched by a moved endpoint *)
-        for v = 0 to st.n - 1 do
-          let dv = dirty.(v) in
-          List.iter
-            (fun e ->
-              if dv || dirty.(e.target) then
-                e.wire <-
-                  Elmore.point_delay st.tech positions.(v) positions.(e.target) ~load:e.load)
-            st.out.(v)
-        done;
-        (* cones reached by any dirty cell *)
-        let nffs = Array.length st.ffs in
-        Array.fill s.dirty_cone 0 nffs false;
-        for c = 0 to st.n - 1 do
-          if dirty.(c) then
-            List.iter (fun k -> s.dirty_cone.(k) <- true) s.cone_of_cell.(c)
-        done;
-        let n_dirty_cones = ref 0 in
-        for k = 0 to nffs - 1 do
-          if s.dirty_cone.(k) then incr n_dirty_cones
-        done;
-        let dirty_cones = Array.make !n_dirty_cones 0 in
-        let j = ref 0 in
-        for k = 0 to nffs - 1 do
-          if s.dirty_cone.(k) then begin
-            dirty_cones.(!j) <- k;
-            incr j
-          end
-        done;
-        Rc_obs.Metrics.add m_cone_recomputes !n_dirty_cones;
-        Rc_obs.Metrics.add m_cone_reuses (nffs - !n_dirty_cones);
-        Rc_par.Pool.for_with ~min_items:par_cutoff ~init:(make_scratch st.n) !n_dirty_cones
-          (fun scratch i ->
-            run_cone st scratch ~visit:ignore s.entries dirty_cones.(i));
+        (* one batch region for the whole dirty pass: the wire refresh
+           and the cone recompute publish sub-jobs to the same captive
+           workers instead of opening two pool regions *)
+        Rc_par.Pool.region (fun () ->
+            (* refresh the wire delays touched by a moved endpoint; each
+               cell owns its out-edges, so the writes never collide *)
+            Rc_par.Pool.for_ ~min_items:par_cutoff st.n (fun v ->
+                let dv = dirty.(v) in
+                List.iter
+                  (fun e ->
+                    if dv || dirty.(e.target) then
+                      e.wire <-
+                        Elmore.point_delay st.tech positions.(v) positions.(e.target)
+                          ~load:e.load)
+                  st.out.(v));
+            (* cones reached by any dirty cell *)
+            let nffs = Array.length st.ffs in
+            Array.fill s.dirty_cone 0 nffs false;
+            for c = 0 to st.n - 1 do
+              if dirty.(c) then
+                List.iter (fun k -> s.dirty_cone.(k) <- true) s.cone_of_cell.(c)
+            done;
+            let n_dirty_cones = ref 0 in
+            for k = 0 to nffs - 1 do
+              if s.dirty_cone.(k) then incr n_dirty_cones
+            done;
+            let dirty_cones = Array.make !n_dirty_cones 0 in
+            let j = ref 0 in
+            for k = 0 to nffs - 1 do
+              if s.dirty_cone.(k) then begin
+                dirty_cones.(!j) <- k;
+                incr j
+              end
+            done;
+            Rc_obs.Metrics.add m_cone_recomputes !n_dirty_cones;
+            Rc_obs.Metrics.add m_cone_reuses (nffs - !n_dirty_cones);
+            Rc_par.Pool.for_with ~min_items:par_cutoff ~reuse:s.arenas ~init:(make_arena st.n)
+              !n_dirty_cones
+              (fun arena i -> run_cone st arena ~visit:ignore s.entries dirty_cones.(i)));
         Array.blit positions 0 s.prev 0 st.n;
         let result = assemble st s.entries in
         s.last <- result;
         result
       end
+
+let analyze_incremental = analyze_batch
 
 let adjacencies t = t.pairs
 let n_pairs t = List.length t.pairs

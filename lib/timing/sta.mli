@@ -32,14 +32,22 @@ type session
 
 val make_session : Rc_tech.Tech.t -> Rc_netlist.Netlist.t -> session
 
-val analyze_incremental : session -> positions:Rc_geom.Point.t array -> t
+val analyze_batch : session -> positions:Rc_geom.Point.t array -> t
 (** Like {!analyze} at the given positions, but incremental against the
-    session's previous call. Cells are compared by exact position, so the
-    result — pairs list, its order, and the critical delay — is
-    bit-identical to a fresh {!analyze} of the same positions; identical
-    positions are a pure replay of the cached result. Reuse is reported
-    under the [timing.sta.replays] / [timing.sta.cone_recomputes] /
-    [timing.sta.cone_reuses] / [timing.sta.dirty_cells] metrics. *)
+    session's previous call, processing all dirty cones in a single
+    batch region: the wire-delay refresh and the cone re-evaluations
+    fan out to the same captive worker set, and the session's flat
+    cone-stamp arenas (one per domain) are reused across calls instead
+    of being reallocated per analysis. Cells are compared by exact
+    position, so the result — pairs list, its order, and the critical
+    delay — is bit-identical to a fresh {!analyze} of the same
+    positions; identical positions are a pure replay of the cached
+    result. Reuse is reported under the [timing.sta.replays] /
+    [timing.sta.cone_recomputes] / [timing.sta.cone_reuses] /
+    [timing.sta.dirty_cells] metrics. *)
+
+val analyze_incremental : session -> positions:Rc_geom.Point.t array -> t
+(** Alias of {!analyze_batch} (the historical name). *)
 
 val adjacencies : t -> adjacency list
 (** All sequentially adjacent pairs, each listed once. *)

@@ -132,6 +132,51 @@ let test_bb_agrees_on_small () =
       Alcotest.(check bool) "exact >= LP bound" true
         (b.Assign.max_load >= stats.Assign.lp_optimum -. 1e-6)
 
+(* --- flat candidate pool ------------------------------------------- *)
+
+(* The SoA pool must hold exactly the taps the seed's per-FF loops
+   produced: one segment per flip-flop in [Ring_array.rings_near] order,
+   each slot reconstructing the full [Tapping.tap] bit-for-bit. *)
+let test_pool_matches_reference () =
+  let arr, ff_positions, targets = mk_state 9 in
+  let candidates = 4 in
+  let pl = Assign.candidate_taps_batch tech arr ~ff_positions ~targets ~candidates in
+  Array.iteri
+    (fun i p ->
+      let rings = Ring_array.rings_near arr p candidates in
+      Alcotest.(check int)
+        (Printf.sprintf "ff %d candidate count" i)
+        (List.length rings) (Assign.pool_count pl i);
+      List.iteri
+        (fun q rj ->
+          let expect = Tapping.solve tech (Ring_array.ring arr rj) ~ff:p ~target:targets.(i) in
+          Alcotest.(check int)
+            (Printf.sprintf "ff %d slot %d ring id" i q)
+            rj (Assign.pool_ring pl i q);
+          Alcotest.(check bool)
+            (Printf.sprintf "ff %d slot %d tap bit-identical" i q)
+            true
+            (Assign.pool_tap pl i q = expect))
+        rings)
+    ff_positions
+
+(* more flip-flops than rings-near candidates, and a stride larger than
+   the ring count: per-FF counts must clip to what rings_near returns *)
+let test_pool_clips_to_available_rings () =
+  let arr, ff_positions, targets = mk_state ~n_ffs:5 10 in
+  let candidates = Ring_array.n_rings arr + 3 in
+  let pl = Assign.candidate_taps_batch tech arr ~ff_positions ~targets ~candidates in
+  Array.iteri
+    (fun i p ->
+      let expect = List.length (Ring_array.rings_near arr p candidates) in
+      Alcotest.(check int) (Printf.sprintf "ff %d clipped count" i) expect
+        (Assign.pool_count pl i);
+      Alcotest.(check bool)
+        (Printf.sprintf "ff %d count within ring total" i)
+        true
+        (Assign.pool_count pl i <= Ring_array.n_rings arr))
+    ff_positions
+
 let prop_greedy_ig_reasonable =
   QCheck.Test.make ~name:"greedy rounding IG stays modest on random instances" ~count:15
     QCheck.small_int (fun seed ->
@@ -149,6 +194,13 @@ let () =
           Alcotest.test_case "capacities respected" `Quick test_netflow_capacity_respected;
           Alcotest.test_case "infeasible capacity" `Quick test_netflow_infeasible_capacity;
           Alcotest.test_case "optimal vs exhaustive" `Quick test_netflow_optimal_vs_exhaustive;
+        ] );
+      ( "candidate pool",
+        [
+          Alcotest.test_case "matches per-FF reference loops" `Quick
+            test_pool_matches_reference;
+          Alcotest.test_case "clips to available rings" `Quick
+            test_pool_clips_to_available_rings;
         ] );
       ( "ilp",
         [

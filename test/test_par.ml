@@ -181,6 +181,134 @@ let test_nested_runs_sequentially () =
       Alcotest.(check (array int))
         "nested init correct" [| 3; 6; 10; 15 |] nested)
 
+(* ---- batch regions ---------------------------------------------------- *)
+
+let test_region_result_and_nesting () =
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          let r =
+            Rc_par.Pool.region (fun () ->
+                let a = Rc_par.Pool.init 40 (fun i -> i * 3) in
+                let s, p =
+                  Rc_par.Pool.both
+                    (fun () -> Array.fold_left ( + ) 0 a)
+                    (fun () -> 7)
+                in
+                s + p)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "region result jobs=%d" jobs)
+            ((39 * 40 / 2 * 3) + 7)
+            r))
+    [ 1; 2; 4; 8 ]
+
+let test_region_exception_and_reuse () =
+  with_jobs 4 (fun () ->
+      (try
+         ignore
+           (Rc_par.Pool.region (fun () ->
+                Rc_par.Pool.for_ 100 (fun i -> if i = 11 then raise (Boom i));
+                0));
+         Alcotest.fail "expected Boom out of the region"
+       with Boom 11 -> ());
+      Alcotest.(check (array int))
+        "pool usable after a failed region"
+        (Array.init 20 succ)
+        (Rc_par.Pool.init 20 succ);
+      Alcotest.(check int) "region usable again" 10 (Rc_par.Pool.region (fun () -> 10)))
+
+(* the keepalive contract: across many for_with iterations inside one
+   region, scratch is created at most once per participant — never per
+   iteration.  This is what lets the STA reuse its cone arenas across
+   every analyze_batch of a flow. *)
+let test_region_keepalive_no_per_iteration_scratch () =
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          let made = Atomic.make 0 in
+          let ka = Rc_par.Pool.keepalive () in
+          let n = 400 and rounds = 50 in
+          let out = Array.make n 0 in
+          Rc_par.Pool.region (fun () ->
+              for _ = 1 to rounds do
+                Rc_par.Pool.for_with ~reuse:ka
+                  ~init:(fun () -> Atomic.fetch_and_add made 1)
+                  n
+                  (fun _slot i -> out.(i) <- out.(i) + 1)
+              done);
+          let created = Atomic.get made in
+          Alcotest.(check bool)
+            (Printf.sprintf "scratch count %d <= jobs %d, not per iteration" created jobs)
+            true
+            (created >= 1 && created <= jobs);
+          Alcotest.(check (array int))
+            "every index touched every round"
+            (Array.make n rounds) out))
+    [ 1; 4 ]
+
+(* keepalive slabs survive *across* regions too *)
+let test_keepalive_across_regions () =
+  with_jobs 2 (fun () ->
+      let made = Atomic.make 0 in
+      let ka = Rc_par.Pool.keepalive () in
+      for _ = 1 to 10 do
+        Rc_par.Pool.region (fun () ->
+            Rc_par.Pool.for_with ~reuse:ka
+              ~init:(fun () -> Atomic.fetch_and_add made 1)
+              100
+              (fun _ _ -> ()))
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "%d scratches across 10 regions" (Atomic.get made))
+        true
+        (Atomic.get made <= 2))
+
+(* The pool never spawns more domains than the host has cores (idle
+   domains tax every minor GC), so on a single-core CI host the captive
+   scope machinery — sub-job publish, spin barrier, worker-side raises —
+   would otherwise go untested.  ROTARY_POOL_UNCAPPED=1 forces the full
+   requested domain count. *)
+let test_uncapped_scope_machinery () =
+  Unix.putenv "ROTARY_POOL_UNCAPPED" "1";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "ROTARY_POOL_UNCAPPED" "";
+      (* respawn a capped pool for the tests that follow *)
+      Rc_par.Pool.set_jobs 1)
+    (fun () ->
+      with_jobs 4 (fun () ->
+          let r =
+            Rc_par.Pool.region (fun () ->
+                let acc = ref 0 in
+                for round = 1 to 5 do
+                  let a = Rc_par.Pool.init 200 (fun i -> i + round) in
+                  acc := !acc + Array.fold_left ( + ) 0 a
+                done;
+                !acc)
+          in
+          let expect =
+            let acc = ref 0 in
+            for round = 1 to 5 do
+              for i = 0 to 199 do
+                acc := !acc + i + round
+              done
+            done;
+            !acc
+          in
+          Alcotest.(check int) "5 sub-jobs through the captive scope" expect r;
+          (try
+             ignore
+               (Rc_par.Pool.region (fun () ->
+                    Rc_par.Pool.for_ 100 (fun i -> if i = 3 then raise (Boom i));
+                    0));
+             Alcotest.fail "expected Boom through the scope"
+           with Boom 3 -> ());
+          Alcotest.(check int)
+            "scope still works after a raising sub-job" 10
+            (Rc_par.Pool.region (fun () ->
+                 Array.fold_left ( + ) 0 (Rc_par.Pool.init 5 (fun i -> i))))))
+
 (* ---- kernel determinism across job counts ----------------------------- *)
 
 let at_jobs jobs f =
@@ -200,7 +328,7 @@ let test_qplace_deterministic () =
   let netlist = Lazy.force tiny_netlist in
   let chip = Bench_suite.tiny.Bench_suite.gen.Rc_netlist.Generator.chip in
   let runs =
-    at_jobs [ 1; 2; 4 ] (fun () ->
+    at_jobs [ 1; 2; 4; 8 ] (fun () ->
         (Rc_place.Qplace.initial netlist ~chip).Rc_place.Qplace.positions)
   in
   check_all_equal "placement positions" runs
@@ -222,7 +350,7 @@ let stage2 () =
 let test_sta_deterministic () =
   let tech, netlist, _, positions, _ = stage2 () in
   let runs =
-    at_jobs [ 1; 2; 4 ] (fun () ->
+    at_jobs [ 1; 2; 4; 8 ] (fun () ->
         let sta = Rc_timing.Sta.analyze tech netlist ~positions in
         (Rc_timing.Sta.adjacencies sta, Rc_timing.Sta.critical_delay sta))
   in
@@ -232,7 +360,7 @@ let test_assign_deterministic () =
   let tech, _, rings, _, ff_positions = stage2 () in
   let targets = Array.make (Array.length ff_positions) 0.0 in
   let runs =
-    at_jobs [ 1; 2; 4 ] (fun () ->
+    at_jobs [ 1; 2; 4; 8 ] (fun () ->
         Rc_assign.Assign.by_netflow tech rings ~ff_positions ~targets)
   in
   check_all_equal "netflow assignment" runs
@@ -241,7 +369,7 @@ let test_assign_deterministic () =
    CPU-seconds ones, which measure wall time) must be bit-identical *)
 let test_flow_deterministic () =
   let runs =
-    at_jobs [ 1; 2; 4 ] (fun () ->
+    at_jobs [ 1; 2; 4; 8 ] (fun () ->
         let o = Flow.run (Flow.default_config ~mode:Flow.Netflow Bench_suite.tiny) in
         ( o.Flow.base,
           o.Flow.final,
@@ -298,6 +426,19 @@ let () =
           Alcotest.test_case "sequential_scope" `Quick test_sequential_scope;
           Alcotest.test_case "nested primitives run sequentially" `Quick
             test_nested_runs_sequentially;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "result + nested primitives" `Quick
+            test_region_result_and_nesting;
+          Alcotest.test_case "exception propagation + reuse" `Quick
+            test_region_exception_and_reuse;
+          Alcotest.test_case "keepalive: no per-iteration scratch" `Quick
+            test_region_keepalive_no_per_iteration_scratch;
+          Alcotest.test_case "keepalive survives across regions" `Quick
+            test_keepalive_across_regions;
+          Alcotest.test_case "uncapped captive-scope machinery" `Quick
+            test_uncapped_scope_machinery;
         ] );
       ( "determinism",
         [

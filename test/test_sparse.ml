@@ -139,6 +139,166 @@ let prop_cg_random_spd =
       r.Cg.converged
       && Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-5) r.Cg.x x_true)
 
+(* --- Bigarray kernel bit-identity ---------------------------------- *)
+
+(* The C kernels (Vec/Csr.spmv and the Cg loop built on them) must be
+   *bit-identical* to the boxed float-array path they replaced: every
+   elementwise op keeps the same expression and every reduction the same
+   ascending order, so `=` (not a tolerance) is the right check. *)
+
+let random_csr rng ~rows ~cols ~nnz =
+  let triplets = ref [] in
+  for _ = 1 to nnz do
+    triplets :=
+      ( Rc_util.Rng.int rng rows,
+        Rc_util.Rng.int rng cols,
+        Rc_util.Rng.float_in rng (-2.0) 2.0 )
+      :: !triplets
+  done;
+  Csr.of_triplets ~rows ~cols !triplets
+
+let prop_spmv_bit_identical =
+  QCheck.Test.make ~name:"C spmv is bit-identical to the boxed row loop" ~count:200
+    QCheck.(triple small_int (int_range 1 40) (int_range 1 40))
+    (fun (seed, rows, cols) ->
+      let rng = Rc_util.Rng.create ((seed * 131) + 7) in
+      let a = random_csr rng ~rows ~cols ~nnz:(2 * (rows + cols)) in
+      let x = Array.init cols (fun _ -> Rc_util.Rng.float_in rng (-3.0) 3.0) in
+      let xv = Vec.of_array x in
+      let yv = Vec.create rows in
+      Csr.spmv a xv yv;
+      Vec.to_array yv = Csr.mul_vec a x)
+
+let prop_vec_kernels_bit_identical =
+  QCheck.Test.make ~name:"Vec C kernels are bit-identical to OCaml loops" ~count:200
+    QCheck.(pair small_int (int_range 1 100))
+    (fun (seed, n) ->
+      let rng = Rc_util.Rng.create ((seed * 29) + 3) in
+      let mk () = Array.init n (fun _ -> Rc_util.Rng.float_in rng (-4.0) 4.0) in
+      let xa = mk () and ya = mk () and za = mk () in
+      let alpha = Rc_util.Rng.float_in rng (-2.0) 2.0 in
+      let x = Vec.of_array xa and y = Vec.of_array ya and z = Vec.of_array za in
+      (* dot: ascending accumulation *)
+      let dot_ref = ref 0.0 in
+      for i = 0 to n - 1 do
+        dot_ref := !dot_ref +. (xa.(i) *. ya.(i))
+      done;
+      let ok_dot = Vec.dot x y = !dot_ref in
+      (* axpy: y += alpha * x *)
+      let axpy_ref = Array.mapi (fun i v -> v +. (alpha *. xa.(i))) ya in
+      Vec.axpy alpha x y;
+      let ok_axpy = Vec.to_array y = axpy_ref in
+      (* axmy: z -= alpha * x *)
+      let axmy_ref = Array.mapi (fun i v -> v -. (alpha *. xa.(i))) za in
+      Vec.axmy alpha x z;
+      let ok_axmy = Vec.to_array z = axmy_ref in
+      (* had: out = x .* y (current y = axpy result) *)
+      let out = Vec.create n in
+      Vec.had x y out;
+      let ok_had = Vec.to_array out = Array.mapi (fun i v -> xa.(i) *. v) axpy_ref in
+      (* xpby: y = x + alpha * y *)
+      let xpby_ref = Array.mapi (fun i v -> xa.(i) +. (alpha *. v)) axpy_ref in
+      Vec.xpby x alpha y;
+      let ok_xpby = Vec.to_array y = xpby_ref in
+      (* rsub: z = x - z (current z = axmy result) *)
+      let rsub_ref = Array.mapi (fun i v -> xa.(i) -. v) axmy_ref in
+      Vec.rsub x z;
+      let ok_rsub = Vec.to_array z = rsub_ref in
+      ok_dot && ok_axpy && ok_axmy && ok_had && ok_xpby && ok_rsub)
+
+(* the seed's boxed Jacobi-CG, reimplemented on plain float arrays with
+   the exact op order of Cg.solve; the Bigarray solver must reproduce
+   its iterate, iteration count, residual and convergence flag exactly *)
+let boxed_cg ?max_iter ?(tol = 1e-8) ?x0 a b =
+  let n = Csr.rows a in
+  let max_iter = Option.value max_iter ~default:(4 * n) in
+  let x = match x0 with None -> Array.make n 0.0 | Some v -> Array.copy v in
+  let inv_diag =
+    Array.map
+      (fun d -> if Float.abs d > 1e-300 then 1.0 /. d else 1.0)
+      (Csr.diagonal a)
+  in
+  let dot u v =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (u.(i) *. v.(i))
+    done;
+    !acc
+  in
+  let norm2 u = sqrt (dot u u) in
+  let r = Csr.mul_vec a x in
+  for i = 0 to n - 1 do
+    r.(i) <- b.(i) -. r.(i)
+  done;
+  let z = Array.init n (fun i -> inv_diag.(i) *. r.(i)) in
+  let p = Array.copy z in
+  let b_norm = Float.max (norm2 b) 1e-300 in
+  let rz = ref (dot r z) in
+  let iter = ref 0 in
+  let res = ref (norm2 r) in
+  while !res /. b_norm > tol && !iter < max_iter do
+    let ap = Csr.mul_vec a p in
+    let pap = dot p ap in
+    if Float.abs pap < 1e-300 then iter := max_iter
+    else begin
+      let alpha = !rz /. pap in
+      for i = 0 to n - 1 do
+        x.(i) <- x.(i) +. (alpha *. p.(i))
+      done;
+      for i = 0 to n - 1 do
+        r.(i) <- r.(i) -. (alpha *. ap.(i))
+      done;
+      for i = 0 to n - 1 do
+        z.(i) <- inv_diag.(i) *. r.(i)
+      done;
+      let rz' = dot r z in
+      let beta = rz' /. !rz in
+      rz := rz';
+      for i = 0 to n - 1 do
+        p.(i) <- z.(i) +. (beta *. p.(i))
+      done;
+      res := norm2 r;
+      incr iter
+    end
+  done;
+  (x, !iter, !res, !res /. b_norm <= tol)
+
+let prop_cg_bit_identical =
+  QCheck.Test.make ~name:"Bigarray CG is bit-identical to the boxed reference" ~count:100
+    QCheck.(triple small_int (int_range 2 50) bool)
+    (fun (seed, n, warm) ->
+      let rng = Rc_util.Rng.create ((seed * 53) + 11) in
+      let a = laplacian_2d n in
+      let x_true = Array.init n (fun _ -> Rc_util.Rng.float_in rng (-5.0) 5.0) in
+      let b = Csr.mul_vec a x_true in
+      let x0 =
+        if warm then Some (Array.map (fun v -> v +. 0.01) x_true) else None
+      in
+      let got = Cg.solve ?x0 a b in
+      let xr, ir, rr, cr = boxed_cg ?x0 a b in
+      got.Cg.x = xr
+      && got.Cg.iterations = ir
+      && got.Cg.residual_norm = rr
+      && got.Cg.converged = cr)
+
+let prop_cg_workspace_reuse_identical =
+  QCheck.Test.make ~name:"workspace reuse does not change any CG bit" ~count:50
+    QCheck.(pair small_int (int_range 2 30))
+    (fun (seed, n) ->
+      let rng = Rc_util.Rng.create ((seed * 97) + 5) in
+      let a = laplacian_2d n in
+      let ws = Cg.workspace n in
+      let run () =
+        let b = Array.init n (fun _ -> Rc_util.Rng.float_in rng (-3.0) 3.0) in
+        (b, Cg.solve ~ws a b)
+      in
+      let runs = List.init 4 (fun _ -> run ()) in
+      List.for_all
+        (fun (b, (r : Cg.outcome)) ->
+          let fresh = Cg.solve a b in
+          r.Cg.x = fresh.Cg.x && r.Cg.iterations = fresh.Cg.iterations)
+        runs)
+
 (* --- sparse basis LU --- *)
 
 let slu_of_dense rows =
@@ -255,6 +415,13 @@ let () =
           Alcotest.test_case "solves SPD" `Quick test_cg_solves_spd;
           Alcotest.test_case "warm start" `Quick test_cg_warm_start;
           QCheck_alcotest.to_alcotest prop_cg_random_spd;
+        ] );
+      ( "bigarray kernels",
+        [
+          QCheck_alcotest.to_alcotest prop_spmv_bit_identical;
+          QCheck_alcotest.to_alcotest prop_vec_kernels_bit_identical;
+          QCheck_alcotest.to_alcotest prop_cg_bit_identical;
+          QCheck_alcotest.to_alcotest prop_cg_workspace_reuse_identical;
         ] );
       ( "dense",
         [
