@@ -15,10 +15,19 @@
    ROTARY_JOBS), and writes every measurement — per-kernel micro
    timings, per-circuit flow wall times with per-job-count speedups,
    the suite walls, job counts and git revision — to BENCH_results.json
-   (schema v3: DESIGN.md "Bench results file").  --walls-only skips
-   parts 1 and 2; --min-suite-speedup F exits nonzero when the suite
-   speedup at the highest job count falls below F (the CI floor,
-   recorded in the artifact). *)
+   (schema v4: DESIGN.md "Bench results file").  --walls-only skips
+   parts 1 and 2 (except that --quick still runs a reduced micro pass,
+   so quick CI artifacts never carry an empty micro_kernels array);
+   --min-suite-speedup F exits nonzero when the suite speedup at the
+   highest job count falls below F (the CI floor, recorded in the
+   artifact).
+
+   Part 4 (--sizes 20k,100k,1m) runs the scaling suite: for each
+   requested size the full six-stage flow at the highest sweep job
+   count, recording generation wall, flow wall and the per-stage split
+   into the schema-v4 size_sweep array.  --max-size-wall F exits
+   nonzero when any requested size's flow wall exceeds F seconds (the
+   CI scaling floor). *)
 
 open Rc_core
 
@@ -52,6 +61,30 @@ let jobs_arg =
 
 let min_suite_speedup =
   Option.bind (flag_value "--min-suite-speedup") float_of_string_opt
+
+(* --sizes accepts a comma-separated subset of the scaling suite, by
+   short size ("20k") or full benchmark name ("size20k") *)
+let sizes_arg =
+  match flag_value "--sizes" with
+  | None -> []
+  | Some s ->
+      List.map
+        (fun part ->
+          let p = String.trim (String.lowercase_ascii part) in
+          let name = if String.length p > 0 && p.[0] <> 's' then "size" ^ p else p in
+          match
+            List.find_opt (fun b -> b.Bench_suite.bname = name) Bench_suite.sizes
+          with
+          | Some b -> b
+          | None ->
+              Printf.eprintf "[bench] unknown size %S (valid: %s)\n%!" part
+                (String.concat ", "
+                   (List.map (fun b -> b.Bench_suite.bname) Bench_suite.sizes));
+              exit 2)
+        (String.split_on_char ',' s)
+
+let max_size_wall =
+  Option.bind (flag_value "--max-size-wall") float_of_string_opt
 
 let () = Option.iter (fun l -> Rc_par.Pool.set_jobs (List.fold_left max 1 l)) jobs_arg
 
@@ -164,9 +197,8 @@ let kernel_state =
   lazy
     (let bench = Bench_suite.tiny in
      let tech = Rc_tech.Tech.default in
-     let gen = bench.Bench_suite.gen in
-     let netlist = Rc_netlist.Generator.generate gen in
-     let chip = gen.Rc_netlist.Generator.chip in
+     let netlist = Bench_suite.netlist bench in
+     let chip = Bench_suite.chip bench in
      let rings =
        Rc_rotary.Ring_array.create ~chip ~grid:bench.Bench_suite.ring_grid ()
      in
@@ -311,6 +343,52 @@ let test_mcmf =
          let n_items, n_bins, capacities, cands = Lazy.force mcmf_state in
          ignore (Rc_netflow.Assignment.solve ~n_items ~n_bins ~capacities cands)))
 
+(* old vs new MCMF core at scaling-suite size: a bipartite instance
+   shaped like the size20k assignment (~12% flip-flops of 20k cells
+   over an 8x8 ring array).  Each run rebuilds the network (solve
+   consumes capacity), so both variants carry the identical build
+   overhead and the delta is pure solver time. *)
+let mcmf_scaled_state =
+  lazy
+    (let n_items = 2400 and n_bins = 64 in
+     let rng = Rc_util.Rng.create 20026 in
+     let cand_bin = Array.init (n_items * 6) (fun k -> ((k / 6) + (k mod 6 * 11)) mod n_bins) in
+     let cand_cost = Array.init (n_items * 6) (fun _ -> Rc_util.Rng.float rng 50.0) in
+     (n_items, n_bins, cand_bin, cand_cost))
+
+let build_mcmf_scaled () =
+  let n_items, n_bins, cand_bin, cand_cost = Lazy.force mcmf_scaled_state in
+  let source = 0 and sink = 1 + n_items + n_bins in
+  let net = Rc_netflow.Mcmf.create (sink + 1) in
+  for i = 0 to n_items - 1 do
+    ignore (Rc_netflow.Mcmf.add_arc net ~src:source ~dst:(1 + i) ~capacity:1 ~cost:0.0)
+  done;
+  let bin_cap = (n_items / n_bins) + 4 in
+  for j = 0 to n_bins - 1 do
+    ignore
+      (Rc_netflow.Mcmf.add_arc net ~src:(1 + n_items + j) ~dst:sink ~capacity:bin_cap
+         ~cost:0.0)
+  done;
+  Array.iteri
+    (fun k bin ->
+      ignore
+        (Rc_netflow.Mcmf.add_arc net ~src:(1 + (k / 6)) ~dst:(1 + n_items + bin)
+           ~capacity:1 ~cost:cand_cost.(k)))
+    cand_bin;
+  (net, source, sink, n_items)
+
+let test_mcmf_scaled_new =
+  Test.make ~name:"mcmf_scaled:bucket-dijkstra"
+    (Staged.stage (fun () ->
+         let net, source, sink, amount = build_mcmf_scaled () in
+         ignore (Rc_netflow.Mcmf.solve net ~source ~sink ~amount)))
+
+let test_mcmf_scaled_old =
+  Test.make ~name:"mcmf_scaled:reference"
+    (Staged.stage (fun () ->
+         let net, source, sink, amount = build_mcmf_scaled () in
+         ignore (Rc_netflow.Mcmf.solve_reference net ~source ~sink ~amount)))
+
 (* per-flip-flop Eq. 1 candidate construction: nearest rings + one tap
    solve per candidate (the input to stage 3, cached by Assign.cache) *)
 let test_eq1_candidates =
@@ -359,8 +437,9 @@ let test_sta_incremental =
          flip := not !flip;
          ignore (Rc_timing.Sta.analyze_incremental sess ~positions)))
 
-let micro () =
-  Printf.printf "=== Bechamel micro-benchmarks (one kernel per table) ===\n%!";
+let micro ?(reduced = false) () =
+  Printf.printf "=== Bechamel micro-benchmarks (one kernel per table)%s ===\n%!"
+    (if reduced then " [reduced reps]" else "");
   let tests =
     Test.make_grouped ~name:"kernels"
       [
@@ -374,6 +453,8 @@ let micro () =
         test_fig2;
         test_cg;
         test_mcmf;
+        test_mcmf_scaled_new;
+        test_mcmf_scaled_old;
         test_eq1_candidates;
         test_sta_cold;
         test_sta_incremental;
@@ -381,9 +462,11 @@ let micro () =
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ~compaction:false ()
-  in
+  (* reduced mode (--quick): same kernels, fewer reps — the artifact
+     still carries every kernel, just with wider error bars *)
+  let limit = if reduced then 300 else 2000
+  and quota = Time.second (if reduced then 0.1 else 0.5) in
+  let cfg = Benchmark.cfg ~limit ~quota ~stabilize:true ~compaction:false () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols (Instance.monotonic_clock :> Measure.witness) raw in
   let timings =
@@ -488,6 +571,85 @@ let compare_walls () =
   print_newline ();
   (flows, (suite_seq, suite_runs))
 
+(* ---- part 4: scaling-suite size sweep (--sizes) ---------------------- *)
+
+(* aggregate the flow trace into one wall-time bucket per stage name *)
+let stage_split trace =
+  List.map
+    (fun stage ->
+      let w =
+        List.fold_left
+          (fun acc (e : Flow_trace.event) ->
+            if e.Flow_trace.stage = stage then acc +. e.Flow_trace.wall_s else acc)
+          0.0 (Flow_trace.events trace)
+      in
+      (stage, w))
+    (Flow_trace.stage_names trace)
+
+(* one full-flow run per requested size at the top sweep job count;
+   generation is timed separately so the table shows where the wall
+   goes as the circuits grow two orders of magnitude *)
+let run_sizes benches =
+  Rc_par.Pool.set_jobs top_jobs;
+  let rows =
+    List.map
+      (fun bench ->
+        let n_logic, n_ffs = Bench_suite.profile bench in
+        let n_cells = n_logic + n_ffs in
+        Printf.eprintf "[bench] size sweep: %s (%d cells) at jobs=%d...\n%!"
+          bench.Bench_suite.bname n_cells top_jobs;
+        let gen_s = wall (fun () -> ignore (Bench_suite.netlist bench)) in
+        let outcome = ref None in
+        let flow_s =
+          wall (fun () -> outcome := Some (Flow.run (Flow.default_config bench)))
+        in
+        let o = Option.get !outcome in
+        (bench.Bench_suite.bname, n_cells, n_ffs, gen_s, flow_s, o))
+      benches
+  in
+  print_endline
+    (Report.render
+       ~title:(Printf.sprintf "Scaling suite: full flow at jobs=%d" top_jobs)
+       ~header:[ "Circuit"; "Cells"; "FFs"; "Gen (s)"; "Flow (s)"; "Tap WL (um)"; "AFD (um)" ]
+       (List.map
+          (fun (name, n_cells, n_ffs, gen_s, flow_s, (o : Flow.outcome)) ->
+            [
+              name; string_of_int n_cells; string_of_int n_ffs;
+              Report.fmt_f ~dp:1 gen_s; Report.fmt_f ~dp:1 flow_s;
+              Report.fmt_f ~dp:0 o.Flow.final.Flow.tapping_wl;
+              Report.fmt_f ~dp:1 o.Flow.final.Flow.afd;
+            ])
+          rows));
+  print_newline ();
+  rows
+
+let size_sweep_json rows =
+  let module J = Rc_util.Json in
+  J.List
+    (List.map
+       (fun (name, n_cells, n_ffs, gen_s, flow_s, (o : Flow.outcome)) ->
+         J.Obj
+           [
+             ("circuit", J.String name);
+             ("n_cells", J.Int n_cells);
+             ("n_ffs", J.Int n_ffs);
+             ("jobs", J.Int top_jobs);
+             ("gen_s", J.Float gen_s);
+             ("flow_s", J.Float flow_s);
+             ( "stages",
+               J.Obj
+                 (List.map (fun (s, w) -> (s, J.Float w)) (stage_split o.Flow.trace)) );
+             ( "final",
+               J.Obj
+                 [
+                   ("tapping_wl_um", J.Float o.Flow.final.Flow.tapping_wl);
+                   ("signal_wl_um", J.Float o.Flow.final.Flow.signal_wl);
+                   ("total_mw", J.Float o.Flow.final.Flow.total_mw);
+                   ("afd_um", J.Float o.Flow.final.Flow.afd);
+                 ] );
+           ])
+       rows)
+
 let sweep_json seq runs =
   let module J = Rc_util.Json in
   J.List
@@ -501,12 +663,12 @@ let sweep_json seq runs =
            ])
        runs)
 
-let results_json micro_timings (flows, (suite_seq, suite_runs)) =
+let results_json micro_timings size_rows (flows, (suite_seq, suite_runs)) =
   let module J = Rc_util.Json in
   let top_of runs = List.assoc top_jobs runs in
   J.Obj
     [
-      ("schema_version", J.Int 3);
+      ("schema_version", J.Int 4);
       ("git_rev", match git_rev () with Some r -> J.String r | None -> J.Null);
       ("jobs", J.Int (Rc_par.Pool.jobs ()));
       ("jobs_sweep", J.List (List.map (fun j -> J.Int j) (1 :: sweep_jobs)));
@@ -566,17 +728,42 @@ let results_json micro_timings (flows, (suite_seq, suite_runs)) =
             ("speedup_vs_seq", J.Float (speedup_of suite_seq (top_of suite_runs)));
             ("sweep", sweep_json suite_seq suite_runs);
           ] );
+      (* schema v4: the scaling-suite sweep (empty unless --sizes ran),
+         plus its CI wall-time floor recorded next to the measurement *)
+      ("size_sweep", size_sweep_json size_rows);
+      ( "max_size_wall_s",
+        match max_size_wall with Some f -> J.Float f | None -> J.Null );
     ]
 
 let () =
   Printf.printf "[bench] jobs = %d%s\n%!" (Rc_par.Pool.jobs ())
     (if quick then " (quick)" else "");
   if (not micro_only) && not walls_only then reproduce ();
-  let micro_timings = if (not tables_only) && not walls_only then micro () else [] in
+  (* --quick always runs the micro pass (reduced reps under --walls-only)
+     so quick artifacts never carry an empty micro_kernels array *)
+  let micro_timings =
+    if tables_only then []
+    else if walls_only && not quick then []
+    else micro ~reduced:quick ()
+  in
   let walls = compare_walls () in
+  let size_rows = if sizes_arg = [] then [] else run_sizes sizes_arg in
   let path = "BENCH_results.json" in
-  Rc_util.Json.to_file path (results_json micro_timings walls);
+  Rc_util.Json.to_file path (results_json micro_timings size_rows walls);
   Printf.printf "[bench] wrote %s\n%!" path;
+  (match max_size_wall with
+  | Some floor ->
+      List.iter
+        (fun (name, _, _, _, flow_s, _) ->
+          if flow_s > floor then begin
+            Printf.printf "[bench] FAIL: %s flow wall %.1fs above floor %.1fs\n%!" name
+              flow_s floor;
+            exit 1
+          end
+          else
+            Printf.printf "[bench] %s flow wall %.1fs (floor %.1fs)\n%!" name flow_s floor)
+        size_rows
+  | None -> ());
   let _, (suite_seq, suite_runs) = walls in
   let suite_speedup = speedup_of suite_seq (List.assoc top_jobs suite_runs) in
   match min_suite_speedup with

@@ -300,7 +300,7 @@ let run_render jobs bench mode out =
       (Array.mapi (fun i c -> (c, o.Flow.assignment.Rc_assign.Assign.taps.(i))) ffs)
   in
   Rc_viz.Layout.write ~path:out
-    ~chip:bench.Bench_suite.gen.Rc_netlist.Generator.chip
+    ~chip:(Rc_core.Bench_suite.chip bench)
     ~netlist:o.Flow.netlist ~positions:o.Flow.positions ~rings:o.Flow.rings ~taps ();
   Printf.printf "wrote %s (%d flip-flops, %d rings, tapping WL %.0f um)\n" out
     (Array.length ffs)
@@ -322,9 +322,8 @@ let render_cmd =
 
 let run_export jobs bench out_net out_pl =
   setup_jobs jobs;
-  let gen = bench.Bench_suite.gen in
-  let netlist = Rc_netlist.Generator.generate gen in
-  let chip = gen.Rc_netlist.Generator.chip in
+  let netlist = Rc_core.Bench_suite.netlist bench in
+  let chip = Rc_core.Bench_suite.chip bench in
   Rc_netlist.Serialize.write_file ~path:out_net ~chip netlist;
   Printf.printf "wrote %s (%d cells, %d nets)\n" out_net
     (Rc_netlist.Netlist.n_cells netlist)
@@ -372,7 +371,7 @@ let run_import jobs path grid pitch =
         {
           Bench_suite.bname = Rc_netlist.Netlist.name netlist;
           ring_grid = grid;
-          gen = { Rc_netlist.Generator.default_config with Rc_netlist.Generator.chip };
+          gen = Bench_suite.Flat { Rc_netlist.Generator.default_config with Rc_netlist.Generator.chip };
         }
       in
       let o = Flow.run_on (Flow.default_config bench) netlist in

@@ -13,9 +13,8 @@ open Rc_core
 let () =
   let bench = Bench_suite.tiny in
   let tech = Rc_tech.Tech.default in
-  let gen = bench.Bench_suite.gen in
-  let netlist = Rc_netlist.Generator.generate gen in
-  let chip = gen.Rc_netlist.Generator.chip in
+  let netlist = Bench_suite.netlist bench in
+  let chip = Bench_suite.chip bench in
   let rings = Rc_rotary.Ring_array.create ~chip ~grid:bench.Bench_suite.ring_grid () in
   let placed = Rc_place.Qplace.initial netlist ~chip in
   let sta = Rc_timing.Sta.analyze tech netlist ~positions:placed.Rc_place.Qplace.positions in

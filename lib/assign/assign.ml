@@ -249,6 +249,153 @@ let finish tech arr ~ff_positions taps ring_of_ff =
     max_load = Array.fold_left Float.max 0.0 loads;
   }
 
+(* --- Sharded netflow at scale ------------------------------------- *)
+
+(* Above this many flip-flops the single global min-cost flow is
+   replaced by one flow per ring-neighborhood shard; every paper
+   circuit sits far under it, so the exact global solve (and its warm
+   tiers) is untouched. *)
+let shard_threshold = 4096
+
+let m_shard_solves = Rc_obs.Metrics.counter "assign.netflow.shard_solves"
+let m_shard_repairs = Rc_obs.Metrics.counter "assign.netflow.shard_repairs"
+
+(* Partition the g×g ring grid into contiguous square tiles; each
+   flip-flop belongs to the tile of its nearest candidate ring and only
+   keeps candidates inside that tile, so the bipartite graph splits
+   into independent shards solved as ordered [Pool.map] sub-jobs
+   (deterministic merge by flip-flop index, any job count).  Shards are
+   capacity-sliced from the global capacities; flip-flops a shard
+   cannot place (local capacity exhausted) go through a sequential
+   repair pass over the remaining global capacity, nearest rings
+   first, so the result is always a complete assignment. *)
+let solve_sharded tech arr ~capacities pl ~ff_positions ~targets =
+  let n = pl.n_ffs in
+  let g = Ring_array.grid arr in
+  let nr = Ring_array.n_rings arr in
+  let ts = max 4 (g / 8) in
+  let tiles_x = (g + ts - 1) / ts in
+  let n_shards = tiles_x * tiles_x in
+  let shard_of_ring rj = (rj / g / ts * tiles_x) + (rj mod g / ts) in
+  let shard_of_ff = Array.init n (fun i -> shard_of_ring (pool_ring pl i 0)) in
+  (* flip-flops of each shard, bucketed in ascending index order *)
+  let foff = Array.make (n_shards + 1) 0 in
+  for i = 0 to n - 1 do
+    foff.(shard_of_ff.(i) + 1) <- foff.(shard_of_ff.(i) + 1) + 1
+  done;
+  for s = 1 to n_shards do
+    foff.(s) <- foff.(s) + foff.(s - 1)
+  done;
+  let fmem = Array.make n 0 in
+  let cursor = Array.copy foff in
+  for i = 0 to n - 1 do
+    let s = shard_of_ff.(i) in
+    fmem.(cursor.(s)) <- i;
+    cursor.(s) <- cursor.(s) + 1
+  done;
+  (* rings of each shard and their shard-local indices *)
+  let roff = Array.make (n_shards + 1) 0 in
+  for rj = 0 to nr - 1 do
+    roff.(shard_of_ring rj + 1) <- roff.(shard_of_ring rj + 1) + 1
+  done;
+  for s = 1 to n_shards do
+    roff.(s) <- roff.(s) + roff.(s - 1)
+  done;
+  let rmem = Array.make nr 0 and rloc = Array.make nr 0 in
+  let rcursor = Array.copy roff in
+  for rj = 0 to nr - 1 do
+    let s = shard_of_ring rj in
+    rmem.(rcursor.(s)) <- rj;
+    rloc.(rj) <- rcursor.(s) - roff.(s);
+    rcursor.(s) <- rcursor.(s) + 1
+  done;
+  let solve_one s =
+    let n_items = foff.(s + 1) - foff.(s) in
+    if n_items = 0 then [||]
+    else begin
+      let n_bins = roff.(s + 1) - roff.(s) in
+      let caps = Array.init n_bins (fun b -> capacities.(rmem.(roff.(s) + b))) in
+      (* candidate arcs in (ff, nearest-ring) order, built back to front *)
+      let cands = ref [] in
+      for idx = n_items - 1 downto 0 do
+        let i = fmem.(foff.(s) + idx) in
+        for q = pool_count pl i - 1 downto 0 do
+          let rj = pool_ring pl i q in
+          if shard_of_ring rj = s then
+            cands :=
+              { Rc_netflow.Assignment.item = idx; bin = rloc.(rj); cost = pool_cost pl i q }
+              :: !cands
+        done
+      done;
+      let r =
+        Rc_netflow.Assignment.solve ~n_items ~n_bins ~capacities:caps !cands
+      in
+      Rc_obs.Metrics.incr m_shard_solves;
+      Array.map (fun b -> if b < 0 then -1 else rmem.(roff.(s) + b)) r.Rc_netflow.Assignment.assignment
+    end
+  in
+  let shard_rings =
+    Rc_par.Pool.map solve_one (Array.init n_shards Fun.id)
+  in
+  let ring_of_ff = Array.make n (-1) in
+  Array.iteri
+    (fun s rings ->
+      Array.iteri (fun idx rj -> ring_of_ff.(fmem.(foff.(s) + idx)) <- rj) rings)
+    shard_rings;
+  (* sequential repair over the remaining global capacity *)
+  let cap_left = Array.copy capacities in
+  for i = 0 to n - 1 do
+    let rj = ring_of_ff.(i) in
+    if rj >= 0 then cap_left.(rj) <- cap_left.(rj) - 1
+  done;
+  let repair_taps = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    if ring_of_ff.(i) < 0 then begin
+      Rc_obs.Metrics.incr m_shard_repairs;
+      (* cheapest pooled candidate with capacity left ... *)
+      let best = ref (-1) and best_cost = ref infinity in
+      for q = 0 to pool_count pl i - 1 do
+        let rj = pool_ring pl i q in
+        if cap_left.(rj) > 0 && pool_cost pl i q < !best_cost then begin
+          best := q;
+          best_cost := pool_cost pl i q
+        end
+      done;
+      if !best >= 0 then begin
+        let rj = pool_ring pl i !best in
+        ring_of_ff.(i) <- rj;
+        cap_left.(rj) <- cap_left.(rj) - 1
+      end
+      else begin
+        (* ... else walk outward over all rings (total capacity covers
+           n, so this always terminates with a ring) *)
+        let rec widen = function
+          | [] -> invalid_arg "Assign.by_netflow: unassignable flip-flop"
+          | rj :: rest ->
+              if cap_left.(rj) > 0 then begin
+                let tap =
+                  Tapping.solve tech (Ring_array.ring arr rj) ~ff:ff_positions.(i)
+                    ~target:targets.(i)
+                in
+                Rc_obs.Metrics.incr m_candidate_solves;
+                ring_of_ff.(i) <- rj;
+                cap_left.(rj) <- cap_left.(rj) - 1;
+                Hashtbl.replace repair_taps i tap
+              end
+              else widen rest
+        in
+        widen (Ring_array.rings_near arr ff_positions.(i) nr)
+      end
+    end
+  done;
+  let taps =
+    Array.init n (fun i ->
+        match Hashtbl.find_opt repair_taps i with
+        | Some tap -> tap
+        | None -> tap_for pl i ring_of_ff.(i))
+  in
+  finish tech arr ~ff_positions taps ring_of_ff
+
 let by_netflow ?(candidates = 6) ?capacities ?cache tech arr ~ff_positions ~targets =
   check_inputs arr ff_positions targets;
   let n = Array.length ff_positions in
@@ -287,6 +434,11 @@ let by_netflow ?(candidates = 6) ?capacities ?cache tech arr ~ff_positions ~targ
       | None -> candidate_taps_batch tech arr ~ff_positions ~targets ~candidates:k
       | Some cc -> candidate_taps_cached cc tech arr ~ff_positions ~targets ~candidates:k
     in
+    if n >= shard_threshold then
+      (* the sharded path replaces both the global solve and its warm
+         tier; the widen/repair loop lives inside [solve_sharded] *)
+      solve_sharded tech arr ~capacities pl ~ff_positions ~targets
+    else begin
     (* candidate arcs in (ff, nearest-ring) order, built back to front *)
     let cands = ref [] in
     for i = n - 1 downto 0 do
@@ -314,6 +466,7 @@ let by_netflow ?(candidates = 6) ?capacities ?cache tech arr ~ff_positions ~targ
             else tap_for pl i rj)
       in
       finish tech arr ~ff_positions taps assignment
+    end
     end
   in
   attempt candidates

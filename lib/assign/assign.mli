@@ -84,6 +84,17 @@ val by_netflow :
     With [cache], unchanged flip-flops reuse their cached candidate taps
     and the flow network is replayed or warm-started when possible; the
     result is bit-identical to the uncached call.
+
+    Above 4096 flip-flops (far past every Table II circuit, so the
+    paper path keeps the exact global solve) the bipartite graph is
+    sharded by ring neighborhood: the ring grid is tiled into
+    contiguous square shards, each flip-flop joins the shard of its
+    nearest candidate ring with its in-shard candidates, and the
+    per-shard flows run as ordered pool sub-jobs — deterministic for
+    any job count.  Flip-flops a shard cannot place locally are
+    repaired sequentially against the remaining global capacity
+    (nearest rings first), so the assignment is always complete; the
+    warm tier is bypassed on this path.
     @raise Invalid_argument on size mismatches or infeasible total
     capacity. *)
 

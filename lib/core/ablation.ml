@@ -21,9 +21,8 @@ let pseudo_weight_schedule ?(bench = Bench_suite.tiny) () =
 
 let stage2_state bench =
   let tech = Rc_tech.Tech.default in
-  let gen = bench.Bench_suite.gen in
-  let netlist = Rc_netlist.Generator.generate gen in
-  let chip = gen.Rc_netlist.Generator.chip in
+  let netlist = Bench_suite.netlist bench in
+  let chip = Bench_suite.chip bench in
   let rings =
     Rc_rotary.Ring_array.create ~period:tech.Rc_tech.Tech.clock_period ~chip
       ~grid:bench.Bench_suite.ring_grid ()

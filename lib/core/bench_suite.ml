@@ -1,6 +1,13 @@
+(* Circuit source: the paper's Table II profiles go through the flat
+   levelized generator; the scaling suite goes through the hierarchical
+   Rent's-rule generator, which streams million-cell circuits. *)
+type source =
+  | Flat of Rc_netlist.Generator.config
+  | Hier of Rc_netlist.Generator.hier_config
+
 type bench = {
   bname : string;
-  gen : Rc_netlist.Generator.config;
+  gen : source;
   ring_grid : int;
 }
 
@@ -10,26 +17,42 @@ let chip_of_grid g =
   let side = float_of_int g *. ring_pitch in
   Rc_geom.Rect.make ~xmin:0.0 ~ymin:0.0 ~xmax:side ~ymax:side
 
+let chip b =
+  match b.gen with
+  | Flat g -> g.Rc_netlist.Generator.chip
+  | Hier h -> h.Rc_netlist.Generator.hchip
+
+let netlist b =
+  match b.gen with
+  | Flat g -> Rc_netlist.Generator.generate g
+  | Hier h -> Rc_netlist.Generator.generate_hier h
+
+let profile b =
+  match b.gen with
+  | Flat g -> (g.Rc_netlist.Generator.n_logic, g.Rc_netlist.Generator.n_ffs)
+  | Hier h -> Rc_netlist.Generator.hier_counts h
+
 let mk ~bname ~n_logic ~n_ffs ~n_nets ~grid ~seed =
   let io = max 8 (n_logic / 50) in
   {
     bname;
     ring_grid = grid;
     gen =
-      {
-        Rc_netlist.Generator.name = bname;
-        n_logic;
-        n_ffs;
-        n_nets;
-        n_inputs = io;
-        n_outputs = io;
-        depth = 10;
-        max_fanin = 3;
-        clusters = max 2 (n_ffs / 10);
-        locality = 0.93;
-        chip = chip_of_grid grid;
-        seed;
-      };
+      Flat
+        {
+          Rc_netlist.Generator.name = bname;
+          n_logic;
+          n_ffs;
+          n_nets;
+          n_inputs = io;
+          n_outputs = io;
+          depth = 10;
+          max_fanin = 3;
+          clusters = max 2 (n_ffs / 10);
+          locality = 0.93;
+          chip = chip_of_grid grid;
+          seed;
+        };
   }
 
 (* Table II profiles: #Cells, #Flip-flops, #Nets, #Rings. *)
@@ -46,7 +69,27 @@ let tiny = mk ~bname:"tiny" ~n_logic:220 ~n_ffs:32 ~n_nets:230 ~grid:2 ~seed:420
 (* the --quick subset shared by the CLI and the bench harness *)
 let quick = [ tiny; s9234 ]
 
-let names = List.map (fun b -> b.bname) (tiny :: all)
+(* Scaling suite: hierarchical circuits sized so the ring array keeps a
+   paper-like FF-per-ring load (~35-50) as the cell count grows two
+   orders of magnitude past s35932. *)
+let mk_size ~bname ~n_cells ~grid ~seed =
+  {
+    bname;
+    ring_grid = grid;
+    gen =
+      Hier
+        (Rc_netlist.Generator.hier ~name:bname ~n_cells ~chip:(chip_of_grid grid)
+           ~seed ());
+  }
 
-let find name =
-  List.find_opt (fun b -> b.bname = name) (tiny :: all)
+let size20k = mk_size ~bname:"size20k" ~n_cells:20_000 ~grid:8 ~seed:200001
+let size100k = mk_size ~bname:"size100k" ~n_cells:100_000 ~grid:16 ~seed:1000001
+let size1m = mk_size ~bname:"size1m" ~n_cells:1_000_000 ~grid:50 ~seed:10000001
+
+let sizes = [ size20k; size100k; size1m ]
+
+let registry = (tiny :: all) @ sizes
+
+let names = List.map (fun b -> b.bname) registry
+
+let find name = List.find_opt (fun b -> b.bname = name) registry

@@ -11,7 +11,7 @@ let run ?(model = Rc_variation.Variation.default_model) (o : Flow.outcome) =
   let tech = o.Flow.cfg.Flow.tech in
   let ffs, _ = Flow.ff_index o.Flow.netlist in
   let n_ffs = Array.length ffs in
-  let chip = o.Flow.cfg.Flow.bench.Bench_suite.gen.Rc_netlist.Generator.chip in
+  let chip = Bench_suite.chip o.Flow.cfg.Flow.bench in
   let sink_list =
     Array.to_list (Array.map (fun c -> (o.Flow.positions.(c), tech.Rc_tech.Tech.c_ff)) ffs)
   in

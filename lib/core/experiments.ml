@@ -46,9 +46,8 @@ type table1_row = {
 
 let stage2_state bench =
   let tech = Rc_tech.Tech.default in
-  let gen = bench.Bench_suite.gen in
-  let netlist = Rc_netlist.Generator.generate gen in
-  let chip = gen.Rc_netlist.Generator.chip in
+  let netlist = Bench_suite.netlist bench in
+  let chip = Bench_suite.chip bench in
   let rings =
     Rc_rotary.Ring_array.create ~period:tech.Rc_tech.Tech.clock_period ~chip
       ~grid:bench.Bench_suite.ring_grid ()
@@ -126,9 +125,8 @@ let table2 ?(benches = Bench_suite.all) () =
   let rows =
     List.map
       (fun bench ->
-        let gen = bench.Bench_suite.gen in
-        let netlist = Rc_netlist.Generator.generate gen in
-        let chip = gen.Rc_netlist.Generator.chip in
+        let netlist = Bench_suite.netlist bench in
+        let chip = Bench_suite.chip bench in
         let placed = Rc_place.Qplace.initial netlist ~chip in
         let ffs = Rc_netlist.Netlist.flip_flops netlist in
         let sinks =

@@ -194,4 +194,4 @@ let resume_on ?plan ?guard ?on_iteration ctx = finish ?plan ?guard ?on_iteration
 
 let run ?plan ?arm ?guard ?on_iteration cfg =
   run_on ?plan ?arm ?guard ?on_iteration cfg
-    (Rc_netlist.Generator.generate cfg.bench.Bench_suite.gen)
+    (Bench_suite.netlist cfg.bench)

@@ -87,7 +87,7 @@ let ff_index netlist =
   (ffs, fun c -> index.(c))
 
 let create ?(arm = "") cfg netlist =
-  let chip = cfg.bench.Bench_suite.gen.Rc_netlist.Generator.chip in
+  let chip = Bench_suite.chip cfg.bench in
   let rings =
     Ring_array.create ~period:cfg.tech.Rc_tech.Tech.clock_period ~chip
       ~grid:cfg.bench.Bench_suite.ring_grid ()

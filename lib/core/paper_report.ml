@@ -70,11 +70,11 @@ let circuits_section reports =
     List.map
       (fun r ->
         let o = r.outcome in
-        let g = r.bench.Bench_suite.gen in
+        let n_logic, n_ffs = Bench_suite.profile r.bench in
         [
           R.Str r.bench.Bench_suite.bname;
-          R.Int g.Rc_netlist.Generator.n_logic;
-          R.Int g.Rc_netlist.Generator.n_ffs;
+          R.Int n_logic;
+          R.Int n_ffs;
           R.Int (r.bench.Bench_suite.ring_grid * r.bench.Bench_suite.ring_grid);
           R.Int o.Flow.n_pairs;
           R.Float (o.Flow.slack, 1);

@@ -10,7 +10,7 @@ type result = {
 }
 
 let run ?(nx = 32) ?(ny = 32) ?(capacity = 48) (o : Flow.outcome) =
-  let chip = o.Flow.cfg.Flow.bench.Bench_suite.gen.Rc_netlist.Generator.chip in
+  let chip = Bench_suite.chip o.Flow.cfg.Flow.bench in
   let grid = Rc_route.Grid.create ~chip ~nx ~ny ~capacity in
   (* signal nets *)
   let signal = Rc_route.Router.route_netlist ~chip o.Flow.netlist o.Flow.positions in

@@ -1,5 +1,23 @@
 (* Residual-network representation: forward and backward arcs are stored
-   interleaved; arc i and arc (i lxor 1) are mutual inverses. *)
+   interleaved; arc i and arc (i lxor 1) are mutual inverses.
+
+   Two successive-shortest-path cores share this representation:
+
+   - the {e bucket-Dijkstra} core (the default behind [solve] and
+     [solve_warm]): Dijkstra on reduced costs over a 64-bucket radix
+     heap keyed on the IEEE-754 bit pattern of the distance, with early
+     termination once the sink is scanned, touched-set resets (per-
+     augmentation work is proportional to the explored region, not the
+     network), and a CSR-packed adjacency frozen lazily from the
+     [first]/[next] chains;
+   - the {e reference} core ([solve_reference]): the original
+     binary-heap full-Dijkstra implementation, kept verbatim as the
+     identity baseline for the QCheck A/B tests and the [mcmf_scaled]
+     bench kernel.
+
+   Both cores augment along exact shortest paths, so they ship the same
+   flows at the same cost (bit-identical whenever shortest paths are
+   unique, which holds for generic float costs). *)
 
 type t = {
   n : int;
@@ -9,9 +27,127 @@ type t = {
   mutable next : int array;  (* arc -> next arc of same tail *)
   first : int array;  (* vertex -> first arc, -1 terminated *)
   mutable m : int;  (* number of residual arcs (2x public arcs) *)
+  (* CSR-packed adjacency, frozen lazily: [adj_arc] lists every arc id
+     grouped by tail, each group in exactly the [first]/[next] chain
+     order, so relaxation tie-breaking is unchanged. Invalidated by
+     [add_arc] (topology edits), not by cap/cost edits. *)
+  mutable adj_ptr : int array;
+  mutable adj_arc : int array;
+  mutable frozen_m : int;  (* m at last freeze, -1 = stale *)
+  mutable scratch : scratch option;  (* per-network Dijkstra scratch *)
 }
 
-type arc = int
+and scratch = {
+  dist : float array;
+  pred_arc : int array;
+  scanned : bool array;
+  touched : int array;  (* stack of vertices with non-default labels *)
+  mutable n_touched : int;
+  scan_order : int array;  (* scanned vertices, in scan order *)
+  mutable n_scanned : int;
+  heap : rheap;
+}
+
+(* 64-bucket radix heap over monotone non-negative float keys. The key
+   is the top 62 bits of the IEEE-754 pattern ([bits lsr 1]): the map
+   is order-preserving on non-negative floats, collapsing only pairs
+   one ulp apart — within the 1e-12 comparison slack the Dijkstra loop
+   already tolerates. The exact float is carried alongside for the
+   stale-entry check. Pops are non-decreasing in the integer key;
+   entries with equal keys pop newest-first (deterministic). *)
+and rheap = {
+  mutable hsize : int;
+  mutable hlast : int;  (* monotone floor key *)
+  mutable bkey : int array array;  (* 63 buckets, growable *)
+  mutable bfk : float array array;  (* exact float keys *)
+  mutable bval : int array array;  (* vertices *)
+  blen : int array;
+}
+
+let n_buckets = 63
+
+let rheap_create () =
+  {
+    hsize = 0;
+    hlast = 0;
+    bkey = Array.init n_buckets (fun _ -> Array.make 8 0);
+    bfk = Array.init n_buckets (fun _ -> Array.make 8 0.0);
+    bval = Array.init n_buckets (fun _ -> Array.make 8 0);
+    blen = Array.make n_buckets 0;
+  }
+
+let rheap_clear h =
+  h.hsize <- 0;
+  h.hlast <- 0;
+  Array.fill h.blen 0 n_buckets 0
+
+let key_of_float d = Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float d) 1)
+
+(* position of the highest set bit of x > 0 *)
+let msb x =
+  let r = ref 0 and x = ref x in
+  if !x lsr 32 <> 0 then begin r := !r + 32; x := !x lsr 32 end;
+  if !x lsr 16 <> 0 then begin r := !r + 16; x := !x lsr 16 end;
+  if !x lsr 8 <> 0 then begin r := !r + 8; x := !x lsr 8 end;
+  if !x lsr 4 <> 0 then begin r := !r + 4; x := !x lsr 4 end;
+  if !x lsr 2 <> 0 then begin r := !r + 2; x := !x lsr 2 end;
+  if !x lsr 1 <> 0 then incr r;
+  !r
+
+let bucket_of h k = if k = h.hlast then 0 else 1 + msb (k lxor h.hlast)
+
+let rheap_push h k fk v =
+  let b = bucket_of h k in
+  let len = h.blen.(b) in
+  if len = Array.length h.bkey.(b) then begin
+    let cap = 2 * len in
+    let nk = Array.make cap 0 and nf = Array.make cap 0.0 and nv = Array.make cap 0 in
+    Array.blit h.bkey.(b) 0 nk 0 len;
+    Array.blit h.bfk.(b) 0 nf 0 len;
+    Array.blit h.bval.(b) 0 nv 0 len;
+    h.bkey.(b) <- nk;
+    h.bfk.(b) <- nf;
+    h.bval.(b) <- nv
+  end;
+  h.bkey.(b).(len) <- k;
+  h.bfk.(b).(len) <- fk;
+  h.bval.(b).(len) <- v;
+  h.blen.(b) <- len + 1;
+  h.hsize <- h.hsize + 1
+
+(* Pop a minimum-key entry; the float key and vertex land in the two
+   refs. Returns false on an empty heap. *)
+let rheap_pop h fk_out v_out =
+  if h.hsize = 0 then false
+  else begin
+    if h.blen.(0) = 0 then begin
+      (* find the lowest non-empty bucket, pull its minimum key out as
+         the new floor, redistribute into strictly lower buckets *)
+      let b = ref 1 in
+      while h.blen.(!b) = 0 do
+        incr b
+      done;
+      let b = !b in
+      let len = h.blen.(b) in
+      let keys = h.bkey.(b) and fks = h.bfk.(b) and vals = h.bval.(b) in
+      let mn = ref keys.(0) in
+      for i = 1 to len - 1 do
+        if keys.(i) < !mn then mn := keys.(i)
+      done;
+      h.hlast <- !mn;
+      h.blen.(b) <- 0;
+      h.hsize <- h.hsize - len;
+      for i = 0 to len - 1 do
+        rheap_push h keys.(i) fks.(i) vals.(i)
+      done
+    end;
+    let len = h.blen.(0) - 1 in
+    fk_out := h.bfk.(0).(len);
+    v_out := h.bval.(0).(len);
+    h.blen.(0) <- len;
+    h.hsize <- h.hsize - 1;
+    true
+  end
 
 let create n =
   if n < 0 then invalid_arg "Mcmf.create";
@@ -23,6 +159,10 @@ let create n =
     next = Array.make 16 (-1);
     first = Array.make (max n 1) (-1);
     m = 0;
+    adj_ptr = [||];
+    adj_arc = [||];
+    frozen_m = -1;
+    scratch = None;
   }
 
 let grow t =
@@ -49,6 +189,7 @@ let push_arc t tail head cap cost =
   t.next.(a) <- t.first.(tail);
   t.first.(tail) <- a;
   t.m <- t.m + 1;
+  t.frozen_m <- -1;
   a
 
 let add_arc t ~src ~dst ~capacity ~cost =
@@ -59,12 +200,55 @@ let add_arc t ~src ~dst ~capacity ~cost =
   ignore (push_arc t dst src 0 (-.cost));
   a
 
+(* Pack the adjacency chains into CSR form. Group order per vertex is
+   the exact [first]/[next] walk, so scans relax arcs in the same order
+   as a chain walk would. *)
+let freeze t =
+  if t.frozen_m <> t.m then begin
+    if Array.length t.adj_ptr <> t.n + 1 then t.adj_ptr <- Array.make (t.n + 1) 0;
+    if Array.length t.adj_arc < t.m then t.adj_arc <- Array.make (max t.m 16) 0;
+    let k = ref 0 in
+    for v = 0 to t.n - 1 do
+      t.adj_ptr.(v) <- !k;
+      let a = ref t.first.(v) in
+      while !a >= 0 do
+        t.adj_arc.(!k) <- !a;
+        incr k;
+        a := t.next.(!a)
+      done
+    done;
+    t.adj_ptr.(t.n) <- !k;
+    t.frozen_m <- t.m
+  end
+
+let scratch_of t =
+  match t.scratch with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          dist = Array.make t.n infinity;
+          pred_arc = Array.make t.n (-1);
+          scanned = Array.make t.n false;
+          touched = Array.make t.n 0;
+          n_touched = 0;
+          scan_order = Array.make t.n 0;
+          n_scanned = 0;
+          heap = rheap_create ();
+        }
+      in
+      t.scratch <- Some s;
+      s
+
+type arc = int
+
 type outcome = { flow : int; cost : float }
 
 let m_solves = Rc_obs.Metrics.counter "netflow.mcmf.solves"
 let m_augmentations = Rc_obs.Metrics.counter "netflow.mcmf.augmentations"
 let m_flow_units = Rc_obs.Metrics.counter "netflow.mcmf.flow_units"
 let m_bf_runs = Rc_obs.Metrics.counter "netflow.mcmf.bellman_ford_runs"
+let m_scanned = Rc_obs.Metrics.counter "netflow.mcmf.dijkstra_scans"
 
 let bellman_ford_potentials t source =
   (* Vertices unreachable from [source] must NOT be mapped down to 0.0:
@@ -105,10 +289,124 @@ let bellman_ford_potentials t source =
   done;
   pot
 
+(* ---- bucket-Dijkstra core (the default) ------------------------------ *)
+
 (* Successive shortest paths from a given feasible dual. [pot] is
    mutated in place, so after the call it holds the final potentials —
-   a warm start for a later re-solve of the mutated network. *)
+   a warm start for a later re-solve of the mutated network.
+
+   Each augmentation runs Dijkstra on reduced costs over the radix heap
+   and stops as soon as the sink is scanned; the duals of scanned
+   vertices are then updated by [dist(v) - dist(sink)] (unscanned
+   vertices keep their dual), which preserves feasibility:
+   - scanned u -> scanned v: rc' = rc + d(u) - d(v) >= 0 (v was relaxed
+     from u when u was scanned);
+   - scanned u -> unscanned v: v's tentative label is >= d(sink), and
+     it was relaxed from u, so rc + d(u) >= d(sink) and rc' >= 0;
+   - unscanned u -> scanned v: d(v) <= d(sink), so rc' >= rc >= 0;
+   - unscanned -> unscanned: unchanged.
+   Every label write is undone through the touched stack, so one
+   augmentation costs O(explored region), not O(n). *)
 let augment ?(amount = max_int) t ~pot ~source ~sink =
+  if source < 0 || source >= t.n || sink < 0 || sink >= t.n then
+    invalid_arg "Mcmf.solve: vertex out of range";
+  if Array.length pot <> t.n then invalid_arg "Mcmf: potentials length mismatch";
+  freeze t;
+  let s = scratch_of t in
+  let dist = s.dist
+  and pred_arc = s.pred_arc
+  and scanned = s.scanned
+  and heap = s.heap in
+  let adj_ptr = t.adj_ptr and adj_arc = t.adj_arc in
+  let heads = t.heads and caps = t.caps and costs = t.costs in
+  let total_flow = ref 0 and total_cost = ref 0.0 in
+  let continue = ref true in
+  let dq = ref 0.0 and vq = ref 0 in
+  let touch v =
+    s.touched.(s.n_touched) <- v;
+    s.n_touched <- s.n_touched + 1
+  in
+  while !continue && !total_flow < amount do
+    (* reset only what the previous augmentation touched *)
+    for i = 0 to s.n_touched - 1 do
+      let v = s.touched.(i) in
+      dist.(v) <- infinity;
+      pred_arc.(v) <- -1;
+      scanned.(v) <- false
+    done;
+    s.n_touched <- 0;
+    s.n_scanned <- 0;
+    rheap_clear heap;
+    dist.(source) <- 0.0;
+    touch source;
+    rheap_push heap (key_of_float 0.0) 0.0 source;
+    let sink_done = ref false in
+    while (not !sink_done) && rheap_pop heap dq vq do
+      let v = !vq and d = !dq in
+      if d <= dist.(v) +. 1e-12 && not scanned.(v) then begin
+        scanned.(v) <- true;
+        s.scan_order.(s.n_scanned) <- v;
+        s.n_scanned <- s.n_scanned + 1;
+        if v = sink then sink_done := true
+        else begin
+          let pv = pot.(v) in
+          for k = adj_ptr.(v) to adj_ptr.(v + 1) - 1 do
+            let a = adj_arc.(k) in
+            if caps.(a) > 0 then begin
+              let u = heads.(a) in
+              let rc = costs.(a) +. pv -. pot.(u) in
+              let rc = if rc < 0.0 then 0.0 else rc in
+              let nd = d +. rc in
+              if nd < dist.(u) -. 1e-12 then begin
+                if pred_arc.(u) < 0 && dist.(u) = infinity then touch u;
+                dist.(u) <- nd;
+                pred_arc.(u) <- a;
+                rheap_push heap (key_of_float nd) nd u
+              end
+            end
+          done
+        end
+      end
+    done;
+    Rc_obs.Metrics.add m_scanned s.n_scanned;
+    if not !sink_done then continue := false
+    else begin
+      let ds = dist.(sink) in
+      for i = 0 to s.n_scanned - 1 do
+        let v = s.scan_order.(i) in
+        pot.(v) <- pot.(v) +. dist.(v) -. ds
+      done;
+      (* bottleneck along the path *)
+      let bottleneck = ref (amount - !total_flow) in
+      let v = ref sink in
+      while !v <> source do
+        let a = pred_arc.(!v) in
+        if caps.(a) < !bottleneck then bottleneck := caps.(a);
+        v := heads.(a lxor 1)
+      done;
+      let f = !bottleneck in
+      let v = ref sink in
+      while !v <> source do
+        let a = pred_arc.(!v) in
+        caps.(a) <- caps.(a) - f;
+        caps.(a lxor 1) <- caps.(a lxor 1) + f;
+        total_cost := !total_cost +. (float_of_int f *. costs.(a));
+        v := heads.(a lxor 1)
+      done;
+      total_flow := !total_flow + f;
+      Rc_obs.Metrics.incr m_augmentations;
+      Rc_obs.Metrics.add m_flow_units f
+    end
+  done;
+  Rc_obs.Metrics.incr m_solves;
+  { flow = !total_flow; cost = !total_cost }
+
+(* ---- reference core (binary heap, full Dijkstra) --------------------- *)
+
+(* The pre-rewrite implementation, kept verbatim: full Dijkstra sweeps
+   on a binary heap, potentials updated over every reachable vertex.
+   The A/B identity baseline for tests and the [mcmf_scaled] bench. *)
+let augment_reference ?(amount = max_int) t ~pot ~source ~sink =
   if source < 0 || source >= t.n || sink < 0 || sink >= t.n then
     invalid_arg "Mcmf.solve: vertex out of range";
   if Array.length pot <> t.n then invalid_arg "Mcmf: potentials length mismatch";
@@ -177,19 +475,24 @@ let augment ?(amount = max_int) t ~pot ~source ~sink =
   Rc_obs.Metrics.incr m_solves;
   { flow = !total_flow; cost = !total_cost }
 
-let solve ?amount t ~source ~sink =
+let initial_potentials t source =
   let has_negative = ref false in
   for a = 0 to t.m - 1 do
     if t.caps.(a) > 0 && t.costs.(a) < 0.0 then has_negative := true
   done;
-  let pot =
-    if !has_negative then begin
-      Rc_obs.Metrics.incr m_bf_runs;
-      bellman_ford_potentials t source
-    end
-    else Array.make t.n 0.0
-  in
+  if !has_negative then begin
+    Rc_obs.Metrics.incr m_bf_runs;
+    bellman_ford_potentials t source
+  end
+  else Array.make t.n 0.0
+
+let solve ?amount t ~source ~sink =
+  let pot = initial_potentials t source in
   augment ?amount t ~pot ~source ~sink
+
+let solve_reference ?amount t ~source ~sink =
+  let pot = initial_potentials t source in
+  augment_reference ?amount t ~pot ~source ~sink
 
 let solve_warm ?amount t ~potentials ~source ~sink =
   augment ?amount t ~pot:potentials ~source ~sink

@@ -23,7 +23,17 @@ type outcome = {
 val solve : ?amount:int -> t -> source:int -> sink:int -> outcome
 (** Ship up to [amount] units (default: max flow) from source to sink at
     minimum cost. Negative-cost arcs are handled by a Bellman-Ford
-    initialization of the potentials. *)
+    initialization of the potentials. Runs the bucket-Dijkstra core:
+    successive shortest paths over a radix heap on reduced costs, with
+    early sink termination and touched-set resets, so per-augmentation
+    work scales with the explored region rather than the network. *)
+
+val solve_reference : ?amount:int -> t -> source:int -> sink:int -> outcome
+(** The pre-rewrite successive-shortest-path core (binary heap, full
+    Dijkstra sweeps, O(n) potential updates), kept as the identity
+    baseline: on networks where shortest paths are unique it ships the
+    same flow at the bit-identical cost as {!solve}. Used by the QCheck
+    A/B tests and the [mcmf_scaled] bench kernel. *)
 
 val solve_warm :
   ?amount:int -> t -> potentials:float array -> source:int -> sink:int -> outcome

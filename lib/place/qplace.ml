@@ -21,20 +21,63 @@ type system = {
 
 let center_anchor_weight = 1e-6
 
-let build_system netlist ~chip ~extra_springs =
+(* growable parallel entry buffer feeding Csr.of_entries; pushes happen
+   in the same program order the old code prepended triplets, so the
+   assembled matrix is bit-identical to the of_triplets path *)
+type ebuf = {
+  mutable ei : int array;
+  mutable ej : int array;
+  mutable ev : float array;
+  mutable en : int;
+}
+
+let ebuf_create () = { ei = Array.make 1024 0; ej = Array.make 1024 0; ev = Array.make 1024 0.0; en = 0 }
+
+let ebuf_push b i j v =
+  if b.en = Array.length b.ei then begin
+    let c = 2 * b.en in
+    let gi = Array.make c 0 and gj = Array.make c 0 and gv = Array.make c 0.0 in
+    Array.blit b.ei 0 gi 0 b.en;
+    Array.blit b.ej 0 gj 0 b.en;
+    Array.blit b.ev 0 gv 0 b.en;
+    b.ei <- gi;
+    b.ej <- gj;
+    b.ev <- gv
+  end;
+  b.ei.(b.en) <- i;
+  b.ej.(b.en) <- j;
+  b.ev.(b.en) <- v;
+  b.en <- b.en + 1
+
+let movable_index netlist =
   let n = Netlist.n_cells netlist in
   let index = Array.make n (-1) in
-  let movable =
-    Array.of_list
-      (List.filter (fun c -> Netlist.movable netlist c) (List.init n Fun.id))
-  in
-  Array.iteri (fun i c -> index.(c) <- i) movable;
+  let m = ref 0 in
+  for c = 0 to n - 1 do
+    if Netlist.movable netlist c then incr m
+  done;
+  let movable = Array.make !m 0 in
+  let i = ref 0 in
+  for c = 0 to n - 1 do
+    if Netlist.movable netlist c then begin
+      movable.(!i) <- c;
+      index.(c) <- !i;
+      incr i
+    end
+  done;
+  (movable, index)
+
+let build_system netlist ~chip ~extra_springs =
+  let movable, index = movable_index netlist in
   let m = Array.length movable in
-  let triplets = ref [] in
+  let buf = ebuf_create () in
   let rhs_x = Array.make m 0.0 and rhs_y = Array.make m 0.0 in
-  let add_diag i w = triplets := (i, i, w) :: !triplets in
+  let add_diag i w = ebuf_push buf i i w in
   let add_pair i j w =
-    triplets := (i, i, w) :: (j, j, w) :: (i, j, -.w) :: (j, i, -.w) :: !triplets
+    ebuf_push buf i i w;
+    ebuf_push buf j j w;
+    ebuf_push buf i j (-.w);
+    ebuf_push buf j i (-.w)
   in
   let add_fixed i w (p : Point.t) =
     add_diag i w;
@@ -60,7 +103,7 @@ let build_system netlist ~chip ~extra_springs =
   List.iter
     (fun (cell, p, w) -> if index.(cell) >= 0 then add_fixed index.(cell) w p)
     extra_springs;
-  let matrix = Rc_sparse.Csr.of_triplets ~rows:m ~cols:m !triplets in
+  let matrix = Rc_sparse.Csr.of_entries ~rows:m ~cols:m ~len:buf.en buf.ei buf.ej buf.ev in
   { movable; index; matrix; rhs_x; rhs_y }
 
 (* The x and y systems share the matrix but are otherwise independent —
@@ -86,8 +129,7 @@ let assemble_positions netlist sys xs ys =
 
 (* ---- recursive-bisection spreading targets -------------------------- *)
 
-let spreading_targets rng chip movable xs ys =
-  let m = Array.length movable in
+let spreading_targets rng chip m xs ys =
   let targets = Array.make m Point.zero in
   (* indices into the movable arrays *)
   let idx = Array.init m Fun.id in
@@ -185,9 +227,267 @@ let legalize netlist ~chip ~site positions =
   done;
   out
 
+(* ---- multilevel V-cycle (mPL-style clustered placement) -------------- *)
+
+(* Above this many movable cells [initial] switches from the flat
+   solve-and-spread schedule to the V-cycle below; every Table II
+   circuit sits far under it, so the paper path stays bit-identical. *)
+let multilevel_threshold = 50_000
+
+(* stop coarsening once a level is this small: CG is cheap there and
+   the bisection spreading still has room to work.  Scaled down for
+   circuits (or tests) that enter the V-cycle near the threshold, so
+   they still see a real cluster hierarchy. *)
+let coarse_target m = max 2_000 (min 12_000 (m / 8))
+
+(* A placement level: the star-model connectivity graph over movable
+   vertices plus per-vertex fixed-anchor accumulators (pad connections,
+   center regularization).  Fixed anchors are stored pre-multiplied
+   (Σw, Σw·x, Σw·y) so coarsening them is pure accumulation. *)
+type mgraph = {
+  gm : int;  (* vertices *)
+  ges : int array;  (* undirected edge endpoints, one slot per edge *)
+  ged : int array;
+  gew : float array;
+  gne : int;
+  gfw : float array;  (* per-vertex Σ anchor weight *)
+  gfx : float array;  (* per-vertex Σ weight · anchor.x *)
+  gfy : float array;
+}
+
+let mgraph_of_netlist netlist ~chip ~index ~m =
+  let buf = ebuf_create () in
+  let gfw = Array.make m 0.0 and gfx = Array.make m 0.0 and gfy = Array.make m 0.0 in
+  let fixed i w (p : Point.t) =
+    gfw.(i) <- gfw.(i) +. w;
+    gfx.(i) <- gfx.(i) +. (w *. p.Point.x);
+    gfy.(i) <- gfy.(i) +. (w *. p.Point.y)
+  in
+  let connect a b w =
+    match (index.(a), index.(b)) with
+    | -1, -1 -> ()
+    | ia, -1 -> fixed ia w (Netlist.pad_position netlist b)
+    | -1, ib -> fixed ib w (Netlist.pad_position netlist a)
+    | ia, ib -> if ia <> ib then ebuf_push buf ia ib w
+  in
+  Netlist.iter_nets netlist (fun _ net ->
+      let k = 1 + Array.length net.sinks in
+      let w = 2.0 /. float_of_int k in
+      Array.iter (fun s -> connect net.driver s w) net.sinks);
+  let c = Rect.center chip in
+  for i = 0 to m - 1 do
+    fixed i center_anchor_weight c
+  done;
+  { gm = m; ges = buf.ei; ged = buf.ej; gew = buf.ev; gne = buf.en; gfw; gfx; gfy }
+
+(* quadratic system of one level, optionally with uniform spreading
+   springs of strength [alpha] toward per-vertex [targets] *)
+let system_of_mgraph g ~springs =
+  let buf = ebuf_create () in
+  for e = 0 to g.gne - 1 do
+    let i = g.ges.(e) and j = g.ged.(e) and w = g.gew.(e) in
+    ebuf_push buf i i w;
+    ebuf_push buf j j w;
+    ebuf_push buf i j (-.w);
+    ebuf_push buf j i (-.w)
+  done;
+  let rhs_x = Array.make g.gm 0.0 and rhs_y = Array.make g.gm 0.0 in
+  for i = 0 to g.gm - 1 do
+    let w, wx, wy =
+      match springs with
+      | None -> (g.gfw.(i), g.gfx.(i), g.gfy.(i))
+      | Some (targets, alpha) ->
+          let (t : Point.t) = targets.(i) in
+          ( g.gfw.(i) +. alpha,
+            g.gfx.(i) +. (alpha *. t.Point.x),
+            g.gfy.(i) +. (alpha *. t.Point.y) )
+    in
+    if w <> 0.0 then ebuf_push buf i i w;
+    rhs_x.(i) <- wx;
+    rhs_y.(i) <- wy
+  done;
+  let matrix = Rc_sparse.Csr.of_entries ~rows:g.gm ~cols:g.gm ~len:buf.en buf.ei buf.ej buf.ev in
+  (matrix, rhs_x, rhs_y)
+
+(* one level of first-choice / heavy-edge coarsening: match each vertex
+   (in index order) to its heaviest still-unmatched neighbor, merge the
+   pairs, remap edges and accumulate anchors.  Cross-cluster multi-edges
+   are merged by a keyed sort so every level's graph stays canonical. *)
+let coarsen g =
+  let m = g.gm in
+  (* adjacency CSR over both edge directions *)
+  let ptr = Array.make (m + 1) 0 in
+  for e = 0 to g.gne - 1 do
+    ptr.(g.ges.(e) + 1) <- ptr.(g.ges.(e) + 1) + 1;
+    ptr.(g.ged.(e) + 1) <- ptr.(g.ged.(e) + 1) + 1
+  done;
+  for i = 1 to m do
+    ptr.(i) <- ptr.(i) + ptr.(i - 1)
+  done;
+  let adj_v = Array.make (2 * g.gne) 0 and adj_w = Array.make (2 * g.gne) 0.0 in
+  let cursor = Array.copy ptr in
+  for e = 0 to g.gne - 1 do
+    let u = g.ges.(e) and v = g.ged.(e) and w = g.gew.(e) in
+    adj_v.(cursor.(u)) <- v;
+    adj_w.(cursor.(u)) <- w;
+    cursor.(u) <- cursor.(u) + 1;
+    adj_v.(cursor.(v)) <- u;
+    adj_w.(cursor.(v)) <- w;
+    cursor.(v) <- cursor.(v) + 1
+  done;
+  let mate = Array.make m (-1) in
+  for v = 0 to m - 1 do
+    if mate.(v) < 0 then begin
+      let best = ref (-1) and best_w = ref neg_infinity in
+      for k = ptr.(v) to ptr.(v + 1) - 1 do
+        let u = adj_v.(k) in
+        if u <> v && mate.(u) < 0 && adj_w.(k) > !best_w then begin
+          best := u;
+          best_w := adj_w.(k)
+        end
+      done;
+      if !best >= 0 then begin
+        mate.(v) <- !best;
+        mate.(!best) <- v
+      end
+      else mate.(v) <- v
+    end
+  done;
+  let map = Array.make m (-1) in
+  let mc = ref 0 in
+  for v = 0 to m - 1 do
+    if map.(v) < 0 then begin
+      map.(v) <- !mc;
+      if mate.(v) <> v then map.(mate.(v)) <- !mc;
+      incr mc
+    end
+  done;
+  let mc = !mc in
+  let gfw = Array.make mc 0.0 and gfx = Array.make mc 0.0 and gfy = Array.make mc 0.0 in
+  for v = 0 to m - 1 do
+    let c = map.(v) in
+    gfw.(c) <- gfw.(c) +. g.gfw.(v);
+    gfx.(c) <- gfx.(c) +. g.gfx.(v);
+    gfy.(c) <- gfy.(c) +. g.gfy.(v)
+  done;
+  (* surviving cross-cluster edges, normalized u < v and keyed for the
+     duplicate merge *)
+  let keep = Array.make g.gne 0 and nkeep = ref 0 in
+  for e = 0 to g.gne - 1 do
+    if map.(g.ges.(e)) <> map.(g.ged.(e)) then begin
+      keep.(!nkeep) <- e;
+      incr nkeep
+    end
+  done;
+  let nkeep = !nkeep in
+  let perm = Array.sub keep 0 nkeep in
+  let key e =
+    let u = map.(g.ges.(e)) and v = map.(g.ged.(e)) in
+    if u < v then (u * mc) + v else (v * mc) + u
+  in
+  Array.sort
+    (fun a b ->
+      let c = compare (key a) (key b) in
+      if c <> 0 then c else compare a b)
+    perm;
+  let ces = Array.make nkeep 0 and ced = Array.make nkeep 0 and cew = Array.make nkeep 0.0 in
+  let out = ref 0 and k = ref 0 in
+  while !k < nkeep do
+    let ka = key perm.(!k) in
+    let acc = ref g.gew.(perm.(!k)) in
+    incr k;
+    while !k < nkeep && key perm.(!k) = ka do
+      acc := !acc +. g.gew.(perm.(!k));
+      incr k
+    done;
+    ces.(!out) <- ka / mc;
+    ced.(!out) <- ka mod mc;
+    cew.(!out) <- !acc;
+    incr out
+  done;
+  (map, { gm = mc; ges = ces; ged = ced; gew = cew; gne = !out; gfw; gfx; gfy })
+
+(* the V-cycle: coarsen to [coarse_target], solve and spread there, then
+   interpolate down the chain with one warm-started spreading relaxation
+   per level (two at the finest, ending on the flat schedule's final
+   anchor strength 0.01·2⁵) *)
+let initial_multilevel ~seed netlist ~chip =
+  let rng = Rc_util.Rng.create seed in
+  let movable, index = movable_index netlist in
+  let m = Array.length movable in
+  let g0 = mgraph_of_netlist netlist ~chip ~index ~m in
+  let coarse_target = coarse_target m in
+  let rec chain acc g =
+    if g.gm <= coarse_target then (acc, g)
+    else
+      let map, gc = coarsen g in
+      (* a stalled level (under 10% reduction) would only add cost *)
+      if gc.gm * 10 >= g.gm * 9 then (acc, g) else chain ((g, map) :: acc) gc
+  in
+  let levels, coarsest = chain [] g0 in
+  let iters = ref 0 in
+  let xs = ref [||] and ys = ref [||] in
+  Rc_par.Pool.region (fun () ->
+      let relax g ~wsx ~wsy ~springs ~x0 ~y0 =
+        let matrix, rhs_x, rhs_y = system_of_mgraph g ~springs in
+        let x, y, it =
+          solve_system ~wsx ~wsy ?x0 ?y0
+            { movable = [||]; index = [||]; matrix; rhs_x; rhs_y }
+        in
+        iters := !iters + it;
+        (x, y)
+      in
+      (* coarsest level: cold connectivity solve + early spreading *)
+      let wsx = Rc_sparse.Cg.workspace coarsest.gm
+      and wsy = Rc_sparse.Cg.workspace coarsest.gm in
+      let x, y = relax coarsest ~wsx ~wsy ~springs:None ~x0:None ~y0:None in
+      xs := x;
+      ys := y;
+      List.iter
+        (fun alpha ->
+          let targets = spreading_targets rng chip coarsest.gm !xs !ys in
+          let x, y =
+            relax coarsest ~wsx ~wsy ~springs:(Some (targets, alpha)) ~x0:(Some !xs)
+              ~y0:(Some !ys)
+          in
+          xs := x;
+          ys := y)
+        [ 0.02; 0.04 ];
+      (* refinement sweep, finest level last *)
+      List.iter
+        (fun (g, map) ->
+          let xf = Array.make g.gm 0.0 and yf = Array.make g.gm 0.0 in
+          for i = 0 to g.gm - 1 do
+            xf.(i) <- !xs.(map.(i));
+            yf.(i) <- !ys.(map.(i))
+          done;
+          xs := xf;
+          ys := yf;
+          let wsx = Rc_sparse.Cg.workspace g.gm and wsy = Rc_sparse.Cg.workspace g.gm in
+          let alphas = if g == g0 then [ 0.16; 0.32 ] else [ 0.08 ] in
+          List.iter
+            (fun alpha ->
+              let targets = spreading_targets rng chip g.gm !xs !ys in
+              let x, y =
+                relax g ~wsx ~wsy ~springs:(Some (targets, alpha)) ~x0:(Some !xs)
+                  ~y0:(Some !ys)
+              in
+              xs := x;
+              ys := y)
+            alphas)
+        levels);
+  let n = Netlist.n_cells netlist in
+  let spread =
+    Array.init n (fun c ->
+        if index.(c) >= 0 then Point.make !xs.(index.(c)) !ys.(index.(c))
+        else Netlist.pad_position netlist c)
+  in
+  let legal = legalize netlist ~chip ~site:10.0 spread in
+  { positions = legal; hpwl = Wirelength.total netlist legal; solver_iterations = !iters }
+
 (* ---- top-level entry points ------------------------------------------ *)
 
-let initial ?(seed = 7) ?(spread_rounds = 5) netlist ~chip =
+let initial_flat ~seed ~spread_rounds netlist ~chip =
   let rng = Rc_util.Rng.create seed in
   let iters = ref 0 in
   (* pass 1: pure connectivity solve *)
@@ -207,7 +507,7 @@ let initial ?(seed = 7) ?(spread_rounds = 5) netlist ~chip =
       iters := !iters + it0;
       (* spreading rounds with growing anchor strength *)
       for round = 1 to spread_rounds do
-        let targets = spreading_targets rng chip sys0.movable !xs !ys in
+        let targets = spreading_targets rng chip (Array.length sys0.movable) !xs !ys in
         let alpha = 0.01 *. (2.0 ** float_of_int round) in
         let springs =
           Array.to_list
@@ -222,6 +522,18 @@ let initial ?(seed = 7) ?(spread_rounds = 5) netlist ~chip =
   let spread = assemble_positions netlist sys0 !xs !ys in
   let legal = legalize netlist ~chip ~site:10.0 spread in
   { positions = legal; hpwl = Wirelength.total netlist legal; solver_iterations = !iters }
+
+(* [initial] keeps the paper circuits (well under the threshold) on the
+   flat schedule byte for byte; the scaling suite takes the V-cycle *)
+let initial ?(seed = 7) ?(spread_rounds = 5)
+    ?(multilevel_threshold = multilevel_threshold) netlist ~chip =
+  let n = Netlist.n_cells netlist in
+  let m = ref 0 in
+  for c = 0 to n - 1 do
+    if Netlist.movable netlist c then incr m
+  done;
+  if !m >= multilevel_threshold then initial_multilevel ~seed netlist ~chip
+  else initial_flat ~seed ~spread_rounds netlist ~chip
 
 let incremental ?(stability = 0.004) netlist ~chip ~prev ~pseudo =
   let n = Netlist.n_cells netlist in
@@ -254,7 +566,7 @@ let incremental ?(stability = 0.004) netlist ~chip ~prev ~pseudo =
          pass ends with (0.01·2⁵), so incremental results stay
          comparable *)
       for round = 3 to 5 do
-        let targets = spreading_targets rng chip sys0.movable !xs !ys in
+        let targets = spreading_targets rng chip (Array.length sys0.movable) !xs !ys in
         let alpha = 0.01 *. (2.0 ** float_of_int round) in
         let springs =
           base_springs

@@ -24,12 +24,23 @@ type result = {
 val initial :
   ?seed:int ->
   ?spread_rounds:int ->
+  ?multilevel_threshold:int ->
   Rc_netlist.Netlist.t ->
   chip:Rc_geom.Rect.t ->
   result
 (** Global placement from scratch (flow stage 1). [spread_rounds]
     (default 5) controls how many solve/spread rounds run before
-    legalization. *)
+    legalization.
+
+    Circuits with at least [multilevel_threshold] movable cells
+    (default 50 000 — far above every Table II circuit, so the paper
+    path is untouched) are placed by a multilevel V-cycle instead of
+    the flat schedule: first-choice/heavy-edge clustering coarsens the
+    star connectivity graph to ~12k vertices, the coarsest level is
+    solved cold and spread, and each finer level interpolates the
+    cluster positions and runs one (two at the finest) warm-started
+    spreading relaxation, ending on the flat schedule's final anchor
+    strength.  Deterministic and jobs-invariant like the flat path. *)
 
 val incremental :
   ?stability:float ->

@@ -64,11 +64,16 @@ let rings_near t p k =
     Array.to_list (Array.sub scored 0 kk) |> List.map snd
   end
   else begin
-    let pw = Rect.width t.chip /. float_of_int t.grid in
-    let ph = Rect.height t.chip /. float_of_int t.grid in
+    (* Tile pitch is the ring pitch (ring 0's rect), not die/grid: the
+       two agree on today's uniform arrays, but anchoring on the ring
+       keeps the seed tile and shell bounds tied to actual ring geometry
+       rather than the die extent, so the search stays O(shells) per
+       query no matter how large the die grows around the array. *)
+    let r0 = t.rings.(0).Ring.rect in
+    let pw = Rect.width r0 and ph = Rect.height r0 in
     let clampi v hi = max 0 (min hi v) in
-    let cx = clampi (int_of_float ((p.Point.x -. t.chip.Rect.xmin) /. pw)) (t.grid - 1) in
-    let cy = clampi (int_of_float ((p.Point.y -. t.chip.Rect.ymin) /. ph)) (t.grid - 1) in
+    let cx = clampi (int_of_float ((p.Point.x -. r0.Rect.xmin) /. pw)) (t.grid - 1) in
+    let cy = clampi (int_of_float ((p.Point.y -. r0.Rect.ymin) /. ph)) (t.grid - 1) in
     let buf = ref [] and count = ref 0 in
     let add gx gy =
       if gx >= 0 && gx < t.grid && gy >= 0 && gy < t.grid then begin
@@ -91,22 +96,19 @@ let rings_near t p k =
     in
     (* smallest possible distance from [p] to a center in any shell >= s:
        such a center is offset at least s tiles along some axis, putting
-       its coordinate at least this far from [p] on that axis (bounds
-       for directions that run off the grid don't exist) *)
+       its coordinate at least as far from [p] as the boundary row or
+       column's actual ring-center coordinate — exact, not reconstructed
+       from the die extent (bounds for directions that run off the grid
+       don't exist) *)
+    let center_x gx = (Rect.center t.rings.(gx).Ring.rect).Point.x in
+    let center_y gy = (Rect.center t.rings.(gy * t.grid).Ring.rect).Point.y in
     let shell_lower_bound s =
-      let fl v = float_of_int v +. 0.5 in
-      let left =
-        if cx - s >= 0 then p.Point.x -. (t.chip.Rect.xmin +. (fl (cx - s) *. pw))
-        else infinity
+      let left = if cx - s >= 0 then p.Point.x -. center_x (cx - s) else infinity
       and right =
-        if cx + s <= t.grid - 1 then t.chip.Rect.xmin +. (fl (cx + s) *. pw) -. p.Point.x
-        else infinity
-      and down =
-        if cy - s >= 0 then p.Point.y -. (t.chip.Rect.ymin +. (fl (cy - s) *. ph))
-        else infinity
+        if cx + s <= t.grid - 1 then center_x (cx + s) -. p.Point.x else infinity
+      and down = if cy - s >= 0 then p.Point.y -. center_y (cy - s) else infinity
       and up =
-        if cy + s <= t.grid - 1 then t.chip.Rect.ymin +. (fl (cy + s) *. ph) -. p.Point.y
-        else infinity
+        if cy + s <= t.grid - 1 then center_y (cy + s) -. p.Point.y else infinity
       in
       Float.min (Float.min left right) (Float.min down up)
     in

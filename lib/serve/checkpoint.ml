@@ -237,7 +237,7 @@ let ctx_of_payload ?netlist ?(warm = true) p =
   let netlist =
     match netlist with
     | Some n -> n
-    | None -> Rc_netlist.Generator.generate cfg.Flow_ctx.bench.Bench_suite.gen
+    | None -> Bench_suite.netlist cfg.Flow_ctx.bench
   in
   let base = Flow_ctx.create ~arm:p.p_arm cfg netlist in
   let ctx =

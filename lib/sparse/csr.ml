@@ -67,6 +67,80 @@ let of_triplets ~rows:n_rows ~cols:n_cols triplets =
     values = Vec.of_array values;
   }
 
+(* Array-buffer twin of [of_triplets], for million-entry assemblies: no
+   per-row hashtables, no boxed triplet list.  Entries are the first
+   [len] slots of three parallel arrays.  Duplicate (i, j) slots are
+   summed left-associatively in REVERSE entry order — exactly the order
+   [of_triplets] sums a prepend-built list — and exact-zero sums are
+   dropped, so a caller that switches from prepending triplets to
+   pushing array entries gets a bit-identical matrix. *)
+let of_entries ~rows:n_rows ~cols:n_cols ~len ri ci vs =
+  if n_rows < 0 || n_cols < 0 then invalid_arg "Csr.of_entries: negative dims";
+  if len < 0 || len > Array.length ri || len > Array.length ci || len > Array.length vs
+  then invalid_arg "Csr.of_entries: bad length";
+  for k = 0 to len - 1 do
+    if ri.(k) < 0 || ri.(k) >= n_rows || ci.(k) < 0 || ci.(k) >= n_cols then
+      invalid_arg "Csr.of_entries: index out of range"
+  done;
+  (* stable counting sort of entry slots into rows, iterating k
+     descending so each row's slot list is in reverse entry order *)
+  let count = Array.make (n_rows + 1) 0 in
+  for k = 0 to len - 1 do
+    count.(ri.(k) + 1) <- count.(ri.(k) + 1) + 1
+  done;
+  for i = 1 to n_rows do
+    count.(i) <- count.(i) + count.(i - 1)
+  done;
+  let start = Array.copy count in
+  let slot = Array.make len 0 in
+  let cursor = Array.copy count in
+  for k = len - 1 downto 0 do
+    let i = ri.(k) in
+    slot.(cursor.(i)) <- k;
+    cursor.(i) <- cursor.(i) + 1
+  done;
+  let row_ptr = Array.make (n_rows + 1) 0 in
+  let col_idx = Array.make len 0 and values = Array.make len 0.0 in
+  let out = ref 0 in
+  for i = 0 to n_rows - 1 do
+    row_ptr.(i) <- !out;
+    let lo = start.(i) and hi = start.(i + 1) in
+    if hi > lo then begin
+      (* order the row's slots by column; ties keep descending entry
+         index, i.e. reverse entry order, so duplicate sums below run in
+         list order of the prepend-built equivalent *)
+      let seg = Array.sub slot lo (hi - lo) in
+      Array.sort
+        (fun a b ->
+          let c = compare ci.(a) ci.(b) in
+          if c <> 0 then c else compare b a)
+        seg;
+      let k = ref 0 and nseg = Array.length seg in
+      while !k < nseg do
+        let col = ci.(seg.(!k)) in
+        let acc = ref vs.(seg.(!k)) in
+        incr k;
+        while !k < nseg && ci.(seg.(!k)) = col do
+          acc := !acc +. vs.(seg.(!k));
+          incr k
+        done;
+        if !acc <> 0.0 then begin
+          col_idx.(!out) <- col;
+          values.(!out) <- !acc;
+          incr out
+        end
+      done
+    end
+  done;
+  row_ptr.(n_rows) <- !out;
+  {
+    n_rows;
+    n_cols;
+    row_ptr = ivec_of_array row_ptr;
+    col_idx = ivec_of_array (Array.sub col_idx 0 !out);
+    values = Vec.of_array (Array.sub values 0 !out);
+  }
+
 let get t i j =
   if i < 0 || i >= t.n_rows || j < 0 || j >= t.n_cols then
     invalid_arg "Csr.get: index out of range";

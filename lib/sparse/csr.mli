@@ -16,6 +16,18 @@ val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
     are accumulated, exact zeros are kept out of the structure.
     @raise Invalid_argument on out-of-range indices or negative dims. *)
 
+val of_entries :
+  rows:int -> cols:int -> len:int -> int array -> int array -> float array -> t
+(** [of_entries ~rows ~cols ~len ri ci vs] assembles from the first
+    [len] slots of three parallel entry arrays — the million-entry
+    counterpart of {!of_triplets} (counting sort, no per-row tables,
+    no boxed list).  Duplicates are summed in reverse entry order and
+    exact-zero sums dropped, which is precisely how {!of_triplets}
+    treats a list built by prepending the same entries, so switching a
+    caller from one to the other is bit-identical.
+    @raise Invalid_argument on out-of-range indices, negative dims or a
+    bad [len]. *)
+
 val rows : t -> int
 val cols : t -> int
 val nnz : t -> int

@@ -68,7 +68,7 @@ let test_final_schedule_meets_timing () =
 
 let test_positions_legal () =
   let o = Lazy.force tiny_outcome in
-  let chip = o.Flow.cfg.Flow.bench.Bench_suite.gen.Rc_netlist.Generator.chip in
+  let chip = Bench_suite.chip o.Flow.cfg.Flow.bench in
   let seen = Hashtbl.create 64 in
   Array.iteri
     (fun c p ->

@@ -20,8 +20,8 @@ let with_warm_check f =
   Fun.protect ~finally:(fun () -> Unix.putenv "ROTARY_WARM_CHECK" "") f
 
 let tiny = Bench_suite.tiny
-let tiny_netlist = lazy (Rc_netlist.Generator.generate tiny.Bench_suite.gen)
-let tiny_chip = tiny.Bench_suite.gen.Rc_netlist.Generator.chip
+let tiny_netlist = lazy (Bench_suite.netlist tiny)
+let tiny_chip = Bench_suite.chip tiny
 
 let tiny_placed =
   lazy (Rc_place.Qplace.initial (Lazy.force tiny_netlist) ~chip:tiny_chip)

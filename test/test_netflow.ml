@@ -146,6 +146,89 @@ let prop_assignment_matches_brute_force =
         r.Assignment.assigned = n_items && Float.abs (r.Assignment.total_cost -. expected) < 1e-6
       end)
 
+(* A/B identity: the bucket-Dijkstra core must ship the same flow at the
+   bit-identical cost as the legacy binary-heap core on random bipartite
+   assignment networks. Costs are continuous (uniform floats), so
+   shortest paths are unique with probability 1 and both cores choose
+   the same arcs — the comparison is [=] on the cost, not a tolerance. *)
+let random_bipartite seed =
+  let rng = Rc_util.Rng.create ((seed * 53) + 11) in
+  let n_items = Rc_util.Rng.int_in rng 2 14 in
+  let n_bins = Rc_util.Rng.int_in rng 2 6 in
+  let caps = Array.init n_bins (fun _ -> Rc_util.Rng.int_in rng 1 4) in
+  let build () =
+    let n = Mcmf.create (2 + n_items + n_bins) in
+    let source = 0 and sink = 1 in
+    for i = 0 to n_items - 1 do
+      ignore (Mcmf.add_arc n ~src:source ~dst:(2 + i) ~capacity:1 ~cost:0.0)
+    done;
+    for j = 0 to n_bins - 1 do
+      ignore
+        (Mcmf.add_arc n ~src:(2 + n_items + j) ~dst:sink ~capacity:caps.(j)
+           ~cost:0.0)
+    done;
+    (n, source, sink)
+  in
+  (* one shared cost draw, replayed into both networks *)
+  let costs =
+    Array.init n_items (fun _ ->
+        Array.init n_bins (fun _ -> Rc_util.Rng.float rng 100.0))
+  in
+  let with_cands (n, source, sink) =
+    for i = 0 to n_items - 1 do
+      for j = 0 to n_bins - 1 do
+        ignore
+          (Mcmf.add_arc n ~src:(2 + i) ~dst:(2 + n_items + j) ~capacity:1
+             ~cost:costs.(i).(j))
+      done
+    done;
+    (n, source, sink)
+  in
+  (with_cands (build ()), with_cands (build ()))
+
+let prop_bucket_dijkstra_matches_reference =
+  QCheck.Test.make
+    ~name:"bucket-Dijkstra core bit-identical to reference core" ~count:120
+    QCheck.small_int (fun seed ->
+      let (na, sa, ka), (nb, sb, kb) = random_bipartite seed in
+      let ra = Mcmf.solve na ~source:sa ~sink:ka in
+      let rb = Mcmf.solve_reference nb ~source:sb ~sink:kb in
+      ra.Mcmf.flow = rb.Mcmf.flow && ra.Mcmf.cost = rb.Mcmf.cost)
+
+let prop_bucket_dijkstra_matches_reference_general =
+  (* general layered networks with parallel arcs and wider capacities *)
+  QCheck.Test.make
+    ~name:"cores agree on layered multigraphs (flow and exact cost)"
+    ~count:120 QCheck.small_int (fun seed ->
+      let rng = Rc_util.Rng.create ((seed * 97) + 3) in
+      let n_mid = Rc_util.Rng.int_in rng 2 10 in
+      let n = 2 + (2 * n_mid) in
+      let arcs = ref [] in
+      let add src dst cap cost = arcs := (src, dst, cap, cost) :: !arcs in
+      for i = 0 to n_mid - 1 do
+        add 0 (2 + i) (Rc_util.Rng.int_in rng 1 5) (Rc_util.Rng.float rng 10.0);
+        add (2 + n_mid + i) 1 (Rc_util.Rng.int_in rng 1 5)
+          (Rc_util.Rng.float rng 10.0)
+      done;
+      let n_cross = Rc_util.Rng.int_in rng n_mid (3 * n_mid) in
+      for _ = 1 to n_cross do
+        let i = Rc_util.Rng.int_in rng 0 (n_mid - 1)
+        and j = Rc_util.Rng.int_in rng 0 (n_mid - 1) in
+        add (2 + i) (2 + n_mid + j) (Rc_util.Rng.int_in rng 1 3)
+          (Rc_util.Rng.float rng 50.0)
+      done;
+      let arcs = List.rev !arcs in
+      let build () =
+        let net = Mcmf.create n in
+        List.iter (fun (src, dst, capacity, cost) ->
+            ignore (Mcmf.add_arc net ~src ~dst ~capacity ~cost))
+          arcs;
+        net
+      in
+      let ra = Mcmf.solve (build ()) ~source:0 ~sink:1 in
+      let rb = Mcmf.solve_reference (build ()) ~source:0 ~sink:1 in
+      ra.Mcmf.flow = rb.Mcmf.flow && ra.Mcmf.cost = rb.Mcmf.cost)
+
 let () =
   Alcotest.run "rc_netflow"
     [
@@ -157,6 +240,8 @@ let () =
           Alcotest.test_case "residual rerouting" `Quick test_residual_rerouting;
           Alcotest.test_case "negative costs" `Quick test_negative_cost_arc;
           Alcotest.test_case "disconnected" `Quick test_disconnected;
+          QCheck_alcotest.to_alcotest prop_bucket_dijkstra_matches_reference;
+          QCheck_alcotest.to_alcotest prop_bucket_dijkstra_matches_reference_general;
         ] );
       ( "assignment",
         [

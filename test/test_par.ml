@@ -322,11 +322,11 @@ let check_all_equal name = function
         rest
 
 let tiny_netlist =
-  lazy (Rc_netlist.Generator.generate Bench_suite.tiny.Bench_suite.gen)
+  lazy (Bench_suite.netlist Bench_suite.tiny)
 
 let test_qplace_deterministic () =
   let netlist = Lazy.force tiny_netlist in
-  let chip = Bench_suite.tiny.Bench_suite.gen.Rc_netlist.Generator.chip in
+  let chip = Bench_suite.chip Bench_suite.tiny in
   let runs =
     at_jobs [ 1; 2; 4; 8 ] (fun () ->
         (Rc_place.Qplace.initial netlist ~chip).Rc_place.Qplace.positions)
@@ -337,7 +337,7 @@ let stage2 () =
   let tech = Rc_tech.Tech.default in
   let bench = Bench_suite.tiny in
   let netlist = Lazy.force tiny_netlist in
-  let chip = bench.Bench_suite.gen.Rc_netlist.Generator.chip in
+  let chip = Bench_suite.chip bench in
   let rings =
     Rc_rotary.Ring_array.create ~period:tech.Rc_tech.Tech.clock_period ~chip
       ~grid:bench.Bench_suite.ring_grid ()

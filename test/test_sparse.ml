@@ -157,6 +157,36 @@ let random_csr rng ~rows ~cols ~nnz =
   done;
   Csr.of_triplets ~rows ~cols !triplets
 
+(* of_entries must be the exact twin of of_triplets on a prepend-built
+   list: same structure, bit-identical values (duplicate sums included,
+   many duplicates forced by the small index ranges) *)
+let prop_of_entries_matches_of_triplets =
+  QCheck.Test.make ~name:"of_entries is bit-identical to of_triplets" ~count:300
+    QCheck.(triple small_int (int_range 1 12) (int_range 0 120))
+    (fun (seed, dim, nnz) ->
+      let rng = Rc_util.Rng.create ((seed * 977) + 13) in
+      let ri = Array.make nnz 0 and ci = Array.make nnz 0 and vs = Array.make nnz 0.0 in
+      let triplets = ref [] in
+      for k = 0 to nnz - 1 do
+        let i = Rc_util.Rng.int rng dim and j = Rc_util.Rng.int rng dim in
+        (* occasional exact cancellation so the zero-drop path is hit *)
+        let v =
+          if Rc_util.Rng.int rng 8 = 0 && k > 0 then -.vs.(k - 1)
+          else Rc_util.Rng.float_in rng (-2.0) 2.0
+        in
+        ri.(k) <- i;
+        ci.(k) <- j;
+        vs.(k) <- v;
+        triplets := (i, j, v) :: !triplets
+      done;
+      let a = Csr.of_triplets ~rows:dim ~cols:dim !triplets in
+      let b = Csr.of_entries ~rows:dim ~cols:dim ~len:nnz ri ci vs in
+      Csr.nnz a = Csr.nnz b
+      && List.for_all
+           (fun i ->
+             List.for_all (fun j -> Csr.get a i j = Csr.get b i j) (List.init dim Fun.id))
+           (List.init dim Fun.id))
+
 let prop_spmv_bit_identical =
   QCheck.Test.make ~name:"C spmv is bit-identical to the boxed row loop" ~count:200
     QCheck.(triple small_int (int_range 1 40) (int_range 1 40))
@@ -409,6 +439,7 @@ let () =
           Alcotest.test_case "transpose" `Quick test_csr_transpose;
           Alcotest.test_case "diagonal" `Quick test_csr_diagonal;
           Alcotest.test_case "bad index" `Quick test_csr_bad_index;
+          QCheck_alcotest.to_alcotest prop_of_entries_matches_of_triplets;
         ] );
       ( "cg",
         [
