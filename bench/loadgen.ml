@@ -10,57 +10,162 @@
    and rewritten with Rc_util.Json.
 
    Usage:
-     loadgen.exe --socket PATH [-n CONNS] [--requests TOTAL]
-                 [--deadline-ms MS] [--out FILE.json]
+     loadgen.exe --socket PATH | --tcp HOST:PORT
+                 [-n CONNS] [--requests TOTAL] [--mix default|light]
+                 [--bench NAME] [--deadline-ms MS] [--out FILE.json]
+                 [--key NAME] [--expect-digest HEX]
+                 [--chaos-kill K --shm PATH]
 
    The request mix is a fixed rotation, so a given (--requests, -n)
-   pair always issues the same workload — comparable across runs. *)
+   pair always issues the same workload — comparable across runs.
+
+   Chaos mode (--chaos-kill K with --shm PATH) is the supervisor tier's
+   CI drill: once K responses have arrived, the busiest worker process
+   (highest in-flight per the shm control rows) is SIGKILLed mid-batch;
+   the run still requires every request to get exactly one successful
+   response, and --expect-digest HEX additionally pins every flow
+   response's digest — a resumed flow must be bit-identical to an
+   uninterrupted one. *)
 
 module Json = Rc_util.Json
 module Timer = Rc_util.Timer
 
 let socket_path = ref ""
+let tcp_spec = ref ""
 let n_conns = ref 4
 let n_requests = ref 16
+let mix = ref "default"
+let bench_name = ref "tiny"
 let deadline_ms = ref 0.0 (* 0 = no deadline field *)
 let out_path = ref "BENCH_results.json"
+let out_key = ref "loadgen"
+let expect_digest = ref ""
+let chaos_kill = ref 0 (* 0 = no chaos *)
+let shm_path = ref ""
 
 let args =
   [
-    ("--socket", Arg.Set_string socket_path, "PATH server Unix-domain socket (required)");
+    ("--socket", Arg.Set_string socket_path, "PATH server Unix-domain socket");
+    ("--tcp", Arg.Set_string tcp_spec, "HOST:PORT connect over TCP instead of the Unix socket");
     ("-n", Arg.Set_int n_conns, "N concurrent client connections (default 4)");
     ("--requests", Arg.Set_int n_requests, "N total requests across all connections (default 16)");
+    ( "--mix",
+      Arg.Set_string mix,
+      "MIX request mix: default (flow/sweep/status) or light (status-heavy, 1-in-5 flow)" );
+    ("--bench", Arg.Set_string bench_name, "NAME circuit used by flow requests (default tiny)");
     ( "--deadline-ms",
       Arg.Set_float deadline_ms,
       "MS attach this deadline to every async request (default: none)" );
     ("--out", Arg.Set_string out_path, "FILE merge results into this JSON file (default BENCH_results.json)");
+    ("--key", Arg.Set_string out_key, "NAME top-level key to merge under (default loadgen)");
+    ( "--expect-digest",
+      Arg.Set_string expect_digest,
+      "HEX require every flow response's digest to equal HEX (bit-identity check)" );
+    ( "--chaos-kill",
+      Arg.Set_int chaos_kill,
+      "K after K responses, SIGKILL the busiest worker from the shm segment (needs --shm)" );
+    ("--shm", Arg.Set_string shm_path, "PATH supervisor shm segment (for --chaos-kill and restart counts)");
   ]
 
-(* deterministic mixed workload: mostly flow, plus sweep and cheap
-   status probes interleaved *)
+(* deterministic mixed workloads.  "default": mostly flow, plus sweep
+   and cheap status probes.  "light": status-heavy with 1-in-5 flows —
+   high request counts without hours of flow compute; note that a
+   supervisor answers status inline, so only the flows exercise the
+   worker tier. *)
 let request_body k =
-  match k mod 4 with
-  | 0 | 1 -> [ ("op", Json.String "flow"); ("bench", Json.String "tiny") ]
-  | 2 ->
-      [
-        ("op", Json.String "sweep");
-        ("bench", Json.String "tiny");
-        ("grids", Json.List [ Json.Int 2; Json.Int 3 ]);
-      ]
-  | _ -> [ ("op", Json.String "status") ]
+  if !mix = "light" then
+    if k mod 5 = 0 then [ ("op", Json.String "flow"); ("bench", Json.String !bench_name) ]
+    else [ ("op", Json.String "status") ]
+  else
+    match k mod 4 with
+    | 0 | 1 -> [ ("op", Json.String "flow"); ("bench", Json.String !bench_name) ]
+    | 2 ->
+        [
+          ("op", Json.String "sweep");
+          ("bench", Json.String !bench_name);
+          ("grids", Json.List [ Json.Int 2; Json.Int 3 ]);
+        ]
+    | _ -> [ ("op", Json.String "status") ]
 
-let is_async k = k mod 4 <> 3
+let is_flow k = if !mix = "light" then k mod 5 = 0 else k mod 4 < 2
+let is_async k = if !mix = "light" then k mod 5 = 0 else k mod 4 <> 3
+
+(* ---- chaos: SIGKILL the busiest worker once the batch is rolling ---- *)
+
+let responses_seen = Atomic.make 0
+let chaos_killed_pid = Atomic.make 0
+
+let chaos_thread () =
+  let module Shm = Rc_serve.Shm in
+  match Shm.attach ~path:!shm_path () with
+  | Error e ->
+      Printf.eprintf "[loadgen] chaos: cannot attach %s: %s\n%!" !shm_path e;
+      exit 2
+  | Ok shm ->
+      (* wait for the trigger count, then for a worker with work *)
+      while Atomic.get responses_seen < !chaos_kill do
+        Thread.delay 0.002
+      done;
+      let victim = ref 0 in
+      while !victim = 0 do
+        let rows = Shm.read_all shm in
+        let busiest = ref (-1, 0) in
+        Array.iter
+          (fun (r : Shm.row) ->
+            let c = r.Shm.control in
+            if c.Shm.c_state = Shm.C_up && c.Shm.c_inflight > fst !busiest then
+              busiest := (c.Shm.c_inflight, c.Shm.c_pid))
+          rows;
+        if fst !busiest >= 1 && snd !busiest > 0 then victim := snd !busiest
+        else Thread.delay 0.002
+      done;
+      Printf.eprintf "[loadgen] chaos: SIGKILL worker pid %d after %d responses\n%!"
+        !victim (Atomic.get responses_seen);
+      (try Unix.kill !victim Sys.sigkill with Unix.Unix_error _ -> ());
+      Atomic.set chaos_killed_pid !victim
+
+let restarts_survived () =
+  if !shm_path = "" then None
+  else
+    let module Shm = Rc_serve.Shm in
+    match Shm.attach ~path:!shm_path () with
+    | Error _ -> None
+    | Ok shm ->
+        Some
+          (Array.fold_left
+             (fun acc (r : Shm.row) -> acc + r.Shm.control.Shm.c_restarts)
+             0 (Shm.read_all shm))
 
 type reply = { ok : bool; error : string; latency_s : float }
+
+let server_addr () =
+  if !tcp_spec <> "" then (
+    let host, port =
+      match String.rindex_opt !tcp_spec ':' with
+      | Some i ->
+          ( String.sub !tcp_spec 0 i,
+            String.sub !tcp_spec (i + 1) (String.length !tcp_spec - i - 1) )
+      | None -> ("127.0.0.1", !tcp_spec)
+    in
+    let host = if host = "" then "127.0.0.1" else host in
+    match int_of_string_opt port with
+    | None ->
+        prerr_endline ("loadgen: bad --tcp spec (want [HOST:]PORT): " ^ !tcp_spec);
+        exit 2
+    | Some p -> Unix.ADDR_INET (Unix.inet_addr_of_string host, p))
+  else Unix.ADDR_UNIX !socket_path
 
 (* one connection: pipeline our requests, then collect until every id
    has answered (responses arrive in completion order) *)
 let run_connection ~conn ~count ~first_id =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_UNIX !socket_path);
+  let addr = server_addr () in
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  Unix.connect fd addr;
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let sent = Hashtbl.create count in
+  let flow_ids = Hashtbl.create count in
   for i = 0 to count - 1 do
     let id = first_id + i in
     let body = request_body (conn + i) in
@@ -69,6 +174,7 @@ let run_connection ~conn ~count ~first_id =
         body @ [ ("deadline_ms", Json.Float !deadline_ms) ]
       else body
     in
+    if is_flow (conn + i) then Hashtbl.replace flow_ids id ();
     let line = Json.to_line (Json.Obj (("id", Json.Int id) :: body)) in
     Hashtbl.replace sent id (Timer.now_s ());
     output_string oc line;
@@ -90,15 +196,27 @@ let run_connection ~conn ~count ~first_id =
                | None -> failwith (Printf.sprintf "unexpected response id %d" id)
                | Some t0 ->
                    Hashtbl.remove sent id;
+                   Atomic.incr responses_seen;
                    let ok =
                      match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
                    in
-                   let error =
-                     if ok then ""
-                     else
-                       Option.value
-                         (Option.bind (Json.member "error" j) Json.to_string_opt)
-                         ~default:"?"
+                   let ok, error =
+                     if not ok then
+                       ( false,
+                         Option.value
+                           (Option.bind (Json.member "error" j) Json.to_string_opt)
+                           ~default:"?" )
+                     else if !expect_digest <> "" && Hashtbl.mem flow_ids id then
+                       let digest =
+                         Option.bind (Json.member "result" j) (Json.member "digest")
+                         |> Fun.flip Option.bind Json.to_string_opt
+                       in
+                       match digest with
+                       | Some d when d = !expect_digest -> (true, "")
+                       | Some d ->
+                           (false, Printf.sprintf "digest mismatch: got %s want %s" d !expect_digest)
+                       | None -> (false, "flow response without result.digest")
+                     else (true, "")
                    in
                    replies := { ok; error; latency_s = now -. t0 } :: !replies))
      done
@@ -129,16 +247,20 @@ let merge_results loadgen_doc =
       match Json.of_string s with Ok (Json.Obj fields) -> fields | _ -> []
     else []
   in
-  let fields = List.remove_assoc "loadgen" existing @ [ ("loadgen", loadgen_doc) ] in
+  let fields = List.remove_assoc !out_key existing @ [ (!out_key, loadgen_doc) ] in
   Json.to_file !out_path (Json.Obj fields)
 
 let () =
   Arg.parse args
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
-    "loadgen.exe --socket PATH [-n CONNS] [--requests TOTAL]";
-  if !socket_path = "" then (
-    prerr_endline "loadgen: --socket is required";
+    "loadgen.exe (--socket PATH | --tcp HOST:PORT) [-n CONNS] [--requests TOTAL]";
+  if !socket_path = "" && !tcp_spec = "" then (
+    prerr_endline "loadgen: --socket or --tcp is required";
     exit 2);
+  if !chaos_kill > 0 && !shm_path = "" then (
+    prerr_endline "loadgen: --chaos-kill needs --shm PATH";
+    exit 2);
+  if !chaos_kill > 0 then ignore (Thread.create chaos_thread ());
   let conns = max 1 !n_conns and total = max 1 !n_requests in
   (* split TOTAL across connections, remainder to the first ones *)
   let share c = (total / conns) + if c < total mod conns then 1 else 0 in
@@ -177,18 +299,54 @@ let () =
     lat_fields;
   Printf.printf "[loadgen] throughput %.2f req/s\n"
     (float_of_int (List.length replies) /. Float.max wall_s 1e-9);
-  let doc =
-    Json.Obj
+  (* chaos verdict: every request still answered (checked above), and the
+     kill must actually have landed for the drill to count *)
+  let chaos_ok =
+    if !chaos_kill = 0 then true
+    else begin
+      (* the kill races with batch completion; give it a moment to land *)
+      let deadline = Timer.now_s () +. 2.0 in
+      while Atomic.get chaos_killed_pid = 0 && Timer.now_s () < deadline do
+        Thread.delay 0.01
+      done;
+      let pid = Atomic.get chaos_killed_pid in
+      if pid = 0 then
+        Printf.eprintf "[loadgen] chaos: batch finished before any worker could be killed\n";
+      pid <> 0
+    end
+  in
+  let restart_fields =
+    match restarts_survived () with
+    | None -> []
+    | Some n ->
+        Printf.printf "[loadgen] restarts survived: %d\n" n;
+        [ ("restarts_survived", Json.Int n) ]
+  in
+  let chaos_fields =
+    if !chaos_kill = 0 then []
+    else
       [
-        ("connections", Json.Int conns);
-        ("requests", Json.Int (List.length replies));
-        ("ok", Json.Int n_ok);
-        ("errors", Json.Int n_err);
-        ("wall_s", Json.Float wall_s);
-        ("throughput_per_s", Json.Float (float_of_int (List.length replies) /. Float.max wall_s 1e-9));
-        ("latency", Json.Obj lat_fields);
+        ( "chaos",
+          Json.Obj
+            [
+              ("trigger_responses", Json.Int !chaos_kill);
+              ("killed_pid", Json.Int (Atomic.get chaos_killed_pid));
+            ] );
       ]
   in
+  let doc =
+    Json.Obj
+      ([
+         ("connections", Json.Int conns);
+         ("requests", Json.Int (List.length replies));
+         ("ok", Json.Int n_ok);
+         ("errors", Json.Int n_err);
+         ("wall_s", Json.Float wall_s);
+         ("throughput_per_s", Json.Float (float_of_int (List.length replies) /. Float.max wall_s 1e-9));
+         ("latency", Json.Obj lat_fields);
+       ]
+      @ restart_fields @ chaos_fields)
+  in
   merge_results doc;
-  Printf.printf "[loadgen] merged into %s\n" !out_path;
-  if n_err > 0 || List.length replies <> total then exit 1
+  Printf.printf "[loadgen] merged into %s (key %s)\n" !out_path !out_key;
+  if n_err > 0 || List.length replies <> total || not chaos_ok then exit 1

@@ -433,10 +433,49 @@ let report_cmd =
 
 (* --- serve command --- *)
 
-let run_serve jobs socket stdio workers max_pending =
-  setup_jobs jobs;
-  if stdio then Rc_serve.Server.run_stdio ~workers ~max_pending ()
-  else Rc_serve.Server.run_unix ~workers ~max_pending ~path:socket ()
+let tcp_conv =
+  let parse s =
+    let host, port =
+      match String.rindex_opt s ':' with
+      | None -> ("127.0.0.1", s)
+      | Some i ->
+          (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 -> Ok (host, p)
+    | _ -> Error (`Msg (Printf.sprintf "invalid TCP spec %S (expected [HOST:]PORT)" s))
+  in
+  let print fmt (h, p) = Format.fprintf fmt "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let run_serve jobs socket stdio workers max_pending workers_proc tcp shm drain_restart
+    checkpoint_every checkpoint_dir drain_grace =
+  if workers_proc > 0 then begin
+    if stdio then begin
+      Printf.eprintf "error: --stdio and --workers-proc are mutually exclusive\n";
+      exit 1
+    end;
+    Rc_serve.Supervisor.run
+      {
+        Rc_serve.Supervisor.workers = workers_proc;
+        sched_workers = Some workers;
+        max_pending = Some max_pending;
+        unix_path = Some socket;
+        tcp;
+        shm_path = Option.value shm ~default:(socket ^ ".shm");
+        checkpoint_dir = Option.value checkpoint_dir ~default:(socket ^ ".ckpt");
+        checkpoint_every;
+        drain_grace_s = drain_grace;
+        allow_restart = drain_restart;
+        handle_signals = true;
+        exe = None;
+      }
+  end
+  else begin
+    setup_jobs jobs;
+    if stdio then Rc_serve.Server.run_stdio ~workers ~max_pending ()
+    else Rc_serve.Server.run_unix ~workers ~max_pending ~path:socket ()
+  end
 
 let serve_cmd =
   let socket =
@@ -453,20 +492,173 @@ let serve_cmd =
   let workers =
     Arg.(
       value & opt int 2
-      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains executing jobs concurrently")
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing jobs concurrently (per process with \
+                $(b,--workers-proc))")
   in
   let max_pending =
     Arg.(
       value & opt int 64
       & info [ "max-pending" ] ~docv:"N"
-          ~doc:"Admission bound: reject new jobs once N are queued")
+          ~doc:"Admission bound: reject new jobs once N are queued (per process with \
+                $(b,--workers-proc))")
+  in
+  let workers_proc =
+    Arg.(
+      value & opt int 0
+      & info [ "workers-proc" ] ~docv:"N"
+          ~doc:"Supervised multi-process tier: fork N worker processes behind a supervisor \
+                that restarts crashed workers and resumes their in-flight flows from \
+                checkpoints (docs/operations.md); 0 = classic single process")
+  in
+  let tcp =
+    Arg.(
+      value & opt (some tcp_conv) None
+      & info [ "tcp" ] ~docv:"[HOST:]PORT"
+          ~doc:"Also listen on TCP (supervisor mode); port 0 picks an ephemeral port, \
+                published in the shm segment")
+  in
+  let shm =
+    Arg.(
+      value & opt (some string) None
+      & info [ "shm" ] ~docv:"PATH"
+          ~doc:"Shared-memory counter segment for $(b,rotary_cli top) (default: \
+                SOCKET.shm)")
+  in
+  let drain_restart =
+    Arg.(
+      value & flag
+      & info [ "drain-restart" ]
+          ~doc:"Accept the restart op (and SIGHUP): rolling drain/checkpoint/respawn of \
+                workers one at a time under load")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Supervisor-injected checkpoint cadence (iteration boundaries) for crash \
+                recovery of client flows that do not checkpoint themselves")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:"Base directory for injected per-request checkpoints (default: SOCKET.ckpt)")
+  in
+  let drain_grace =
+    Arg.(
+      value & opt float 30.0
+      & info [ "drain-grace" ] ~docv:"SEC"
+          ~doc:"Seconds a draining worker gets to finish before SIGKILL (its jobs then \
+                resume from checkpoints)")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve flow/report/sweep/variation requests concurrently over line-delimited JSON \
-          (see docs/serving.md for the protocol); SIGTERM drains gracefully")
-    Term.(const run_serve $ jobs_arg $ socket $ stdio $ workers $ max_pending)
+          (see docs/serving.md for the protocol); SIGTERM drains gracefully. With \
+          $(b,--workers-proc) N, run the supervised multi-process tier (docs/operations.md)")
+    Term.(
+      const run_serve $ jobs_arg $ socket $ stdio $ workers $ max_pending $ workers_proc
+      $ tcp $ shm $ drain_restart $ checkpoint_every $ checkpoint_dir $ drain_grace)
+
+(* --- serve-worker command (internal) --- *)
+
+(* the exec'd child of a supervisor: the socketpair is stdin, the shm
+   segment re-attaches by path.  Not meant to be invoked by hand. *)
+let run_serve_worker shm_path slot restarts workers max_pending =
+  match Rc_serve.Shm.attach ~path:shm_path () with
+  | Error e ->
+      Printf.eprintf "serve-worker: %s\n" e;
+      exit 1
+  | Ok shm ->
+      Rc_serve.Worker.run ~workers ~max_pending ~shm ~slot ~restarts ~fd:Unix.stdin ()
+
+let serve_worker_cmd =
+  let shm = Arg.(required & opt (some string) None & info [ "shm" ] ~docv:"PATH") in
+  let slot = Arg.(required & opt (some int) None & info [ "slot" ] ~docv:"N") in
+  let restarts = Arg.(value & opt int 0 & info [ "restarts" ] ~docv:"N") in
+  let workers = Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N") in
+  let max_pending = Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N") in
+  Cmd.v
+    (Cmd.info "serve-worker"
+       ~doc:
+         "Internal: one worker process of a $(b,serve --workers-proc) supervisor \
+          (exec'd with the job socketpair as stdin); do not invoke directly")
+    Term.(const run_serve_worker $ shm $ slot $ restarts $ workers $ max_pending)
+
+(* --- top command --- *)
+
+let render_top shm =
+  let module Shm = Rc_serve.Shm in
+  let now = Int64.to_int (Rc_util.Timer.now_ns ()) in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "rotary top — %s (layout v%d, supervisor pid %d%s)\n" (Shm.path shm)
+    Shm.layout_version (Shm.supervisor_pid shm)
+    (match Shm.tcp_port shm with
+    | Some p -> Printf.sprintf ", tcp :%d" p
+    | None -> "");
+  Printf.bprintf b "%4s %-9s %7s %4s %7s %5s %7s %7s %4s %4s %7s %5s %7s %7s %8s\n" "SLOT"
+    "CTL" "PID" "RST" "HB_MS" "INFL" "REQ" "RESP" "QD" "RUN" "DONE" "FAIL" "REDISP"
+    "RESUME" "WALL_MS";
+  Array.iteri
+    (fun slot (r : Shm.row) ->
+      let w = r.Shm.worker and c = r.Shm.control in
+      let hb_ms =
+        if w.Shm.heartbeat_ns = 0 then -1 else (now - w.Shm.heartbeat_ns) / 1_000_000
+      in
+      Printf.bprintf b "%4d %-9s %7d %4d %7d %5d %7d %7d %4d %4d %7d %5d %7d %7d %8d%s\n"
+        slot
+        (Shm.control_state_name c.Shm.c_state)
+        w.Shm.pid c.Shm.c_restarts hb_ms c.Shm.c_inflight w.Shm.requests w.Shm.responses
+        w.Shm.queue_depth w.Shm.running w.Shm.completed w.Shm.failed c.Shm.c_redispatched
+        c.Shm.c_resumed w.Shm.job_wall_ms
+        (if r.Shm.w_consistent && r.Shm.c_consistent then "" else "  !torn"))
+    (Shm.read_all shm);
+  Buffer.contents b
+
+let run_top shm_path once interval json =
+  match Rc_serve.Shm.attach ~path:shm_path () with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  | Ok shm ->
+      let tick () =
+        if json then print_string (Rc_util.Json.to_string (Rc_serve.Shm.to_json shm))
+        else print_string (render_top shm);
+        flush stdout
+      in
+      if once then tick ()
+      else
+        while true do
+          if not json then print_string "\027[H\027[2J";
+          tick ();
+          Unix.sleepf interval
+        done
+
+let top_cmd =
+  let shm =
+    Arg.(
+      value & opt string "rotary.sock.shm"
+      & info [ "shm" ] ~docv:"PATH" ~doc:"Shared-memory counter segment to read")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Print one snapshot and exit (for scripts)")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SEC" ~doc:"Refresh period when not $(b,--once)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the full segment as JSON instead of columns")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live per-worker counters of a running supervisor, read from its shared-memory \
+          segment without touching the server (column reference in docs/operations.md)")
+    Term.(const run_top $ shm $ once $ interval $ json)
 
 let subcommands =
   [
@@ -480,6 +672,8 @@ let subcommands =
     import_cmd;
     report_cmd;
     serve_cmd;
+    serve_worker_cmd;
+    top_cmd;
   ]
 
 let main_cmd =
@@ -508,6 +702,7 @@ let list_subcommands () =
       ("import", "run the flow on an ISCAS89 .bench netlist");
       ("report", "emit the paper-table report as Markdown + JSON");
       ("serve", "serve concurrent flow requests over JSON (docs/serving.md)");
+      ("top", "live per-worker counters from a supervisor's shm segment");
     ]
 
 let () =

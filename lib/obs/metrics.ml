@@ -339,6 +339,45 @@ let diff ~before ~after =
 let strip_timers snap =
   List.filter (fun (_, v) -> match v with Timer _ -> false | _ -> true) snap
 
+(* ---- fixed export table (shared-memory segment) ------------------------ *)
+
+(* The solver counters exported field-by-field into the serve tier's
+   mmap'd counter segment (Rc_serve.Shm).  The order is part of the shm
+   layout version: append within a version, never reorder — readers
+   index by position.  Names that are not interned in the running
+   process export as 0. *)
+let export_names =
+  [|
+    "sparse.cg.solves";
+    "sparse.cg.iterations";
+    "lp.simplex.pivots";
+    "netflow.mcmf.solves";
+    "netflow.mcmf.augmentations";
+    "netflow.mcmf.flow_units";
+    "netflow.assignment.replays";
+    "netflow.assignment.warm_solves";
+    "assign.candidate_solves";
+    "assign.tapcache.hits";
+    "assign.tapcache.misses";
+    "timing.sta.analyses";
+    "timing.sta.pairs";
+    "timing.sta.cone_recomputes";
+    "timing.sta.cone_reuses";
+    "ilp.rounding.rounds";
+  |]
+
+(* collapse any cell kind to one shm-exportable integer *)
+let export_value = function
+  | Count n -> n
+  | Gauge v -> if Float.is_nan v then 0 else int_of_float (Float.round v)
+  | Timer { total_s; _ } -> int_of_float (Float.round (total_s *. 1000.0))
+  | Hist { n; _ } -> n
+
+let export_values ?reg () =
+  Array.map
+    (fun name -> match value_of ?reg name with None -> 0 | Some v -> export_value v)
+    export_names
+
 (* ---- rendering -------------------------------------------------------- *)
 
 let value_text = function

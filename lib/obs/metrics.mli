@@ -120,6 +120,25 @@ val strip_timers : snapshot -> snapshot
 (** Drop all [Timer] entries — used where output must be reproducible
     (golden tests, cross-job comparisons). *)
 
+(** {1 Fixed export table (shared-memory segment)}
+
+    The serve tier's supervisor exports each worker's metrics through an
+    mmap'd counter segment with a versioned fixed layout
+    ([Rc_serve.Shm], layout documented in [docs/operations.md]).  The
+    table below names the solver counters in that layout, {e in order}:
+    the order is part of the shm layout version — append within a
+    version, never reorder. *)
+
+val export_names : string array
+(** The exported metric names, in shm field order. *)
+
+val export_values : ?reg:t -> unit -> int array
+(** Current merged values in {!export_names} order, collapsed to one
+    integer per cell: counters and histogram counts as-is, gauges
+    rounded, timers as total milliseconds.  Unlike {!snapshot} this
+    reads the cells even while recording is disabled (the arrays always
+    exist); names not interned in this process export as 0. *)
+
 (** {1 Rendering} *)
 
 val value_text : value -> string

@@ -43,6 +43,7 @@ type op =
   | Variation_op of variation_request
   | Checkpoint_op of string  (* inspect a checkpoint file *)
   | Status_op
+  | Restart_op  (* rolling worker restart; a supervisor-tier operation *)
   | Shutdown_op
 
 type request = {
@@ -208,12 +209,13 @@ let parse_request line =
            | "variation" -> parse_variation j
            | "checkpoint" -> parse_checkpoint j
            | "status" -> Ok Status_op
+           | "restart" -> Ok Restart_op
            | "shutdown" -> Ok Shutdown_op
            | other ->
                Error
                  (Printf.sprintf
                     "unknown op %S (flow | report | sweep | variation | checkpoint | status \
-                     | shutdown)"
+                     | restart | shutdown)"
                     other)))
 
 (* ---- response rendering ----------------------------------------------- *)
@@ -357,7 +359,7 @@ let job_of_op = function
   | Report_op r -> Some (fun token -> run_report r token)
   | Sweep_op r -> Some (fun token -> run_sweep r token)
   | Variation_op r -> Some (fun token -> run_variation r token)
-  | Checkpoint_op _ | Status_op | Shutdown_op -> None
+  | Checkpoint_op _ | Status_op | Restart_op | Shutdown_op -> None
 
 let op_name = function
   | Flow_op r ->
@@ -368,4 +370,5 @@ let op_name = function
   | Variation_op r -> "variation:" ^ r.v_bench.Bench_suite.bname
   | Checkpoint_op _ -> "checkpoint"
   | Status_op -> "status"
+  | Restart_op -> "restart"
   | Shutdown_op -> "shutdown"

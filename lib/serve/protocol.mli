@@ -45,6 +45,9 @@ type op =
   | Variation_op of variation_request
   | Checkpoint_op of string  (** Inspect this checkpoint file's header. *)
   | Status_op
+  | Restart_op
+      (** Rolling worker restart — answered by the supervisor tier; a
+          single-process server replies with an error. *)
   | Shutdown_op
 
 type request = {
@@ -70,7 +73,7 @@ val json_of_outcome :
 
 val job_of_op : op -> (Cancel.t -> Rc_util.Json.t) option
 (** The scheduler job body for an async op ([Some]), or [None] for the
-    ops the server answers inline ([checkpoint], [status],
+    ops the server answers inline ([checkpoint], [status], [restart],
     [shutdown]).  Flow jobs poll their token at every stage boundary
     via {!Rc_core.Flow.run}'s [guard]. *)
 

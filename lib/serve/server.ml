@@ -15,8 +15,14 @@
 module Json = Rc_util.Json
 module Timer = Rc_util.Timer
 
+(* who this server is within a multi-process tier: the supervisor spawns
+   each worker with its slot id and restart generation, and the status
+   op reports them so operators can tell which worker answered *)
+type identity = { worker_id : int; restarts : int }
+
 type t = {
   sched : Scheduler.t;
+  identity : identity;
   lock : Mutex.t;
   flushed : Condition.t;  (* signalled when in_flight drops *)
   mutable stop : bool;
@@ -25,9 +31,10 @@ type t = {
   started_s : float;  (* monotonic *)
 }
 
-let create ?workers ?max_pending () =
+let create ?workers ?max_pending ?(identity = { worker_id = 0; restarts = 0 }) () =
   {
     sched = Scheduler.create ?workers ?max_pending ();
+    identity;
     lock = Mutex.create ();
     flushed = Condition.create ();
     stop = false;
@@ -35,6 +42,8 @@ let create ?workers ?max_pending () =
     sock_path = None;
     started_s = Timer.now_s ();
   }
+
+let scheduler t = t.sched
 
 let stopping t = Mutex.protect t.lock (fun () -> t.stop)
 
@@ -70,6 +79,13 @@ let status_json t =
       ("uptime_s", Json.Float uptime);
       ("workers", Json.Int (Scheduler.n_workers t.sched));
       ("draining", Json.Bool (stopping t));
+      ( "worker",
+        Json.Obj
+          [
+            ("id", Json.Int t.identity.worker_id);
+            ("restarts", Json.Int t.identity.restarts);
+            ("draining", Json.Bool (stopping t));
+          ] );
       ( "jobs",
         Json.Obj
           [
@@ -153,6 +169,13 @@ let handle_line t ~respond line =
           | Ok meta -> respond (Protocol.response_ok ~id meta)
           | Error e -> respond (Protocol.response_error ~id e))
       | Protocol.Status_op -> respond (Protocol.response_ok ~id (status_json t))
+      | Protocol.Restart_op ->
+          (* meaningful only for the multi-process tier; the supervisor
+             intercepts it before a worker ever sees the line *)
+          respond
+            (Protocol.response_error ~id
+               "rolling restart needs the multi-process tier (rotary_cli serve \
+                --workers-proc N --drain-restart)")
       | Protocol.Shutdown_op ->
           respond
             (Protocol.response_ok ~id (Json.Obj [ ("draining", Json.Bool true) ]));

@@ -14,10 +14,22 @@
 
 type t
 
-val create : ?workers:int -> ?max_pending:int -> unit -> t
+type identity = { worker_id : int; restarts : int }
+(** Who this server is within a multi-process tier: the {!Supervisor}
+    spawns each worker with its slot id and restart generation, and the
+    [status] op reports them so operators can tell which worker
+    answered.  Defaults to [{worker_id = 0; restarts = 0}] for the
+    single-process tier. *)
+
+val create :
+  ?workers:int -> ?max_pending:int -> ?identity:identity -> unit -> t
 (** A server with its own {!Scheduler} ([workers] domains, bounded
     queue of [max_pending]).  Exposed for in-process tests; the entry
     points below call it themselves. *)
+
+val scheduler : t -> Scheduler.t
+(** The server's scheduler — the {!Worker} heartbeat reads its counts
+    into the shared-memory segment. *)
 
 val handle_line : t -> respond:(Rc_util.Json.t -> unit) -> string -> unit
 (** Dispatch one request line.  [respond] is invoked exactly once per

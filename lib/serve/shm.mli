@@ -1,0 +1,125 @@
+(** Mmap'd shared-memory counter segment: per-worker liveness, queue
+    and solver metrics, written by the supervised worker processes and
+    the supervisor, read live by [rotary_cli top] without touching the
+    server.
+
+    {1 Layout (version 1)}
+
+    A segment is one 4096-byte header page plus one 4096-byte slot per
+    worker; every cell is a native OCaml int (8 bytes).  A slot holds
+    two independently seqlock'd regions: the {e worker region} (words
+    0–255, written only by that worker's heartbeat thread — pid, state,
+    heartbeat timestamp, scheduler counters, and the fixed
+    {!Rc_obs.Metrics.export_names} solver table) and the {e control
+    region} (words 256–511, written only by the supervisor — pid as the
+    supervisor sees it, up/draining/down state, restart count, dispatch
+    counters).  The field-by-field byte layout is documented in
+    [docs/operations.md]; {!layout_version} bumps on any change and
+    {!attach} rejects segments of other versions.
+
+    {1 Consistency}
+
+    Writers bump the region's sequence word odd, write, bump it even;
+    readers retry while the sequence is odd or changed under them.  All
+    cell accesses use acquire/release atomics (C stubs), so reads are
+    consistent across processes.  A reader that exhausts its retry
+    budget (e.g. the writer was SIGKILLed mid-write) gets the torn row
+    back flagged inconsistent rather than spinning forever. *)
+
+val layout_version : int
+
+type t
+
+(** {1 Worker-region rows} *)
+
+type worker_state = W_starting | W_serving | W_draining | W_stopped
+
+val worker_state_name : worker_state -> string
+
+type worker_row = {
+  pid : int;
+  state : worker_state;
+  started_ns : int;  (** CLOCK_MONOTONIC at worker start (machine-wide). *)
+  heartbeat_ns : int;  (** CLOCK_MONOTONIC at the last heartbeat. *)
+  requests : int;  (** request lines read from the supervisor. *)
+  responses : int;  (** response lines written back. *)
+  submitted : int;
+  completed : int;
+  failed : int;
+  cancelled : int;
+  rejected : int;
+  queue_depth : int;
+  running : int;
+  job_wall_ms : int;  (** total scheduler job wall time, milliseconds. *)
+  solver : int array;  (** {!Rc_obs.Metrics.export_names} order. *)
+}
+
+val empty_worker_row : worker_row
+
+(** {1 Control-region rows} *)
+
+type control_state = C_down | C_up | C_draining
+
+val control_state_name : control_state -> string
+
+type control_row = {
+  c_pid : int;  (** 0 while down. *)
+  c_state : control_state;
+  c_restarts : int;  (** completed respawns of this slot. *)
+  c_spawned_ns : int;
+  c_inflight : int;  (** jobs currently dispatched to this worker. *)
+  c_redispatched : int;  (** jobs moved off this slot after a crash. *)
+  c_resumed : int;  (** flows resumed from a checkpoint after a crash. *)
+}
+
+val empty_control_row : control_row
+
+type row = {
+  worker : worker_row;
+  control : control_row;
+  w_consistent : bool;  (** [false] = torn read (writer died mid-write). *)
+  c_consistent : bool;
+}
+
+(** {1 Lifecycle} *)
+
+val create : path:string -> n_workers:int -> unit -> t
+(** Create (truncating any existing file) and map a segment writable.
+    The mapping is inherited across [fork], so worker processes write
+    through the same {!t}. *)
+
+val attach : path:string -> unit -> (t, string) result
+(** Map an existing segment, validating magic, layout version and size.
+    The mapping is writable at the OS level (a [Unix.map_file]
+    limitation) but attachers must only read.  Errors are descriptive
+    strings, never exceptions. *)
+
+val n_workers : t -> int
+val path : t -> string
+val supervisor_pid : t -> int
+val created_s : t -> int
+
+val tcp_port : t -> int option
+(** The supervisor's TCP front-door port, when one is bound — lets
+    tools discover the server from the segment alone. *)
+
+val set_tcp_port : t -> int -> unit
+
+(** {1 Access} *)
+
+val write_worker : t -> slot:int -> worker_row -> unit
+(** Seqlock-publish the worker region of [slot].  One writer per region:
+    only the owning worker's heartbeat thread may call this. *)
+
+val write_control : t -> slot:int -> control_row -> unit
+(** Seqlock-publish the control region of [slot] (supervisor only). *)
+
+val read_row : t -> slot:int -> row
+(** A consistent snapshot of both regions (retrying per the seqlock);
+    torn regions are flagged via [w_consistent] / [c_consistent]. *)
+
+val read_all : t -> row array
+
+val to_json : t -> Rc_util.Json.t
+(** The whole segment as JSON — header fields plus one object per
+    worker — the [rotary_cli top --json] document. *)

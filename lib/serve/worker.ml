@@ -1,0 +1,137 @@
+(* A supervised worker process: the exec'd side of one supervisor
+   socketpair (`rotary_cli serve-worker`, socketpair dup2'd to stdin).
+   Runs a full Server/Scheduler internally — a fresh image, so domain
+   creation here has none of the fork hazards — and speaks the same
+   NDJSON protocol over the inherited fd, plus one control form the
+   supervisor uses for rolling restarts:
+
+     {"ctl": "drain"}   finish queued + running jobs, flush responses,
+                        write a final shm row, _exit 0
+
+   A heartbeat thread publishes liveness, scheduler counts and the
+   fixed solver-metric table into this slot's shm worker region every
+   [heartbeat_interval_s].  Exit is always Unix._exit so the response
+   fd is never double-flushed by at_exit machinery. *)
+
+module Json = Rc_util.Json
+module Timer = Rc_util.Timer
+module Metrics = Rc_obs.Metrics
+
+let heartbeat_interval_s = 0.05
+
+(* stderr via Unix.write: no channel locks, safe post-fork *)
+let logf fmt =
+  Printf.ksprintf
+    (fun s ->
+      let line = s ^ "\n" in
+      ignore (Unix.write_substring Unix.stderr line 0 (String.length line)))
+    fmt
+
+let job_wall_ms () =
+  match Metrics.value_of "serve.job.wall" with
+  | Some (Metrics.Timer { total_s; _ }) ->
+      int_of_float (Float.round (total_s *. 1000.0))
+  | _ -> 0
+
+let worker_row ~slot:_ ~started_ns ~requests ~responses srv : Shm.worker_row =
+  let c = Scheduler.counts (Server.scheduler srv) in
+  {
+    Shm.pid = Unix.getpid ();
+    state = (if Server.stopping srv then Shm.W_draining else Shm.W_serving);
+    started_ns;
+    heartbeat_ns = Int64.to_int (Timer.now_ns ());
+    requests = Atomic.get requests;
+    responses = Atomic.get responses;
+    submitted = c.Scheduler.submitted;
+    completed = c.Scheduler.completed;
+    failed = c.Scheduler.failed;
+    cancelled = c.Scheduler.cancelled;
+    rejected = c.Scheduler.rejected;
+    queue_depth = c.Scheduler.pending;
+    running = c.Scheduler.running;
+    job_wall_ms = job_wall_ms ();
+    solver = Metrics.export_values ();
+  }
+
+let run ?workers ?max_pending ~shm ~slot ~restarts ~fd () =
+  (* the supervisor owns signal policy; a worker dies by drain ctl,
+     socket EOF, or SIGKILL — a ^C on the supervisor's terminal must
+     not take the workers down before they can drain *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sighup Sys.Signal_ignore with Invalid_argument _ -> ());
+  let started_ns = Int64.to_int (Timer.now_ns ()) in
+  let requests = Atomic.make 0 and responses = Atomic.make 0 in
+  Shm.write_worker shm ~slot
+    {
+      Shm.empty_worker_row with
+      Shm.pid = Unix.getpid ();
+      state = Shm.W_starting;
+      started_ns;
+      heartbeat_ns = started_ns;
+    };
+  let srv =
+    Server.create ?workers ?max_pending
+      ~identity:{ Server.worker_id = slot; restarts }
+      ()
+  in
+  let publish () =
+    Shm.write_worker shm ~slot (worker_row ~slot ~started_ns ~requests ~responses srv)
+  in
+  let stopped = Atomic.make false in
+  let heartbeat () =
+    while not (Atomic.get stopped) do
+      publish ();
+      Thread.delay heartbeat_interval_s
+    done
+  in
+  let hb = Thread.create heartbeat () in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let wlock = Mutex.create () in
+  let respond j =
+    try
+      Mutex.protect wlock (fun () ->
+          output_string oc (Json.to_line j);
+          output_char oc '\n';
+          flush oc);
+      Atomic.incr responses
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  in
+  let finish code =
+    Server.drain srv;
+    Atomic.set stopped true;
+    Thread.join hb;
+    Shm.write_worker shm ~slot
+      { (worker_row ~slot ~started_ns ~requests ~responses srv) with Shm.state = Shm.W_stopped };
+    (try flush oc with Sys_error _ -> ());
+    Unix._exit code
+  in
+  let is_drain_ctl line =
+    match Json.of_string line with
+    | Ok j -> (
+        match Option.bind (Json.member "ctl" j) Json.to_string_opt with
+        | Some "drain" -> true
+        | _ -> false)
+    | Error _ -> false
+  in
+  logf "rotary worker[%d]: up (pid %d, restarts %d)" slot (Unix.getpid ()) restarts;
+  (try
+     let rec loop () =
+       match input_line ic with
+       | line ->
+           let line = String.trim line in
+           if line <> "" then
+             if is_drain_ctl line then (
+               logf "rotary worker[%d]: draining" slot;
+               Server.request_stop srv;
+               publish ())
+             else (
+               Atomic.incr requests;
+               Server.handle_line srv ~respond line);
+           if Server.stopping srv then () else loop ()
+       | exception End_of_file -> ()
+     in
+     loop ()
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  finish 0

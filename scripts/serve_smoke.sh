@@ -16,8 +16,8 @@ CKDIR="$DIR/ck"
 trap 'kill -9 $SERVER_PID 2>/dev/null || true; rm -rf "$DIR"' EXIT
 
 # one-request NDJSON client: send a line, print the response line
-request() {
-  python3 - "$SOCK" "$1" <<'EOF'
+request_on() {
+  python3 - "$1" "$2" <<'EOF'
 import socket, sys
 s = socket.socket(socket.AF_UNIX)
 s.connect(sys.argv[1])
@@ -26,6 +26,8 @@ f = s.makefile("r")
 print(f.readline().strip())
 EOF
 }
+
+request() { request_on "$SOCK" "$1"; }
 
 digest_of() {
   python3 -c 'import json,sys; r = json.loads(sys.argv[1]); assert r["ok"], r; print(r["result"]["digest"])' "$1"
@@ -82,4 +84,80 @@ kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 [ ! -S "$SOCK" ] || { echo "socket not removed on drain"; exit 1; }
 
-echo "serve smoke: OK (digest $REF reproduced across server crash + resume)"
+# ---------------------------------------------------------------------------
+# Supervisor tier: prefork workers behind a TCP front door, chaos drill,
+# live shm counters via `top`, rolling restart under load.
+# ---------------------------------------------------------------------------
+
+SUPSOCK="$DIR/sup.sock"
+SHM="$SUPSOCK.shm"
+
+echo "== supervisor up (2 worker processes, TCP front door)"
+"$BIN" serve --socket "$SUPSOCK" --workers-proc 2 --tcp 127.0.0.1:0 --drain-restart &
+SERVER_PID=$!
+for _ in $(seq 100); do [ -S "$SUPSOCK" ] && [ -f "$SHM" ] && break; sleep 0.1; done
+[ -S "$SUPSOCK" ] || { echo "supervisor socket never appeared"; exit 1; }
+
+# the supervisor publishes its ephemeral TCP port in the shm header
+PORT=$("$BIN" top --shm "$SHM" --once --json \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["tcp_port"])')
+echo "   tcp port $PORT"
+
+echo "== chaos drill: 600-request TCP batch, kill -9 one worker mid-batch"
+# light mix = 1-in-5 flows; every flow response's digest must equal the
+# uninterrupted reference, including the flows resumed after the kill
+"$LOADGEN" --tcp "127.0.0.1:$PORT" -n 32 --requests 600 --mix light --bench tiny \
+  --chaos-kill 50 --shm "$SHM" --expect-digest "$REF" \
+  --key service --out BENCH_results.json
+
+echo "== top reads live per-worker counters from shm"
+TOP=$("$BIN" top --shm "$SHM" --once --json)
+python3 - "$TOP" <<'EOF'
+import json, sys
+doc = json.loads(sys.argv[1])
+assert doc["layout_version"] == 1, doc
+workers = doc["workers"]
+assert len(workers) == 2, workers
+for w in workers:
+    assert w["consistent"], w
+    assert w["pid"] > 0, w
+    assert w["control"]["state"] == "up", w
+# the chaos kill above must be visible as a completed respawn
+assert sum(w["control"]["restarts"] for w in workers) >= 1, workers
+# the batch's flows ran on the workers
+assert sum(w["jobs"]["completed"] for w in workers) > 0, workers
+print("   top: %d workers up, %d restarts, %d jobs completed"
+      % (len(workers),
+         sum(w["control"]["restarts"] for w in workers),
+         sum(w["jobs"]["completed"] for w in workers)))
+EOF
+
+echo "== rolling restart under load (zero dropped requests)"
+"$LOADGEN" --socket "$SUPSOCK" -n 4 --requests 20 --mix light --bench tiny \
+  --expect-digest "$REF" --key service_roll --out "$DIR/BENCH_roll.json" &
+LOADGEN_PID=$!
+sleep 0.2
+ROLL=$(request_on "$SUPSOCK" '{"id":9,"op":"restart"}')
+python3 -c 'import json,sys; r = json.loads(sys.argv[1]); assert r["ok"], r' "$ROLL"
+wait "$LOADGEN_PID"
+
+echo "== supervisor status aggregates the worker tier"
+STATUS=$(request_on "$SUPSOCK" '{"id":10,"op":"status"}')
+python3 - "$STATUS" <<'EOF'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["ok"], r
+sup = r["result"]["supervisor"]
+assert sup["workers"] == 2, sup
+assert len(sup["per_worker"]) == 2, sup
+print("   status: supervisor pid %d, %d workers" % (sup["pid"], sup["workers"]))
+EOF
+
+echo "== graceful supervisor shutdown"
+SHUT=$(request_on "$SUPSOCK" '{"id":11,"op":"shutdown"}')
+python3 -c 'import json,sys; r = json.loads(sys.argv[1]); assert r["ok"], r' "$SHUT"
+wait "$SERVER_PID"
+[ ! -S "$SUPSOCK" ] || { echo "supervisor socket not removed on drain"; exit 1; }
+[ ! -f "$SHM" ] || { echo "shm segment not removed on drain"; exit 1; }
+
+echo "serve smoke: OK (digest $REF reproduced across server crash, worker kill -9, and rolling restart)"

@@ -118,6 +118,27 @@ let test_disabled_zero_alloc () =
     (Printf.sprintf "disabled ops allocate nothing (%.0f words / 3M calls)" words)
     true (words < 256.0)
 
+(* ---- fixed export table (shm segment) --------------------------------- *)
+
+(* The positional contract behind Rc_serve.Shm's solver fields: values
+   align index-by-index with export_names, uninterned names read 0, and
+   the table has no duplicate positions. *)
+let test_export_table () =
+  with_metrics (fun () ->
+      let names = Metrics.export_names in
+      Alcotest.(check bool) "table non-empty" true (Array.length names > 0);
+      let uniq = List.sort_uniq compare (Array.to_list names) in
+      Alcotest.(check int) "no duplicate names" (Array.length names) (List.length uniq);
+      let v0 = Metrics.export_values () in
+      Alcotest.(check int) "values align with names" (Array.length names)
+        (Array.length v0);
+      Array.iter (fun v -> Alcotest.(check int) "uninterned exports as 0" 0 v) v0;
+      let c = Metrics.counter names.(0) in
+      Metrics.add c 17;
+      let v1 = Metrics.export_values () in
+      Alcotest.(check int) "interned counter exported at its position" 17 v1.(0);
+      Alcotest.(check int) "neighbouring field untouched" 0 v1.(1))
+
 (* ---- shard-merge determinism under the pool --------------------------- *)
 
 let shard_workload () =
@@ -309,6 +330,7 @@ let () =
           Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
           Alcotest.test_case "disabled is silent" `Quick test_disabled_is_silent;
           Alcotest.test_case "disabled zero-alloc" `Quick test_disabled_zero_alloc;
+          Alcotest.test_case "fixed export table" `Quick test_export_table;
         ] );
       ( "sharding",
         [ Alcotest.test_case "merge deterministic over jobs" `Quick test_shard_merge_deterministic ] );

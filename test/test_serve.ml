@@ -343,7 +343,31 @@ let test_protocol_sync_ops_have_no_job () =
   List.iter
     (fun op ->
       Alcotest.(check bool) "sync op" true (Protocol.job_of_op op = None))
-    [ Protocol.Checkpoint_op "x"; Protocol.Status_op; Protocol.Shutdown_op ]
+    [
+      Protocol.Checkpoint_op "x";
+      Protocol.Status_op;
+      Protocol.Restart_op;
+      Protocol.Shutdown_op;
+    ]
+
+let test_protocol_restart_op () =
+  (match Protocol.parse_request {|{"id":1,"op":"restart"}|} with
+  | Ok { Protocol.op = Protocol.Restart_op; _ } -> ()
+  | Ok _ -> Alcotest.fail "restart parsed as something else"
+  | Error (_, e) -> Alcotest.fail e);
+  (* a single-process server declines with a pointer at the supervisor *)
+  let srv = Server.create ~workers:1 () in
+  let got = ref Json.Null in
+  Server.handle_line srv ~respond:(fun j -> got := j) {|{"id":1,"op":"restart"}|};
+  Alcotest.(check bool) "declined" true
+    (match Json.member "ok" !got with Some (Json.Bool b) -> not b | _ -> false);
+  (match Option.bind (Json.member "error" !got) Json.to_string_opt with
+  | Some e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names --workers-proc: %S" e)
+        true (contains e "--workers-proc")
+  | None -> Alcotest.fail "no error text");
+  Server.drain srv
 
 (* ---- server ------------------------------------------------------------ *)
 
@@ -401,6 +425,310 @@ let test_server_socket_smoke () =
   Thread.join server;
   Alcotest.(check bool) "socket removed after drain" false (Sys.file_exists path)
 
+(* the identity a supervisor gives its workers surfaces in status *)
+let test_server_status_identity () =
+  let srv = Server.create ~workers:1 ~identity:{ Server.worker_id = 3; restarts = 2 } () in
+  let got = ref Json.Null in
+  Server.handle_line srv ~respond:(fun j -> got := j) {|{"id":1,"op":"status"}|};
+  let w = field "worker" (field "result" !got) in
+  Alcotest.(check bool) "worker id" true (field "id" w = Json.Int 3);
+  Alcotest.(check bool) "restart count" true (field "restarts" w = Json.Int 2);
+  Alcotest.(check bool) "not draining" true (field "draining" w = Json.Bool false);
+  Server.request_stop srv;
+  Server.handle_line srv ~respond:(fun j -> got := j) {|{"id":2,"op":"status"}|};
+  let w = field "worker" (field "result" !got) in
+  Alcotest.(check bool) "draining visible" true (field "draining" w = Json.Bool true);
+  Server.drain srv
+
+(* ---- shm counter segment ----------------------------------------------- *)
+
+let sample_worker_row =
+  {
+    Shm.pid = 123;
+    state = Shm.W_serving;
+    started_ns = 11;
+    heartbeat_ns = 22;
+    requests = 3;
+    responses = 4;
+    submitted = 5;
+    completed = 6;
+    failed = 7;
+    cancelled = 8;
+    rejected = 9;
+    queue_depth = 10;
+    running = 2;
+    job_wall_ms = 1234;
+    solver = Array.init (Array.length Rc_obs.Metrics.export_names) (fun i -> i * 7);
+  }
+
+let sample_control_row =
+  {
+    Shm.c_pid = 99;
+    c_state = Shm.C_draining;
+    c_restarts = 2;
+    c_spawned_ns = 33;
+    c_inflight = 3;
+    c_redispatched = 1;
+    c_resumed = 4;
+  }
+
+let test_shm_roundtrip () =
+  let path = Filename.concat temp_dir "roundtrip.shm" in
+  let shm = Shm.create ~path ~n_workers:2 () in
+  Alcotest.(check int) "n_workers" 2 (Shm.n_workers shm);
+  Alcotest.(check int) "supervisor pid" (Unix.getpid ()) (Shm.supervisor_pid shm);
+  Alcotest.(check (option int)) "no tcp port yet" None (Shm.tcp_port shm);
+  Shm.set_tcp_port shm 40129;
+  Alcotest.(check (option int)) "tcp port set" (Some 40129) (Shm.tcp_port shm);
+  Shm.write_worker shm ~slot:1 sample_worker_row;
+  Shm.write_control shm ~slot:1 sample_control_row;
+  (* read back through an independent attachment, as `top` would *)
+  (match Shm.attach ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok reader ->
+      Alcotest.(check (option int)) "port via attach" (Some 40129) (Shm.tcp_port reader);
+      let r = Shm.read_row reader ~slot:1 in
+      Alcotest.(check bool) "worker region consistent" true r.Shm.w_consistent;
+      Alcotest.(check bool) "control region consistent" true r.Shm.c_consistent;
+      Alcotest.(check bool) "worker row roundtrips" true (r.Shm.worker = sample_worker_row);
+      Alcotest.(check bool) "control row roundtrips" true
+        (r.Shm.control = sample_control_row);
+      (* untouched slot reads as empty/down, not garbage *)
+      let r0 = Shm.read_row reader ~slot:0 in
+      Alcotest.(check int) "empty slot pid" 0 r0.Shm.worker.Shm.pid;
+      Alcotest.(check bool) "empty slot down" true
+        (r0.Shm.control.Shm.c_state = Shm.C_down));
+  Sys.remove path
+
+let test_shm_attach_validation () =
+  let expect_error name path needle =
+    match Shm.attach ~path () with
+    | Ok _ -> Alcotest.failf "%s: attach unexpectedly succeeded" name
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %S (got %S)" name needle e)
+          true (contains e needle)
+  in
+  expect_error "missing file" (Filename.concat temp_dir "nonesuch.shm") "nonesuch.shm";
+  let junk = Filename.concat temp_dir "junk.shm" in
+  write_file junk (String.make 16384 'x');
+  expect_error "bad magic" junk "bad magic";
+  Sys.remove junk;
+  (* a valid segment with the version word bumped must be refused *)
+  let path = Filename.concat temp_dir "version.shm" in
+  ignore (Shm.create ~path ~n_workers:1 ());
+  let b = Bytes.of_string (read_file path) in
+  Bytes.set_int64_le b 8 99L;
+  write_file path (Bytes.to_string b);
+  expect_error "future layout version" path "layout version 99";
+  Sys.remove path;
+  (* truncated file: header promises more workers than the file holds *)
+  let path = Filename.concat temp_dir "short.shm" in
+  ignore (Shm.create ~path ~n_workers:4 ());
+  let whole = read_file path in
+  write_file path (String.sub whole 0 (String.length whole - 4096));
+  expect_error "truncated" path "truncated";
+  Sys.remove path
+
+(* seqlock: a reader racing a writer must never observe a mixed row.
+   The writer publishes rows whose every field carries the same value, so
+   any consistent-flagged read with unequal fields is a torn read. *)
+let test_shm_seqlock_consistency () =
+  let path = Filename.concat temp_dir "seqlock.shm" in
+  let shm = Shm.create ~path ~n_workers:1 () in
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let k = ref 1 in
+        while not (Atomic.get stop) do
+          let v = !k in
+          Shm.write_worker shm ~slot:0
+            {
+              Shm.empty_worker_row with
+              Shm.pid = v;
+              started_ns = v;
+              heartbeat_ns = v;
+              requests = v;
+              responses = v;
+              submitted = v;
+              completed = v;
+              queue_depth = v;
+              job_wall_ms = v;
+            };
+          incr k
+        done;
+        !k)
+  in
+  let reader = match Shm.attach ~path () with Ok r -> r | Error e -> Alcotest.fail e in
+  let consistent_reads = ref 0 in
+  for _ = 1 to 20_000 do
+    let r = Shm.read_row reader ~slot:0 in
+    if r.Shm.w_consistent then begin
+      incr consistent_reads;
+      let w = r.Shm.worker in
+      let v = w.Shm.pid in
+      if
+        not
+          (w.Shm.started_ns = v && w.Shm.heartbeat_ns = v && w.Shm.requests = v
+         && w.Shm.responses = v && w.Shm.submitted = v && w.Shm.completed = v
+         && w.Shm.queue_depth = v && w.Shm.job_wall_ms = v)
+      then
+        Alcotest.failf "torn row passed the seqlock: pid=%d started=%d requests=%d" v
+          w.Shm.started_ns w.Shm.requests
+    end
+  done;
+  Atomic.set stop true;
+  let writes = Domain.join writer in
+  Alcotest.(check bool) "writer made progress" true (writes > 100);
+  Alcotest.(check bool) "reads mostly consistent" true (!consistent_reads > 10_000);
+  Sys.remove path
+
+(* ---- supervisor -------------------------------------------------------- *)
+
+(* the test binary is not rotary_cli, so point the supervisor at the
+   real CLI built next door (declared as a dune dep of this test) *)
+let rotary_cli_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/rotary_cli.exe"
+
+let with_supervisor ?(workers = 2) name f =
+  let sock = Filename.concat temp_dir (name ^ ".sock") in
+  let shm_path = sock ^ ".shm" in
+  let cfg =
+    {
+      Supervisor.workers;
+      sched_workers = Some 2;
+      max_pending = Some 64;
+      unix_path = Some sock;
+      tcp = None;
+      shm_path;
+      checkpoint_dir = sock ^ ".ckpt";
+      checkpoint_every = 1;
+      drain_grace_s = 30.0;
+      allow_restart = true;
+      handle_signals = false;
+      exe = Some rotary_cli_exe;
+    }
+  in
+  let sup = Thread.create (fun () -> Supervisor.run cfg) () in
+  let rec wait n =
+    if Sys.file_exists sock && Sys.file_exists shm_path then ()
+    else if n = 0 then Alcotest.fail "supervisor listener never appeared"
+    else (
+      Unix.sleepf 0.05;
+      wait (n - 1))
+  in
+  wait 200;
+  Fun.protect
+    ~finally:(fun () ->
+      (* always shut down, even on assertion failure, so the test binary
+         does not leak a supervisor + workers *)
+      (try
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         Unix.connect fd (Unix.ADDR_UNIX sock);
+         send_line fd {|{"id":0,"op":"shutdown"}|};
+         ignore (input_line (Unix.in_channel_of_descr fd));
+         Unix.close fd
+       with _ -> ());
+      Thread.join sup)
+    (fun () -> f ~sock ~shm_path)
+
+let connect_unix sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let attach_ok shm_path =
+  match Shm.attach ~path:shm_path () with Ok s -> s | Error e -> Alcotest.fail e
+
+let sum_restarts shm =
+  Array.fold_left (fun acc r -> acc + r.Shm.control.Shm.c_restarts) 0 (Shm.read_all shm)
+
+let wait_for ?(timeout_s = 20.0) msg pred =
+  let deadline = Rc_util.Timer.now_s () +. timeout_s in
+  let rec go () =
+    if pred () then ()
+    else if Rc_util.Timer.now_s () > deadline then Alcotest.failf "timed out: %s" msg
+    else (
+      Unix.sleepf 0.01;
+      go ())
+  in
+  go ()
+
+(* The chaos drill: SIGKILL the worker running a flow mid-iteration; the
+   supervisor must respawn the slot and resume or rerun the flow on a
+   sibling, and the response digest must equal an uninterrupted run's. *)
+let test_supervisor_chaos_kill () =
+  let reference =
+    Checkpoint.digest_of_outcome
+      (Flow.run (Flow.default_config ~mode:Flow.Netflow Bench_suite.s9234))
+  in
+  with_supervisor "chaos" (fun ~sock ~shm_path ->
+      let fd = connect_unix sock in
+      let ic = Unix.in_channel_of_descr fd in
+      send_line fd {|{"id":1,"op":"flow","bench":"s9234"}|};
+      let shm = attach_ok shm_path in
+      let victim = ref 0 in
+      wait_for "a worker to pick up the flow" (fun () ->
+          Array.iter
+            (fun (r : Shm.row) ->
+              let c = r.Shm.control in
+              if c.Shm.c_state = Shm.C_up && c.Shm.c_inflight > 0 && c.Shm.c_pid > 0 then
+                victim := c.Shm.c_pid)
+            (Shm.read_all shm);
+          !victim <> 0);
+      (* give the flow time to pass its first checkpoint boundary *)
+      Unix.sleepf 0.15;
+      Unix.kill !victim Sys.sigkill;
+      let resp = read_response ic in
+      Alcotest.(check bool) "flow survives the crash" true
+        (field "ok" resp = Json.Bool true);
+      (match field "digest" (field "result" resp) with
+      | Json.String d ->
+          Alcotest.(check string) "digest equals uninterrupted run" reference d
+      | _ -> Alcotest.fail "flow response without digest");
+      (* the crash and respawn are visible in the control rows *)
+      wait_for "restart recorded in shm" (fun () -> sum_restarts shm >= 1);
+      close_in_noerr ic;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* rolling restart under load: every pipelined request answered exactly
+   once with the right digest, and every slot cycled through a respawn *)
+let test_supervisor_rolling_restart () =
+  let reference =
+    Checkpoint.digest_of_outcome
+      (Flow.run (Flow.default_config ~mode:Flow.Netflow Bench_suite.tiny))
+  in
+  with_supervisor "roll" (fun ~sock ~shm_path ->
+      let fd = connect_unix sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let n = 12 in
+      for i = 1 to n do
+        send_line fd (Printf.sprintf {|{"id":%d,"op":"flow","bench":"tiny"}|} i)
+      done;
+      send_line fd {|{"id":100,"op":"restart"}|};
+      let responses = List.init (n + 1) (fun _ -> read_response ic) in
+      let by_id k =
+        match List.find_opt (fun j -> field "id" j = Json.Int k) responses with
+        | Some j -> j
+        | None -> Alcotest.failf "no response with id %d" k
+      in
+      Alcotest.(check bool) "restart acknowledged" true
+        (field "ok" (by_id 100) = Json.Bool true);
+      for i = 1 to n do
+        let r = by_id i in
+        Alcotest.(check bool) (Printf.sprintf "flow %d ok" i) true
+          (field "ok" r = Json.Bool true);
+        match field "digest" (field "result" r) with
+        | Json.String d ->
+            Alcotest.(check string) (Printf.sprintf "flow %d digest" i) reference d
+        | _ -> Alcotest.failf "flow %d without digest" i
+      done;
+      (* the roll completes asynchronously; wait until both slots cycled *)
+      let shm = attach_ok shm_path in
+      wait_for "both slots respawned" (fun () -> sum_restarts shm >= 2);
+      close_in_noerr ic;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+
 let () =
   Alcotest.run "rc_serve"
     [
@@ -428,6 +756,26 @@ let () =
         [
           Alcotest.test_case "request parsing" `Quick test_protocol_parse;
           Alcotest.test_case "sync ops are inline" `Quick test_protocol_sync_ops_have_no_job;
+          Alcotest.test_case "restart op" `Quick test_protocol_restart_op;
         ] );
-      ("server", [ Alcotest.test_case "socket smoke" `Slow test_server_socket_smoke ]);
+      ( "server",
+        [
+          Alcotest.test_case "socket smoke" `Slow test_server_socket_smoke;
+          Alcotest.test_case "status carries worker identity" `Quick
+            test_server_status_identity;
+        ] );
+      ( "shm",
+        [
+          Alcotest.test_case "row roundtrip via attach" `Quick test_shm_roundtrip;
+          Alcotest.test_case "attach validation" `Quick test_shm_attach_validation;
+          Alcotest.test_case "seqlock consistency under a concurrent writer" `Quick
+            test_shm_seqlock_consistency;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "crash recovery is digest-identical" `Slow
+            test_supervisor_chaos_kill;
+          Alcotest.test_case "rolling restart loses nothing" `Slow
+            test_supervisor_rolling_restart;
+        ] );
     ]
