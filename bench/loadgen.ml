@@ -1,23 +1,33 @@
 (* Concurrent load generator for `rotary_cli serve`.
 
-   Opens N client connections to a running server's Unix-domain socket,
-   pipelines a deterministic mix of requests (flow / sweep / status /
-   checkpoint-inspect) across them, and measures client-side latency
-   per request: send instant to response instant on the monotonic
-   clock.  Results — ok/error counts, latency percentiles, throughput —
-   are printed and merged under the "loadgen" key of
-   BENCH_results.json (schema: DESIGN.md "Bench results file"), read
-   and rewritten with Rc_util.Json.
+   Opens N client connections to a running server's Unix-domain socket
+   or TCP port, pipelines a deterministic mix of requests (flow /
+   sweep / status / checkpoint-inspect) across them, and measures
+   client-side latency per request: write completion to response
+   arrival on the monotonic clock.  Results — ok/error counts, latency
+   percentiles, throughput — are printed and merged under --key
+   (optionally nested under --label, e.g. service.shm vs
+   service.ndjson) of BENCH_results.json (schema: DESIGN.md "Bench
+   results file"), read and rewritten with Rc_util.Json.
+
+   Connection engine: a single thread drives every connection through
+   poll(2) (Rc_serve.Evloop) — nonblocking connects, per-connection
+   write/read buffers — so thousands of connections (--conns 2048)
+   cost one thread and no per-connection stacks, instead of the old
+   thread-per-connection model that fell over around the default
+   thread cap.
 
    Usage:
      loadgen.exe --socket PATH | --tcp HOST:PORT
-                 [-n CONNS] [--requests TOTAL] [--mix default|light]
-                 [--bench NAME] [--deadline-ms MS] [--out FILE.json]
-                 [--key NAME] [--expect-digest HEX]
+                 [--conns N | -n N] [--requests TOTAL]
+                 [--mix default|light] [--bench NAME]
+                 [--deadline-ms MS] [--out FILE.json]
+                 [--key NAME] [--label NAME] [--expect-digest HEX]
                  [--chaos-kill K --shm PATH]
 
-   The request mix is a fixed rotation, so a given (--requests, -n)
-   pair always issues the same workload — comparable across runs.
+   The request mix is a fixed rotation, so a given (--requests,
+   --conns) pair always issues the same workload — comparable across
+   runs.
 
    Chaos mode (--chaos-kill K with --shm PATH) is the supervisor tier's
    CI drill: once K responses have arrived, the busiest worker process
@@ -29,6 +39,7 @@
 
 module Json = Rc_util.Json
 module Timer = Rc_util.Timer
+module Evloop = Rc_serve.Evloop
 
 let socket_path = ref ""
 let tcp_spec = ref ""
@@ -39,6 +50,7 @@ let bench_name = ref "tiny"
 let deadline_ms = ref 0.0 (* 0 = no deadline field *)
 let out_path = ref "BENCH_results.json"
 let out_key = ref "loadgen"
+let out_label = ref ""
 let expect_digest = ref ""
 let chaos_kill = ref 0 (* 0 = no chaos *)
 let shm_path = ref ""
@@ -47,7 +59,8 @@ let args =
   [
     ("--socket", Arg.Set_string socket_path, "PATH server Unix-domain socket");
     ("--tcp", Arg.Set_string tcp_spec, "HOST:PORT connect over TCP instead of the Unix socket");
-    ("-n", Arg.Set_int n_conns, "N concurrent client connections (default 4)");
+    ("--conns", Arg.Set_int n_conns, "N concurrent client connections (default 4)");
+    ("-n", Arg.Set_int n_conns, "N alias for --conns");
     ("--requests", Arg.Set_int n_requests, "N total requests across all connections (default 16)");
     ( "--mix",
       Arg.Set_string mix,
@@ -58,6 +71,9 @@ let args =
       "MS attach this deadline to every async request (default: none)" );
     ("--out", Arg.Set_string out_path, "FILE merge results into this JSON file (default BENCH_results.json)");
     ("--key", Arg.Set_string out_key, "NAME top-level key to merge under (default loadgen)");
+    ( "--label",
+      Arg.Set_string out_label,
+      "NAME nest the result under KEY.LABEL instead of KEY (per-transport comparisons)" );
     ( "--expect-digest",
       Arg.Set_string expect_digest,
       "HEX require every flow response's digest to equal HEX (bit-identity check)" );
@@ -155,78 +171,228 @@ let server_addr () =
     | Some p -> Unix.ADDR_INET (Unix.inet_addr_of_string host, p))
   else Unix.ADDR_UNIX !socket_path
 
-(* one connection: pipeline our requests, then collect until every id
-   has answered (responses arrive in completion order) *)
-let run_connection ~conn ~count ~first_id =
-  let addr = server_addr () in
-  let domain = Unix.domain_of_sockaddr addr in
-  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  Unix.connect fd addr;
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let sent = Hashtbl.create count in
+(* ---- the poll-driven connection engine --------------------------------- *)
+
+type cstate =
+  | Backoff of float  (* connect refused (backlog burst); retry at this time *)
+  | Connecting  (* nonblocking connect in flight; wait for POLLOUT *)
+  | Running  (* write the request block / read response lines *)
+  | Closed
+
+type conn = {
+  cid : int;
+  mutable fd : Unix.file_descr;
+  mutable st : cstate;
+  mutable attempts : int;  (* connect attempts *)
+  out : string;  (* every request line of this connection, pre-rendered *)
+  marks : (int * int) array;  (* (end offset in [out], id), ascending *)
+  mutable next_mark : int;
+  mutable written : int;
+  sent : (int, float) Hashtbl.t;  (* id -> t0, stamped at write completion *)
+  flow_ids : (int, unit) Hashtbl.t;
+  expected : int;
+  mutable answered : int;
+  inbuf : Buffer.t;  (* partial response line *)
+  mutable replies : reply list;
+}
+
+let make_conn ~cid ~count ~first_id =
+  let b = Buffer.create (count * 64) in
+  let marks = Array.make count (0, 0) in
   let flow_ids = Hashtbl.create count in
   for i = 0 to count - 1 do
     let id = first_id + i in
-    let body = request_body (conn + i) in
+    let body = request_body (cid + i) in
     let body =
-      if is_async (conn + i) && !deadline_ms > 0.0 then
+      if is_async (cid + i) && !deadline_ms > 0.0 then
         body @ [ ("deadline_ms", Json.Float !deadline_ms) ]
       else body
     in
-    if is_flow (conn + i) then Hashtbl.replace flow_ids id ();
-    let line = Json.to_line (Json.Obj (("id", Json.Int id) :: body)) in
-    Hashtbl.replace sent id (Timer.now_s ());
-    output_string oc line;
-    output_char oc '\n'
+    if is_flow (cid + i) then Hashtbl.replace flow_ids id ();
+    Buffer.add_string b (Json.to_line (Json.Obj (("id", Json.Int id) :: body)));
+    Buffer.add_char b '\n';
+    marks.(i) <- (Buffer.length b, id)
   done;
-  flush oc;
-  let replies = ref [] in
-  (try
-     while Hashtbl.length sent > 0 do
-       let line = input_line ic in
-       let now = Timer.now_s () in
-       match Json.of_string line with
-       | Error e -> failwith ("unparseable response: " ^ e)
-       | Ok j -> (
-           match Option.bind (Json.member "id" j) Json.to_int_opt with
-           | None -> failwith ("response without id: " ^ line)
-           | Some id -> (
-               match Hashtbl.find_opt sent id with
-               | None -> failwith (Printf.sprintf "unexpected response id %d" id)
-               | Some t0 ->
-                   Hashtbl.remove sent id;
-                   Atomic.incr responses_seen;
-                   let ok =
-                     match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
-                   in
-                   let ok, error =
-                     if not ok then
-                       ( false,
-                         Option.value
-                           (Option.bind (Json.member "error" j) Json.to_string_opt)
-                           ~default:"?" )
-                     else if !expect_digest <> "" && Hashtbl.mem flow_ids id then
-                       let digest =
-                         Option.bind (Json.member "result" j) (Json.member "digest")
-                         |> Fun.flip Option.bind Json.to_string_opt
-                       in
-                       match digest with
-                       | Some d when d = !expect_digest -> (true, "")
-                       | Some d ->
-                           (false, Printf.sprintf "digest mismatch: got %s want %s" d !expect_digest)
-                       | None -> (false, "flow response without result.digest")
-                     else (true, "")
-                   in
-                   replies := { ok; error; latency_s = now -. t0 } :: !replies))
-     done
-   with End_of_file ->
-     failwith
-       (Printf.sprintf "connection %d: server closed with %d responses outstanding" conn
-          (Hashtbl.length sent)));
-  close_out_noerr oc;
-  close_in_noerr ic;
-  !replies
+  {
+    cid;
+    fd = Unix.stdin;
+    st = Backoff 0.0;
+    attempts = 0;
+    out = Buffer.contents b;
+    marks;
+    next_mark = 0;
+    written = 0;
+    sent = Hashtbl.create count;
+    flow_ids;
+    expected = count;
+    answered = 0;
+    inbuf = Buffer.create 256;
+    replies = [];
+  }
+
+let max_connect_attempts = 10_000
+
+let start_connect c =
+  let addr = server_addr () in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  c.fd <- fd;
+  c.attempts <- c.attempts + 1;
+  match Unix.connect fd addr with
+  | () -> c.st <- Running
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+      c.st <- Connecting
+  | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.EAGAIN | Unix.ECONNRESET), _, _)
+    when c.attempts < max_connect_attempts ->
+      (* a connect burst can momentarily overflow the listen backlog;
+         back off briefly and retry *)
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      c.st <- Backoff (Timer.now_s () +. 0.005)
+  | exception Unix.Unix_error (e, _, _) ->
+      failwith
+        (Printf.sprintf "connection %d: connect failed: %s" c.cid (Unix.error_message e))
+
+let close_conn c =
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  c.st <- Closed
+
+let handle_response c line now =
+  if line <> "" then
+    match Json.of_string line with
+    | Error e -> failwith ("unparseable response: " ^ e)
+    | Ok j -> (
+        match Option.bind (Json.member "id" j) Json.to_int_opt with
+        | None -> failwith ("response without id: " ^ line)
+        | Some id -> (
+            match Hashtbl.find_opt c.sent id with
+            | None -> failwith (Printf.sprintf "unexpected response id %d" id)
+            | Some t0 ->
+                Hashtbl.remove c.sent id;
+                c.answered <- c.answered + 1;
+                Atomic.incr responses_seen;
+                let ok =
+                  match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
+                in
+                let ok, error =
+                  if not ok then
+                    ( false,
+                      Option.value
+                        (Option.bind (Json.member "error" j) Json.to_string_opt)
+                        ~default:"?" )
+                  else if !expect_digest <> "" && Hashtbl.mem c.flow_ids id then
+                    let digest =
+                      Option.bind (Json.member "result" j) (Json.member "digest")
+                      |> Fun.flip Option.bind Json.to_string_opt
+                    in
+                    match digest with
+                    | Some d when d = !expect_digest -> (true, "")
+                    | Some d ->
+                        (false, Printf.sprintf "digest mismatch: got %s want %s" d !expect_digest)
+                    | None -> (false, "flow response without result.digest")
+                  else (true, "")
+                in
+                c.replies <- { ok; error; latency_s = now -. t0 } :: c.replies))
+
+let chunk = Bytes.create 65536
+
+let do_read c =
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | 0 ->
+      if c.answered < c.expected then
+        failwith
+          (Printf.sprintf "connection %d: server closed with %d responses outstanding"
+             c.cid (c.expected - c.answered))
+      else close_conn c
+  | n ->
+      let now = Timer.now_s () in
+      for i = 0 to n - 1 do
+        let ch = Bytes.get chunk i in
+        if ch = '\n' then (
+          handle_response c (String.trim (Buffer.contents c.inbuf)) now;
+          Buffer.clear c.inbuf)
+        else Buffer.add_char c.inbuf ch
+      done;
+      if c.answered >= c.expected then close_conn c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+
+(* flush as much of the request block as the socket accepts; each
+   request's t0 is stamped when its last byte enters the kernel *)
+let do_write c =
+  let len = String.length c.out in
+  let rec go () =
+    if c.written < len then
+      match Unix.write_substring c.fd c.out c.written (min 65536 (len - c.written)) with
+      | n ->
+          let now = Timer.now_s () in
+          c.written <- c.written + n;
+          while
+            c.next_mark < Array.length c.marks && fst c.marks.(c.next_mark) <= c.written
+          do
+            Hashtbl.replace c.sent (snd c.marks.(c.next_mark)) now;
+            c.next_mark <- c.next_mark + 1
+          done;
+          if n > 0 then go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          ()
+  in
+  go ()
+
+let run_engine conns =
+  let ev = Evloop.create (Array.length conns) in
+  let regs = Array.make (Array.length conns) conns.(0) in
+  let live () = Array.exists (fun c -> c.st <> Closed) conns in
+  while live () do
+    let now = Timer.now_s () in
+    Array.iter
+      (fun c -> match c.st with Backoff t when now >= t -> start_connect c | _ -> ())
+      conns;
+    Evloop.begin_round ev;
+    let nreg = ref 0 in
+    Array.iter
+      (fun c ->
+        let events =
+          match c.st with
+          | Connecting -> Evloop.pollout
+          | Running ->
+              Evloop.pollin
+              lor (if c.written < String.length c.out then Evloop.pollout else 0)
+          | Backoff _ | Closed -> 0
+        in
+        if events <> 0 then (
+          let i = Evloop.add ev c.fd ~events in
+          regs.(i) <- c;
+          incr nreg))
+      conns;
+    if !nreg = 0 then Thread.delay 0.002
+    else if Evloop.wait ev ~timeout_ms:100 > 0 then
+      for i = 0 to !nreg - 1 do
+        let c = regs.(i) in
+        let r = Evloop.revents ev i in
+        match c.st with
+        | Connecting ->
+            if r land (Evloop.pollout lor Evloop.pollerr) <> 0 then (
+              match Unix.getsockopt_error c.fd with
+              | None ->
+                  c.st <- Running;
+                  do_write c
+              | Some (Unix.ECONNREFUSED | Unix.EAGAIN | Unix.ECONNRESET)
+                when c.attempts < max_connect_attempts ->
+                  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+                  c.st <- Backoff (Timer.now_s () +. 0.005)
+              | Some e ->
+                  failwith
+                    (Printf.sprintf "connection %d: connect failed: %s" c.cid
+                       (Unix.error_message e)))
+        | Running ->
+            if r land Evloop.pollout <> 0 then do_write c;
+            if c.st = Running && r land (Evloop.pollin lor Evloop.pollerr) <> 0 then
+              do_read c
+        | Backoff _ | Closed -> ()
+      done
+  done;
+  Array.to_list conns |> List.concat_map (fun c -> c.replies)
+
+(* ---- reporting --------------------------------------------------------- *)
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -237,7 +403,8 @@ let percentile sorted p =
     let frac = rank -. floor rank in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
-let merge_results loadgen_doc =
+(* merge under --key, or KEY.LABEL with --label (other labels kept) *)
+let merge_results doc =
   let existing =
     if Sys.file_exists !out_path then
       let ic = open_in_bin !out_path in
@@ -247,13 +414,23 @@ let merge_results loadgen_doc =
       match Json.of_string s with Ok (Json.Obj fields) -> fields | _ -> []
     else []
   in
-  let fields = List.remove_assoc !out_key existing @ [ (!out_key, loadgen_doc) ] in
+  let doc =
+    if !out_label = "" then doc
+    else
+      let prior =
+        match List.assoc_opt !out_key existing with
+        | Some (Json.Obj fields) -> List.remove_assoc !out_label fields
+        | _ -> []
+      in
+      Json.Obj (prior @ [ (!out_label, doc) ])
+  in
+  let fields = List.remove_assoc !out_key existing @ [ (!out_key, doc) ] in
   Json.to_file !out_path (Json.Obj fields)
 
 let () =
   Arg.parse args
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
-    "loadgen.exe (--socket PATH | --tcp HOST:PORT) [-n CONNS] [--requests TOTAL]";
+    "loadgen.exe (--socket PATH | --tcp HOST:PORT) [--conns N] [--requests TOTAL]";
   if !socket_path = "" && !tcp_spec = "" then (
     prerr_endline "loadgen: --socket or --tcp is required";
     exit 2);
@@ -265,18 +442,12 @@ let () =
   (* split TOTAL across connections, remainder to the first ones *)
   let share c = (total / conns) + if c < total mod conns then 1 else 0 in
   let t0 = Timer.now_s () in
-  let results = Array.make conns [] in
-  let threads =
-    List.init conns (fun c ->
-        Thread.create
-          (fun () ->
-            let first_id = (c * total) + 1 in
-            results.(c) <- run_connection ~conn:c ~count:(share c) ~first_id)
-          ())
+  let cs =
+    Array.init conns (fun c ->
+        make_conn ~cid:c ~count:(share c) ~first_id:((c * total) + 1))
   in
-  List.iter Thread.join threads;
+  let replies = run_engine cs in
   let wall_s = Timer.now_s () -. t0 in
-  let replies = Array.to_list results |> List.concat in
   let n_ok = List.length (List.filter (fun r -> r.ok) replies) in
   let n_err = List.length replies - n_ok in
   List.iter
@@ -348,5 +519,6 @@ let () =
       @ restart_fields @ chaos_fields)
   in
   merge_results doc;
-  Printf.printf "[loadgen] merged into %s (key %s)\n" !out_path !out_key;
+  Printf.printf "[loadgen] merged into %s (key %s%s)\n" !out_path !out_key
+    (if !out_label = "" then "" else "." ^ !out_label);
   if n_err > 0 || List.length replies <> total || not chaos_ok then exit 1

@@ -1,0 +1,17 @@
+(* CPU pinning for worker processes (`rotary_cli serve --pin-cores`).
+   Thin wrapper over sched_setaffinity; unsupported platforms degrade
+   to a warning, never an error. *)
+
+external pin_self_raw : int -> int = "rc_affinity_pin_self" [@@noalloc]
+external ncores_raw : unit -> int = "rc_affinity_ncores" [@@noalloc]
+
+let ncores () = ncores_raw ()
+
+type outcome = Pinned | Failed | Unsupported
+
+let pin_self core =
+  if core < 0 then invalid_arg "Affinity.pin_self: negative core";
+  match pin_self_raw (core mod ncores ()) with
+  | 0 -> Pinned
+  | -1 -> Failed
+  | _ -> Unsupported

@@ -1,0 +1,181 @@
+(* Shared buffer arena: size-classed extents in the mmap'd segment,
+   handed between processes by reference (a packed handle in a ring
+   descriptor) instead of by copy, after snabb's group_freelist.
+
+   Each size class is a fixed pool of extents plus a lock-free Treiber
+   stack of free extent indices.  The stack head packs a 31-bit ABA
+   version with the top index ([(ver << 32) | (idx + 1)], 0 = empty)
+   and is updated by CAS; the next-pointer lives in the extent's first
+   word while free, which doubles as the refcount while allocated.
+   Any process mapping the segment may alloc/free concurrently.
+
+   Refcounted handoff: [alloc] returns the extent with refcount 1;
+   [incref]/[decref] move it between owners, and the decref that hits
+   zero pushes the extent back on its class freelist.  Payload bytes
+   start 16 bytes into the extent and move via the bulk-copy stubs;
+   visibility is sequenced by whoever publishes the handle (ring head
+   store or checkpoint-table seqlock).
+
+   A crashed process can leak extents it held unpublished (the window
+   between alloc and ring publish is a few microseconds); the
+   supervisor reclaims every extent referenced from a dead worker's
+   rings and checkpoint entries, and `top` exposes per-class in_use
+   counters so leaks are visible. *)
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external get_acq : ba -> int -> int = "rc_shm_get" [@@noalloc]
+external set_rel : ba -> int -> int -> unit = "rc_shm_set" [@@noalloc]
+external cas : ba -> int -> int -> int -> bool = "rc_shm_cas" [@@noalloc]
+external faa : ba -> int -> int -> int = "rc_shm_faa" [@@noalloc]
+
+external put_bytes : ba -> int -> Bytes.t -> int -> int -> unit
+  = "rc_shm_put_bytes"
+[@@noalloc]
+
+external get_bytes : ba -> int -> Bytes.t -> int -> int -> unit
+  = "rc_shm_get_bytes"
+[@@noalloc]
+
+type spec = { size : int; count : int }
+
+type cls = {
+  c_size : int;  (* payload capacity, bytes *)
+  c_count : int;
+  c_ctl : int;  (* word offset: [freelist head; in_use; 6 pad] *)
+  c_data : int;  (* word offset of extent 0 *)
+  c_stride_w : int;  (* extent stride in words, 64-byte aligned *)
+}
+
+type t = { ba : ba; classes : cls array }
+
+type stat = { s_size : int; s_count : int; s_in_use : int }
+
+let ext_header_bytes = 16 (* word 0: next/refcount; word 1: spare *)
+
+let stride_w size = (ext_header_bytes + size + 63) / 64 * 8
+
+let layout ~base spec =
+  let n = Array.length spec in
+  let data = ref (base + (8 * n)) in
+  Array.mapi
+    (fun i s ->
+      if s.size < 1 || s.count < 1 then invalid_arg "Arena: bad class spec";
+      if s.count >= 1 lsl 24 then invalid_arg "Arena: class count too large";
+      let sw = stride_w s.size in
+      let c =
+        { c_size = s.size; c_count = s.count; c_ctl = base + (8 * i); c_data = !data; c_stride_w = sw }
+      in
+      data := !data + (s.count * sw);
+      c)
+    spec
+
+let words_needed spec =
+  Array.fold_left (fun acc s -> acc + (s.count * stride_w s.size)) (8 * Array.length spec) spec
+
+let ext_word c idx = c.c_data + (idx * c.c_stride_w)
+
+(* freelist head packing: (version << 32) | (idx + 1); version is 31
+   bits and wraps, the CAS compares the whole word *)
+let mask32 = 0xFFFFFFFF
+let bump_ver h next = ((((h asr 32) + 1) land 0x3FFFFFFF) lsl 32) lor (next land mask32)
+
+let attach ba ~base spec = { ba; classes = layout ~base spec }
+
+let init ba ~base spec =
+  let t = attach ba ~base spec in
+  Array.iter
+    (fun c ->
+      (* chain extent i -> i+1, last -> end-of-list (0) *)
+      for i = 0 to c.c_count - 1 do
+        set_rel ba (ext_word c i) (if i + 1 < c.c_count then i + 2 else 0)
+      done;
+      set_rel ba c.c_ctl 1 (* version 0, top = extent 0 *);
+      set_rel ba (c.c_ctl + 1) 0)
+    t.classes;
+  t
+
+let handle ~cls ~idx = (cls lsl 24) lor idx
+let cls_of_handle h = h lsr 24
+let idx_of_handle h = h land 0xFFFFFF
+
+let rec pop_free t c =
+  let h = get_acq t.ba c.c_ctl in
+  let ip = h land mask32 in
+  if ip = 0 then None
+  else
+    let idx = ip - 1 in
+    let next = get_acq t.ba (ext_word c idx) in
+    if cas t.ba c.c_ctl h (bump_ver h next) then Some idx
+    else begin
+      Domain.cpu_relax ();
+      pop_free t c
+    end
+
+let rec push_free t c idx =
+  let h = get_acq t.ba c.c_ctl in
+  set_rel t.ba (ext_word c idx) (h land mask32);
+  if not (cas t.ba c.c_ctl h (bump_ver h (idx + 1))) then begin
+    Domain.cpu_relax ();
+    push_free t c idx
+  end
+
+let alloc t len =
+  let n = Array.length t.classes in
+  let rec go ci =
+    if ci >= n then None
+    else
+      let c = t.classes.(ci) in
+      if c.c_size < len then go (ci + 1)
+      else
+        match pop_free t c with
+        | None -> go (ci + 1) (* class empty: fall up to a larger one *)
+        | Some idx ->
+            set_rel t.ba (ext_word c idx) 1 (* refcount *);
+            ignore (faa t.ba (c.c_ctl + 1) 1);
+            Some (handle ~cls:ci ~idx)
+  in
+  if len < 0 then invalid_arg "Arena.alloc: negative length" else go 0
+
+let check t h =
+  let ci = cls_of_handle h and idx = idx_of_handle h in
+  if ci >= Array.length t.classes || idx >= t.classes.(ci).c_count then
+    invalid_arg "Arena: bad handle";
+  (t.classes.(ci), idx)
+
+let capacity t h =
+  let c, _ = check t h in
+  c.c_size
+
+let write t h s =
+  let c, idx = check t h in
+  let len = String.length s in
+  if len > c.c_size then invalid_arg "Arena.write: payload exceeds extent";
+  put_bytes t.ba ((ext_word c idx * 8) + ext_header_bytes) (Bytes.unsafe_of_string s) 0 len
+
+let read t h ~len =
+  let c, idx = check t h in
+  if len < 0 || len > c.c_size then invalid_arg "Arena.read: bad length";
+  let b = Bytes.create len in
+  get_bytes t.ba ((ext_word c idx * 8) + ext_header_bytes) b 0 len;
+  Bytes.unsafe_to_string b
+
+let incref t h =
+  let c, idx = check t h in
+  ignore (faa t.ba (ext_word c idx) 1)
+
+let decref t h =
+  let c, idx = check t h in
+  let old = faa t.ba (ext_word c idx) (-1) in
+  if old = 1 then begin
+    ignore (faa t.ba (c.c_ctl + 1) (-1));
+    push_free t c idx
+  end
+  else if old <= 0 then invalid_arg "Arena.decref: refcount underflow"
+
+let stats t =
+  Array.map
+    (fun c -> { s_size = c.c_size; s_count = c.c_count; s_in_use = get_acq t.ba (c.c_ctl + 1) })
+    t.classes
+
+let in_use t = Array.fold_left (fun acc s -> acc + s.s_in_use) 0 (stats t)

@@ -1,0 +1,61 @@
+(** Shared buffer arena: size-classed, refcounted extents in the
+    mmap'd segment, handed between the supervisor and worker processes
+    by packed handle (in {!Ring} descriptors and checkpoint-table
+    entries) instead of by copy.
+
+    Each class is a fixed pool of extents with a lock-free Treiber
+    stack of free indices (CAS on a version-tagged head word, so ABA
+    is harmless); any process mapping the segment may alloc and free
+    concurrently.  {!alloc} picks the smallest class that fits and
+    falls up to larger classes when one is exhausted; when all fit
+    candidates are empty it returns [None] and the caller degrades to
+    the NDJSON socketpath.  Extents carry a refcount ({!alloc} = 1);
+    the {!decref} reaching zero returns the extent to its freelist.
+
+    Byte payloads move with bulk-copy stubs and become visible to the
+    peer through whatever publishes the handle (the ring's head store,
+    or the checkpoint table's seqlock). *)
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+type spec = { size : int; count : int }
+(** One size class: [count] extents of [size] payload bytes each. *)
+
+type stat = { s_size : int; s_count : int; s_in_use : int }
+
+val words_needed : spec array -> int
+(** Segment words for an arena with these classes (control + data). *)
+
+val init : ba -> base:int -> spec array -> t
+(** Build the freelists at [base] (segment creator only). *)
+
+val attach : ba -> base:int -> spec array -> t
+(** Handle onto an already-initialized arena; [spec] must match the
+    creator's (the segment header records it). *)
+
+val alloc : t -> int -> int option
+(** [alloc t len] claims an extent with capacity >= [len], refcount 1.
+    [None] = every fitting class exhausted; callers fall back to the
+    socketpair transport. *)
+
+val capacity : t -> int -> int
+(** Payload capacity of a handle's class, bytes. *)
+
+val write : t -> int -> string -> unit
+(** Copy a payload into the extent (must fit its capacity). *)
+
+val read : t -> int -> len:int -> string
+
+val incref : t -> int -> unit
+(** Add an owner before handing the handle to another party. *)
+
+val decref : t -> int -> unit
+(** Drop ownership; the drop to zero frees the extent. *)
+
+val stats : t -> stat array
+(** Per-class occupancy, as shown by [rotary_cli top]. *)
+
+val in_use : t -> int
+(** Total extents currently allocated (0 = leak-free). *)

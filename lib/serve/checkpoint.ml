@@ -112,6 +112,29 @@ let meta_of_json j =
   let* payload_md5 = field "payload_md5" to_string_opt in
   Ok { version; bench; mode; iteration; converged; payload_bytes; payload_md5 }
 
+(* ---- blob stores ------------------------------------------------------ *)
+
+(* Pluggable non-file checkpoint tiers, dispatched on a path prefix.
+   The shm transport registers a "shm:" store backed by the segment's
+   checkpoint arena (transport.ml); files remain the cold tier and the
+   default.  A store receives/returns the exact RCCKPT bytes a file
+   would hold, so the two tiers are interchangeable and resume is
+   bit-identical either way. *)
+
+type blob_store = {
+  bs_save : key:string -> iteration:int -> string -> (string, string) result;
+      (* returns the resume token recorded in the saved list *)
+  bs_load : string -> (string, string) result;
+}
+
+let blob_stores : (string * blob_store) list ref = ref []
+
+let register_blob_store ~prefix bs =
+  blob_stores := (prefix, bs) :: List.remove_assoc prefix !blob_stores
+
+let blob_store_for path =
+  List.find_opt (fun (p, _) -> String.starts_with ~prefix:p path) !blob_stores
+
 (* ---- save ------------------------------------------------------------- *)
 
 let payload_of_ctx (ctx : Flow_ctx.t) =
@@ -133,7 +156,9 @@ let payload_of_ctx (ctx : Flow_ctx.t) =
     p_trace = Flow_trace.events ctx.Flow_ctx.trace;
   }
 
-let save ~path (ctx : Flow_ctx.t) =
+(* the exact bytes a checkpoint file holds — shared by the file tier
+   and the blob stores, so resume is bit-identical from either *)
+let to_blob (ctx : Flow_ctx.t) =
   let payload = payload_of_ctx ctx in
   let blob = Marshal.to_string payload [] in
   let meta =
@@ -147,21 +172,38 @@ let save ~path (ctx : Flow_ctx.t) =
       payload_md5 = hex (Digest.string blob);
     }
   in
+  let b = Buffer.create (String.length blob + 256) in
+  Buffer.add_string b (Printf.sprintf "%s %d\n" magic format_version);
+  Buffer.add_string b (Rc_util.Json.to_line (json_of_meta meta));
+  Buffer.add_char b '\n';
+  Buffer.add_string b blob;
+  (meta, Buffer.contents b)
+
+let save ~path (ctx : Flow_ctx.t) =
+  let meta, bytes = to_blob ctx in
   (* atomic publish: never expose a torn file to a concurrent reader or
      leave one behind after a crash mid-write *)
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      Printf.fprintf oc "%s %d\n" magic format_version;
-      output_string oc (Rc_util.Json.to_line (json_of_meta meta));
-      output_char oc '\n';
-      output_string oc blob);
+    (fun () -> output_string oc bytes);
   Sys.rename tmp path;
   meta
 
 (* ---- load ------------------------------------------------------------- *)
+
+let check_magic_line first =
+  match String.split_on_char ' ' first with
+  | [ m; v ] when m = magic -> (
+      match int_of_string_opt v with
+      | Some v when v = format_version -> Ok ()
+      | Some v ->
+          Error
+            (Printf.sprintf "checkpoint: format version %d unsupported (this build reads %d)"
+               v format_version)
+      | None -> Error "checkpoint: malformed version in magic line")
+  | _ -> Error "checkpoint: bad magic (not a rotary checkpoint file)"
 
 let read_header ic =
   let ( let* ) = Result.bind in
@@ -170,18 +212,7 @@ let read_header ic =
     | l -> Ok l
     | exception End_of_file -> Error "checkpoint: empty file"
   in
-  let* () =
-    match String.split_on_char ' ' first with
-    | [ m; v ] when m = magic -> (
-        match int_of_string_opt v with
-        | Some v when v = format_version -> Ok ()
-        | Some v ->
-            Error
-              (Printf.sprintf "checkpoint: format version %d unsupported (this build reads %d)"
-                 v format_version)
-        | None -> Error "checkpoint: malformed version in magic line")
-    | _ -> Error "checkpoint: bad magic (not a rotary checkpoint file)"
-  in
+  let* () = check_magic_line first in
   let* meta_line =
     match input_line ic with
     | l -> Ok l
@@ -190,12 +221,45 @@ let read_header ic =
   let* j = Rc_util.Json.of_string meta_line in
   meta_of_json j
 
+(* header + validated marshal blob out of in-memory RCCKPT bytes (a
+   blob-store checkpoint); same checks as the file path *)
+let parse_blob s =
+  let ( let* ) = Result.bind in
+  let* i1 =
+    match String.index_opt s '\n' with
+    | Some i -> Ok i
+    | None -> Error "checkpoint: empty file"
+  in
+  let* () = check_magic_line (String.sub s 0 i1) in
+  let* i2 =
+    match String.index_from_opt s (i1 + 1) '\n' with
+    | Some i -> Ok i
+    | None -> Error "checkpoint: truncated before metadata"
+  in
+  let* j = Rc_util.Json.of_string (String.sub s (i1 + 1) (i2 - i1 - 1)) in
+  let* meta = meta_of_json j in
+  let* blob =
+    if String.length s - i2 - 1 <> meta.payload_bytes then
+      Error "checkpoint: truncated payload"
+    else Ok (String.sub s (i2 + 1) meta.payload_bytes)
+  in
+  let* () =
+    let d = hex (Digest.string blob) in
+    if d = meta.payload_md5 then Ok ()
+    else Error (Printf.sprintf "checkpoint: payload digest mismatch (%s != %s)" d meta.payload_md5)
+  in
+  Ok (meta, (Marshal.from_string (blob : string) 0 : payload))
+
 let with_in_bin path f =
   match open_in_bin path with
   | ic -> Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
   | exception Sys_error e -> Error e
 
-let inspect ~path = with_in_bin path read_header
+let inspect ~path =
+  match blob_store_for path with
+  | Some (_, bs) ->
+      Result.bind (bs.bs_load path) (fun s -> Result.map fst (parse_blob s))
+  | None -> with_in_bin path read_header
 
 let read_payload ic (meta : meta) =
   let ( let* ) = Result.bind in
@@ -262,11 +326,18 @@ let ctx_of_payload ?netlist ?(warm = true) p =
   ctx
 
 let load ?netlist ?warm ~path () =
-  with_in_bin path (fun ic ->
+  match blob_store_for path with
+  | Some (_, bs) ->
       let ( let* ) = Result.bind in
-      let* meta = read_header ic in
-      let* payload = read_payload ic meta in
-      Ok (meta, ctx_of_payload ?netlist ?warm payload))
+      let* s = bs.bs_load path in
+      let* meta, payload = parse_blob s in
+      Ok (meta, ctx_of_payload ?netlist ?warm payload)
+  | None ->
+      with_in_bin path (fun ic ->
+          let ( let* ) = Result.bind in
+          let* meta = read_header ic in
+          let* payload = read_payload ic meta in
+          Ok (meta, ctx_of_payload ?netlist ?warm payload))
 
 (* ---- session conveniences --------------------------------------------- *)
 
@@ -277,17 +348,32 @@ type saver = {
 
 let saver ?(every = 1) ~dir ~name () =
   if every < 1 then invalid_arg "Checkpoint.saver: every must be >= 1";
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-  let saved = ref [] in
-  let save_iteration (ctx : Flow_ctx.t) =
-    let k = ctx.Flow_ctx.iteration in
-    if k mod every = 0 || ctx.Flow_ctx.converged then begin
-      let path = Filename.concat dir (Printf.sprintf "%s.iter-%d.ckpt" name k) in
-      ignore (save ~path ctx);
-      saved := (k, path) :: !saved
-    end
-  in
-  { save_iteration; saved = (fun () -> List.rev !saved) }
+  match blob_store_for dir with
+  | Some (_, bs) ->
+      (* blob-store tier ("shm:sid<N>"): best-effort — a full arena or
+         table skips the save (the store counts it) and the flow keeps
+         going with its previous checkpoint *)
+      let saved = ref [] in
+      let save_iteration (ctx : Flow_ctx.t) =
+        let k = ctx.Flow_ctx.iteration in
+        if k mod every = 0 || ctx.Flow_ctx.converged then
+          match bs.bs_save ~key:dir ~iteration:k (snd (to_blob ctx)) with
+          | Ok token -> saved := (k, token) :: !saved
+          | Error _ -> ()
+      in
+      { save_iteration; saved = (fun () -> List.rev !saved) }
+  | None ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      let saved = ref [] in
+      let save_iteration (ctx : Flow_ctx.t) =
+        let k = ctx.Flow_ctx.iteration in
+        if k mod every = 0 || ctx.Flow_ctx.converged then begin
+          let path = Filename.concat dir (Printf.sprintf "%s.iter-%d.ckpt" name k) in
+          ignore (save ~path ctx);
+          saved := (k, path) :: !saved
+        end
+      in
+      { save_iteration; saved = (fun () -> List.rev !saved) }
 
 let run_with_checkpoints ?every ~dir ~name ?guard cfg =
   let s = saver ?every ~dir ~name () in

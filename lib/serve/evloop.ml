@@ -1,0 +1,42 @@
+(* poll(2)-based readiness for event-driven clients (bench/loadgen).
+   Unix.select's fd_set caps at 1024 descriptors; this scales to
+   thousands of connections from a single thread.  The fd/interest
+   rows live in a preallocated int Bigarray so the C stub can release
+   the runtime lock across the poll. *)
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external poll_raw : ba -> int -> int -> int = "rc_poll"
+
+let pollin = 1
+let pollout = 2
+let pollerr = 4
+
+type t = { scratch : ba; mutable n : int }
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Evloop.create: capacity must be >= 1";
+  { scratch = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (3 * capacity); n = 0 }
+
+let fd_int : Unix.file_descr -> int = Obj.magic (* Unix fds are ints on Unix *)
+
+let begin_round t = t.n <- 0
+
+let add t fd ~events =
+  let i = t.n in
+  if 3 * (i + 1) > Bigarray.Array1.dim t.scratch then
+    invalid_arg "Evloop.add: capacity exceeded";
+  t.scratch.{3 * i} <- fd_int fd;
+  t.scratch.{(3 * i) + 1} <- events;
+  t.scratch.{(3 * i) + 2} <- 0;
+  t.n <- i + 1;
+  i
+
+let wait t ~timeout_ms =
+  let rc = poll_raw t.scratch t.n timeout_ms in
+  if rc < 0 then
+    (* EINTR etc. — treat as a timeout round; callers loop *)
+    0
+  else rc
+
+let revents t i = t.scratch.{(3 * i) + 2}

@@ -1,0 +1,58 @@
+/* poll(2) binding for the loadgen event loop (evloop.ml).
+ *
+ * The stdlib only exposes select(2), whose fd_set caps at 1024 fds —
+ * useless for driving thousands of concurrent connections from one
+ * thread.  This stub polls an arbitrary fd set: fds and interest bits
+ * come in via a scratch int Bigarray laid out [fd, events, revents] *
+ * n (stable across the call, so no OCaml values are touched while the
+ * runtime lock is released), and readiness goes back into the same
+ * rows.
+ */
+
+#include <poll.h>
+#include <stdlib.h>
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+/* events/revents bits, mirrored in evloop.ml */
+#define RC_POLL_IN 1
+#define RC_POLL_OUT 2
+#define RC_POLL_ERR 4
+
+CAMLprim value rc_poll(value ba, value vn, value vtimeout_ms)
+{
+  intnat *rows = (intnat *) Caml_ba_data_val(ba);
+  long n = Long_val(vn);
+  int timeout = (int) Long_val(vtimeout_ms);
+  struct pollfd *pfd;
+  long i;
+  int rc;
+
+  if (n < 0 || (intnat) (3 * n) > Caml_ba_array_val(ba)->dim[0])
+    caml_invalid_argument("rc_poll: fd count exceeds scratch array");
+  pfd = (struct pollfd *) malloc(n ? (size_t) n * sizeof(*pfd) : 1);
+  if (pfd == NULL) caml_raise_out_of_memory();
+  for (i = 0; i < n; i++) {
+    pfd[i].fd = (int) rows[3 * i];
+    pfd[i].events = 0;
+    if (rows[3 * i + 1] & RC_POLL_IN) pfd[i].events |= POLLIN;
+    if (rows[3 * i + 1] & RC_POLL_OUT) pfd[i].events |= POLLOUT;
+    pfd[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  rc = poll(pfd, (nfds_t) n, timeout);
+  caml_acquire_runtime_system();
+
+  for (i = 0; i < n; i++) {
+    intnat r = 0;
+    if (pfd[i].revents & (POLLIN | POLLHUP)) r |= RC_POLL_IN;
+    if (pfd[i].revents & POLLOUT) r |= RC_POLL_OUT;
+    if (pfd[i].revents & (POLLERR | POLLNVAL)) r |= RC_POLL_ERR;
+    rows[3 * i + 2] = r;
+  }
+  free(pfd);
+  return Val_long(rc < 0 ? -1 : rc);
+}

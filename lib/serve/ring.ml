@@ -1,0 +1,151 @@
+(* Single-producer/single-consumer descriptor ring in the shared
+   segment, after snabb's link.lua: a fixed array of cache-line-sized
+   slots plus free-running head (producer) and tail (consumer) indices.
+   Indices count total descriptors ever published/consumed, so
+   emptiness is [head = tail], fullness [head - tail = slots], and the
+   slot of index [i] is [i mod slots] — no reserved empty slot.
+
+   The producer stages descriptors into slots with plain release
+   stores, then *publishes* them in a batch with one seq_cst store of
+   [head]; the consumer's acquire load of [head] orders all slot and
+   arena-payload reads after it.  Each slot carries a stamp word equal
+   to its absolute index + 1, written last during staging — a consumer
+   that finds a mismatched stamp (a half-written slot exposed by a
+   buggy or crashed producer) reports [Torn] instead of decoding
+   garbage.
+
+   Blocking is delegated to a doorbell channel (the supervisor/worker
+   NDJSON socketpair): the consumer *arms* a waiting flag before
+   sleeping, and [publish] tells the producer whether the flag was
+   armed so it can ring the doorbell.  The arm/publish handshake is a
+   store-load (Dekker) pattern, hence the seq_cst accessors. *)
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external get_acq : ba -> int -> int = "rc_shm_get" [@@noalloc]
+external set_rel : ba -> int -> int -> unit = "rc_shm_set" [@@noalloc]
+external get_sc : ba -> int -> int = "rc_shm_get_sc" [@@noalloc]
+external set_sc : ba -> int -> int -> unit = "rc_shm_set_sc" [@@noalloc]
+
+let header_words = 16
+let desc_words = 8
+
+(* header word offsets: head and tail on separate cache lines; the
+   waiting flag shares the consumer's line (both are consumer-written,
+   producer-read only at publish time) *)
+let o_head = 0
+let o_tail = 8
+let o_waiting = 9
+
+let words ~slots = header_words + (slots * desc_words)
+
+type t = {
+  ba : ba;
+  base : int;
+  slots : int;
+  mutable staged : int;  (* producer-local: staged but unpublished *)
+}
+
+type desc = { kind : int; sid : int; handle : int; len : int; aux : int }
+
+let attach ba ~base ~slots =
+  if slots < 2 then invalid_arg "Ring: slots must be >= 2";
+  { ba; base; slots; staged = 0 }
+
+let init ba ~base ~slots =
+  let t = attach ba ~base ~slots in
+  set_rel ba (base + o_head) 0;
+  set_rel ba (base + o_tail) 0;
+  set_rel ba (base + o_waiting) 0;
+  t
+
+let head t = get_acq t.ba (t.base + o_head)
+let tail t = get_acq t.ba (t.base + o_tail)
+let capacity t = t.slots
+let depth t = head t - tail t
+
+let slot_base t i = t.base + header_words + (i mod t.slots * desc_words)
+
+(* ---- producer ---------------------------------------------------------- *)
+
+let try_stage t (d : desc) =
+  let h = head t + t.staged in
+  if h - tail t >= t.slots then false
+  else begin
+    let s = slot_base t h in
+    let ba = t.ba in
+    set_rel ba (s + 1) d.kind;
+    set_rel ba (s + 2) d.sid;
+    set_rel ba (s + 3) d.handle;
+    set_rel ba (s + 4) d.len;
+    set_rel ba (s + 5) d.aux;
+    set_rel ba s (h + 1);
+    t.staged <- t.staged + 1;
+    true
+  end
+
+let publish t =
+  if t.staged = 0 then false
+  else begin
+    let h = head t + t.staged in
+    t.staged <- 0;
+    set_sc t.ba (t.base + o_head) h;
+    if get_sc t.ba (t.base + o_waiting) = 1 then begin
+      set_sc t.ba (t.base + o_waiting) 0;
+      true
+    end
+    else false
+  end
+
+let try_push t d = if try_stage t d then Some (publish t) else None
+
+(* ---- consumer ---------------------------------------------------------- *)
+
+type pop = Empty | Torn | Desc of desc
+
+let try_pop t =
+  let tl = tail t in
+  if tl >= head t then Empty
+  else begin
+    let s = slot_base t tl in
+    let ba = t.ba in
+    if get_acq ba s <> tl + 1 then Torn
+    else begin
+      let d =
+        {
+          kind = get_acq ba (s + 1);
+          sid = get_acq ba (s + 2);
+          handle = get_acq ba (s + 3);
+          len = get_acq ba (s + 4);
+          aux = get_acq ba (s + 5);
+        }
+      in
+      set_rel ba (t.base + o_tail) (tl + 1);
+      Desc d
+    end
+  end
+
+let arm t =
+  set_sc t.ba (t.base + o_waiting) 1;
+  if get_sc t.ba (t.base + o_head) > tail t then begin
+    set_sc t.ba (t.base + o_waiting) 0;
+    false
+  end
+  else true
+
+let disarm t = set_sc t.ba (t.base + o_waiting) 0
+
+(* ---- reset ------------------------------------------------------------- *)
+
+let drain_reset t =
+  let rec go acc =
+    match try_pop t with
+    | Desc d -> go (d :: acc)
+    | Empty | Torn ->
+        t.staged <- 0;
+        set_rel t.ba (t.base + o_head) 0;
+        set_rel t.ba (t.base + o_tail) 0;
+        set_rel t.ba (t.base + o_waiting) 0;
+        List.rev acc
+  in
+  go []

@@ -1,0 +1,77 @@
+(** Single-producer/single-consumer descriptor ring over a region of
+    the shared segment (see [docs/serving.md] for the on-disk layout).
+
+    A ring is a 16-word header — free-running [head] (producer) and
+    [tail] (consumer) counters on separate cache lines plus a
+    consumer-waiting flag — followed by [slots] descriptors of 8 words
+    (one cache line) each.  Descriptors carry a kind, a session id, an
+    {!Arena} handle + length for the bulk payload, and an aux word;
+    slot word 0 is a stamp equal to the descriptor's absolute index +
+    1, letting the consumer reject half-written slots ({!pop.Torn})
+    instead of decoding garbage.
+
+    Exactly one producer and one consumer may use a ring at a time
+    (staging state is producer-local); multi-threaded producers must
+    serialize externally.  Blocking waits ride an external doorbell
+    channel: the consumer {!arm}s the waiting flag before sleeping and
+    {!publish} reports whether a doorbell is owed. *)
+
+type ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+type desc = { kind : int; sid : int; handle : int; len : int; aux : int }
+
+val header_words : int
+val desc_words : int
+
+val words : slots:int -> int
+(** Region size in words for a ring of [slots] descriptors. *)
+
+val init : ba -> base:int -> slots:int -> t
+(** Zero the indices and return a handle (segment creator only). *)
+
+val attach : ba -> base:int -> slots:int -> t
+(** Handle onto an already-initialized ring at [base]. *)
+
+val capacity : t -> int
+
+val depth : t -> int
+(** Published-but-unconsumed descriptors (either side may poll this). *)
+
+val try_stage : t -> desc -> bool
+(** Write a descriptor into the next free slot {e without} publishing
+    it; [false] if the ring is full.  Staged descriptors become visible
+    only at the next {!publish} — batch several stages per publish on
+    the hot path. *)
+
+val publish : t -> bool
+(** Publish all staged descriptors with one release of [head].
+    Returns [true] when the consumer had {!arm}ed the waiting flag —
+    the producer owes it a doorbell. *)
+
+val try_push : t -> desc -> bool option
+(** Stage + publish one descriptor: [None] = full, [Some doorbell]
+    otherwise. *)
+
+type pop = Empty | Torn | Desc of desc
+
+val try_pop : t -> pop
+(** Consume the next descriptor.  [Torn] = stamp mismatch: the slot
+    was exposed half-written (crashed or buggy producer) — the
+    consumer should stop trusting the ring. *)
+
+val arm : t -> bool
+(** Arm the waiting flag before blocking on the doorbell channel:
+    [true] = ring empty, safe to sleep; [false] = descriptors arrived
+    during arming (flag cleared, consume instead).  Seq_cst handshake
+    with {!publish} — no lost wakeups. *)
+
+val disarm : t -> unit
+(** Clear the waiting flag after a doorbell or spurious wakeup. *)
+
+val drain_reset : t -> desc list
+(** Pop everything consumable, then zero the ring (head, tail, flag,
+    staged state).  Supervisor-only, with the peer process dead: used
+    to reclaim descriptors (and their arena extents) after a worker
+    crash before the slot respawns. *)

@@ -55,6 +55,9 @@ type config = {
   allow_restart : bool;
   handle_signals : bool;
   exe : string option;  (* worker executable; default Sys.executable_name *)
+  transport : Shm.transport;
+  ring_slots : int;  (* per-direction ring capacity under Shm_rings *)
+  pin_cores : bool;  (* pin worker k to core k mod ncores *)
 }
 
 type wstate = Up | Draining | Down
@@ -78,9 +81,10 @@ type wrec = {
 type pending = {
   p_sid : int;
   p_client_id : Json.t;
-  p_respond : Json.t -> unit;
+  p_respond : string -> unit;  (* writes one NDJSON response line *)
   mutable p_fields : (string * Json.t) list;  (* request fields, "id" = sid *)
-  p_injected_dir : string option;  (* checkpointing we injected into a flow *)
+  p_injected_dir : string option;  (* injected checkpoint tier: a filesystem
+                                      directory, or "shm:sid<N>" (arena) *)
   mutable p_worker : int;  (* slot, or -1 while parked *)
   mutable p_attempts : int;
 }
@@ -176,18 +180,20 @@ let control_row_of (w : wrec) : Shm.control_row =
 
 let publish_control t w = Shm.write_control t.shm ~slot:w.slot (control_row_of w)
 
-(* write one request line to a worker; false = the worker is gone (its
-   Dead event is already in flight and will re-dispatch) *)
-let send_fields w fields =
+(* write one line to a worker's socketpair; false = the worker is gone
+   (its Dead event is already in flight and will re-dispatch) *)
+let send_line w line =
   match w.oc with
   | None -> false
   | Some oc -> (
       try
-        output_string oc (Json.to_line (Json.Obj fields));
+        output_string oc line;
         output_char oc '\n';
         flush oc;
         true
       with Sys_error _ | Unix.Unix_error _ -> false)
+
+let send_fields w fields = send_line w (Json.to_line (Json.Obj fields))
 
 let send_ctl_drain w = ignore (send_fields w [ ("ctl", Json.String "drain") ])
 
@@ -218,9 +224,22 @@ let rewrite_response p j =
       Json.Obj fields
   | other -> other
 
-let fail_pending p msg =
-  p.p_respond (Protocol.response_error ~id:p.p_client_id msg);
-  Option.iter remove_dir p.p_injected_dir
+let is_shm_dir d = String.starts_with ~prefix:"shm:" d
+
+(* drop whatever injected checkpoint tier a session used: the arena
+   entry + blob for "shm:sid<N>" paths, the directory otherwise *)
+let cleanup_injected t p =
+  match p.p_injected_dir with
+  | None -> ()
+  | Some d when is_shm_dir d -> (
+      match Transport.sid_of_key d with
+      | Some sid -> Transport.ckpt_free t.shm ~sid
+      | None -> ())
+  | Some dir -> remove_dir dir
+
+let fail_pending t p msg =
+  p.p_respond (Json.to_line (Protocol.response_error ~id:p.p_client_id msg));
+  cleanup_injected t p
 
 (* ---- dispatch ----------------------------------------------------------- *)
 
@@ -234,21 +253,43 @@ let pick_worker t =
         | _ -> Some w)
     None t.workers
 
-(* under t.lock *)
-let dispatch_sid t sid =
+(* under t.lock.  Under Shm_rings the request body rides the job ring
+   (arena payload + descriptor), degrading to an NDJSON line on the
+   socketpair when a ring or the arena is full; [defer] batches ring
+   staging — the caller publishes each touched slot once. *)
+let dispatch_sid ?defer t sid =
   match Hashtbl.find_opt t.pendings sid with
   | None -> ()
   | Some p ->
       if t.stopping then (
         Hashtbl.remove t.pendings sid;
-        fail_pending p "supervisor shutting down")
+        fail_pending t p "supervisor shutting down")
       else (
         match pick_worker t with
         | None ->
             p.p_worker <- -1;
             Queue.push sid t.parked
         | Some w ->
-            if send_fields w p.p_fields then (
+            let sent =
+              match t.cfg.transport with
+              | Shm.Shm_rings when w.oc <> None -> (
+                  let line = Json.to_line (Json.Obj p.p_fields) in
+                  match defer with
+                  | Some touched ->
+                      if Transport.stage_job t.shm ~slot:w.slot ~sid line then (
+                        Hashtbl.replace touched w.slot ();
+                        true)
+                      else send_fields w p.p_fields
+                  | None -> (
+                      match Transport.send_job t.shm ~slot:w.slot ~sid line with
+                      | `Sent doorbell ->
+                          if doorbell then
+                            ignore (send_line w Transport.doorbell_line);
+                          true
+                      | `Full -> send_fields w p.p_fields))
+              | _ -> send_fields w p.p_fields
+            in
+            if sent then (
               p.p_worker <- w.slot;
               w.inflight <- w.inflight + 1;
               publish_control t w)
@@ -256,11 +297,22 @@ let dispatch_sid t sid =
               p.p_worker <- -1;
               Queue.push sid t.parked))
 
-(* under t.lock *)
+(* under t.lock: batched re-dispatch — stage everything, then one
+   publish + doorbell per touched ring *)
 let unpark t =
   let sids = Queue.fold (fun acc sid -> sid :: acc) [] t.parked in
   Queue.clear t.parked;
-  List.iter (dispatch_sid t) (List.rev sids)
+  let sids = List.rev sids in
+  match t.cfg.transport with
+  | Shm.Ndjson -> List.iter (dispatch_sid t) sids
+  | Shm.Shm_rings ->
+      let touched = Hashtbl.create 4 in
+      List.iter (dispatch_sid ~defer:touched t) sids;
+      Hashtbl.iter
+        (fun slot () ->
+          if Transport.publish_jobs t.shm ~slot then
+            ignore (send_line t.workers.(slot) Transport.doorbell_line))
+        touched
 
 (* ---- worker lifecycle --------------------------------------------------- *)
 
@@ -270,13 +322,70 @@ let rec reap pid =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap pid
   | exception Unix.Unix_error _ -> ()
 
+let take_pending t sid =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.pendings sid with
+      | None -> None
+      | Some p ->
+          Hashtbl.remove t.pendings sid;
+          if p.p_worker >= 0 then (
+            let w = t.workers.(p.p_worker) in
+            w.inflight <- max 0 (w.inflight - 1);
+            publish_control t w);
+          Some p)
+
+(* per-worker reader thread.  Ndjson: every line is a response.  Under
+   Shm_rings the fd is the doorbell + fallback channel: drain the
+   response ring, arm its waiting flag (re-draining if a publish beat
+   the arm), and only then block on the fd; non-doorbell lines are
+   fallback NDJSON responses. *)
 let rec reader_loop t slot ic =
-  match input_line ic with
-  | line ->
-      deliver t (String.trim line);
-      reader_loop t slot ic
-  | exception (End_of_file | Sys_error _ | Unix.Unix_error _) ->
-      push_event t (Dead slot)
+  match t.cfg.transport with
+  | Shm.Ndjson -> (
+      match input_line ic with
+      | line ->
+          deliver t (String.trim line);
+          reader_loop t slot ic
+      | exception (End_of_file | Sys_error _ | Unix.Unix_error _) ->
+          push_event t (Dead slot))
+  | Shm.Shm_rings -> (
+      drain_responses t slot;
+      let ring = Shm.resp_ring t.shm slot in
+      if not (Ring.arm ring) then reader_loop t slot ic
+      else
+        match input_line ic with
+        | line ->
+            Ring.disarm ring;
+            let line = String.trim line in
+            if line <> "" && not (Transport.is_doorbell line) then deliver t line;
+            reader_loop t slot ic
+        | exception (End_of_file | Sys_error _ | Unix.Unix_error _) ->
+            Ring.disarm ring;
+            push_event t (Dead slot))
+
+and drain_responses t slot =
+  List.iter
+    (fun (sid, body) -> deliver_shm t sid body)
+    (Transport.recv_responses t.shm ~slot)
+
+(* a ring-borne response: the worker serialized it with the session id
+   first, so the client id is restored by byte splice — no JSON parse
+   on the hot path (the parse fallback covers unexpected shapes) *)
+and deliver_shm t sid body =
+  match take_pending t sid with
+  | None -> ()  (* stale response for a re-dispatched job *)
+  | Some p ->
+      (match Transport.splice_client_id body ~client_id:p.p_client_id with
+      | Some line -> p.p_respond line
+      | None -> (
+          match Json.of_string body with
+          | Ok j -> p.p_respond (Json.to_line (rewrite_response p j))
+          | Error _ ->
+              p.p_respond
+                (Json.to_line
+                   (Protocol.response_error ~id:p.p_client_id
+                      "malformed worker response"))));
+      cleanup_injected t p
 
 (* a finished job's response line from a worker: map the synthetic id
    back to the client's, normalise injected checkpoints, deliver *)
@@ -288,38 +397,29 @@ and deliver t line =
         let sid =
           Option.value (Option.bind (Json.member "id" j) Json.to_int_opt) ~default:(-1)
         in
-        let found =
-          Mutex.protect t.lock (fun () ->
-              match Hashtbl.find_opt t.pendings sid with
-              | None -> None
-              | Some p ->
-                  Hashtbl.remove t.pendings sid;
-                  if p.p_worker >= 0 then (
-                    let w = t.workers.(p.p_worker) in
-                    w.inflight <- max 0 (w.inflight - 1);
-                    publish_control t w);
-                  Some p)
-        in
-        match found with
+        match take_pending t sid with
         | None -> ()  (* stale response for a re-dispatched job *)
         | Some p ->
-            p.p_respond (rewrite_response p j);
-            Option.iter remove_dir p.p_injected_dir)
+            p.p_respond (Json.to_line (rewrite_response p j));
+            cleanup_injected t p)
 
 let spawn t w =
   let parent_end, child_end = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.set_close_on_exec parent_end;
   let exe = Option.value t.cfg.exe ~default:Sys.executable_name in
   let argv =
-    [|
-      exe;
-      "serve-worker";
-      "--shm"; t.cfg.shm_path;
-      "--slot"; string_of_int w.slot;
-      "--restarts"; string_of_int w.restarts;
-      "--workers"; string_of_int (Option.value t.cfg.sched_workers ~default:2);
-      "--max-pending"; string_of_int (Option.value t.cfg.max_pending ~default:64);
-    |]
+    Array.of_list
+      ([
+         exe;
+         "serve-worker";
+         "--shm"; t.cfg.shm_path;
+         "--slot"; string_of_int w.slot;
+         "--restarts"; string_of_int w.restarts;
+         "--workers"; string_of_int (Option.value t.cfg.sched_workers ~default:2);
+         "--max-pending"; string_of_int (Option.value t.cfg.max_pending ~default:64);
+         "--transport"; Shm.transport_name t.cfg.transport;
+       ]
+      @ if t.cfg.pin_cores then [ "--pin-core"; string_of_int w.slot ] else [])
   in
   (* create_process (posix_spawn underneath), not Unix.fork: the OCaml 5
      runtime refuses fork in any process that ever created a domain, and
@@ -364,13 +464,22 @@ let redispatch t crashed p =
   p.p_attempts <- p.p_attempts + 1;
   if p.p_attempts >= max_attempts then (
     Hashtbl.remove t.pendings p.p_sid;
-    fail_pending p
+    fail_pending t p
       (Printf.sprintf "job failed after %d attempts (worker crashes)" p.p_attempts))
   else (
     crashed.redispatched <- crashed.redispatched + 1;
-    (match p.p_injected_dir with
-    | Some dir when Option.is_some (latest_checkpoint dir) ->
-        let path = Option.get (latest_checkpoint dir) in
+    let resume =
+      match p.p_injected_dir with
+      | Some d when is_shm_dir d ->
+          (* the sibling worker resolves "shm:sid<N>" straight from the
+             shared checkpoint arena — no filesystem round-trip *)
+          if Option.is_some (Transport.ckpt_latest t.shm ~sid:p.p_sid) then Some d
+          else None
+      | Some dir -> latest_checkpoint dir
+      | None -> None
+    in
+    (match resume with
+    | Some path ->
         crashed.resumed <- crashed.resumed + 1;
         let keep = [ "priority"; "deadline_ms" ] in
         p.p_fields <-
@@ -378,12 +487,16 @@ let redispatch t crashed p =
           :: ("op", Json.String "flow")
           :: ("resume_from", Json.String path)
           :: List.filter (fun (k, _) -> List.mem k keep) p.p_fields
-    | _ -> ()  (* no checkpoint yet (or not a flow): re-run from scratch *));
+    | None -> ()  (* no checkpoint yet (or not a flow): re-run from scratch *));
     dispatch_sid t p.p_sid)
 
 let handle_dead t slot =
   let pid = Mutex.protect t.lock (fun () -> t.workers.(slot).pid) in
   if pid > 0 then reap pid;
+  (* responses the dead worker published but never rang for are still
+     valid — deliver them before redispatching what's left (outside
+     t.lock: the reader thread is gone once Dead is queued) *)
+  if t.cfg.transport = Shm.Shm_rings then drain_responses t slot;
   Mutex.protect t.lock (fun () ->
       let w = t.workers.(slot) in
       (match w.fd with
@@ -397,6 +510,9 @@ let handle_dead t slot =
           t.pendings []
       in
       List.iter (fun p -> p.p_worker <- -1) victims;
+      (* reclaim the slot's rings before anything respawns: orphaned
+         extents freed, head/tail/waiting zeroed for the fresh image *)
+      if t.cfg.transport = Shm.Shm_rings then Transport.reset_rings t.shm ~slot;
       if t.stopping then (
         w.state <- Down;
         w.pid <- 0;
@@ -404,7 +520,7 @@ let handle_dead t slot =
         List.iter
           (fun p ->
             Hashtbl.remove t.pendings p.p_sid;
-            fail_pending p "supervisor shutting down")
+            fail_pending t p "supervisor shutting down")
           victims)
       else (
         if not was_draining then
@@ -463,6 +579,7 @@ let status_json t =
           [
             ("pid", Json.Int (Unix.getpid ()));
             ("workers", Json.Int (Array.length t.workers));
+            ("transport", Json.String (Shm.transport_name t.cfg.transport));
             ( "tcp_port",
               match Shm.tcp_port t.shm with Some p -> Json.Int p | None -> Json.Null );
             ("parked", Json.Int (Mutex.protect t.lock (fun () -> Queue.length t.parked)));
@@ -483,7 +600,8 @@ let status_json t =
           ] );
     ]
 
-let forward t ~respond ~(req : Protocol.request) line =
+let forward t ~respond_line ~(req : Protocol.request) line =
+  let respond j = respond_line (Json.to_line j) in
   match Json.of_string line with
   | Ok (Json.Obj fields) ->
       let is_flow = match req.Protocol.op with Protocol.Flow_op _ -> true | _ -> false in
@@ -498,12 +616,18 @@ let forward t ~respond ~(req : Protocol.request) line =
             let sid = t.next_sid in
             t.next_sid <- sid + 1;
             let injected_dir =
-              if is_flow && not client_manages_checkpoints then (
-                let dir =
-                  Filename.concat t.cfg.checkpoint_dir (Printf.sprintf "sid%d" sid)
-                in
-                mkdir_p dir;
-                Some dir)
+              if is_flow && not client_manages_checkpoints then
+                match t.cfg.transport with
+                | Shm.Shm_rings ->
+                    (* checkpoint straight into the shared arena; the
+                       filesystem tier stays cold *)
+                    Some (Transport.key_of_sid sid)
+                | Shm.Ndjson ->
+                    let dir =
+                      Filename.concat t.cfg.checkpoint_dir (Printf.sprintf "sid%d" sid)
+                    in
+                    mkdir_p dir;
+                    Some dir
               else None
             in
             let fields =
@@ -522,7 +646,7 @@ let forward t ~respond ~(req : Protocol.request) line =
               {
                 p_sid = sid;
                 p_client_id = req.Protocol.req_id;
-                p_respond = respond;
+                p_respond = respond_line;
                 p_fields = fields;
                 p_injected_dir = injected_dir;
                 p_worker = -1;
@@ -535,7 +659,8 @@ let forward t ~respond ~(req : Protocol.request) line =
       (* parse_request accepted it, so this cannot happen *)
       respond (Protocol.response_error ~id:req.Protocol.req_id "malformed request")
 
-let handle_client_line t ~respond line =
+let handle_client_line t ~respond_line line =
+  let respond j = respond_line (Json.to_line j) in
   match Protocol.parse_request line with
   | Error (id, msg) -> respond (Protocol.response_error ~id msg)
   | Ok req -> (
@@ -566,7 +691,7 @@ let handle_client_line t ~respond line =
           push_event t Stop
       | Protocol.Flow_op _ | Protocol.Report_op _ | Protocol.Sweep_op _
       | Protocol.Variation_op _ ->
-          forward t ~respond ~req line)
+          forward t ~respond_line ~req line)
 
 (* one client connection: same discipline as Server.serve_connection —
    the fd stays open until every accepted request has its response *)
@@ -578,7 +703,7 @@ let serve_conn t fd =
   let clock = Mutex.create () in
   let ccond = Condition.create () in
   let outstanding = ref 0 in
-  let respond j =
+  let respond_line line =
     Fun.protect
       ~finally:(fun () ->
         Mutex.protect clock (fun () ->
@@ -587,7 +712,7 @@ let serve_conn t fd =
       (fun () ->
         try
           Mutex.protect wlock (fun () ->
-              output_string oc (Json.to_line j);
+              output_string oc line;
               output_char oc '\n';
               flush oc)
         with Sys_error _ | Unix.Unix_error _ -> ())
@@ -599,7 +724,7 @@ let serve_conn t fd =
            let line = String.trim line in
            if line <> "" then (
              Mutex.protect clock (fun () -> incr outstanding);
-             handle_client_line t ~respond line);
+             handle_client_line t ~respond_line line);
            loop ()
        | exception End_of_file -> ()
      in
@@ -663,7 +788,7 @@ let handle_stop t =
             | None -> ()
             | Some p ->
                 Hashtbl.remove t.pendings sid;
-                fail_pending p "supervisor shutting down")
+                fail_pending t p "supervisor shutting down")
           t.parked;
         Queue.clear t.parked));
   poke_listeners t;
@@ -693,7 +818,10 @@ let run cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   mkdir_p cfg.checkpoint_dir;
   mkdir_p (Filename.dirname cfg.shm_path);
-  let shm = Shm.create ~path:cfg.shm_path ~n_workers:cfg.workers () in
+  let shm =
+    Shm.create ~ring_slots:cfg.ring_slots ~path:cfg.shm_path ~n_workers:cfg.workers ()
+  in
+  Shm.set_transport shm cfg.transport;
   let t =
     {
       cfg;
@@ -734,7 +862,7 @@ let run cfg =
         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
         Unix.set_close_on_exec fd;
         Unix.bind fd (Unix.ADDR_UNIX path);
-        Unix.listen fd 64;
+        Unix.listen fd 1024;
         Some fd
   in
   let tcp_lfd =
@@ -749,7 +877,7 @@ let run cfg =
           else Unix.inet_addr_of_string host
         in
         Unix.bind fd (Unix.ADDR_INET (addr, port));
-        Unix.listen fd 64;
+        Unix.listen fd 1024;
         (match Unix.getsockname fd with
         | Unix.ADDR_INET (_, actual) -> Shm.set_tcp_port shm actual
         | _ -> ());
@@ -767,7 +895,8 @@ let run cfg =
   Option.iter (fun fd -> ignore (Thread.create (fun () -> accept_loop t fd) ())) unix_lfd;
   Option.iter (fun fd -> ignore (Thread.create (fun () -> accept_loop t fd) ())) tcp_lfd;
   Printf.eprintf
-    "rotary supervisor: %d worker processes, shm %s%s%s\n%!" cfg.workers cfg.shm_path
+    "rotary supervisor: %d worker processes, %s transport, shm %s%s%s\n%!" cfg.workers
+    (Shm.transport_name cfg.transport) cfg.shm_path
     (match cfg.unix_path with Some p -> ", unix " ^ p | None -> "")
     (match Shm.tcp_port shm with
     | Some p -> Printf.sprintf ", tcp :%d" p

@@ -48,6 +48,20 @@ type config = {
           defaults to [Sys.executable_name].  Embedders whose binary is
           not [rotary_cli] (e.g. the test runner) must point this at
           one that is. *)
+  transport : Shm.transport;
+      (** Job transport.  {!Shm.Shm_rings}: request/response bodies
+          ride the per-worker shm rings + payload arena (socketpair
+          demoted to doorbell/control/fallback) and injected
+          checkpoints live in the shared checkpoint arena
+          (["shm:sid<N>"] paths, no filesystem round-trip on crash
+          resume).  {!Shm.Ndjson}: classic NDJSON socketpair. *)
+  ring_slots : int;
+      (** Per-direction ring capacity under {!Shm.Shm_rings}
+          (descriptors; {!Shm.default_ring_slots} is a good default). *)
+  pin_cores : bool;
+      (** Spawn worker [k] with [--pin-core k] (pin to core
+          [k mod ncores] via {!Affinity}; warn-noop where
+          unsupported). *)
 }
 
 val run : config -> unit

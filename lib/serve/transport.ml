@@ -1,0 +1,272 @@
+(* Zero-copy job transport over the shm segment: the glue between the
+   supervisor/worker processes and the Ring/Arena/checkpoint-table
+   regions of Shm.
+
+   Data path per direction: the sender allocates a payload-arena
+   extent, memcpys the NDJSON body into it, and publishes a descriptor
+   (sid + arena handle + length) into the slot's SPSC ring; the
+   receiver pops the descriptor, copies the body out and drops the
+   extent.  Neither side re-encodes JSON in transit, and the
+   supervisor's response path avoids parsing entirely: the worker
+   serializes the response with the session id as its first field, and
+   the supervisor splices the client's original id over it byte-wise
+   ([splice_client_id]).
+
+   Blocking waits ride the NDJSON socketpair as a doorbell: a producer
+   whose publish finds the consumer's waiting flag armed sends one
+   [{"ctl":"ring"}] line.  The socketpair also remains the fallback
+   data path — any alloc/stage failure reports [`Full] and the caller
+   degrades to plain NDJSON, so arena exhaustion costs latency, never
+   correctness.
+
+   The checkpoint tier ("shm:sid<N>" paths): workers register a
+   Checkpoint blob store that claims a table entry per session and
+   republishes the RCCKPT bytes into the checkpoint arena each
+   checkpointed iteration; after a crash the supervisor finds the
+   entry and redispatches with [resume_from = "shm:sid<N>"], which the
+   sibling worker's store resolves straight from the segment — no
+   filesystem on the recovery hot path. *)
+
+module Json = Rc_util.Json
+
+let kind_job = 1
+let kind_resp = 2
+
+let doorbell_line = "{\"ctl\":\"ring\"}"
+
+let is_doorbell line =
+  match Json.of_string line with
+  | Ok j -> (
+      match Option.bind (Json.member "ctl" j) Json.to_string_opt with
+      | Some "ring" -> true
+      | _ -> false)
+  | Error _ -> false
+
+(* ---- supervisor side --------------------------------------------------- *)
+
+(* SPSC: callers must hold the supervisor state lock while staging or
+   publishing on a job ring *)
+
+let stage_job shm ~slot ~sid line =
+  let arena = Shm.payload_arena shm in
+  let len = String.length line in
+  match Arena.alloc arena len with
+  | None -> false
+  | Some handle -> (
+      Arena.write arena handle line;
+      let ring = Shm.job_ring shm slot in
+      match Ring.try_stage ring { Ring.kind = kind_job; sid; handle; len; aux = 0 } with
+      | true -> true
+      | false ->
+          Arena.decref arena handle;
+          false)
+
+let publish_jobs shm ~slot = Ring.publish (Shm.job_ring shm slot)
+
+let send_job shm ~slot ~sid line =
+  if stage_job shm ~slot ~sid line then `Sent (publish_jobs shm ~slot) else `Full
+
+(* drain the response ring: (sid, body) pairs, extents dropped.  A torn
+   descriptor stops the drain — the supervisor resets the rings when
+   the worker dies, which is the only way a tear can appear. *)
+let recv_responses shm ~slot =
+  let arena = Shm.payload_arena shm in
+  let ring = Shm.resp_ring shm slot in
+  let rec go acc =
+    match Ring.try_pop ring with
+    | Ring.Empty | Ring.Torn -> List.rev acc
+    | Ring.Desc d ->
+        let body = Arena.read arena d.Ring.handle ~len:d.Ring.len in
+        Arena.decref arena d.Ring.handle;
+        go ((d.Ring.sid, body) :: acc)
+  in
+  go []
+
+(* reclaim a dead worker's rings: drop undelivered job extents, deliver
+   nothing (the caller redispatches pendings), zero both rings *)
+let reset_rings shm ~slot =
+  let arena = Shm.payload_arena shm in
+  let drop d = Arena.decref arena d.Ring.handle in
+  List.iter drop (Ring.drain_reset (Shm.job_ring shm slot));
+  List.iter drop (Ring.drain_reset (Shm.resp_ring shm slot))
+
+(* ---- response-id splice ------------------------------------------------ *)
+
+(* worker responses put the session id first: {"id":<sid>,...} — the
+   supervisor restores the client's id by splicing bytes, no parse *)
+let id_prefix = "{\"id\":"
+
+let splice_client_id line ~client_id =
+  let n = String.length line and p = String.length id_prefix in
+  if n <= p || not (String.equal (String.sub line 0 p) id_prefix) then None
+  else begin
+    let i = ref p in
+    if !i < n && line.[!i] = '-' then incr i;
+    let digits0 = !i in
+    while !i < n && line.[!i] >= '0' && line.[!i] <= '9' do
+      incr i
+    done;
+    if !i = digits0 || !i >= n then None
+    else Some (id_prefix ^ Json.to_line client_id ^ String.sub line !i (n - !i))
+  end
+
+(* ---- checkpoint tier --------------------------------------------------- *)
+
+let ckpt_prefix = "shm:"
+
+let key_of_sid sid = Printf.sprintf "%ssid%d" ckpt_prefix sid
+
+let sid_of_key key =
+  if not (String.starts_with ~prefix:(ckpt_prefix ^ "sid") key) then None
+  else
+    let p = String.length ckpt_prefix + 3 in
+    match int_of_string_opt (String.sub key p (String.length key - p)) with
+    | Some sid when sid > 0 -> Some sid
+    | _ -> None
+
+let ckpt_save shm ~sid ~iteration blob =
+  match Shm.ckpt_claim shm ~sid with
+  | None -> Error "shm checkpoint table full"
+  | Some entry -> (
+      let arena = Shm.ckpt_arena shm in
+      let len = String.length blob in
+      match Arena.alloc arena len with
+      | None -> Error "shm checkpoint arena full"
+      | Some handle ->
+          Arena.write arena handle blob;
+          (match Shm.ckpt_publish shm ~entry ~iteration ~handle ~len with
+          | Some old -> Arena.decref arena old
+          | None -> ());
+          Ok ())
+
+(* a load can race a live writer republishing the entry (the extent is
+   decref'd under us); the md5 inside the RCCKPT bytes catches the tear
+   and we retry.  In the crash-recovery case the writer is dead and the
+   first read wins. *)
+let ckpt_load shm ~sid =
+  let arena = Shm.ckpt_arena shm in
+  let rec go tries =
+    match Shm.ckpt_find shm ~sid with
+    | None -> Error (Printf.sprintf "no shm checkpoint for sid %d" sid)
+    | Some (_, _, handle, len) ->
+        let s = Arena.read arena handle ~len in
+        if tries >= 3 then Ok s
+        else if
+          (* cheap self-check: magic intact and entry unchanged *)
+          String.length s >= 6
+          && String.equal (String.sub s 0 6) "RCCKPT"
+          &&
+          match Shm.ckpt_find shm ~sid with
+          | Some (_, _, h2, l2) -> h2 = handle && l2 = len
+          | None -> false
+        then Ok s
+        else go (tries + 1)
+  in
+  go 0
+
+let ckpt_latest shm ~sid =
+  match Shm.ckpt_find shm ~sid with Some (_, iteration, _, _) -> Some iteration | None -> None
+
+let ckpt_free shm ~sid =
+  match Shm.ckpt_release shm ~sid with
+  | Some handle -> Arena.decref (Shm.ckpt_arena shm) handle
+  | None -> ()
+
+(* ---- worker side ------------------------------------------------------- *)
+
+type wside = {
+  w_shm : Shm.t;
+  w_slot : int;
+  w_lock : Mutex.t;  (* response-ring producer: many waiter threads *)
+  w_jobs : int Atomic.t;
+  w_responses : int Atomic.t;
+  w_fallbacks : int Atomic.t;
+  w_ckpt_saves : int Atomic.t;
+  w_ckpt_skips : int Atomic.t;
+}
+
+let worker_side shm ~slot =
+  {
+    w_shm = shm;
+    w_slot = slot;
+    w_lock = Mutex.create ();
+    w_jobs = Atomic.make 0;
+    w_responses = Atomic.make 0;
+    w_fallbacks = Atomic.make 0;
+    w_ckpt_saves = Atomic.make 0;
+    w_ckpt_skips = Atomic.make 0;
+  }
+
+type drained = { items : (int * string) list; torn : bool }
+
+(* drain the job ring: bodies copied out, extents dropped immediately —
+   the window in which a SIGKILL can leak a request extent is just this
+   copy, not the job's runtime *)
+let recv_jobs w =
+  let arena = Shm.payload_arena w.w_shm in
+  let ring = Shm.job_ring w.w_shm w.w_slot in
+  let rec go acc =
+    match Ring.try_pop ring with
+    | Ring.Empty -> { items = List.rev acc; torn = false }
+    | Ring.Torn -> { items = List.rev acc; torn = true }
+    | Ring.Desc d ->
+        let body = Arena.read arena d.Ring.handle ~len:d.Ring.len in
+        Arena.decref arena d.Ring.handle;
+        Atomic.incr w.w_jobs;
+        go ((d.Ring.sid, body) :: acc)
+  in
+  go []
+
+let send_response w ~sid line =
+  let arena = Shm.payload_arena w.w_shm in
+  let len = String.length line in
+  match Arena.alloc arena len with
+  | None ->
+      Atomic.incr w.w_fallbacks;
+      `Full
+  | Some handle ->
+      Arena.write arena handle line;
+      let r =
+        Mutex.protect w.w_lock (fun () ->
+            let ring = Shm.resp_ring w.w_shm w.w_slot in
+            if Ring.try_stage ring { Ring.kind = kind_resp; sid; handle; len; aux = 0 } then
+              `Sent (Ring.publish ring)
+            else `Full)
+      in
+      (match r with
+      | `Full ->
+          Arena.decref arena handle;
+          Atomic.incr w.w_fallbacks
+      | `Sent _ -> Atomic.incr w.w_responses);
+      r
+
+let counters w =
+  ( Atomic.get w.w_jobs,
+    Atomic.get w.w_responses,
+    Atomic.get w.w_fallbacks,
+    Atomic.get w.w_ckpt_saves,
+    Atomic.get w.w_ckpt_skips )
+
+(* the worker's Checkpoint blob store: "shm:sid<N>" -> checkpoint
+   arena.  Save errors count as skips (best-effort durability); loads
+   serve crash-recovery resumes on sibling workers. *)
+let blob_store w =
+  {
+    Checkpoint.bs_save =
+      (fun ~key ~iteration blob ->
+        match sid_of_key key with
+        | None -> Error (Printf.sprintf "malformed shm checkpoint key %S" key)
+        | Some sid -> (
+            match ckpt_save w.w_shm ~sid ~iteration blob with
+            | Ok () ->
+                Atomic.incr w.w_ckpt_saves;
+                Ok key
+            | Error e ->
+                Atomic.incr w.w_ckpt_skips;
+                Error e));
+    bs_load =
+      (fun token ->
+        match sid_of_key token with
+        | None -> Error (Printf.sprintf "malformed shm checkpoint token %S" token)
+        | Some sid -> ckpt_load w.w_shm ~sid);
+  }

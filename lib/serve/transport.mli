@@ -1,0 +1,95 @@
+(** Zero-copy job transport over the {!Shm} segment: descriptor
+    traffic on the per-worker {!Ring} pairs, bulk bodies in the payload
+    {!Arena}, checkpoints in the checkpoint arena/table, with the
+    NDJSON socketpair demoted to doorbell + control channel + fallback
+    data path.  See [docs/serving.md] for the protocol.
+
+    Failure discipline: every send reports [`Full] when an arena or
+    ring is exhausted and the caller degrades to plain NDJSON on the
+    socketpair — exhaustion costs latency, never correctness. *)
+
+val doorbell_line : string
+(** The [{"ctl":"ring"}] line a producer writes on the socketpair when
+    {!Ring.publish} reports the consumer armed its waiting flag. *)
+
+val is_doorbell : string -> bool
+
+(** {1 Supervisor side}
+
+    Job-ring producers and response-ring consumers.  Callers must hold
+    the supervisor state lock across staging/publishing (SPSC). *)
+
+val stage_job : Shm.t -> slot:int -> sid:int -> string -> bool
+(** Place one request body + descriptor without publishing — batch
+    several, then {!publish_jobs} once.  [false] = arena or ring full. *)
+
+val publish_jobs : Shm.t -> slot:int -> bool
+(** Publish staged jobs; [true] = send {!doorbell_line} to the worker. *)
+
+val send_job : Shm.t -> slot:int -> sid:int -> string -> [ `Sent of bool | `Full ]
+(** {!stage_job} + {!publish_jobs} for a single request. *)
+
+val recv_responses : Shm.t -> slot:int -> (int * string) list
+(** Drain the worker's response ring: [(sid, body)] pairs, extents
+    dropped. *)
+
+val reset_rings : Shm.t -> slot:int -> unit
+(** Reclaim a dead worker's rings before the slot respawns: undelivered
+    extents are freed and both rings zeroed.  The caller redispatches
+    the orphaned sessions. *)
+
+val splice_client_id : string -> client_id:Rc_util.Json.t -> string option
+(** Rewrite a worker response's leading [{"id":<sid>] to the client's
+    original id by byte splice — the parse-free response hot path.
+    [None] = unexpected shape; the caller falls back to a full parse. *)
+
+(** {1 Checkpoint tier ("shm:sid<N>")} *)
+
+val key_of_sid : int -> string
+val sid_of_key : string -> int option
+
+val ckpt_save : Shm.t -> sid:int -> iteration:int -> string -> (unit, string) result
+(** Publish RCCKPT bytes as [sid]'s latest checkpoint (claiming a table
+    entry on first save, replacing and freeing the prior blob after). *)
+
+val ckpt_load : Shm.t -> sid:int -> (string, string) result
+
+val ckpt_latest : Shm.t -> sid:int -> int option
+(** Iteration of the latest published checkpoint, if any — the
+    supervisor's crash-redispatch probe. *)
+
+val ckpt_free : Shm.t -> sid:int -> unit
+(** Release [sid]'s entry and blob (idempotent) — called when the
+    session's response is delivered. *)
+
+(** {1 Worker side} *)
+
+type wside
+(** Per-process transport state: job-ring consumer, response-ring
+    producer (internally serialized — waiter threads may send
+    concurrently), and the transport counters published in the shm
+    worker row. *)
+
+val worker_side : Shm.t -> slot:int -> wside
+
+type drained = { items : (int * string) list; torn : bool }
+
+val recv_jobs : wside -> drained
+(** Drain the job ring: [(sid, body)] pairs, request extents dropped at
+    copy time (so a mid-job SIGKILL cannot leak them).  [torn] = a
+    half-written descriptor was found; the worker should exit and let
+    the supervisor reset the rings. *)
+
+val send_response : wside -> sid:int -> string -> [ `Sent of bool | `Full ]
+(** Publish a response body; [`Sent true] = also write
+    {!doorbell_line} on the socketpair.  [`Full] = fall back to writing
+    the NDJSON line itself. *)
+
+val blob_store : wside -> Checkpoint.blob_store
+(** The store to {!Checkpoint.register_blob_store} under prefix
+    ["shm:"]: saves count into the worker row's
+    [ckpt_saves]/[ckpt_skips], loads serve crash-recovery resumes. *)
+
+val counters : wside -> int * int * int * int * int
+(** [(shm_jobs, shm_responses, shm_fallbacks, ckpt_saves, ckpt_skips)]
+    for the heartbeat's worker row. *)

@@ -1,9 +1,17 @@
 (** The exec'd side of one supervisor socketpair
     ([rotary_cli serve-worker], the socketpair dup2'd to stdin): a full
     {!Server}/{!Scheduler} speaking NDJSON over the inherited fd, plus
-    the [{"ctl":"drain"}] control form used for rolling restarts, plus
-    a heartbeat thread publishing this slot's liveness and counters
-    into the {!Shm} segment every ~50 ms.
+    the [{"ctl":"drain"}] (rolling restart) and [{"ctl":"ring"}]
+    (shm doorbell) control forms, plus a heartbeat thread publishing
+    this slot's liveness, counters and transport stats into the {!Shm}
+    segment every ~50 ms.
+
+    Under [transport = Shm.Shm_rings], jobs arrive as descriptors in
+    this slot's shm job ring (payloads in the shared arena) and
+    responses return through the response ring, with the fd as
+    doorbell + fallback; the worker also registers the ["shm:"]
+    {!Checkpoint.blob_store} so checkpoints and crash resumes ride the
+    shared checkpoint arena instead of the filesystem.
 
     The worker is a fresh process image (spawned via
     [Unix.create_process], see [docs/operations.md]), so creating
@@ -13,6 +21,8 @@
 val run :
   ?workers:int ->
   ?max_pending:int ->
+  ?transport:Shm.transport ->
+  ?pin_core:int ->
   shm:Shm.t ->
   slot:int ->
   restarts:int ->
@@ -20,7 +30,9 @@ val run :
   unit ->
   'a
 (** [run ~shm ~slot ~restarts ~fd ()] serves request lines from [fd]
-    until EOF or a drain control, then drains and [Unix._exit]s — it
-    never returns.  [workers]/[max_pending] size the internal
-    scheduler; [slot]/[restarts] become the server's
-    {!Server.identity} and select the shm row written. *)
+    (and, under the shm transport, from the slot's job ring) until EOF
+    or a drain control, then drains and [Unix._exit]s — it never
+    returns.  [workers]/[max_pending] size the internal scheduler;
+    [slot]/[restarts] become the server's {!Server.identity} and select
+    the shm row written; [pin_core] pins the process via
+    {!Affinity.pin_self} (warns and continues if unsupported). *)

@@ -86,78 +86,160 @@ wait "$SERVER_PID"
 
 # ---------------------------------------------------------------------------
 # Supervisor tier: prefork workers behind a TCP front door, chaos drill,
-# live shm counters via `top`, rolling restart under load.
+# live shm counters via `top`, rolling restart under load — once per
+# transport (shm rings and the ndjson fallback), then a light-mix
+# throughput comparison with a minimum shm/ndjson ratio gate.
 # ---------------------------------------------------------------------------
 
-SUPSOCK="$DIR/sup.sock"
-SHM="$SUPSOCK.shm"
+supervisor_drill() {
+  local T=$1
+  local SUPSOCK="$DIR/sup-$T.sock"
+  local SHM="$SUPSOCK.shm"
 
-echo "== supervisor up (2 worker processes, TCP front door)"
-"$BIN" serve --socket "$SUPSOCK" --workers-proc 2 --tcp 127.0.0.1:0 --drain-restart &
-SERVER_PID=$!
-for _ in $(seq 100); do [ -S "$SUPSOCK" ] && [ -f "$SHM" ] && break; sleep 0.1; done
-[ -S "$SUPSOCK" ] || { echo "supervisor socket never appeared"; exit 1; }
+  echo "== [$T] supervisor up (2 worker processes, TCP front door)"
+  "$BIN" serve --socket "$SUPSOCK" --workers-proc 2 --tcp 127.0.0.1:0 \
+    --drain-restart --transport "$T" --pin-cores &
+  SERVER_PID=$!
+  for _ in $(seq 100); do [ -S "$SUPSOCK" ] && [ -f "$SHM" ] && break; sleep 0.1; done
+  [ -S "$SUPSOCK" ] || { echo "supervisor socket never appeared"; exit 1; }
 
-# the supervisor publishes its ephemeral TCP port in the shm header
-PORT=$("$BIN" top --shm "$SHM" --once --json \
-  | python3 -c 'import json,sys; print(json.load(sys.stdin)["tcp_port"])')
-echo "   tcp port $PORT"
+  # the supervisor publishes its ephemeral TCP port in the shm header
+  PORT=$("$BIN" top --shm "$SHM" --once --json \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["tcp_port"])')
+  echo "   tcp port $PORT"
 
-echo "== chaos drill: 600-request TCP batch, kill -9 one worker mid-batch"
-# light mix = 1-in-5 flows; every flow response's digest must equal the
-# uninterrupted reference, including the flows resumed after the kill
-"$LOADGEN" --tcp "127.0.0.1:$PORT" -n 32 --requests 600 --mix light --bench tiny \
-  --chaos-kill 50 --shm "$SHM" --expect-digest "$REF" \
-  --key service --out BENCH_results.json
+  echo "== [$T] chaos drill: 600-request TCP batch, kill -9 one worker mid-batch"
+  # light mix = 1-in-5 flows; every flow response's digest must equal the
+  # uninterrupted reference, including the flows resumed after the kill
+  "$LOADGEN" --tcp "127.0.0.1:$PORT" --conns 32 --requests 600 --mix light \
+    --bench tiny --chaos-kill 50 --shm "$SHM" --expect-digest "$REF" \
+    --key service_chaos --label "$T" --out "$DIR/BENCH_chaos.json"
 
-echo "== top reads live per-worker counters from shm"
-TOP=$("$BIN" top --shm "$SHM" --once --json)
-python3 - "$TOP" <<'EOF'
+  echo "== [$T] top reads live per-worker counters from shm"
+  TOP=$("$BIN" top --shm "$SHM" --once --json)
+  python3 - "$TOP" "$T" <<'EOF'
 import json, sys
 doc = json.loads(sys.argv[1])
-assert doc["layout_version"] == 1, doc
+transport = sys.argv[2]
+assert doc["layout_version"] == 2, doc
+assert doc["transport"] == transport, doc
 workers = doc["workers"]
 assert len(workers) == 2, workers
 for w in workers:
     assert w["consistent"], w
     assert w["pid"] > 0, w
     assert w["control"]["state"] == "up", w
+    assert w["rings"]["slots"] > 0, w
 # the chaos kill above must be visible as a completed respawn
 assert sum(w["control"]["restarts"] for w in workers) >= 1, workers
 # the batch's flows ran on the workers
 assert sum(w["jobs"]["completed"] for w in workers) > 0, workers
-print("   top: %d workers up, %d restarts, %d jobs completed"
+if transport == "shm":
+    # flows moved through the rings, not the socketpair fallback
+    assert sum(w["shm"]["jobs"] for w in workers) > 0, workers
+    assert sum(w["shm"]["responses"] for w in workers) > 0, workers
+cores = [w["core"] for w in workers]
+pinned = sum(1 for c in cores if c is not None)
+if pinned == 0:
+    print("   top: warning: no worker reports a pinned core (unsupported platform?)")
+print("   top: %d workers up, %d restarts, %d jobs completed, cores %s"
       % (len(workers),
          sum(w["control"]["restarts"] for w in workers),
-         sum(w["jobs"]["completed"] for w in workers)))
+         sum(w["jobs"]["completed"] for w in workers), cores))
 EOF
 
-echo "== rolling restart under load (zero dropped requests)"
-"$LOADGEN" --socket "$SUPSOCK" -n 4 --requests 20 --mix light --bench tiny \
-  --expect-digest "$REF" --key service_roll --out "$DIR/BENCH_roll.json" &
-LOADGEN_PID=$!
-sleep 0.2
-ROLL=$(request_on "$SUPSOCK" '{"id":9,"op":"restart"}')
-python3 -c 'import json,sys; r = json.loads(sys.argv[1]); assert r["ok"], r' "$ROLL"
-wait "$LOADGEN_PID"
+  echo "== [$T] rolling restart under load (zero dropped requests)"
+  "$LOADGEN" --socket "$SUPSOCK" --conns 4 --requests 20 --mix light --bench tiny \
+    --expect-digest "$REF" --key service_roll --out "$DIR/BENCH_roll.json" &
+  LOADGEN_PID=$!
+  sleep 0.2
+  ROLL=$(request_on "$SUPSOCK" '{"id":9,"op":"restart"}')
+  python3 -c 'import json,sys; r = json.loads(sys.argv[1]); assert r["ok"], r' "$ROLL"
+  wait "$LOADGEN_PID"
 
-echo "== supervisor status aggregates the worker tier"
-STATUS=$(request_on "$SUPSOCK" '{"id":10,"op":"status"}')
-python3 - "$STATUS" <<'EOF'
+  echo "== [$T] arena leak check: every extent and table entry returned"
+  TOP=$("$BIN" top --shm "$SHM" --once --json)
+  python3 - "$TOP" <<'EOF'
+import json, sys
+doc = json.loads(sys.argv[1])
+arena = doc["arena"]
+for tier in ("payload", "checkpoint"):
+    for cls in arena[tier]:
+        assert cls["in_use"] == 0, (tier, arena[tier])
+assert arena["ckpt_entries"]["used"] == 0, arena
+for w in doc["workers"]:
+    assert w["rings"]["job_depth"] == 0 and w["rings"]["resp_depth"] == 0, w
+print("   arenas leak-free, rings drained")
+EOF
+
+  echo "== [$T] supervisor status aggregates the worker tier"
+  STATUS=$(request_on "$SUPSOCK" '{"id":10,"op":"status"}')
+  python3 - "$STATUS" "$T" <<'EOF'
 import json, sys
 r = json.loads(sys.argv[1])
 assert r["ok"], r
 sup = r["result"]["supervisor"]
 assert sup["workers"] == 2, sup
+assert sup["transport"] == sys.argv[2], sup
 assert len(sup["per_worker"]) == 2, sup
-print("   status: supervisor pid %d, %d workers" % (sup["pid"], sup["workers"]))
+print("   status: supervisor pid %d, %d workers, transport %s"
+      % (sup["pid"], sup["workers"], sup["transport"]))
 EOF
 
-echo "== graceful supervisor shutdown"
-SHUT=$(request_on "$SUPSOCK" '{"id":11,"op":"shutdown"}')
-python3 -c 'import json,sys; r = json.loads(sys.argv[1]); assert r["ok"], r' "$SHUT"
-wait "$SERVER_PID"
-[ ! -S "$SUPSOCK" ] || { echo "supervisor socket not removed on drain"; exit 1; }
-[ ! -f "$SHM" ] || { echo "shm segment not removed on drain"; exit 1; }
+  echo "== [$T] graceful supervisor shutdown"
+  SHUT=$(request_on "$SUPSOCK" '{"id":11,"op":"shutdown"}')
+  python3 -c 'import json,sys; r = json.loads(sys.argv[1]); assert r["ok"], r' "$SHUT"
+  wait "$SERVER_PID"
+  [ ! -S "$SUPSOCK" ] || { echo "supervisor socket not removed on drain"; exit 1; }
+  [ ! -f "$SHM" ] || { echo "shm segment not removed on drain"; exit 1; }
+}
 
-echo "serve smoke: OK (digest $REF reproduced across server crash, worker kill -9, and rolling restart)"
+supervisor_drill shm
+supervisor_drill ndjson
+
+# ---------------------------------------------------------------------------
+# Throughput comparison: the same light-mix batch against a clean
+# supervisor on each transport, merged under BENCH service.<transport>,
+# then a minimum shm/ndjson throughput ratio gate (SMOKE_MIN_SHM_RATIO;
+# kept modest for CI — the flows' solver time dominates a small batch).
+# ---------------------------------------------------------------------------
+
+BENCH_CONNS=${SMOKE_BENCH_CONNS:-64}
+BENCH_REQUESTS=${SMOKE_BENCH_REQUESTS:-600}
+
+bench_pass() {
+  local T=$1
+  local SUPSOCK="$DIR/bench-$T.sock"
+  local SHM="$SUPSOCK.shm"
+  echo "== [$T] light-mix throughput: $BENCH_REQUESTS requests over $BENCH_CONNS conns"
+  "$BIN" serve --socket "$SUPSOCK" --workers-proc 2 --tcp 127.0.0.1:0 \
+    --transport "$T" --pin-cores &
+  SERVER_PID=$!
+  for _ in $(seq 100); do [ -S "$SUPSOCK" ] && [ -f "$SHM" ] && break; sleep 0.1; done
+  [ -S "$SUPSOCK" ] || { echo "supervisor socket never appeared"; exit 1; }
+  PORT=$("$BIN" top --shm "$SHM" --once --json \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["tcp_port"])')
+  "$LOADGEN" --tcp "127.0.0.1:$PORT" --conns "$BENCH_CONNS" --requests "$BENCH_REQUESTS" \
+    --mix light --bench tiny --expect-digest "$REF" \
+    --key service --label "$T" --out BENCH_results.json
+  SHUT=$(request_on "$SUPSOCK" '{"id":11,"op":"shutdown"}')
+  python3 -c 'import json,sys; r = json.loads(sys.argv[1]); assert r["ok"], r' "$SHUT"
+  wait "$SERVER_PID"
+}
+
+bench_pass shm
+bench_pass ndjson
+
+python3 - "${SMOKE_MIN_SHM_RATIO:-0.9}" <<'EOF'
+import json, sys
+doc = json.load(open("BENCH_results.json"))
+svc = doc["service"]
+shm, nd = svc["shm"], svc["ndjson"]
+ratio = shm["throughput_per_s"] / nd["throughput_per_s"]
+print("   shm   : %8.2f req/s, p99 %.4f s" % (shm["throughput_per_s"], shm["latency"]["p99_s"]))
+print("   ndjson: %8.2f req/s, p99 %.4f s" % (nd["throughput_per_s"], nd["latency"]["p99_s"]))
+print("   shm/ndjson throughput ratio %.3f (gate %s)" % (ratio, sys.argv[1]))
+assert ratio >= float(sys.argv[1]), (ratio, sys.argv[1])
+EOF
+
+echo "serve smoke: OK (digest $REF reproduced across server crash, worker kill -9 on both transports, and rolling restart)"
