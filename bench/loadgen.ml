@@ -20,7 +20,8 @@
    Usage:
      loadgen.exe --socket PATH | --tcp HOST:PORT
                  [--conns N | -n N] [--requests TOTAL]
-                 [--mix default|light] [--bench NAME]
+                 [--mix default|light|eco] [--bench NAME]
+                 [--sessions N] [--edits N] [--verify-replay]
                  [--deadline-ms MS] [--out FILE.json]
                  [--key NAME] [--label NAME] [--expect-digest HEX]
                  [--chaos-kill K --shm PATH]
@@ -28,6 +29,17 @@
    The request mix is a fixed rotation, so a given (--requests,
    --conns) pair always issues the same workload — comparable across
    runs.
+
+   --mix eco switches to the ECO session driver: --sessions blocking
+   client threads each open a held-open session (session_open), stream
+   --edits deterministic seeded edit batches (session_edit), and close.
+   Edit latency percentiles are reported separately from opens/closes.
+   --verify-replay then opens a fresh session per finished one,
+   replays the identical batches, and requires the final digest to be
+   bit-identical to the incremental session's — the replay-identity
+   anchor of docs/serving.md.  Session ids are stamped by the server,
+   so the same binary drives both the supervisor and a single-process
+   server.
 
    Chaos mode (--chaos-kill K with --shm PATH) is the supervisor tier's
    CI drill: once K responses have arrived, the busiest worker process
@@ -54,6 +66,9 @@ let out_label = ref ""
 let expect_digest = ref ""
 let chaos_kill = ref 0 (* 0 = no chaos *)
 let shm_path = ref ""
+let n_sessions = ref 4
+let n_edits = ref 6
+let verify_replay = ref false
 
 let args =
   [
@@ -64,8 +79,14 @@ let args =
     ("--requests", Arg.Set_int n_requests, "N total requests across all connections (default 16)");
     ( "--mix",
       Arg.Set_string mix,
-      "MIX request mix: default (flow/sweep/status) or light (status-heavy, 1-in-5 flow)" );
+      "MIX request mix: default (flow/sweep/status), light (status-heavy, 1-in-5 flow), \
+       or eco (held-open edit sessions)" );
     ("--bench", Arg.Set_string bench_name, "NAME circuit used by flow requests (default tiny)");
+    ("--sessions", Arg.Set_int n_sessions, "N concurrent ECO sessions under --mix eco (default 4)");
+    ("--edits", Arg.Set_int n_edits, "N edit batches per ECO session (default 6)");
+    ( "--verify-replay",
+      Arg.Set verify_replay,
+      " replay each ECO session's batches onto a fresh session and require digest identity" );
     ( "--deadline-ms",
       Arg.Set_float deadline_ms,
       "MS attach this deadline to every async request (default: none)" );
@@ -392,6 +413,247 @@ let run_engine conns =
   done;
   Array.to_list conns |> List.concat_map (fun c -> c.replies)
 
+(* ---- ECO session driver (--mix eco) ------------------------------------ *)
+
+(* The poll engine pre-renders every request byte, which cannot work
+   for sessions: each edit needs the session id from the open response
+   and must wait for its predecessor (one in-flight edit per session
+   keeps seq = applied+1 on every tier).  So the eco mix runs one
+   blocking thread per session over its own connection. *)
+
+(* Lehmer MINSTD: deterministic per (seed), so --verify-replay can
+   re-derive the exact batches without shipping them around. *)
+type rng = { mutable s : int }
+
+let rng_make seed =
+  let s = (seed * 7919) + 104729 in
+  { s = (if s mod 0x7FFFFFFF = 0 then 1 else s mod 0x7FFFFFFF) }
+
+let rng_next r =
+  r.s <- r.s * 48271 mod 0x7FFFFFFF;
+  r.s
+
+let rng_int r n = rng_next r mod max 1 n
+let rng_float r = float_of_int (rng_next r) /. 2147483647.0
+
+(* geometry the edit generator needs, straight from the open response *)
+type eco_info = {
+  i_n_cells : int;
+  i_n_ffs : int;
+  i_n_rings : int;
+  i_period : float;
+  i_chip : float * float * float * float;
+}
+
+let gen_edit rng info =
+  let xmin, ymin, xmax, ymax = info.i_chip in
+  let w = xmax -. xmin and h = ymax -. ymin in
+  match rng_int rng 4 with
+  | 0 ->
+      Json.Obj
+        [
+          ("kind", Json.String "move");
+          ("cell", Json.Int (rng_int rng info.i_n_cells));
+          ("x", Json.Float (xmin +. (rng_float rng *. w)));
+          ("y", Json.Float (ymin +. (rng_float rng *. h)));
+        ]
+  | 1 ->
+      let bx = xmin +. (rng_float rng *. w *. 0.8) in
+      let by = ymin +. (rng_float rng *. h *. 0.8) in
+      Json.Obj
+        [
+          ("kind", Json.String "shift");
+          ("xmin", Json.Float bx);
+          ("ymin", Json.Float by);
+          ("xmax", Json.Float (bx +. (w *. 0.2)));
+          ("ymax", Json.Float (by +. (h *. 0.2)));
+          ("dx", Json.Float ((rng_float rng -. 0.5) *. w *. 0.04));
+          ("dy", Json.Float ((rng_float rng -. 0.5) *. h *. 0.04));
+        ]
+  | 2 when info.i_n_ffs > 0 && info.i_n_rings > 0 ->
+      Json.Obj
+        [
+          ("kind", Json.String "retarget");
+          ("ff", Json.Int (rng_int rng info.i_n_ffs));
+          ("ring", Json.Int (rng_int rng info.i_n_rings));
+        ]
+  | _ ->
+      (* absolute target period in [p0, 1.2 p0] so a replay that
+         regenerates the stream lands on the same value regardless of
+         the session's current period *)
+      Json.Obj
+        [
+          ("kind", Json.String "period");
+          ("period", Json.Float (info.i_period *. (1.0 +. (0.2 *. rng_float rng))));
+        ]
+
+let gen_batch rng info = List.init (1 + rng_int rng 3) (fun _ -> gen_edit rng info)
+
+(* one blocking round trip: write the request line, read lines until
+   the matching id answers.  Latency is write completion to response
+   arrival, same clock discipline as the poll engine. *)
+let eco_roundtrip fd ic ~id body =
+  let line = Json.to_line (Json.Obj (("id", Json.Int id) :: body)) ^ "\n" in
+  let rec write_all off =
+    if off < String.length line then
+      write_all (off + Unix.write_substring fd line off (String.length line - off))
+  in
+  write_all 0;
+  let t0 = Timer.now_s () in
+  let rec read_reply () =
+    let l = String.trim (input_line ic) in
+    if l = "" then read_reply ()
+    else
+      match Json.of_string l with
+      | Error e -> failwith ("unparseable response: " ^ e)
+      | Ok j -> (
+          match Option.bind (Json.member "id" j) Json.to_int_opt with
+          | Some i when i = id -> j
+          | _ -> read_reply ())
+  in
+  let j = read_reply () in
+  Atomic.incr responses_seen;
+  let lat = Timer.now_s () -. t0 in
+  match Json.member "ok" j with
+  | Some (Json.Bool true) -> (
+      match Json.member "result" j with
+      | Some r -> (r, lat)
+      | None -> failwith "ok response without result")
+  | _ ->
+      failwith
+        (Option.value
+           (Option.bind (Json.member "error" j) Json.to_string_opt)
+           ~default:"server error")
+
+let eco_open fd ic ~id =
+  let r, lat =
+    eco_roundtrip fd ic ~id
+      [ ("op", Json.String "session_open"); ("bench", Json.String !bench_name) ]
+  in
+  let int_of name =
+    match Option.bind (Json.member name r) Json.to_int_opt with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "session_open response missing %S" name)
+  in
+  let num_of ?inside name =
+    let j = match inside with Some k -> Option.value (Json.member k r) ~default:Json.Null | None -> r in
+    match Option.bind (Json.member name j) Json.to_float_opt with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "session_open response missing %S" name)
+  in
+  let digest =
+    match Option.bind (Json.member "digest" r) Json.to_string_opt with
+    | Some d -> d
+    | None -> failwith "session_open response missing \"digest\""
+  in
+  let info =
+    {
+      i_n_cells = int_of "n_cells";
+      i_n_ffs = int_of "n_ffs";
+      i_n_rings = int_of "n_rings";
+      i_period = num_of "clock_period_ps";
+      i_chip =
+        ( num_of ~inside:"chip" "xmin",
+          num_of ~inside:"chip" "ymin",
+          num_of ~inside:"chip" "xmax",
+          num_of ~inside:"chip" "ymax" );
+    }
+  in
+  (int_of "session", info, digest, lat)
+
+let eco_edit fd ic ~id ~sid batch =
+  let r, lat =
+    eco_roundtrip fd ic ~id
+      [
+        ("op", Json.String "session_edit");
+        ("session", Json.Int sid);
+        ("edits", Json.List batch);
+      ]
+  in
+  match Option.bind (Json.member "digest" r) Json.to_string_opt with
+  | Some d -> (d, lat)
+  | None -> failwith "session_edit response missing \"digest\""
+
+let eco_close fd ic ~id ~sid =
+  ignore
+    (eco_roundtrip fd ic ~id
+       [ ("op", Json.String "session_close"); ("session", Json.Int sid) ])
+
+(* drive session [idx]: open, stream the seeded batches, close; then
+   optionally replay the identical stream on a fresh session and pin
+   the final digest.  Returns (edit latencies, error strings, replays). *)
+let eco_session idx =
+  let edit_lats = ref [] and errors = ref [] and replays = ref 0 in
+  let with_conn f =
+    let addr = server_addr () in
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    let rec connect tries =
+      match Unix.connect fd addr with
+      | () -> ()
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.EAGAIN), _, _)
+        when tries < 1000 ->
+          Thread.delay 0.005;
+          connect (tries + 1)
+    in
+    connect 0;
+    let ic = Unix.in_channel_of_descr fd in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) (fun () -> f fd ic)
+  in
+  (* run one full session with the batch stream of [idx]; returns the
+     final digest.  [record] controls whether edit latencies count —
+     replay traffic verifies, it does not skew the percentiles. *)
+  let run_stream ~record fd ic ~first_id =
+    let sid, info, digest0, _open_lat = eco_open fd ic ~id:first_id in
+    let rng = rng_make ((idx * 131) + 7) in
+    let digest = ref digest0 in
+    for b = 1 to !n_edits do
+      let batch = gen_batch rng info in
+      let d, lat = eco_edit fd ic ~id:(first_id + b) ~sid batch in
+      digest := d;
+      if record then edit_lats := lat :: !edit_lats
+    done;
+    eco_close fd ic ~id:(first_id + !n_edits + 1) ~sid;
+    !digest
+  in
+  (try
+     let base = (idx * 100000) + 1 in
+     let final = with_conn (fun fd ic -> run_stream ~record:true fd ic ~first_id:base) in
+     if !verify_replay then begin
+       let replayed =
+         with_conn (fun fd ic -> run_stream ~record:false fd ic ~first_id:(base + 50000))
+       in
+       incr replays;
+       if replayed <> final then
+         errors :=
+           Printf.sprintf "session %d: replay digest %s <> incremental %s" idx replayed
+             final
+           :: !errors
+     end
+   with
+  | Failure e -> errors := Printf.sprintf "session %d: %s" idx e :: !errors
+  | End_of_file -> errors := Printf.sprintf "session %d: connection closed" idx :: !errors
+  | Unix.Unix_error (e, fn, _) ->
+      errors := Printf.sprintf "session %d: %s: %s" idx fn (Unix.error_message e) :: !errors);
+  (!edit_lats, !errors, !replays)
+
+let run_eco () =
+  let t0 = Timer.now_s () in
+  let n = max 1 !n_sessions in
+  let parts = Array.make n ([], [], 0) in
+  let slots =
+    Array.init n
+      (fun idx -> Thread.create (fun () -> parts.(idx) <- eco_session idx) ())
+  in
+  Array.iter Thread.join slots;
+  let wall_s = Timer.now_s () -. t0 in
+  let lats =
+    Array.to_list parts |> List.concat_map (fun (l, _, _) -> l) |> Array.of_list
+  in
+  let errors = Array.to_list parts |> List.concat_map (fun (_, e, _) -> e) in
+  let replays = Array.fold_left (fun acc (_, _, r) -> acc + r) 0 parts in
+  Array.sort compare lats;
+  (wall_s, lats, errors, replays)
+
 (* ---- reporting --------------------------------------------------------- *)
 
 let percentile sorted p =
@@ -403,8 +665,12 @@ let percentile sorted p =
     let frac = rank -. floor rank in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
-(* merge under --key, or KEY.LABEL with --label (other labels kept) *)
-let merge_results doc =
+(* merge under --key, or KEY.LABEL with --label (other labels kept).
+   [sub] nests one level deeper still — KEY.LABEL.SUB — preserving the
+   sibling fields of KEY.LABEL, which is how the eco mix lands under
+   service.<transport>.eco without clobbering the transport's flow
+   numbers. *)
+let merge_results ?sub doc =
   let existing =
     if Sys.file_exists !out_path then
       let ic = open_in_bin !out_path in
@@ -414,18 +680,107 @@ let merge_results doc =
       match Json.of_string s with Ok (Json.Obj fields) -> fields | _ -> []
     else []
   in
+  let obj_fields = function Some (Json.Obj fields) -> fields | _ -> [] in
+  let put fields name v = List.remove_assoc name fields @ [ (name, v) ] in
   let doc =
-    if !out_label = "" then doc
-    else
-      let prior =
-        match List.assoc_opt !out_key existing with
-        | Some (Json.Obj fields) -> List.remove_assoc !out_label fields
-        | _ -> []
-      in
-      Json.Obj (prior @ [ (!out_label, doc) ])
+    match (!out_label, sub) with
+    | "", None -> doc
+    | "", Some s ->
+        (* no transport label: nest SUB directly under KEY *)
+        Json.Obj (put (obj_fields (List.assoc_opt !out_key existing)) s doc)
+    | label, None ->
+        Json.Obj (put (obj_fields (List.assoc_opt !out_key existing)) label doc)
+    | label, Some s ->
+        let prior = obj_fields (List.assoc_opt !out_key existing) in
+        let inner = obj_fields (List.assoc_opt label prior) in
+        Json.Obj (put prior label (Json.Obj (put inner s doc)))
   in
-  let fields = List.remove_assoc !out_key existing @ [ (!out_key, doc) ] in
+  let fields = put existing !out_key doc in
   Json.to_file !out_path (Json.Obj fields)
+
+(* chaos verdict shared by both drivers: every request must still be
+   answered (checked by each driver), and the kill must actually have
+   landed for the drill to count *)
+let chaos_verdict () =
+  if !chaos_kill = 0 then true
+  else begin
+    (* the kill races with batch completion; give it a moment to land *)
+    let deadline = Timer.now_s () +. 2.0 in
+    while Atomic.get chaos_killed_pid = 0 && Timer.now_s () < deadline do
+      Thread.delay 0.01
+    done;
+    let pid = Atomic.get chaos_killed_pid in
+    if pid = 0 then
+      Printf.eprintf "[loadgen] chaos: batch finished before any worker could be killed\n";
+    pid <> 0
+  end
+
+let restart_fields () =
+  match restarts_survived () with
+  | None -> []
+  | Some n ->
+      Printf.printf "[loadgen] restarts survived: %d\n" n;
+      [ ("restarts_survived", Json.Int n) ]
+
+let chaos_fields () =
+  if !chaos_kill = 0 then []
+  else
+    [
+      ( "chaos",
+        Json.Obj
+          [
+            ("trigger_responses", Json.Int !chaos_kill);
+            ("killed_pid", Json.Int (Atomic.get chaos_killed_pid));
+          ] );
+    ]
+
+let pcts = [ (0.50, "p50"); (0.90, "p90"); (0.95, "p95"); (0.99, "p99") ]
+
+let latency_fields lats =
+  List.map (fun (p, name) -> (name ^ "_s", Json.Float (percentile lats p))) pcts
+  @ [
+      ( "max_s",
+        Json.Float (if Array.length lats = 0 then nan else lats.(Array.length lats - 1))
+      );
+    ]
+
+let main_eco () =
+  let sessions = max 1 !n_sessions in
+  let wall_s, lats, errors, replays = run_eco () in
+  List.iter (fun e -> Printf.eprintf "[loadgen] eco error: %s\n" e) errors;
+  let lat_fields = latency_fields lats in
+  Printf.printf
+    "[loadgen] eco: %d sessions x %d edits: %d edits timed, %d errors, %.2f s wall\n"
+    sessions !n_edits (Array.length lats) (List.length errors) wall_s;
+  List.iter
+    (function
+      | name, Json.Float v -> Printf.printf "[loadgen]   edit %-6s %8.4f s\n" name v
+      | _ -> ())
+    lat_fields;
+  if !verify_replay then
+    Printf.printf "[loadgen] replay: %d/%d sessions digest-identical\n"
+      (replays - List.length errors |> max 0)
+      sessions;
+  let chaos_ok = chaos_verdict () in
+  let doc =
+    Json.Obj
+      ([
+         ("sessions", Json.Int sessions);
+         ("edits_per_session", Json.Int !n_edits);
+         ("edits_timed", Json.Int (Array.length lats));
+         ("errors", Json.Int (List.length errors));
+         ("wall_s", Json.Float wall_s);
+         ( "edits_per_s",
+           Json.Float (float_of_int (Array.length lats) /. Float.max wall_s 1e-9) );
+         ("replayed", Json.Int replays);
+         ("edit_latency", Json.Obj lat_fields);
+       ]
+      @ restart_fields () @ chaos_fields ())
+  in
+  merge_results ~sub:"eco" doc;
+  Printf.printf "[loadgen] merged into %s (key %s%s.eco)\n" !out_path !out_key
+    (if !out_label = "" then "" else "." ^ !out_label);
+  if errors <> [] || (not chaos_ok) || (!verify_replay && replays < sessions) then exit 1
 
 let () =
   Arg.parse args
@@ -438,6 +793,9 @@ let () =
     prerr_endline "loadgen: --chaos-kill needs --shm PATH";
     exit 2);
   if !chaos_kill > 0 then ignore (Thread.create chaos_thread ());
+  if !mix = "eco" then (
+    main_eco ();
+    exit 0);
   let conns = max 1 !n_conns and total = max 1 !n_requests in
   (* split TOTAL across connections, remainder to the first ones *)
   let share c = (total / conns) + if c < total mod conns then 1 else 0 in
@@ -458,11 +816,7 @@ let () =
     |> Array.of_list
   in
   Array.sort compare lats;
-  let pcts = [ (0.50, "p50"); (0.90, "p90"); (0.95, "p95"); (0.99, "p99") ] in
-  let lat_fields =
-    List.map (fun (p, name) -> (name ^ "_s", Json.Float (percentile lats p))) pcts
-    @ [ ("max_s", Json.Float (if Array.length lats = 0 then nan else lats.(Array.length lats - 1))) ]
-  in
+  let lat_fields = latency_fields lats in
   Printf.printf "[loadgen] %d requests over %d connections: %d ok, %d errors, %.2f s wall\n"
     (List.length replies) conns n_ok n_err wall_s;
   List.iter
@@ -470,41 +824,7 @@ let () =
     lat_fields;
   Printf.printf "[loadgen] throughput %.2f req/s\n"
     (float_of_int (List.length replies) /. Float.max wall_s 1e-9);
-  (* chaos verdict: every request still answered (checked above), and the
-     kill must actually have landed for the drill to count *)
-  let chaos_ok =
-    if !chaos_kill = 0 then true
-    else begin
-      (* the kill races with batch completion; give it a moment to land *)
-      let deadline = Timer.now_s () +. 2.0 in
-      while Atomic.get chaos_killed_pid = 0 && Timer.now_s () < deadline do
-        Thread.delay 0.01
-      done;
-      let pid = Atomic.get chaos_killed_pid in
-      if pid = 0 then
-        Printf.eprintf "[loadgen] chaos: batch finished before any worker could be killed\n";
-      pid <> 0
-    end
-  in
-  let restart_fields =
-    match restarts_survived () with
-    | None -> []
-    | Some n ->
-        Printf.printf "[loadgen] restarts survived: %d\n" n;
-        [ ("restarts_survived", Json.Int n) ]
-  in
-  let chaos_fields =
-    if !chaos_kill = 0 then []
-    else
-      [
-        ( "chaos",
-          Json.Obj
-            [
-              ("trigger_responses", Json.Int !chaos_kill);
-              ("killed_pid", Json.Int (Atomic.get chaos_killed_pid));
-            ] );
-      ]
-  in
+  let chaos_ok = chaos_verdict () in
   let doc =
     Json.Obj
       ([
@@ -516,7 +836,7 @@ let () =
          ("throughput_per_s", Json.Float (float_of_int (List.length replies) /. Float.max wall_s 1e-9));
          ("latency", Json.Obj lat_fields);
        ]
-      @ restart_fields @ chaos_fields)
+      @ restart_fields () @ chaos_fields ())
   in
   merge_results doc;
   Printf.printf "[loadgen] merged into %s (key %s%s)\n" !out_path !out_key

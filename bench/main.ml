@@ -670,8 +670,10 @@ let results_json micro_timings size_rows (flows, (suite_seq, suite_runs)) =
     [
       (* schema v5: a "service" key (supervisor loadgen run) may be
          merged in by bench/loadgen.exe --key service; absent until a
-         loadgen run has been recorded *)
-      ("schema_version", J.Int 6);
+         loadgen run has been recorded.  schema v7: loadgen --mix eco
+         additionally merges ECO edit-latency percentiles under
+         service.<transport>.eco *)
+      ("schema_version", J.Int 7);
       ("git_rev", match git_rev () with Some r -> J.String r | None -> J.Null);
       ("jobs", J.Int (Rc_par.Pool.jobs ()));
       ("jobs_sweep", J.List (List.map (fun j -> J.Int j) (1 :: sweep_jobs)));

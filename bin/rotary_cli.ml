@@ -449,7 +449,8 @@ let tcp_conv =
   Arg.conv (parse, print)
 
 let run_serve jobs socket stdio workers max_pending workers_proc tcp shm drain_restart
-    checkpoint_every checkpoint_dir drain_grace transport ring_slots pin_cores =
+    checkpoint_every checkpoint_dir drain_grace transport ring_slots pin_cores session_dir
+    session_capacity =
   if workers_proc > 0 then begin
     if stdio then begin
       Printf.eprintf "error: --stdio and --workers-proc are mutually exclusive\n";
@@ -472,12 +473,18 @@ let run_serve jobs socket stdio workers max_pending workers_proc tcp shm drain_r
         transport;
         ring_slots;
         pin_cores;
+        session_dir;
+        session_capacity;
       }
   end
   else begin
     setup_jobs jobs;
-    if stdio then Rc_serve.Server.run_stdio ~workers ~max_pending ()
-    else Rc_serve.Server.run_unix ~workers ~max_pending ~path:socket ()
+    let session_dir = Some (Option.value session_dir ~default:(socket ^ ".eco")) in
+    if stdio then
+      Rc_serve.Server.run_stdio ~workers ~max_pending ?session_capacity ?session_dir ()
+    else
+      Rc_serve.Server.run_unix ~workers ~max_pending ?session_capacity ?session_dir
+        ~path:socket ()
   end
 
 let serve_cmd =
@@ -580,29 +587,45 @@ let serve_cmd =
           ~doc:"Pin worker K to CPU core K mod ncores via sched_setaffinity (warn-noop on \
                 unsupported platforms); pinning shows in $(b,rotary_cli top)'s CORE column")
   in
+  let session_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "session-dir" ] ~docv:"DIR"
+          ~doc:"ECO session escrow directory, shared by all workers so sessions survive \
+                crashes and eviction (default: SOCKET.eco single-process, \
+                CHECKPOINT_DIR/sessions supervised)")
+  in
+  let session_capacity =
+    Arg.(
+      value & opt (some int) None
+      & info [ "session-capacity" ] ~docv:"N"
+          ~doc:"Resident ECO sessions per worker before LRU eviction to escrow (default 8)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve flow/report/sweep/variation requests concurrently over line-delimited JSON \
-          (see docs/serving.md for the protocol); SIGTERM drains gracefully. With \
-          $(b,--workers-proc) N, run the supervised multi-process tier (docs/operations.md)")
+         "Serve flow/report/sweep/variation requests and held-open ECO edit sessions \
+          concurrently over line-delimited JSON (see docs/serving.md for the protocol); \
+          SIGTERM drains gracefully. With $(b,--workers-proc) N, run the supervised \
+          multi-process tier (docs/operations.md)")
     Term.(
       const run_serve $ jobs_arg $ socket $ stdio $ workers $ max_pending $ workers_proc
       $ tcp $ shm $ drain_restart $ checkpoint_every $ checkpoint_dir $ drain_grace
-      $ transport $ ring_slots $ pin_cores)
+      $ transport $ ring_slots $ pin_cores $ session_dir $ session_capacity)
 
 (* --- serve-worker command (internal) --- *)
 
 (* the exec'd child of a supervisor: the socketpair is stdin, the shm
    segment re-attaches by path.  Not meant to be invoked by hand. *)
-let run_serve_worker shm_path slot restarts workers max_pending transport pin_core =
+let run_serve_worker shm_path slot restarts workers max_pending transport pin_core
+    session_dir session_capacity =
   match Rc_serve.Shm.attach ~path:shm_path () with
   | Error e ->
       Printf.eprintf "serve-worker: %s\n" e;
       exit 1
   | Ok shm ->
-      Rc_serve.Worker.run ~workers ~max_pending ~transport ?pin_core ~shm ~slot ~restarts
-        ~fd:Unix.stdin ()
+      Rc_serve.Worker.run ~workers ~max_pending ~transport ?pin_core ?session_dir
+        ?session_capacity ~shm ~slot ~restarts ~fd:Unix.stdin ()
 
 let serve_worker_cmd =
   let shm = Arg.(required & opt (some string) None & info [ "shm" ] ~docv:"PATH") in
@@ -619,6 +642,12 @@ let serve_worker_cmd =
   let pin_core =
     Arg.(value & opt (some int) None & info [ "pin-core" ] ~docv:"K")
   in
+  let session_dir =
+    Arg.(value & opt (some string) None & info [ "session-dir" ] ~docv:"DIR")
+  in
+  let session_capacity =
+    Arg.(value & opt (some int) None & info [ "session-capacity" ] ~docv:"N")
+  in
   Cmd.v
     (Cmd.info "serve-worker"
        ~doc:
@@ -626,7 +655,7 @@ let serve_worker_cmd =
           (exec'd with the job socketpair as stdin); do not invoke directly")
     Term.(
       const run_serve_worker $ shm $ slot $ restarts $ workers $ max_pending $ transport
-      $ pin_core)
+      $ pin_core $ session_dir $ session_capacity)
 
 (* --- top command --- *)
 
@@ -676,6 +705,30 @@ let render_top shm =
         w.Shm.failed w.Shm.shm_fallbacks c.Shm.c_redispatched c.Shm.c_resumed
         w.Shm.job_wall_ms
         (if r.Shm.w_consistent && r.Shm.c_consistent then "" else "  !torn"))
+    (Shm.read_all shm);
+  (* ECO session store per worker, read from the fixed solver export
+     table (names resolved by position so layout changes stay visible) *)
+  let sidx name =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i n -> if n = name then found := i)
+      Rc_obs.Metrics.export_names;
+    !found
+  in
+  let i_res = sidx "serve.session.resident"
+  and i_open = sidx "serve.session.opens"
+  and i_edit = sidx "serve.session.edits"
+  and i_evict = sidx "serve.session.evictions"
+  and i_rehy = sidx "serve.session.rehydrations" in
+  Array.iteri
+    (fun slot (r : Shm.row) ->
+      let sv i =
+        let s = r.Shm.worker.Shm.solver in
+        if i >= 0 && i < Array.length s then s.(i) else 0
+      in
+      Printf.bprintf b
+        "sess %4d  resident %d  opens %d  edits %d  evictions %d  rehydrations %d\n" slot
+        (sv i_res) (sv i_open) (sv i_edit) (sv i_evict) (sv i_rehy))
     (Shm.read_all shm);
   Buffer.contents b
 

@@ -178,6 +178,19 @@ let make_cache () =
     solver = None;
   }
 
+let cache_invalidate cc ~ff =
+  if ff >= 0 && ff < Array.length cc.c_valid then cc.c_valid.(ff) <- false
+
+let cache_reset cc =
+  cc.c_pool <- None;
+  cc.c_valid <- [||];
+  cc.c_key <- [||];
+  cc.c_x <- [||];
+  cc.c_y <- [||];
+  cc.c_t <- [||];
+  cc.c_arr <- None;
+  cc.solver <- None
+
 let quantized_key (p : Rc_geom.Point.t) target k =
   let q v = int_of_float (v *. 1024.0) in
   (q p.Rc_geom.Point.x * 31) + (q p.Rc_geom.Point.y * 17) + (q target * 7) + k
@@ -248,6 +261,22 @@ let finish tech arr ~ff_positions taps ring_of_ff =
     loads;
     max_load = Array.fold_left Float.max 0.0 loads;
   }
+
+(* One-flip-flop reassignment for the ECO edit path: re-solve only the
+   retargeted flip-flop's tap and rebuild the aggregate bookkeeping
+   (loads, total cost) over the otherwise-verbatim tap array. *)
+let retarget tech arr t ~ff_positions ~ff ~ring ~target =
+  let n = Array.length t.ring_of_ff in
+  if ff < 0 || ff >= n then invalid_arg "Assign.retarget: flip-flop out of range";
+  if ring < 0 || ring >= Ring_array.n_rings arr then
+    invalid_arg "Assign.retarget: ring out of range";
+  let tap = Tapping.solve tech (Ring_array.ring arr ring) ~ff:ff_positions.(ff) ~target in
+  Rc_obs.Metrics.incr m_candidate_solves;
+  let taps = Array.copy t.taps in
+  let ring_of_ff = Array.copy t.ring_of_ff in
+  taps.(ff) <- tap;
+  ring_of_ff.(ff) <- ring;
+  finish tech arr ~ff_positions taps ring_of_ff
 
 (* --- Sharded netflow at scale ------------------------------------- *)
 

@@ -68,6 +68,35 @@ val make_cache : unit -> cache
 (** An empty cache; pass it to successive {!by_netflow} calls of the
     same circuit to skip work whose inputs did not change. *)
 
+val cache_invalidate : cache -> ff:int -> unit
+(** Drop flip-flop [ff]'s cached candidate-tap segment so the next
+    {!by_netflow} re-solves it even against identical inputs — the
+    targeted hook for ECO edits that change a flip-flop's environment
+    without moving it.  Out-of-range ids are ignored.  A forced
+    re-solve reproduces the dropped segment bit-identically, so only
+    work is affected, never results. *)
+
+val cache_reset : cache -> unit
+(** Empty the cache in place: candidate-tap segments, the retained
+    pool, and the warm assignment solver.  Used when the ring array or
+    technology changes (e.g. a clock-period edit), after which every
+    cached solve is against the wrong geometry. *)
+
+val retarget :
+  Rc_tech.Tech.t ->
+  Rc_rotary.Ring_array.t ->
+  t ->
+  ff_positions:Rc_geom.Point.t array ->
+  ff:int ->
+  ring:int ->
+  target:float ->
+  t
+(** Reassign one flip-flop to [ring], re-solving its Eq. 1 tap against
+    [target] and rebuilding the load/cost bookkeeping — the ECO
+    "retarget a ring segment" edit.  Every other flip-flop's tap is
+    kept verbatim.
+    @raise Invalid_argument on an out-of-range [ff] or [ring]. *)
+
 val by_netflow :
   ?candidates:int ->
   ?capacities:int array ->

@@ -195,3 +195,192 @@ let resume_on ?plan ?guard ?on_iteration ctx = finish ?plan ?guard ?on_iteration
 let run ?plan ?arm ?guard ?on_iteration cfg =
   run_on ?plan ?arm ?guard ?on_iteration cfg
     (Bench_suite.netlist cfg.bench)
+
+(* ---- the ECO edit engine ----------------------------------------------- *)
+
+(* One engineering-change-order primitive against a held-open flow.
+   Every edit is deterministic data: the stages re-run for a batch are
+   a function of the edit *kinds* alone (never of cache state), so an
+   edit sequence replayed onto a freshly built context runs exactly the
+   same stage schedule — and because every incremental cache validates
+   against exact inputs, the replay is bit-identical to the live
+   session.  That is the subsystem's correctness anchor. *)
+type edit =
+  | Move_cells of (int * Rc_geom.Point.t) list
+      (* (cell id, new position); positions are clamped to the chip *)
+  | Shift_block of Rc_geom.Rect.t * float * float
+      (* every cell inside the rectangle moves by (dx, dy) *)
+  | Retarget_ff of int * int
+      (* (flip-flop index, ring id): reassign one flip-flop's tap *)
+  | Set_clock_period of float
+      (* retune the rotary rings; rebuilds the ring array *)
+
+type edit_report = {
+  er_before : snapshot;  (* state the batch started from *)
+  er_after : snapshot;  (* state after re-running the dirty stages *)
+  er_stages : string list;  (* names of the stages the batch re-ran *)
+  er_cells_moved : int;  (* distinct cells repositioned by the batch *)
+  er_slack : float;  (* stage-2 maximum slack after the batch *)
+}
+
+let apply_edits ?plan ?guard (ctx : Flow_ctx.t) (edits : edit list) =
+  let cfg = ctx.Flow_ctx.cfg in
+  if Array.length ctx.Flow_ctx.positions = 0 then
+    invalid_arg "Flow.apply_edits: context has no placement";
+  let before =
+    match ctx.Flow_ctx.history with
+    | snap :: _ -> snap
+    | [] -> Flow_ctx.take_snapshot ctx ~iteration:ctx.Flow_ctx.iteration
+  in
+  (* 1. fold the raw state mutations: position writes in edit order,
+     the last period edit wins, retargets are queued for after the
+     stage re-runs (so they patch the batch's *final* assignment) *)
+  let positions = Array.copy ctx.Flow_ctx.positions in
+  let n = Array.length positions in
+  let moved = ref [] in
+  let positions_edited = ref false in
+  let new_period = ref None in
+  let retargets = ref [] in
+  let clamp p = Rc_geom.Rect.clamp_point ctx.Flow_ctx.chip p in
+  List.iter
+    (fun e ->
+      match e with
+      | Move_cells ms ->
+          positions_edited := true;
+          List.iter
+            (fun (c, p) ->
+              if c < 0 || c >= n then invalid_arg "Flow.apply_edits: cell out of range";
+              positions.(c) <- clamp p;
+              moved := c :: !moved)
+            ms
+      | Shift_block (r, dx, dy) ->
+          positions_edited := true;
+          for c = 0 to n - 1 do
+            if Rc_geom.Rect.contains r positions.(c) then begin
+              positions.(c) <-
+                clamp
+                  {
+                    Rc_geom.Point.x = positions.(c).Rc_geom.Point.x +. dx;
+                    y = positions.(c).Rc_geom.Point.y +. dy;
+                  };
+              moved := c :: !moved
+            end
+          done
+      | Retarget_ff (ff, ring) -> retargets := (ff, ring) :: !retargets
+      | Set_clock_period p ->
+          if not (Float.is_finite p) || p <= 0.0 then
+            invalid_arg "Flow.apply_edits: clock period must be positive";
+          new_period := Some p)
+    edits;
+  let retargets = List.rev !retargets in
+  let period_changed =
+    match !new_period with
+    | Some p -> p <> cfg.tech.Rc_tech.Tech.clock_period
+    | None -> false
+  in
+  (* 2. a period change moves the anchors every cache is implicitly
+     keyed against (ring geometry, timing constraints): rebuild the
+     rings from the new tech and drop the caches wholesale *)
+  let cfg, rings =
+    if period_changed then begin
+      let p = Option.get !new_period in
+      let tech = { cfg.tech with Rc_tech.Tech.clock_period = p } in
+      Flow_cache.reset ctx.Flow_ctx.caches;
+      ( { cfg with tech },
+        Rc_rotary.Ring_array.create ~period:p ~chip:ctx.Flow_ctx.chip
+          ~grid:cfg.bench.Bench_suite.ring_grid () )
+    end
+    else (cfg, ctx.Flow_ctx.rings)
+  in
+  (* 3. targeted invalidation: mark the moved cones dirty explicitly
+     (position compare would catch them too — this also covers a cell
+     "moved" onto its own coordinates) and drop the retargeted
+     flip-flops' cached taps.  Forced recomputation is bit-identical,
+     so these are work hints, not correctness hooks. *)
+  if cfg.incremental && not period_changed then begin
+    if !moved <> [] then
+      Rc_timing.Sta.invalidate_cells
+        (Flow_cache.sta_session ctx.Flow_ctx.caches cfg.tech ctx.Flow_ctx.netlist)
+        !moved;
+    List.iter
+      (fun (ff, _) ->
+        Rc_assign.Assign.cache_invalidate (Flow_cache.assign_cache ctx.Flow_ctx.caches) ~ff)
+      retargets
+  end;
+  (* 4. re-run only the stages whose inputs changed — chosen from the
+     edit kinds alone.  A period change re-derives the skew baseline
+     and re-assigns against the new rings before the cost-driven pass;
+     a placement change replays one loop body (stage 4 then 3), the
+     paper's own reconvergence step. *)
+  let plan = match plan with Some p -> p | None -> plan_of_config cfg in
+  let stages =
+    (if period_changed then [ plan.schedule; plan.assign ] else [])
+    @
+    if !positions_edited || period_changed then [ plan.cost_schedule; plan.assign ]
+    else []
+  in
+  let ctx = { ctx with Flow_ctx.cfg; rings; positions } in
+  let ctx =
+    if stages = [] then ctx
+    else Rc_par.Pool.region (fun () -> Flow_stage.run_sequence ?guard stages ctx)
+  in
+  (* 5. retarget patches, applied to the batch's final assignment in
+     edit order *)
+  let ctx =
+    List.fold_left
+      (fun (ctx : Flow_ctx.t) (ff, ring) ->
+        if ff < 0 || ff >= Array.length ctx.Flow_ctx.skews then
+          invalid_arg "Flow.apply_edits: flip-flop out of range";
+        let a =
+          Rc_assign.Assign.retarget ctx.Flow_ctx.cfg.tech ctx.Flow_ctx.rings
+            (Flow_ctx.assignment_exn ctx)
+            ~ff_positions:(Flow_ctx.ff_positions ctx)
+            ~ff ~ring ~target:ctx.Flow_ctx.skews.(ff)
+        in
+        { ctx with Flow_ctx.assignment = Some a })
+      ctx retargets
+  in
+  (* 6. snapshot the result and advance the session's batch counter *)
+  let it = ctx.Flow_ctx.iteration + 1 in
+  let after = Flow_ctx.take_snapshot ctx ~iteration:it in
+  let ctx = { ctx with Flow_ctx.iteration = it; history = after :: ctx.Flow_ctx.history } in
+  let report =
+    {
+      er_before = before;
+      er_after = after;
+      er_stages = List.map (fun (s : Flow_stage.t) -> s.Flow_stage.name) stages;
+      er_cells_moved = List.length (List.sort_uniq compare !moved);
+      er_slack = ctx.Flow_ctx.slack;
+    }
+  in
+  (ctx, report)
+
+(* An edit-session context over a finished flow: the outcome's shipped
+   state (the minimum-cost snapshot) becomes the session baseline, the
+   iteration counter restarts at 0 (it counts applied edit batches from
+   here), and the caches are fresh — [warm] primes the incremental STA
+   session from the restored placement so the first edit does an
+   incremental, not cold, timing update.  Two contexts built from
+   equal outcomes are digest-equal by construction. *)
+let context_of_outcome ?(arm = "") ?(warm = true) (o : outcome) =
+  let ctx = Flow_ctx.create ~arm o.cfg o.netlist in
+  let ctx =
+    {
+      ctx with
+      Flow_ctx.positions = o.positions;
+      skews = o.skews;
+      assignment = Some o.assignment;
+      slack = o.slack;
+      stage4_slack = o.stage4_slack;
+      n_pairs = o.n_pairs;
+      ilp_stats = o.ilp_stats;
+      iteration = 0;
+      history = [ o.final ];
+    }
+  in
+  if warm && o.cfg.incremental then
+    ignore
+      (Rc_timing.Sta.analyze_incremental
+         (Flow_cache.sta_session ctx.Flow_ctx.caches o.cfg.tech o.netlist)
+         ~positions:o.positions);
+  ctx

@@ -152,6 +152,64 @@ val resume_on :
     uninterrupted {!run}, so the outcome is bit-identical to never
     having stopped.  The context's [cfg] provides the plan defaults. *)
 
+(** {1 ECO edits}
+
+    Incremental engineering-change-order primitives against a held-open
+    flow context — the core of the online session subsystem
+    ([Rc_serve.Session]).  An edit batch mutates the context state,
+    re-runs {e only} the stages whose inputs changed, and reports the
+    quality delta.  The stage schedule is a function of the edit kinds
+    alone (never of cache state), and every incremental cache validates
+    against exact inputs, so replaying an edit sequence onto a freshly
+    built context is bit-identical to the live incremental session —
+    [Rc_serve.Checkpoint.digest_of_ctx] agrees at every step. *)
+
+type edit =
+  | Move_cells of (int * Rc_geom.Point.t) list
+      (** [(cell id, new position)] writes, applied in order and clamped
+          to the chip outline. *)
+  | Shift_block of Rc_geom.Rect.t * float * float
+      (** [(block, dx, dy)]: every cell inside the rectangle moves by
+          the offset. *)
+  | Retarget_ff of int * int
+      (** [(flip-flop index, ring id)]: reassign one flip-flop's tap to
+          the named ring (applied after the batch's stage re-runs, so it
+          patches the final assignment). *)
+  | Set_clock_period of float
+      (** Retune the rotary rings: rebuilds the ring array, re-derives
+          the skew baseline, and drops every cache keyed against the old
+          geometry. *)
+
+type edit_report = {
+  er_before : snapshot;  (** State the batch started from. *)
+  er_after : snapshot;  (** State after the batch's stage re-runs. *)
+  er_stages : string list;  (** Names of the stages the batch re-ran. *)
+  er_cells_moved : int;  (** Distinct cells repositioned by the batch. *)
+  er_slack : float;  (** Stage-2 maximum slack after the batch. *)
+}
+
+val apply_edits :
+  ?plan:plan ->
+  ?guard:(Flow_ctx.t -> unit) ->
+  Flow_ctx.t ->
+  edit list ->
+  Flow_ctx.t * edit_report
+(** Apply one edit batch: position/period mutations first, then the
+    dirty stages (a period change replays stages 2-3, any placement
+    change replays one stage 4-3 loop body), then retarget patches,
+    then a snapshot push.  [Flow_ctx.iteration] counts applied batches.
+    [guard] is the cooperative-cancellation hook, as in {!run}.
+    @raise Invalid_argument on an unplaced context, out-of-range cell,
+    flip-flop or ring ids, or a non-positive clock period. *)
+
+val context_of_outcome : ?arm:string -> ?warm:bool -> outcome -> Flow_ctx.t
+(** An edit-session context over a finished flow: the outcome's shipped
+    state becomes the baseline, [Flow_ctx.iteration] restarts at 0 (it
+    counts applied edit batches), and fresh caches are attached —
+    [warm] (default true) primes the incremental STA session from the
+    restored placement.  Contexts built from equal outcomes are
+    digest-equal. *)
+
 val ff_index : Rc_netlist.Netlist.t -> int array * (int -> int)
 (** [(ffs, index_of_cell)]: the flip-flop cell ids and the inverse
     mapping used to order skew/assignment arrays. *)

@@ -40,6 +40,16 @@ let sta_session t tech netlist =
 
 let assign_cache t = t.assign
 
+(* Full invalidation, for edits that change what the caches are keyed
+   against implicitly (the STA session embeds the tech, the tap cache
+   the ring array): drop the session and empty the assignment cache in
+   place so the next consumers rebuild against the new inputs. *)
+let reset t =
+  t.sta <- None;
+  Rc_assign.Assign.cache_reset t.assign;
+  t.dirty_cells <- 0;
+  t.max_displacement <- 0.0
+
 (* Stage 6 reports its displacement vector here: the dirty set of the
    iteration is every cell that moved more than epsilon. The counts and
    magnitudes surface in the metrics registry; the per-subsystem caches

@@ -26,6 +26,12 @@ val sta_session : t -> Rc_tech.Tech.t -> Rc_netlist.Netlist.t -> Rc_timing.Sta.s
 val assign_cache : t -> Rc_assign.Assign.cache
 (** The candidate-tap + warm-assignment cache for stage 3. *)
 
+val reset : t -> unit
+(** Drop everything: the STA session (which embeds the technology) and
+    the assignment cache contents (which embed the ring array).  Called
+    when an ECO edit changes those anchors — e.g. a clock-period change
+    rebuilds the rings — so stale sessions can never be consulted. *)
+
 val note_displacement : t -> prev:Rc_geom.Point.t array -> next:Rc_geom.Point.t array -> unit
 (** Record stage 6's displacement vector: updates {!dirty_cells} /
     {!max_displacement} and the [flow.dirty.*] metrics. *)

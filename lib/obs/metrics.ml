@@ -364,6 +364,13 @@ let export_names =
     "timing.sta.cone_recomputes";
     "timing.sta.cone_reuses";
     "ilp.rounding.rounds";
+    (* appended for the ECO session tier (worker rows self-describe
+       their solver-field count, so older readers stay compatible) *)
+    "serve.session.opens";
+    "serve.session.edits";
+    "serve.session.evictions";
+    "serve.session.rehydrations";
+    "serve.session.resident";
   |]
 
 (* collapse any cell kind to one shm-exportable integer *)

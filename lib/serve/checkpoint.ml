@@ -325,6 +325,14 @@ let ctx_of_payload ?netlist ?(warm = true) p =
   if warm then warm_caches ctx;
   ctx
 
+(* rebuild a context straight from RCCKPT bytes — the session store's
+   rehydration path, which holds the bytes already (shm arena entry or
+   a just-read escrow file) *)
+let load_blob ?netlist ?warm s =
+  let ( let* ) = Result.bind in
+  let* meta, payload = parse_blob s in
+  Ok (meta, ctx_of_payload ?netlist ?warm payload)
+
 let load ?netlist ?warm ~path () =
   match blob_store_for path with
   | Some (_, bs) ->

@@ -98,6 +98,15 @@ val load :
     wrong magic, unsupported version, truncation, digest mismatch — are
     returned, never raised. *)
 
+val load_blob :
+  ?netlist:Rc_netlist.Netlist.t ->
+  ?warm:bool ->
+  string ->
+  (meta * Flow_ctx.t, string) result
+(** {!load} over in-memory RCCKPT bytes instead of a path — the
+    {!Session} store's rehydration path (it already holds the bytes
+    from the shm checkpoint arena or an escrow file). *)
+
 val resume :
   ?guard:(Flow_ctx.t -> unit) ->
   ?on_iteration:(Flow_ctx.t -> unit) ->

@@ -36,11 +36,32 @@ type sweep_request = { s_bench : Bench_suite.bench; s_grids : int list }
 
 type variation_request = { v_bench : Bench_suite.bench; v_mode : Flow.mode }
 
+type session_open_request = {
+  so_flow : flow_request;
+      (* the flow that seeds the session: a fresh run or a resume_from
+         checkpoint — either way the session holds its shipped state *)
+  so_session : int option;
+      (* session id; the supervisor stamps its dispatch sid here so the
+         id is cluster-unique, a single-process server assigns its own *)
+}
+
+type session_edit_request = {
+  se_session : int;
+  se_seq : int option;
+      (* 1-based applied-batch sequence number; the supervisor stamps
+         it so a crash-redispatched edit is applied exactly once *)
+  se_edits : Flow.edit list;
+}
+
 type op =
   | Flow_op of flow_request
   | Report_op of report_request
   | Sweep_op of sweep_request
   | Variation_op of variation_request
+  | Session_open_op of session_open_request
+  | Session_edit_op of session_edit_request
+  | Session_query_op of int
+  | Session_close_op of int
   | Checkpoint_op of string  (* inspect a checkpoint file *)
   | Status_op
   | Restart_op  (* rolling worker restart; a supervisor-tier operation *)
@@ -181,8 +202,87 @@ let parse_checkpoint j =
   | Some p -> Ok (Checkpoint_op p)
   | None -> Error "missing or invalid \"path\""
 
+(* ---- session ops ------------------------------------------------------- *)
+
+let session_of_json j = Option.bind (Json.member "session" j) Json.to_int_opt
+
+let require_session j =
+  match session_of_json j with
+  | Some sid -> Ok sid
+  | None -> Error "missing or invalid \"session\""
+
+let parse_session_open j =
+  let* flow_op = parse_flow j in
+  let so_flow = match flow_op with Flow_op f -> f | _ -> assert false in
+  Ok (Session_open_op { so_flow; so_session = session_of_json j })
+
+let num_field name j =
+  match Option.bind (Json.member name j) Json.to_float_opt with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "edit: missing or invalid %S" name)
+
+let int_field name j =
+  match Option.bind (Json.member name j) Json.to_int_opt with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "edit: missing or invalid %S" name)
+
+(* one edit object: {"kind": "move" | "shift" | "retarget" | "period",
+   ...kind-specific fields} *)
+let parse_edit j =
+  match Option.bind (Json.member "kind" j) Json.to_string_opt with
+  | None -> Error "edit: missing or invalid \"kind\""
+  | Some "move" ->
+      let* c = int_field "cell" j in
+      let* x = num_field "x" j in
+      let* y = num_field "y" j in
+      Ok (Flow.Move_cells [ (c, { Rc_geom.Point.x; y }) ])
+  | Some "shift" ->
+      let* xmin = num_field "xmin" j in
+      let* ymin = num_field "ymin" j in
+      let* xmax = num_field "xmax" j in
+      let* ymax = num_field "ymax" j in
+      let* dx = num_field "dx" j in
+      let* dy = num_field "dy" j in
+      if xmax < xmin || ymax < ymin then Error "edit: degenerate \"shift\" block"
+      else Ok (Flow.Shift_block (Rc_geom.Rect.make ~xmin ~ymin ~xmax ~ymax, dx, dy))
+  | Some "retarget" ->
+      let* ff = int_field "ff" j in
+      let* ring = int_field "ring" j in
+      Ok (Flow.Retarget_ff (ff, ring))
+  | Some "period" ->
+      let* p = num_field "period" j in
+      if Float.is_finite p && p > 0.0 then Ok (Flow.Set_clock_period p)
+      else Error "edit: \"period\" must be positive"
+  | Some k -> Error (Printf.sprintf "edit: unknown kind %S (move | shift | retarget | period)" k)
+
+let parse_session_edit j =
+  let* se_session = require_session j in
+  let* se_seq =
+    Result.map_error
+      (fun _ -> "invalid \"seq\"")
+      (opt_field Json.to_int_opt (Json.member "seq" j))
+  in
+  let* se_edits =
+    match Option.bind (Json.member "edits" j) Json.to_list_opt with
+    | None -> Error "missing or invalid \"edits\" (expected a list)"
+    | Some items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* e = parse_edit item in
+            Ok (e :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+  in
+  Ok (Session_edit_op { se_session; se_seq; se_edits })
+
+(* Parse errors carry the request id (when one could be recovered) so
+   the error response is still addressable, and the offending op name
+   (when the request named one) so the error envelope can echo it —
+   a client triaging a mixed workload sees *which* op was rejected,
+   not just a generic parse error. *)
 let parse_request line =
-  let* j = Result.map_error (fun e -> (Json.Null, e)) (Json.of_string line) in
+  let* j = Result.map_error (fun e -> (Json.Null, None, e)) (Json.of_string line) in
   let req_id = Option.value (Json.member "id" j) ~default:Json.Null in
   let attach op_result =
     let* op = op_result in
@@ -197,16 +297,20 @@ let parse_request line =
     Ok { req_id; priority; deadline_s; op }
   in
   match Option.bind (Json.member "op" j) Json.to_string_opt with
-  | None -> Error (req_id, "missing or invalid \"op\"")
+  | None -> Error (req_id, None, "missing or invalid \"op\"")
   | Some name ->
       Result.map_error
-        (fun e -> (req_id, e))
+        (fun e -> (req_id, Some name, e))
         (attach
            (match name with
            | "flow" -> parse_flow j
            | "report" -> parse_report j
            | "sweep" -> parse_sweep j
            | "variation" -> parse_variation j
+           | "session_open" -> parse_session_open j
+           | "session_edit" -> parse_session_edit j
+           | "session_query" -> Result.map (fun s -> Session_query_op s) (require_session j)
+           | "session_close" -> Result.map (fun s -> Session_close_op s) (require_session j)
            | "checkpoint" -> parse_checkpoint j
            | "status" -> Ok Status_op
            | "restart" -> Ok Restart_op
@@ -214,7 +318,8 @@ let parse_request line =
            | other ->
                Error
                  (Printf.sprintf
-                    "unknown op %S (flow | report | sweep | variation | checkpoint | status \
+                    "unknown op %S (flow | report | sweep | variation | session_open \
+                     | session_edit | session_query | session_close | checkpoint | status \
                      | restart | shutdown)"
                     other)))
 
@@ -222,8 +327,11 @@ let parse_request line =
 
 let response_ok ~id result = Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
 
-let response_error ~id msg =
-  Json.Obj [ ("id", id); ("ok", Json.Bool false); ("error", Json.String msg) ]
+let response_error ~id ?op msg =
+  Json.Obj
+    ([ ("id", id); ("ok", Json.Bool false) ]
+    @ (match op with Some o -> [ ("op", Json.String o) ] | None -> [])
+    @ [ ("error", Json.String msg) ])
 
 let json_of_snapshot (s : Flow.snapshot) =
   Json.Obj
@@ -268,6 +376,25 @@ let json_of_outcome ?(checkpoints = []) (o : Flow.outcome) =
    stage boundary *)
 let guard_of token = fun (_ : Flow_ctx.t) -> Cancel.check token
 
+let config_of_flow_request (r : flow_request) =
+  let base = Flow.default_config ~mode:r.f_mode r.f_bench in
+  {
+    base with
+    Flow.max_iterations = Option.value r.f_max_iterations ~default:base.Flow.max_iterations;
+    incremental = Option.value r.f_incremental ~default:base.Flow.incremental;
+  }
+
+(* the flow that seeds a session: a resume or a fresh run, with the
+   checkpointing fields ignored (the session store escrows its own
+   state after every applied batch) *)
+let outcome_of_flow_request (r : flow_request) token =
+  match r.f_resume_from with
+  | Some path -> (
+      match Checkpoint.resume ~guard:(guard_of token) ~path () with
+      | Ok outcome -> outcome
+      | Error e -> failwith ("resume failed: " ^ e))
+  | None -> Flow.run ~guard:(guard_of token) (config_of_flow_request r)
+
 let run_flow (r : flow_request) token =
   match r.f_resume_from with
   | Some path -> (
@@ -275,15 +402,7 @@ let run_flow (r : flow_request) token =
       | Ok outcome -> json_of_outcome outcome
       | Error e -> failwith ("resume failed: " ^ e))
   | None -> (
-      let cfg =
-        let base = Flow.default_config ~mode:r.f_mode r.f_bench in
-        {
-          base with
-          Flow.max_iterations =
-            Option.value r.f_max_iterations ~default:base.Flow.max_iterations;
-          incremental = Option.value r.f_incremental ~default:base.Flow.incremental;
-        }
-      in
+      let cfg = config_of_flow_request r in
       match r.f_checkpoint_every with
       | None ->
           json_of_outcome (Flow.run ~guard:(guard_of token) cfg)
@@ -360,13 +479,17 @@ let inspect_checkpoint path =
   | Error e -> Error e
 
 (* the scheduler job body for an async op; sync ops (checkpoint, status,
-   shutdown) are handled by the server inline *)
+   shutdown) are handled by the server inline, and session ops by the
+   server's {!Session} store (which owns the resident state the job
+   bodies need) *)
 let job_of_op = function
   | Flow_op r -> Some (fun token -> run_flow r token)
   | Report_op r -> Some (fun token -> run_report r token)
   | Sweep_op r -> Some (fun token -> run_sweep r token)
   | Variation_op r -> Some (fun token -> run_variation r token)
-  | Checkpoint_op _ | Status_op | Restart_op | Shutdown_op -> None
+  | Session_open_op _ | Session_edit_op _ | Session_query_op _ | Session_close_op _
+  | Checkpoint_op _ | Status_op | Restart_op | Shutdown_op ->
+      None
 
 let op_name = function
   | Flow_op r ->
@@ -375,6 +498,12 @@ let op_name = function
   | Report_op _ -> "report"
   | Sweep_op r -> "sweep:" ^ r.s_bench.Bench_suite.bname
   | Variation_op r -> "variation:" ^ r.v_bench.Bench_suite.bname
+  | Session_open_op r ->
+      Printf.sprintf "session_open:%s/%s" r.so_flow.f_bench.Bench_suite.bname
+        (mode_name r.so_flow.f_mode)
+  | Session_edit_op r -> Printf.sprintf "session_edit:%d" r.se_session
+  | Session_query_op s -> Printf.sprintf "session_query:%d" s
+  | Session_close_op s -> Printf.sprintf "session_close:%d" s
   | Checkpoint_op _ -> "checkpoint"
   | Status_op -> "status"
   | Restart_op -> "restart"

@@ -38,11 +38,35 @@ type sweep_request = { s_bench : Bench_suite.bench; s_grids : int list }
 
 type variation_request = { v_bench : Bench_suite.bench; v_mode : Flow.mode }
 
+type session_open_request = {
+  so_flow : flow_request;
+      (** The flow that seeds the session (fresh run or [resume_from]);
+          its checkpointing fields are ignored — the session store
+          escrows its own state. *)
+  so_session : int option;
+      (** Session id.  The supervisor stamps its dispatch sid here so
+          ids are cluster-unique; a single-process server assigns its
+          own when absent. *)
+}
+
+type session_edit_request = {
+  se_session : int;
+  se_seq : int option;
+      (** 1-based applied-batch sequence number, stamped by the
+          supervisor: a crash-redispatched edit whose batch already
+          landed is deduplicated instead of applied twice. *)
+  se_edits : Flow.edit list;
+}
+
 type op =
   | Flow_op of flow_request
   | Report_op of report_request
   | Sweep_op of sweep_request
   | Variation_op of variation_request
+  | Session_open_op of session_open_request
+  | Session_edit_op of session_edit_request
+  | Session_query_op of int  (** Session id. *)
+  | Session_close_op of int  (** Session id. *)
   | Checkpoint_op of string  (** Inspect this checkpoint file's header. *)
   | Status_op
   | Restart_op
@@ -57,13 +81,20 @@ type request = {
   op : op;
 }
 
-val parse_request : string -> (request, Rc_util.Json.t * string) result
+val parse_request :
+  string -> (request, Rc_util.Json.t * string option * string) result
 (** Parse one request line.  Errors carry the request id (if one could
-    be recovered) so the server can still address its error response. *)
+    be recovered) so the server can still address its error response,
+    and the offending op name (when the request named one) so the error
+    envelope echoes which op was rejected. *)
 
 val response_ok : id:Rc_util.Json.t -> Rc_util.Json.t -> Rc_util.Json.t
 
-val response_error : id:Rc_util.Json.t -> string -> Rc_util.Json.t
+val response_error : id:Rc_util.Json.t -> ?op:string -> string -> Rc_util.Json.t
+(** The error envelope; [op] adds an ["op"] field naming the rejected
+    operation. *)
+
+val json_of_snapshot : Flow.snapshot -> Rc_util.Json.t
 
 val json_of_outcome :
   ?checkpoints:(int * string) list -> Flow.outcome -> Rc_util.Json.t
@@ -74,8 +105,18 @@ val json_of_outcome :
 val job_of_op : op -> (Cancel.t -> Rc_util.Json.t) option
 (** The scheduler job body for an async op ([Some]), or [None] for the
     ops the server answers inline ([checkpoint], [status], [restart],
-    [shutdown]).  Flow jobs poll their token at every stage boundary
-    via {!Rc_core.Flow.run}'s [guard]. *)
+    [shutdown]) and for the session ops (whose job bodies come from the
+    server's {!Session} store).  Flow jobs poll their token at every
+    stage boundary via {!Rc_core.Flow.run}'s [guard]. *)
+
+val guard_of : Cancel.t -> Flow_ctx.t -> unit
+(** The flow cooperative-cancellation hook: polls the token at every
+    stage boundary. *)
+
+val outcome_of_flow_request : flow_request -> Cancel.t -> Flow.outcome
+(** Run (or resume) the flow a [session_open] seeds a session with,
+    ignoring the request's checkpointing fields.
+    @raise Failure when a [resume_from] checkpoint fails to load. *)
 
 val inspect_checkpoint : string -> (Rc_util.Json.t, string) result
 

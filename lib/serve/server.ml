@@ -23,6 +23,7 @@ type identity = { worker_id : int; restarts : int }
 type t = {
   sched : Scheduler.t;
   identity : identity;
+  sessions : Session.t;
   lock : Mutex.t;
   flushed : Condition.t;  (* signalled when in_flight drops *)
   mutable stop : bool;
@@ -31,10 +32,26 @@ type t = {
   started_s : float;  (* monotonic *)
 }
 
-let create ?workers ?max_pending ?(identity = { worker_id = 0; restarts = 0 }) () =
+let create ?workers ?max_pending ?(identity = { worker_id = 0; restarts = 0 })
+    ?session_capacity ?session_tier ?session_dir () =
+  let tier =
+    match session_tier with
+    | Some tier -> tier
+    | None ->
+        let dir =
+          match session_dir with
+          | Some d -> d
+          | None ->
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "rotary-eco-%d" (Unix.getpid ()))
+        in
+        Session.file_tier ~dir
+  in
   {
     sched = Scheduler.create ?workers ?max_pending ();
     identity;
+    sessions = Session.create ?capacity:session_capacity ~tier ();
     lock = Mutex.create ();
     flushed = Condition.create ();
     stop = false;
@@ -44,6 +61,7 @@ let create ?workers ?max_pending ?(identity = { worker_id = 0; restarts = 0 }) (
   }
 
 let scheduler t = t.sched
+let sessions t = t.sessions
 
 let stopping t = Mutex.protect t.lock (fun () -> t.stop)
 
@@ -105,6 +123,10 @@ let status_json t =
       ( "throughput_per_s",
         Json.Float
           (if uptime > 0.0 then float_of_int c.Scheduler.completed /. uptime else 0.0) );
+      ( "sessions",
+        let resident, known = Session.counts t.sessions in
+        Json.Obj [ ("resident", Json.Int resident); ("known", Json.Int known) ]
+      );
     ]
 
 (* attach scheduler-side timing to a job's result document *)
@@ -160,7 +182,7 @@ let handle_async t ~respond (req : Protocol.request) work =
 
 let handle_line t ~respond line =
   match Protocol.parse_request line with
-  | Error (id, msg) -> respond (Protocol.response_error ~id msg)
+  | Error (id, op, msg) -> respond (Protocol.response_error ~id ?op msg)
   | Ok req -> (
       let id = req.Protocol.req_id in
       match req.Protocol.op with
@@ -181,9 +203,14 @@ let handle_line t ~respond line =
             (Protocol.response_ok ~id (Json.Obj [ ("draining", Json.Bool true) ]));
           request_stop t
       | op -> (
-          match Protocol.job_of_op op with
+          (* session ops get their job bodies from this server's store;
+             everything else from the stateless protocol layer *)
+          match Session.job_of_op t.sessions op with
           | Some work -> handle_async t ~respond req work
-          | None -> (* unreachable: sync ops matched above *) assert false))
+          | None -> (
+              match Protocol.job_of_op op with
+              | Some work -> handle_async t ~respond req work
+              | None -> (* unreachable: sync ops matched above *) assert false)))
 
 let drain t =
   request_stop t;
@@ -251,8 +278,8 @@ let serve_connection t fd =
   close_out_noerr oc;
   close_in_noerr ic
 
-let run_unix ?workers ?max_pending ~path () =
-  let t = create ?workers ?max_pending () in
+let run_unix ?workers ?max_pending ?session_capacity ?session_dir ~path () =
+  let t = create ?workers ?max_pending ?session_capacity ?session_dir () in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
@@ -279,8 +306,8 @@ let run_unix ?workers ?max_pending ~path () =
   drain t;
   Printf.eprintf "rotary serve: bye\n%!"
 
-let run_stdio ?workers ?max_pending () =
-  let t = create ?workers ?max_pending () in
+let run_stdio ?workers ?max_pending ?session_capacity ?session_dir () =
+  let t = create ?workers ?max_pending ?session_capacity ?session_dir () in
   install_signal_handlers t;
   let wlock = Mutex.create () in
   let respond j =

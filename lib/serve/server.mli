@@ -22,14 +22,27 @@ type identity = { worker_id : int; restarts : int }
     single-process tier. *)
 
 val create :
-  ?workers:int -> ?max_pending:int -> ?identity:identity -> unit -> t
+  ?workers:int ->
+  ?max_pending:int ->
+  ?identity:identity ->
+  ?session_capacity:int ->
+  ?session_tier:Session.tier ->
+  ?session_dir:string ->
+  unit ->
+  t
 (** A server with its own {!Scheduler} ([workers] domains, bounded
-    queue of [max_pending]).  Exposed for in-process tests; the entry
-    points below call it themselves. *)
+    queue of [max_pending]) and its own {!Session} store for the online
+    ECO ops ([session_capacity] resident sessions, escrowed through
+    [session_tier] — default a {!Session.file_tier} under [session_dir],
+    itself defaulting to a per-process temp directory).  Exposed for
+    in-process tests; the entry points below call it themselves. *)
 
 val scheduler : t -> Scheduler.t
 (** The server's scheduler — the {!Worker} heartbeat reads its counts
     into the shared-memory segment. *)
+
+val sessions : t -> Session.t
+(** The server's ECO session store. *)
 
 val handle_line : t -> respond:(Rc_util.Json.t -> unit) -> string -> unit
 (** Dispatch one request line.  [respond] is invoked exactly once per
@@ -50,10 +63,23 @@ val drain : t -> unit
 (** Stop admitting, wait for all jobs and in-flight responses, shut the
     scheduler down. *)
 
-val run_unix : ?workers:int -> ?max_pending:int -> path:string -> unit -> unit
+val run_unix :
+  ?workers:int ->
+  ?max_pending:int ->
+  ?session_capacity:int ->
+  ?session_dir:string ->
+  path:string ->
+  unit ->
+  unit
 (** Listen on a Unix-domain socket at [path] (an existing socket file
     is replaced) and serve until drained. *)
 
-val run_stdio : ?workers:int -> ?max_pending:int -> unit -> unit
+val run_stdio :
+  ?workers:int ->
+  ?max_pending:int ->
+  ?session_capacity:int ->
+  ?session_dir:string ->
+  unit ->
+  unit
 (** Serve newline-delimited requests from stdin, responses to stdout,
     until EOF or shutdown. *)

@@ -1,0 +1,81 @@
+(** The online ECO session store: completed flows held resident per
+    worker and edited incrementally over the wire.
+
+    A session is a {!Rc_core.Flow_ctx.t} seeded by a finished flow
+    ([session_open]) and advanced one edit batch at a time
+    ([session_edit] → {!Rc_core.Flow.apply_edits}), keeping the
+    incremental machinery warm between batches: the STA session, the
+    Eq. 1 candidate-tap cache, and the warm-started assignment solver.
+
+    {1 Escrow and eviction}
+
+    After {e every} applied batch the session's full state is escrowed
+    through the {!tier} as RCCKPT bytes ({!Checkpoint.to_blob}) — the
+    shm checkpoint arena when the worker runs the shm transport
+    (["shm:sid<N>"], falling back to files when the arena is full), a
+    session directory otherwise.  Eviction under the LRU [capacity]
+    therefore just drops the resident context; the next op on the
+    session rehydrates it transparently from escrow
+    ({!Checkpoint.load_blob}, STA session re-warmed).  The same path
+    serves crash recovery: a sibling worker that receives a
+    redispatched edit finds no resident entry, loads the crashed
+    worker's escrow from the shared tier, and continues.
+
+    {1 Replay bit-identity}
+
+    The stages {!Rc_core.Flow.apply_edits} re-runs are a function of
+    the edit kinds alone and every cache validates against exact
+    inputs, so any edit sequence replayed from scratch (fresh
+    [session_open], same batches) produces digests
+    ({!Checkpoint.digest_of_ctx}) identical to the live session's at
+    every step — including across eviction, rehydration, and worker
+    crashes.  Tests and the smoke script enforce this.
+
+    {1 Idempotent edits}
+
+    Each edit carries a 1-based sequence number (stamped by the
+    supervisor).  A batch at or below the session's applied count is
+    acknowledged without re-applying (the crash-redispatch dedupe); a
+    batch ahead of the next expected number waits briefly for its
+    predecessors (scheduler domains may overtake each other), then
+    errors. *)
+
+(** Where escrowed session state lives.  [t_save] persists one
+    checkpoint's RCCKPT bytes for a session (replacing any prior one),
+    [t_load] returns the latest bytes, [t_free] releases everything
+    the session holds (idempotent). *)
+type tier = {
+  t_save : sid:int -> iteration:int -> string -> (unit, string) result;
+  t_load : sid:int -> (string, string) result;
+  t_free : sid:int -> unit;
+}
+
+val file_tier : dir:string -> tier
+(** Escrow under [dir/eco-sid<N>.ckpt] (atomic temp-file + rename
+    writes; the directory is created on first save).  The cold tier —
+    and the whole tier for the ndjson transport, where the directory is
+    shared by every worker so siblings can rehydrate each other's
+    sessions. *)
+
+val chain : tier -> tier -> tier
+(** [chain hot cold]: save into [hot], falling back to [cold] when the
+    hot tier refuses (e.g. a full shm arena); loads probe [hot] then
+    [cold]; frees release both. *)
+
+type t
+
+val create : ?capacity:int -> tier:tier -> unit -> t
+(** A store keeping at most [capacity] (default 8) sessions resident;
+    beyond that the least-recently-used escrowed session is evicted.
+    Counters surface as [serve.session.*] metrics (shm export table /
+    [rotary_cli top]). *)
+
+val job_of_op : t -> Protocol.op -> (Cancel.t -> Rc_util.Json.t) option
+(** The scheduler job body for a session op ([Some] exactly when
+    {!Protocol.job_of_op} returns [None] on a [Session_*] op).  Job
+    bodies raise [Failure] on session errors (unknown id, sequence
+    gap, closed session), which the server turns into error
+    envelopes. *)
+
+val counts : t -> int * int
+(** [(resident, known)] sessions — for [status]. *)

@@ -58,6 +58,8 @@ type config = {
   transport : Shm.transport;
   ring_slots : int;  (* per-direction ring capacity under Shm_rings *)
   pin_cores : bool;  (* pin worker k to core k mod ncores *)
+  session_dir : string option;  (* shared ECO escrow dir; default checkpoint_dir/sessions *)
+  session_capacity : int option;  (* resident sessions per worker *)
 }
 
 type wstate = Up | Draining | Down
@@ -85,6 +87,9 @@ type pending = {
   mutable p_fields : (string * Json.t) list;  (* request fields, "id" = sid *)
   p_injected_dir : string option;  (* injected checkpoint tier: a filesystem
                                       directory, or "shm:sid<N>" (arena) *)
+  p_session : int option;  (* the ECO session a session_* op belongs to:
+                              dispatch prefers the session's pinned worker *)
+  p_session_close : bool;  (* a session_close: unpin on delivery *)
   mutable p_worker : int;  (* slot, or -1 while parked *)
   mutable p_attempts : int;
 }
@@ -99,6 +104,12 @@ type t = {
   workers : wrec array;
   pendings : (int, pending) Hashtbl.t;
   parked : int Queue.t;
+  (* sticky session→slot affinity (ECO edit traffic hits the worker
+     holding the session resident) and the per-session edit sequence
+     stamp; both under t.lock, cleared on close delivery, re-pinned
+     after a worker death *)
+  affinity : (int, int) Hashtbl.t;
+  session_seqs : (int, int) Hashtbl.t;
   mutable next_sid : int;
   mutable stopping : bool;
   mutable roll : int list;  (* slots still to roll; the head is draining *)
@@ -241,6 +252,18 @@ let fail_pending t p msg =
   p.p_respond (Json.to_line (Protocol.response_error ~id:p.p_client_id msg));
   cleanup_injected t p
 
+(* a delivered session_close unpins its session.  NOT under t.lock
+   (fail_pending runs under it; a leaked pin after a failed close is
+   harmless — session ids are never reused) *)
+let cleanup_session t p =
+  if p.p_session_close then
+    match p.p_session with
+    | None -> ()
+    | Some s ->
+        Mutex.protect t.lock (fun () ->
+            Hashtbl.remove t.affinity s;
+            Hashtbl.remove t.session_seqs s)
+
 (* ---- dispatch ----------------------------------------------------------- *)
 
 let pick_worker t =
@@ -252,6 +275,23 @@ let pick_worker t =
         | Some (b : wrec) when b.inflight <= w.inflight -> best
         | _ -> Some w)
     None t.workers
+
+(* under t.lock: a session op goes to the worker holding the session
+   resident; when that slot is not Up (crashed, draining) the session
+   re-pins to the least-loaded sibling, which rehydrates the escrowed
+   state on first touch *)
+let pick_worker_for t p =
+  match p.p_session with
+  | None -> pick_worker t
+  | Some s -> (
+      match Hashtbl.find_opt t.affinity s with
+      | Some slot when t.workers.(slot).state = Up -> Some t.workers.(slot)
+      | _ -> (
+          match pick_worker t with
+          | Some w ->
+              Hashtbl.replace t.affinity s w.slot;
+              Some w
+          | None -> None))
 
 (* under t.lock.  Under Shm_rings the request body rides the job ring
    (arena payload + descriptor), degrading to an NDJSON line on the
@@ -265,7 +305,7 @@ let dispatch_sid ?defer t sid =
         Hashtbl.remove t.pendings sid;
         fail_pending t p "supervisor shutting down")
       else (
-        match pick_worker t with
+        match pick_worker_for t p with
         | None ->
             p.p_worker <- -1;
             Queue.push sid t.parked
@@ -385,7 +425,8 @@ and deliver_shm t sid body =
                 (Json.to_line
                    (Protocol.response_error ~id:p.p_client_id
                       "malformed worker response"))));
-      cleanup_injected t p
+      cleanup_injected t p;
+      cleanup_session t p
 
 (* a finished job's response line from a worker: map the synthetic id
    back to the client's, normalise injected checkpoints, deliver *)
@@ -401,7 +442,8 @@ and deliver t line =
         | None -> ()  (* stale response for a re-dispatched job *)
         | Some p ->
             p.p_respond (Json.to_line (rewrite_response p j));
-            cleanup_injected t p)
+            cleanup_injected t p;
+            cleanup_session t p)
 
 let spawn t w =
   let parent_end, child_end = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -418,7 +460,13 @@ let spawn t w =
          "--workers"; string_of_int (Option.value t.cfg.sched_workers ~default:2);
          "--max-pending"; string_of_int (Option.value t.cfg.max_pending ~default:64);
          "--transport"; Shm.transport_name t.cfg.transport;
+         "--session-dir";
+         Option.value t.cfg.session_dir
+           ~default:(Filename.concat t.cfg.checkpoint_dir "sessions");
        ]
+      @ (match t.cfg.session_capacity with
+        | Some c -> [ "--session-capacity"; string_of_int c ]
+        | None -> [])
       @ if t.cfg.pin_cores then [ "--pin-core"; string_of_int w.slot ] else [])
   in
   (* create_process (posix_spawn underneath), not Unix.fork: the OCaml 5
@@ -510,6 +558,11 @@ let handle_dead t slot =
           t.pendings []
       in
       List.iter (fun p -> p.p_worker <- -1) victims;
+      (* sessions pinned to the dead slot re-pin on their next dispatch;
+         the sibling rehydrates from the shared escrow tier *)
+      Hashtbl.filter_map_inplace
+        (fun _ s -> if s = slot then None else Some s)
+        t.affinity;
       (* reclaim the slot's rings before anything respawns: orphaned
          extents freed, head/tail/waiting zeroed for the fresh image *)
       if t.cfg.transport = Shm.Shm_rings then Transport.reset_rings t.shm ~slot;
@@ -528,6 +581,9 @@ let handle_dead t slot =
             slot pid;
         w.restarts <- w.restarts + 1;
         spawn t w;
+        (* dispatch order by sid = original submission order, so a
+           session's redispatched edits reach the sibling in sequence *)
+        let victims = List.sort (fun a b -> compare a.p_sid b.p_sid) victims in
         List.iter (fun p -> redispatch t w p) victims;
         unpark t;
         (* advance a rolling restart once its current slot has cycled *)
@@ -583,6 +639,8 @@ let status_json t =
             ( "tcp_port",
               match Shm.tcp_port t.shm with Some p -> Json.Int p | None -> Json.Null );
             ("parked", Json.Int (Mutex.protect t.lock (fun () -> Queue.length t.parked)));
+            ( "sessions_pinned",
+              Json.Int (Mutex.protect t.lock (fun () -> Hashtbl.length t.affinity)) );
             ("per_worker", Json.List per_worker);
           ] );
       (* current-generation aggregate: a respawned worker's counters
@@ -630,9 +688,48 @@ let forward t ~respond_line ~(req : Protocol.request) line =
                     Some dir
               else None
             in
+            (* session ops: pin the dispatch to the session's worker and
+               stamp cluster-unique identity.  An open without a client
+               session id adopts its own dispatch sid (sids are unique
+               across all ops, so the escrow key never collides); an
+               edit without a sequence number gets the next one, making
+               crash-redispatched batches deduplicable at the worker. *)
+            let stamped, p_session, p_session_close =
+              match req.Protocol.op with
+              | Protocol.Session_open_op so ->
+                  let s =
+                    match so.Protocol.so_session with Some s -> s | None -> sid
+                  in
+                  ([ ("session", Json.Int s) ], Some s, false)
+              | Protocol.Session_edit_op se ->
+                  let s = se.Protocol.se_session in
+                  let k =
+                    match se.Protocol.se_seq with
+                    | Some k ->
+                        let cur =
+                          Option.value (Hashtbl.find_opt t.session_seqs s) ~default:0
+                        in
+                        if k > cur then Hashtbl.replace t.session_seqs s k;
+                        k
+                    | None ->
+                        let k =
+                          1 + Option.value (Hashtbl.find_opt t.session_seqs s) ~default:0
+                        in
+                        Hashtbl.replace t.session_seqs s k;
+                        k
+                  in
+                  ([ ("seq", Json.Int k) ], Some s, false)
+              | Protocol.Session_query_op s -> ([], Some s, false)
+              | Protocol.Session_close_op s -> ([], Some s, true)
+              | _ -> ([], None, false)
+            in
+            let stamped_keys = List.map fst stamped in
             let fields =
               ("id", Json.Int sid)
-              :: List.filter (fun (k, _) -> k <> "id") fields
+              :: List.filter
+                   (fun (k, _) -> k <> "id" && not (List.mem k stamped_keys))
+                   fields
+              @ stamped
               @
               match injected_dir with
               | None -> []
@@ -649,6 +746,8 @@ let forward t ~respond_line ~(req : Protocol.request) line =
                 p_respond = respond_line;
                 p_fields = fields;
                 p_injected_dir = injected_dir;
+                p_session;
+                p_session_close;
                 p_worker = -1;
                 p_attempts = 0;
               }
@@ -662,7 +761,7 @@ let forward t ~respond_line ~(req : Protocol.request) line =
 let handle_client_line t ~respond_line line =
   let respond j = respond_line (Json.to_line j) in
   match Protocol.parse_request line with
-  | Error (id, msg) -> respond (Protocol.response_error ~id msg)
+  | Error (id, op, msg) -> respond (Protocol.response_error ~id ?op msg)
   | Ok req -> (
       let id = req.Protocol.req_id in
       match req.Protocol.op with
@@ -690,7 +789,9 @@ let handle_client_line t ~respond_line line =
             (Protocol.response_ok ~id (Json.Obj [ ("draining", Json.Bool true) ]));
           push_event t Stop
       | Protocol.Flow_op _ | Protocol.Report_op _ | Protocol.Sweep_op _
-      | Protocol.Variation_op _ ->
+      | Protocol.Variation_op _ | Protocol.Session_open_op _
+      | Protocol.Session_edit_op _ | Protocol.Session_query_op _
+      | Protocol.Session_close_op _ ->
           forward t ~respond_line ~req line)
 
 (* one client connection: same discipline as Server.serve_connection —
@@ -845,6 +946,8 @@ let run cfg =
             });
       pendings = Hashtbl.create 64;
       parked = Queue.create ();
+      affinity = Hashtbl.create 16;
+      session_seqs = Hashtbl.create 16;
       next_sid = 1;
       stopping = false;
       roll = [];

@@ -62,6 +62,14 @@ type config = {
       (** Spawn worker [k] with [--pin-core k] (pin to core
           [k mod ncores] via {!Affinity}; warn-noop where
           unsupported). *)
+  session_dir : string option;
+      (** ECO session escrow directory, shared by every worker so a
+          sibling can rehydrate a crashed worker's sessions; defaults
+          to [checkpoint_dir/sessions].  Under {!Shm.Shm_rings} the shm
+          checkpoint arena is the hot escrow tier and this directory
+          the fallback. *)
+  session_capacity : int option;
+      (** Resident-session LRU capacity per worker ({!Session}). *)
 }
 
 val run : config -> unit

@@ -71,13 +71,18 @@ let worker_row ~slot:_ ~started_ns ~requests ~responses ~core ~tr srv : Shm.work
     solver = Metrics.export_values ();
   }
 
-let run ?workers ?max_pending ?(transport = Shm.Ndjson) ?pin_core ~shm ~slot ~restarts ~fd () =
+let run ?workers ?max_pending ?(transport = Shm.Ndjson) ?pin_core
+    ?session_capacity ?session_dir ~shm ~slot ~restarts ~fd () =
   (* the supervisor owns signal policy; a worker dies by drain ctl,
      socket EOF, or SIGKILL — a ^C on the supervisor's terminal must
      not take the workers down before they can drain *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (try Sys.set_signal Sys.sigint Sys.Signal_ignore with Invalid_argument _ -> ());
   (try Sys.set_signal Sys.sighup Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* the export table this worker publishes into its shm row is only
+     live if the registry records; recording is sharded per domain and
+     contention-free, so a dedicated worker always pays it *)
+  Metrics.set_enabled true;
   let core =
     match pin_core with
     | None -> -1
@@ -110,10 +115,42 @@ let run ?workers ?max_pending ?(transport = Shm.Ndjson) ?pin_core ~shm ~slot ~re
       heartbeat_ns = started_ns;
       core;
     };
+  (* ECO session escrow: every worker shares [session_dir] so a sibling
+     can rehydrate a crashed worker's sessions; under the shm transport
+     the checkpoint arena is the hot tier with files as fallback *)
+  let file_escrow =
+    Session.file_tier
+      ~dir:
+        (match session_dir with
+        | Some d -> d
+        | None -> Filename.concat (Filename.get_temp_dir_name ()) "rotary-eco")
+  in
+  let session_tier =
+    match tr with
+    | None -> file_escrow
+    | Some w ->
+        let bs = Transport.blob_store w in
+        let shm_escrow =
+          {
+            Session.t_save =
+              (fun ~sid ~iteration bytes ->
+                match
+                  bs.Checkpoint.bs_save ~key:(Transport.key_of_sid sid)
+                    ~iteration bytes
+                with
+                | Ok _ -> Ok ()
+                | Error e -> Error e);
+            t_load =
+              (fun ~sid -> bs.Checkpoint.bs_load (Transport.key_of_sid sid));
+            t_free = (fun ~sid -> Transport.ckpt_free shm ~sid);
+          }
+        in
+        Session.chain shm_escrow file_escrow
+  in
   let srv =
     Server.create ?workers ?max_pending
       ~identity:{ Server.worker_id = slot; restarts }
-      ()
+      ?session_capacity ~session_tier ()
   in
   let publish () =
     Shm.write_worker shm ~slot (worker_row ~slot ~started_ns ~requests ~responses ~core ~tr srv)

@@ -23,6 +23,8 @@ val run :
   ?max_pending:int ->
   ?transport:Shm.transport ->
   ?pin_core:int ->
+  ?session_capacity:int ->
+  ?session_dir:string ->
   shm:Shm.t ->
   slot:int ->
   restarts:int ->
@@ -35,4 +37,10 @@ val run :
     returns.  [workers]/[max_pending] size the internal scheduler;
     [slot]/[restarts] become the server's {!Server.identity} and select
     the shm row written; [pin_core] pins the process via
-    {!Affinity.pin_self} (warns and continues if unsupported). *)
+    {!Affinity.pin_self} (warns and continues if unsupported).
+
+    [session_capacity]/[session_dir] configure the ECO {!Session}
+    store: the escrow directory must be shared by all sibling workers
+    (crash recovery rehydrates from it); under the shm transport the
+    segment's checkpoint arena is the hot escrow tier and the directory
+    the fallback. *)

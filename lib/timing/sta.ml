@@ -239,6 +239,19 @@ type session = {
 
 let make_session tech netlist = { tech; netlist; state = None }
 
+(* Poison the remembered position of each cell so the next analysis
+   treats it as moved even if its coordinates compare equal (NaN never
+   equals anything, including itself).  Re-evaluating a cone whose
+   inputs did not change reproduces its entries bit-identically, so
+   this only ever costs time, never results. *)
+let invalidate_cells sess cells =
+  match sess.state with
+  | None -> ()
+  | Some s ->
+      let n = Array.length s.prev in
+      let poison = { Rc_geom.Point.x = Float.nan; y = Float.nan } in
+      List.iter (fun c -> if c >= 0 && c < n then s.prev.(c) <- poison) cells
+
 let cold_analyze sess ~positions =
   let st = build_structure sess.tech sess.netlist ~positions in
   let nffs = Array.length st.ffs in

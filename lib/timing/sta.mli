@@ -49,6 +49,14 @@ val analyze_batch : session -> positions:Rc_geom.Point.t array -> t
 val analyze_incremental : session -> positions:Rc_geom.Point.t array -> t
 (** Alias of {!analyze_batch} (the historical name). *)
 
+val invalidate_cells : session -> int list -> unit
+(** Mark cells dirty for the next analysis regardless of whether their
+    coordinates changed — the targeted-invalidation hook used by the
+    ECO edit path ({!Rc_core.Flow.apply_edits}).  Out-of-range ids and
+    a session with no prior analysis are ignored.  Forcing a cone
+    re-evaluation can never change results (exact recomputation), so
+    this affects work, not values. *)
+
 val adjacencies : t -> adjacency list
 (** All sequentially adjacent pairs, each listed once. *)
 

@@ -115,6 +115,35 @@ supervisor_drill() {
     --bench tiny --chaos-kill 50 --shm "$SHM" --expect-digest "$REF" \
     --key service_chaos --label "$T" --out "$DIR/BENCH_chaos.json"
 
+  echo "== [$T] ECO act: flow + edit-session traffic, kill -9 mid-edit-sequence"
+  # a background flow batch and held-open edit sessions in flight
+  # together; the chaos kill lands while edits stream; afterwards
+  # --verify-replay replays every session's exact batches onto fresh
+  # sessions and requires the final digests to be bit-identical
+  "$LOADGEN" --socket "$SUPSOCK" --conns 2 --requests 6 --mix light --bench tiny \
+    --expect-digest "$REF" --key service_eco_bg --label "$T" \
+    --out "$DIR/BENCH_eco_bg.json" &
+  MIXED_PID=$!
+  "$LOADGEN" --socket "$SUPSOCK" --mix eco --bench tiny --sessions 3 --edits 5 \
+    --verify-replay --chaos-kill 8 --shm "$SHM" \
+    --key service_eco --label "$T" --out "$DIR/BENCH_eco.json"
+  wait "$MIXED_PID"
+  python3 - "$DIR/BENCH_eco.json" "$T" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+eco = doc["service_eco"][sys.argv[2]]["eco"]
+assert eco["errors"] == 0, eco
+assert eco["replayed"] == eco["sessions"], eco
+assert eco["edit_latency"]["p99_s"] > 0, eco
+print("   eco: %d sessions x %d edits, p50 %.4f s p99 %.4f s, replays digest-identical"
+      % (eco["sessions"], eco["edits_per_session"],
+         eco["edit_latency"]["p50_s"], eco["edit_latency"]["p99_s"]))
+EOF
+  # the per-worker session-store line (resident/opens/evictions/...) is
+  # live in `top`'s text view
+  "$BIN" top --shm "$SHM" --once | grep -q "sess" \
+    || { echo "top missing session-store line"; exit 1; }
+
   echo "== [$T] top reads live per-worker counters from shm"
   TOP=$("$BIN" top --shm "$SHM" --once --json)
   python3 - "$TOP" "$T" <<'EOF'
@@ -222,6 +251,10 @@ bench_pass() {
   "$LOADGEN" --tcp "127.0.0.1:$PORT" --conns "$BENCH_CONNS" --requests "$BENCH_REQUESTS" \
     --mix light --bench tiny --expect-digest "$REF" \
     --key service --label "$T" --out BENCH_results.json
+  # edit-latency percentiles for the artifact, merged as service.<T>.eco
+  # (schema v7) next to the transport's flow numbers
+  "$LOADGEN" --tcp "127.0.0.1:$PORT" --mix eco --bench tiny --sessions 2 --edits 4 \
+    --verify-replay --key service --label "$T" --out BENCH_results.json
   SHUT=$(request_on "$SUPSOCK" '{"id":11,"op":"shutdown"}')
   python3 -c 'import json,sys; r = json.loads(sys.argv[1]); assert r["ok"], r' "$SHUT"
   wait "$SERVER_PID"
@@ -242,4 +275,4 @@ print("   shm/ndjson throughput ratio %.3f (gate %s)" % (ratio, sys.argv[1]))
 assert ratio >= float(sys.argv[1]), (ratio, sys.argv[1])
 EOF
 
-echo "serve smoke: OK (digest $REF reproduced across server crash, worker kill -9 on both transports, and rolling restart)"
+echo "serve smoke: OK (digest $REF reproduced across server crash, worker kill -9 on both transports, rolling restart, and ECO edit sessions)"

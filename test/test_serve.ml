@@ -315,7 +315,7 @@ let test_protocol_parse () =
       Alcotest.(check string) "bench" "tiny" f.Protocol.f_bench.Bench_suite.bname;
       Alcotest.(check bool) "mode ilp" true (f.Protocol.f_mode = Flow.Ilp)
   | Ok _ -> Alcotest.fail "wrong parse"
-  | Error (_, e) -> Alcotest.fail e);
+  | Error (_, _, e) -> Alcotest.fail e);
   (match
      Protocol.parse_request
        {|{"id":"a","op":"sweep","bench":"tiny","grids":[2,3],"priority":4,"deadline_ms":1500}|}
@@ -325,16 +325,36 @@ let test_protocol_parse () =
       Alcotest.(check (option (float 1e-9))) "deadline converted" (Some 1.5) deadline_s;
       Alcotest.(check (list int)) "grids" [ 2; 3 ] s.Protocol.s_grids
   | Ok _ -> Alcotest.fail "wrong parse"
-  | Error (_, e) -> Alcotest.fail e);
-  (* errors keep the id so the response can still be addressed *)
+  | Error (_, _, e) -> Alcotest.fail e);
+  (* errors keep the id so the response can still be addressed, and the
+     op name so the error envelope can echo which op was rejected *)
   (match Protocol.parse_request {|{"id":9,"op":"flow","bench":"nonesuch"}|} with
-  | Error (Json.Int 9, e) ->
+  | Error (Json.Int 9, Some "flow", e) ->
       Alcotest.(check bool) "names the bad bench" true (contains e "nonesuch")
-  | _ -> Alcotest.fail "expected an id-carrying error");
+  | _ -> Alcotest.fail "expected an id+op-carrying error");
   (match Protocol.parse_request {|{"id":1,"op":"transmogrify"}|} with
-  | Error (_, e) ->
-      Alcotest.(check bool) "lists known ops" true (contains e "flow | report")
+  | Error (_, Some "transmogrify", e) ->
+      Alcotest.(check bool) "lists known ops" true (contains e "flow | report");
+      Alcotest.(check bool) "echoes the offender" true (contains e "transmogrify")
+  | Error _ -> Alcotest.fail "unknown op error lost the op name"
   | Ok _ -> Alcotest.fail "unknown op accepted");
+  (* session ops parse, and a malformed edit is rejected with the op *)
+  (match
+     Protocol.parse_request
+       {|{"id":2,"op":"session_edit","session":5,"seq":3,"edits":[{"kind":"move","cell":1,"x":2.0,"y":3.0},{"kind":"period","period":95.0}]}|}
+   with
+  | Ok { Protocol.op = Protocol.Session_edit_op se; _ } ->
+      Alcotest.(check int) "session" 5 se.Protocol.se_session;
+      Alcotest.(check (option int)) "seq" (Some 3) se.Protocol.se_seq;
+      Alcotest.(check int) "edits" 2 (List.length se.Protocol.se_edits)
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error (_, _, e) -> Alcotest.fail e);
+  (match
+     Protocol.parse_request {|{"id":2,"op":"session_edit","session":5,"edits":[{"kind":"warp"}]}|}
+   with
+  | Error (_, Some "session_edit", e) ->
+      Alcotest.(check bool) "names the bad kind" true (contains e "warp")
+  | _ -> Alcotest.fail "bad edit kind accepted or op name lost");
   match Protocol.parse_request "not json at all" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "garbage accepted"
@@ -354,7 +374,7 @@ let test_protocol_restart_op () =
   (match Protocol.parse_request {|{"id":1,"op":"restart"}|} with
   | Ok { Protocol.op = Protocol.Restart_op; _ } -> ()
   | Ok _ -> Alcotest.fail "restart parsed as something else"
-  | Error (_, e) -> Alcotest.fail e);
+  | Error (_, _, e) -> Alcotest.fail e);
   (* a single-process server declines with a pointer at the supervisor *)
   let srv = Server.create ~workers:1 () in
   let got = ref Json.Null in
@@ -439,6 +459,231 @@ let test_server_status_identity () =
   let w = field "worker" (field "result" !got) in
   Alcotest.(check bool) "draining visible" true (field "draining" w = Json.Bool true);
   Server.drain srv
+
+(* a rejected request's error envelope names the offending op *)
+let test_server_error_echoes_op () =
+  let srv = Server.create ~workers:1 () in
+  let got = ref Json.Null in
+  Server.handle_line srv ~respond:(fun j -> got := j) {|{"id":1,"op":"transmogrify"}|};
+  Alcotest.(check bool) "rejected" true (field "ok" !got = Json.Bool false);
+  Alcotest.(check bool) "op echoed" true (field "op" !got = Json.String "transmogrify");
+  Server.handle_line srv ~respond:(fun j -> got := j)
+    {|{"id":2,"op":"session_edit","session":1,"edits":[{"kind":"warp"}]}|};
+  Alcotest.(check bool) "bad edit rejected" true (field "ok" !got = Json.Bool false);
+  Alcotest.(check bool) "bad edit echoes op" true
+    (field "op" !got = Json.String "session_edit");
+  Server.drain srv
+
+(* ---- ECO sessions ------------------------------------------------------ *)
+
+(* session ops answer asynchronously from a scheduler thread; park on an
+   atomic slot until the response lands *)
+let async_request srv line =
+  let got = Atomic.make None in
+  Server.handle_line srv ~respond:(fun j -> Atomic.set got (Some j)) line;
+  let deadline = Rc_util.Timer.now_s () +. 120.0 in
+  let rec wait () =
+    match Atomic.get got with
+    | Some j -> j
+    | None ->
+        if Rc_util.Timer.now_s () > deadline then Alcotest.failf "no response to: %s" line
+        else (
+          Unix.sleepf 0.002;
+          wait ())
+  in
+  wait ()
+
+let ok_result ~ctx j =
+  if field "ok" j <> Json.Bool true then Alcotest.failf "%s: %s" ctx (Json.to_string j);
+  field "result" j
+
+let int_field name j =
+  match field name j with Json.Int v -> v | _ -> Alcotest.failf "field %S is not an int" name
+
+let str_field name j =
+  match field name j with
+  | Json.String s -> s
+  | _ -> Alcotest.failf "field %S is not a string" name
+
+let num_field name j =
+  match field name j with
+  | Json.Float v -> v
+  | Json.Int v -> float_of_int v
+  | _ -> Alcotest.failf "field %S is not a number" name
+
+(* Lehmer MINSTD, the same deterministic stream discipline as
+   bench/loadgen --mix eco: the walk is a pure function of the seed *)
+type rng = { mutable s : int }
+
+let rng_make seed =
+  let s = ((seed * 7919) + 104729) mod 0x7FFFFFFF in
+  { s = (if s = 0 then 1 else s) }
+
+let rng_next r =
+  r.s <- r.s * 48271 mod 0x7FFFFFFF;
+  r.s
+
+let rng_int r n = rng_next r mod max 1 n
+let rng_float r = float_of_int (rng_next r) /. 2147483647.0
+
+(* [batcher seed open_result] returns a thunk producing the next edit
+   batch of the seed's walk, sized against the session's geometry *)
+let batcher seed r =
+  let rng = rng_make seed in
+  let n_cells = int_field "n_cells" r
+  and n_ffs = int_field "n_ffs" r
+  and n_rings = int_field "n_rings" r
+  and period = num_field "clock_period_ps" r in
+  let chip = field "chip" r in
+  let xmin = num_field "xmin" chip
+  and ymin = num_field "ymin" chip
+  and xmax = num_field "xmax" chip
+  and ymax = num_field "ymax" chip in
+  let w = xmax -. xmin and h = ymax -. ymin in
+  let edit () =
+    match rng_int rng 4 with
+    | 0 ->
+        Json.Obj
+          [
+            ("kind", Json.String "move");
+            ("cell", Json.Int (rng_int rng n_cells));
+            ("x", Json.Float (xmin +. (rng_float rng *. w)));
+            ("y", Json.Float (ymin +. (rng_float rng *. h)));
+          ]
+    | 1 ->
+        let bx = xmin +. (rng_float rng *. w *. 0.8) in
+        let by = ymin +. (rng_float rng *. h *. 0.8) in
+        Json.Obj
+          [
+            ("kind", Json.String "shift");
+            ("xmin", Json.Float bx);
+            ("ymin", Json.Float by);
+            ("xmax", Json.Float (bx +. (w *. 0.2)));
+            ("ymax", Json.Float (by +. (h *. 0.2)));
+            ("dx", Json.Float ((rng_float rng -. 0.5) *. w *. 0.04));
+            ("dy", Json.Float ((rng_float rng -. 0.5) *. h *. 0.04));
+          ]
+    | 2 when n_ffs > 0 && n_rings > 0 ->
+        Json.Obj
+          [
+            ("kind", Json.String "retarget");
+            ("ff", Json.Int (rng_int rng n_ffs));
+            ("ring", Json.Int (rng_int rng n_rings));
+          ]
+    | _ ->
+        Json.Obj
+          [
+            ("kind", Json.String "period");
+            ("period", Json.Float (period *. (1.0 +. (0.2 *. rng_float rng))));
+          ]
+  in
+  fun () -> List.init (1 + rng_int rng 3) (fun _ -> edit ())
+
+let edit_request ~id ~sid batch =
+  Json.to_line
+    (Json.Obj
+       [
+         ("id", Json.Int id);
+         ("op", Json.String "session_edit");
+         ("session", Json.Int sid);
+         ("edits", Json.List batch);
+       ])
+
+let open_session srv =
+  let r = ok_result ~ctx:"session_open" (async_request srv {|{"id":0,"op":"session_open","bench":"tiny"}|}) in
+  (int_field "session" r, r)
+
+let apply_batch srv sid batch =
+  let r = ok_result ~ctx:"session_edit" (async_request srv (edit_request ~id:0 ~sid batch)) in
+  str_field "digest" r
+
+let close_session srv sid =
+  ignore
+    (ok_result ~ctx:"session_close"
+       (async_request srv
+          (Printf.sprintf {|{"id":0,"op":"session_close","session":%d}|} sid)))
+
+(* replay bit-identity, the subsystem's correctness anchor: an edit walk
+   streamed into a live session and the same walk replayed onto a fresh
+   session must agree on the final digest — at jobs 1, 2 and 4, since
+   every stage re-run crosses the parallel regions *)
+let test_session_replay_identity () =
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun () ->
+          let srv =
+            Server.create ~workers:2
+              ~session_dir:(Filename.concat temp_dir (Printf.sprintf "eco-j%d" jobs))
+              ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Server.drain srv)
+            (fun () ->
+              let prop seed =
+                let sid, r = open_session srv in
+                let gen = batcher seed r in
+                let batches = List.init 3 (fun _ -> gen ()) in
+                let d_live =
+                  List.fold_left (fun _ b -> apply_batch srv sid b) "" batches
+                in
+                close_session srv sid;
+                let sid2, _ = open_session srv in
+                let d_replay =
+                  List.fold_left (fun _ b -> apply_batch srv sid2 b) "" batches
+                in
+                close_session srv sid2;
+                if d_live <> d_replay then
+                  QCheck.Test.fail_reportf
+                    "replay digest %s <> incremental %s (seed %d, jobs %d)" d_replay
+                    d_live seed jobs;
+                true
+              in
+              QCheck.Test.check_exn
+                (QCheck.Test.make ~count:3
+                   ~name:(Printf.sprintf "edit walks replay (jobs=%d)" jobs)
+                   QCheck.small_nat prop))))
+    [ 1; 2; 4 ]
+
+(* capacity 1 with two interleaved sessions: every touch of one evicts
+   the other, so every subsequent edit rehydrates from escrow — and the
+   digests must still equal a scratch replay's *)
+let test_session_evict_rehydrate () =
+  let srv =
+    Server.create ~workers:2 ~session_capacity:1
+      ~session_dir:(Filename.concat temp_dir "eco-evict") ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.drain srv)
+    (fun () ->
+      let sid_a, r_a = open_session srv in
+      let gen_a = batcher 11 r_a in
+      let b1 = gen_a () in
+      let b2 = gen_a () in
+      let batches_a = [ b1; b2; gen_a () ] in
+      let sid_b, r_b = open_session srv in
+      let gen_b = batcher 22 r_b in
+      let b4 = gen_b () in
+      let b5 = gen_b () in
+      let batches_b = [ b4; b5; gen_b () ] in
+      let d_a = ref "" and d_b = ref "" in
+      List.iter2
+        (fun ba bb ->
+          d_a := apply_batch srv sid_a ba;
+          d_b := apply_batch srv sid_b bb)
+        batches_a batches_b;
+      let resident, known = Session.counts (Server.sessions srv) in
+      Alcotest.(check bool) "capacity respected" true (resident <= 1);
+      Alcotest.(check bool) "both sessions known" true (known >= 2);
+      close_session srv sid_a;
+      close_session srv sid_b;
+      let replay batches =
+        let sid, _ = open_session srv in
+        let d = List.fold_left (fun _ b -> apply_batch srv sid b) "" batches in
+        close_session srv sid;
+        d
+      in
+      Alcotest.(check string) "session A digest across evictions" !d_a (replay batches_a);
+      Alcotest.(check string) "session B digest across evictions" !d_b (replay batches_b))
 
 (* ---- shm counter segment ----------------------------------------------- *)
 
@@ -898,7 +1143,7 @@ let test_resume_from_shm_digest_identity () =
 let rotary_cli_exe =
   Filename.concat (Filename.dirname Sys.executable_name) "../bin/rotary_cli.exe"
 
-let with_supervisor ?(workers = 2) ?(transport = Shm.Ndjson) name f =
+let with_supervisor ?(workers = 2) ?(transport = Shm.Ndjson) ?session_capacity name f =
   let sock = Filename.concat temp_dir (name ^ ".sock") in
   let shm_path = sock ^ ".shm" in
   let cfg =
@@ -918,6 +1163,8 @@ let with_supervisor ?(workers = 2) ?(transport = Shm.Ndjson) name f =
       transport;
       ring_slots = Shm.default_ring_slots;
       pin_cores = false;
+      session_dir = None;
+      session_capacity;
     }
   in
   let sup = Thread.create (fun () -> Supervisor.run cfg) () in
@@ -1044,6 +1291,87 @@ let test_supervisor_rolling_restart transport () =
       close_in_noerr ic;
       try Unix.close fd with Unix.Unix_error _ -> ())
 
+(* SIGKILL the worker holding an ECO session mid-edit-sequence: the
+   supervisor redispatches to a sibling, which rehydrates the session
+   from the shared escrow tier; the remaining edits must answer and the
+   final digest must equal a scratch replay of the same walk through
+   the same supervisor *)
+let test_supervisor_session_crash transport () =
+  with_supervisor ~transport
+    ("eco-crash-" ^ Shm.transport_name transport)
+    (fun ~sock ~shm_path ->
+      let fd = connect_unix sock in
+      let ic = Unix.in_channel_of_descr fd in
+      send_line fd {|{"id":1,"op":"session_open","bench":"tiny"}|};
+      let r0 = read_response ic in
+      Alcotest.(check bool) "open ok" true (field "ok" r0 = Json.Bool true);
+      let res0 = field "result" r0 in
+      let sid = int_field "session" res0 in
+      let gen = batcher 7 res0 in
+      let b1 = gen () in
+      let b2 = gen () in
+      let b3 = gen () in
+      send_line fd (edit_request ~id:2 ~sid b1);
+      let r1 = read_response ic in
+      Alcotest.(check bool) "edit 1 ok" true (field "ok" r1 = Json.Bool true);
+      (* stream the second batch and SIGKILL the worker that picks it
+         up; if the batch outruns us, kill an up worker anyway — the
+         next edit then still exercises crash rehydration *)
+      let shm = attach_ok shm_path in
+      let got2 = Atomic.make None in
+      let reader = Thread.create (fun () -> Atomic.set got2 (Some (read_response ic))) () in
+      send_line fd (edit_request ~id:3 ~sid b2);
+      let victim = ref 0 in
+      let deadline = Rc_util.Timer.now_s () +. 10.0 in
+      while !victim = 0 && Atomic.get got2 = None && Rc_util.Timer.now_s () < deadline do
+        Array.iter
+          (fun (r : Shm.row) ->
+            let c = r.Shm.control in
+            if c.Shm.c_state = Shm.C_up && c.Shm.c_inflight > 0 && c.Shm.c_pid > 0 then
+              victim := c.Shm.c_pid)
+          (Shm.read_all shm)
+      done;
+      if !victim = 0 then
+        Array.iter
+          (fun (r : Shm.row) ->
+            let c = r.Shm.control in
+            if c.Shm.c_state = Shm.C_up && c.Shm.c_pid > 0 then victim := c.Shm.c_pid)
+          (Shm.read_all shm);
+      Alcotest.(check bool) "found a worker to kill" true (!victim <> 0);
+      (try Unix.kill !victim Sys.sigkill with Unix.Unix_error _ -> ());
+      Thread.join reader;
+      let r2 = match Atomic.get got2 with Some j -> j | None -> Alcotest.fail "no edit 2 response" in
+      Alcotest.(check bool) "edit 2 survives the crash" true
+        (field "ok" r2 = Json.Bool true);
+      send_line fd (edit_request ~id:4 ~sid b3);
+      let r3 = read_response ic in
+      Alcotest.(check bool) "edit 3 ok after rehydration" true
+        (field "ok" r3 = Json.Bool true);
+      let d_live = str_field "digest" (field "result" r3) in
+      send_line fd (Printf.sprintf {|{"id":5,"op":"session_close","session":%d}|} sid);
+      Alcotest.(check bool) "close ok" true (field "ok" (read_response ic) = Json.Bool true);
+      (* scratch replay of the identical walk through the supervisor *)
+      send_line fd {|{"id":6,"op":"session_open","bench":"tiny"}|};
+      let ro = read_response ic in
+      Alcotest.(check bool) "replay open ok" true (field "ok" ro = Json.Bool true);
+      let sid2 = int_field "session" (field "result" ro) in
+      let d_replay = ref "" in
+      List.iteri
+        (fun i b ->
+          send_line fd (edit_request ~id:(7 + i) ~sid:sid2 b);
+          let r = read_response ic in
+          Alcotest.(check bool) (Printf.sprintf "replay edit %d ok" i) true
+            (field "ok" r = Json.Bool true);
+          d_replay := str_field "digest" (field "result" r))
+        [ b1; b2; b3 ];
+      send_line fd (Printf.sprintf {|{"id":10,"op":"session_close","session":%d}|} sid2);
+      Alcotest.(check bool) "replay close ok" true
+        (field "ok" (read_response ic) = Json.Bool true);
+      Alcotest.(check string) "digest identical across the crash" !d_replay d_live;
+      wait_for "restart recorded in shm" (fun () -> sum_restarts shm >= 1);
+      close_in_noerr ic;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+
 let () =
   Alcotest.run "rc_serve"
     [
@@ -1078,6 +1406,15 @@ let () =
           Alcotest.test_case "socket smoke" `Slow test_server_socket_smoke;
           Alcotest.test_case "status carries worker identity" `Quick
             test_server_status_identity;
+          Alcotest.test_case "error envelope echoes the op" `Quick
+            test_server_error_echoes_op;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "randomized edit walks replay bit-identically (jobs 1/2/4)"
+            `Slow test_session_replay_identity;
+          Alcotest.test_case "evict + rehydrate mid-sequence keeps digests" `Slow
+            test_session_evict_rehydrate;
         ] );
       ( "shm",
         [
@@ -1121,5 +1458,9 @@ let () =
             (test_supervisor_rolling_restart Shm.Ndjson);
           Alcotest.test_case "rolling restart loses nothing (shm)" `Slow
             (test_supervisor_rolling_restart Shm.Shm_rings);
+          Alcotest.test_case "session crash rehydrates digest-identically (ndjson)" `Slow
+            (test_supervisor_session_crash Shm.Ndjson);
+          Alcotest.test_case "session crash rehydrates digest-identically (shm)" `Slow
+            (test_supervisor_session_crash Shm.Shm_rings);
         ] );
     ]
